@@ -1,0 +1,87 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §4 for the experiment index).
+//
+// Every harness accepts:
+//   --scale=<f>   multiplies dataset sizes toward (or past) paper scale
+//   --csv         additionally emit CSV rows
+//   --seed=<n>    dataset + algorithm seed
+
+#ifndef CLUSEQ_BENCH_BENCH_COMMON_H_
+#define CLUSEQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluseq/cluseq.h"
+
+namespace cluseq_bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  bool csv = false;
+  uint64_t seed = 42;
+  std::string axis;  // Used by the scalability bench.
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (cluseq::ParseFlag(arg, "scale", &value)) {
+      args.scale = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (cluseq::ParseFlag(arg, "seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (cluseq::ParseFlag(arg, "axis", &value)) {
+      args.axis = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' "
+                   "(supported: --scale=F --csv --seed=N --axis=S)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline size_t Scaled(size_t base, double scale) {
+  double v = static_cast<double>(base) * scale;
+  return v < 1.0 ? 1 : static_cast<size_t>(v);
+}
+
+/// CLUSEQ configuration tuned for the scaled synthetic workloads: c and the
+/// consolidation minimum shrink with the data so significance stays
+/// attainable (the paper's c = 30 presumes 1000-symbol sequences and
+/// thousands of members).
+inline cluseq::CluseqOptions ScaledCluseqOptions(double scale) {
+  cluseq::CluseqOptions o;
+  o.initial_clusters = 5;
+  o.similarity_threshold = 1.05;
+  o.significance_threshold = scale >= 2.0 ? 8 : 5;
+  o.min_unique_members = 4;
+  o.pst.max_depth = 6;
+  o.max_iterations = 15;
+  return o;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==== %s ====\n", title);
+  std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
+  table.Print(std::cout);
+  if (csv) {
+    std::printf("\n-- csv --\n");
+    table.PrintCsv(std::cout);
+  }
+}
+
+}  // namespace cluseq_bench
+
+#endif  // CLUSEQ_BENCH_BENCH_COMMON_H_

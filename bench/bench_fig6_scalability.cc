@@ -1,0 +1,119 @@
+// Figure 6: scalability of CLUSEQ along four axes — (a) number of clusters,
+// (b) number of sequences, (c) average sequence length, (d) number of
+// distinct symbols. Paper shapes: linear in #clusters and #sequences,
+// moderately super-linear in length, flat in alphabet size.
+//
+//   ./bench_fig6_scalability                runs all four axes
+//   ./bench_fig6_scalability --axis=length  runs one
+
+#include "bench/bench_common.h"
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+namespace {
+
+double TimeRun(const SequenceDatabase& db, size_t fixed_iterations,
+               double scale) {
+  CluseqOptions options = ScaledCluseqOptions(scale);
+  options.max_iterations = fixed_iterations;
+  options.adjust_threshold = true;
+  Stopwatch timer;
+  ClusteringResult result;
+  Status st = RunCluseq(db, options, &result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CLUSEQ: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  // Report per-iteration time: runs converge after different iteration
+  // counts, and the §4.7 complexity claim — O(N * k' * l^2) — is about the
+  // cost of one iteration, not about how many a dataset happens to need.
+  return timer.ElapsedSeconds() /
+         static_cast<double>(std::max<size_t>(result.iterations, 1));
+}
+
+SyntheticDatasetOptions BaseData(uint64_t seed) {
+  SyntheticDatasetOptions d;
+  d.num_clusters = 10;
+  d.sequences_per_cluster = 20;
+  d.alphabet_size = 20;
+  d.avg_length = 300;
+  d.outlier_fraction = 0.05;
+  d.spread = 0.3;
+  d.seed = seed;
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Figure 6: scalability", "paper §6.4, Figure 6(a-d)");
+  const size_t iters = 8;
+
+  bool all = args.axis.empty();
+  if (all || args.axis == "clusters") {
+    ReportTable table({"Clusters", "Sequences", "Time/iter (s)"});
+    for (size_t k : {5u, 10u, 20u, 40u}) {
+      SyntheticDatasetOptions d = BaseData(args.seed);
+      d.num_clusters = Scaled(k, args.scale);
+      // Fixed database size while the number of embedded clusters varies,
+      // exactly as in the paper (100k sequences, 10..100 clusters).
+      d.sequences_per_cluster =
+          std::max<size_t>(Scaled(400, args.scale) / d.num_clusters, 2);
+      SequenceDatabase db = MakeSyntheticDataset(d);
+      table.AddRow({std::to_string(d.num_clusters),
+                    std::to_string(db.size()),
+                    FormatDouble(TimeRun(db, iters, args.scale), 2)});
+    }
+    std::printf("(a) time vs number of clusters (paper: linear)\n");
+    EmitTable(table, args.csv);
+    std::printf("\n");
+  }
+
+  if (all || args.axis == "sequences") {
+    ReportTable table({"Sequences", "Time/iter (s)"});
+    for (size_t per : {10u, 20u, 40u, 80u}) {
+      SyntheticDatasetOptions d = BaseData(args.seed);
+      d.sequences_per_cluster = Scaled(per, args.scale);
+      SequenceDatabase db = MakeSyntheticDataset(d);
+      table.AddRow({std::to_string(db.size()),
+                    FormatDouble(TimeRun(db, iters, args.scale), 2)});
+    }
+    std::printf("(b) time vs number of sequences (paper: linear)\n");
+    EmitTable(table, args.csv);
+    std::printf("\n");
+  }
+
+  if (all || args.axis == "length") {
+    ReportTable table({"Avg length", "Time/iter (s)"});
+    for (size_t len : {50u, 100u, 200u, 400u}) {
+      SyntheticDatasetOptions d = BaseData(args.seed);
+      d.avg_length = Scaled(len, args.scale);
+      SequenceDatabase db = MakeSyntheticDataset(d);
+      table.AddRow({std::to_string(d.avg_length),
+                    FormatDouble(TimeRun(db, iters, args.scale), 2)});
+    }
+    std::printf("(c) time vs average sequence length (paper: moderately "
+                "super-linear)\n");
+    EmitTable(table, args.csv);
+    std::printf("\n");
+  }
+
+  if (all || args.axis == "alphabet") {
+    ReportTable table({"Distinct symbols", "Time/iter (s)"});
+    for (size_t alpha : {10u, 20u, 50u, 100u}) {
+      SyntheticDatasetOptions d = BaseData(args.seed);
+      d.alphabet_size = alpha;
+      SequenceDatabase db = MakeSyntheticDataset(d);
+      table.AddRow({std::to_string(alpha),
+                    FormatDouble(TimeRun(db, iters, args.scale), 2)});
+    }
+    std::printf("(d) time vs number of distinct symbols (paper: flat)\n");
+    EmitTable(table, args.csv);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// §6.3 (unnumbered study): effect of the order in which sequences are
+// examined during each iteration. Paper: fixed order 82%, random order 83%,
+// cluster-based order 65% (grouping a cluster's members together traps the
+// algorithm in local optima).
+
+#include "bench/bench_common.h"
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Visit-order sensitivity", "paper §6.3 (order study)");
+
+  SyntheticDatasetOptions data_options;
+  data_options.num_clusters = 10;
+  data_options.sequences_per_cluster = Scaled(25, args.scale);
+  data_options.alphabet_size = 20;
+  data_options.avg_length = 400;
+  data_options.outlier_fraction = 0.05;
+  data_options.spread = 0.3;
+  data_options.seed = args.seed;
+  SequenceDatabase db = MakeSyntheticDataset(data_options);
+  std::printf("dataset: %zu sequences, %zu clusters\n\n", db.size(),
+              data_options.num_clusters);
+
+  // Two modes: with the per-iteration PST rebuild (this library's default)
+  // and with the paper's purely cumulative PSTs. The paper's cluster-based
+  // pathology (local-optimum trapping) only manifests in cumulative mode —
+  // the rebuild step is precisely what breaks those local optima.
+  ReportTable table({"Order", "PST updates", "Correctly labeled %",
+                     "Time (s)", "Iterations"});
+  const std::pair<VisitOrder, const char*> orders[] = {
+      {VisitOrder::kFixed, "fixed"},
+      {VisitOrder::kRandom, "random"},
+      {VisitOrder::kClusterBased, "cluster-based"},
+  };
+  for (bool rebuild : {true, false}) {
+    for (const auto& [order, name] : orders) {
+      CluseqOptions options = ScaledCluseqOptions(args.scale);
+      options.visit_order = order;
+      options.rebuild_each_iteration = rebuild;
+      Stopwatch timer;
+      ClusteringResult result;
+      Status st = RunCluseq(db, options, &result);
+      double secs = timer.ElapsedSeconds();
+      if (!st.ok()) {
+        std::fprintf(stderr, "CLUSEQ: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      EvaluationSummary eval = Evaluate(db, result.best_cluster);
+      table.AddRow({name, rebuild ? "rebuild" : "cumulative (paper)",
+                    FormatPercent(eval.correct_fraction, 0),
+                    FormatDouble(secs, 2),
+                    std::to_string(result.iterations)});
+    }
+  }
+  EmitTable(table, args.csv);
+  std::printf("\npaper reference: fixed 82%%, random 83%%, cluster-based "
+              "65%%\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 6: effect of the initial similarity threshold t. Paper: with k
+// fixed, initial t in {1.05, 1.5, 2, 3} all converge to the true t = 2 with
+// ~82-84% precision/recall; a sub-optimal start costs up to ~30% extra time.
+// Shape to reproduce: final t independent of the start; quality flat.
+//
+// Note on units: our synthetic sources are stronger than the paper's, so
+// similarities (and therefore the converged t) live at a larger log scale;
+// the invariance of the *final* threshold across starting points is the
+// reproduced property.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Table 6: effect of the initial similarity threshold",
+              "paper §6.3, Table 6");
+
+  SyntheticDatasetOptions data_options;
+  data_options.num_clusters = Scaled(20, args.scale);
+  data_options.sequences_per_cluster = 15;
+  data_options.alphabet_size = 20;
+  // Paper-faithful sequence length: at ~600+ symbols even a single seed's
+  // PST has significant order-2 contexts, which is what lets new clusters
+  // bootstrap (the paper used 1000-symbol sequences).
+  data_options.avg_length = 600;
+  data_options.outlier_fraction = 0.10;
+  data_options.spread = 0.3;
+  data_options.seed = args.seed;
+  SequenceDatabase db = MakeSyntheticDataset(data_options);
+  std::printf("dataset: %zu sequences, %zu planted clusters\n\n", db.size(),
+              data_options.num_clusters);
+
+  ReportTable table({"Initial t", "Final log t", "Time (s)", "Precision %",
+                     "Recall %", "Clusters"});
+  for (double t0 : {1.05, 1.5, 2.0, 3.0, std::exp(2.0)}) {
+    CluseqOptions options = ScaledCluseqOptions(args.scale);
+    options.initial_clusters = data_options.num_clusters;  // k fixed (paper).
+    options.similarity_threshold = t0;
+    options.auto_initial_threshold = false;  // The start IS the experiment.
+    options.max_iterations = 25;
+    Stopwatch timer;
+    ClusteringResult result;
+    Status st = RunCluseq(db, options, &result);
+    double secs = timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "CLUSEQ: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ContingencyTable ct(result.best_cluster, TrueLabels(db));
+    MacroQuality macro = MacroAverage(PerFamilyQuality(ct));
+    table.AddRow({FormatDouble(t0, 2),
+                  FormatDouble(result.final_log_threshold, 2),
+                  FormatDouble(secs, 2), FormatPercent(macro.precision, 0),
+                  FormatPercent(macro.recall, 0),
+                  std::to_string(result.num_clusters())});
+  }
+  EmitTable(table, args.csv);
+  std::printf("\npaper reference: final t in 1.99-2.01 for every start; "
+              "~82-84%% P/R\n");
+  return 0;
+}

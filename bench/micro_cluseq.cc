@@ -1,0 +1,113 @@
+// Micro-benchmarks for the CLUSEQ pipeline phases: seeding, one full run at
+// small scale, the online scorer, and PST merging — the costs that compose
+// the end-to-end response times of the experiment harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluseq.h"
+#include "core/online_scorer.h"
+#include "core/seeding.h"
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+SequenceDatabase BenchDb(size_t clusters, size_t per, size_t len) {
+  SyntheticDatasetOptions o;
+  o.num_clusters = clusters;
+  o.sequences_per_cluster = per;
+  o.alphabet_size = 20;
+  o.avg_length = len;
+  o.outlier_fraction = 0.05;
+  o.spread = 0.3;
+  o.seed = 42;
+  return MakeSyntheticDataset(o);
+}
+
+PstOptions BenchPstOptions() {
+  PstOptions o;
+  o.max_depth = 6;
+  o.significance_threshold = 5;
+  return o;
+}
+
+void BM_SelectSeeds(benchmark::State& state) {
+  const size_t num_seeds = static_cast<size_t>(state.range(0));
+  SequenceDatabase db = BenchDb(10, 20, 200);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  for (auto _ : state) {
+    Rng rng(7);
+    auto seeds = SelectSeeds(db, unclustered, num_seeds, num_seeds * 5, {},
+                             bg, BenchPstOptions(), 1, &rng);
+    benchmark::DoNotOptimize(seeds.size());
+  }
+}
+BENCHMARK(BM_SelectSeeds)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_FullClustering(benchmark::State& state) {
+  SequenceDatabase db = BenchDb(static_cast<size_t>(state.range(0)), 15, 150);
+  CluseqOptions options;
+  options.initial_clusters = 5;
+  options.significance_threshold = 5;
+  options.min_unique_members = 4;
+  options.pst.max_depth = 6;
+  options.max_iterations = 8;
+  for (auto _ : state) {
+    ClusteringResult result;
+    Status st = RunCluseq(db, options, &result);
+    benchmark::DoNotOptimize(result.num_clusters());
+    if (!st.ok()) state.SkipWithError("clustering failed");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(db.size()));
+}
+BENCHMARK(BM_FullClustering)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineScorerPush(benchmark::State& state) {
+  const size_t num_models = static_cast<size_t>(state.range(0));
+  SequenceDatabase db = BenchDb(num_models, 10, 400);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<Pst> models;
+  for (size_t c = 0; c < num_models; ++c) {
+    models.emplace_back(db.alphabet().size(), BenchPstOptions());
+    for (size_t i = 0; i < db.size(); ++i) {
+      if (db[i].label() == static_cast<Label>(c)) {
+        models.back().InsertSequence(db[i]);
+      }
+    }
+  }
+  OnlineScorer scorer(bg);
+  for (const Pst& m : models) scorer.AddModel(&m);
+  Rng rng(9);
+  for (auto _ : state) {
+    scorer.Push(static_cast<SymbolId>(rng.Uniform(20)));
+    benchmark::DoNotOptimize(scorer.BestScore().log_sim);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnlineScorerPush)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PstMerge(benchmark::State& state) {
+  SequenceDatabase db = BenchDb(2, 10, 500);
+  Pst a(db.alphabet().size(), BenchPstOptions());
+  Pst b(db.alphabet().size(), BenchPstOptions());
+  for (size_t i = 0; i < db.size(); ++i) {
+    (db[i].label() == 0 ? a : b).InsertSequence(db[i]);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pst target = a;
+    state.ResumeTiming();
+    Status st = target.MergeFrom(b);
+    benchmark::DoNotOptimize(target.NumNodes());
+    if (!st.ok()) state.SkipWithError("merge failed");
+  }
+}
+BENCHMARK(BM_PstMerge);
+
+}  // namespace
+}  // namespace cluseq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Micro-benchmarks for the baseline distance kernels: edit distance (full
+// and banded), block edit distance (greedy string tiling), q-gram profile
+// construction/cosine, and HMM log-likelihood — the per-pair costs that
+// explain the response-time column of Table 2.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/block_edit_distance.h"
+#include "baselines/edit_distance.h"
+#include "baselines/hmm.h"
+#include "baselines/qgram.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+std::vector<SymbolId> RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SymbolId> text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+void BM_EditDistance(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto a = RandomText(len, 20, 1);
+  auto b = RandomText(len, 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_BandedEditDistance(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto a = RandomText(len, 20, 3);
+  auto b = a;
+  // Perturb a few positions so the distance is small but nonzero.
+  Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    b[rng.Uniform(len)] = static_cast<SymbolId>(rng.Uniform(20));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BandedEditDistance(a, b, 16));
+  }
+}
+BENCHMARK(BM_BandedEditDistance)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_BlockEditDistance(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto a = RandomText(len, 20, 5);
+  auto b = RandomText(len, 20, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BlockEditDistance(a, b).distance);
+  }
+}
+BENCHMARK(BM_BlockEditDistance)->Arg(100)->Arg(300);
+
+void BM_QGramBuild(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  auto a = RandomText(len, 20, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGramProfile::Build(a, 3, 20).num_distinct());
+  }
+}
+BENCHMARK(BM_QGramBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_QGramCosine(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  QGramProfile a = QGramProfile::Build(RandomText(len, 20, 8), 3, 20);
+  QGramProfile b = QGramProfile::Build(RandomText(len, 20, 9), 3, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QGramProfile::Cosine(a, b));
+  }
+}
+BENCHMARK(BM_QGramCosine)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_HmmLogLikelihood(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const size_t states = static_cast<size_t>(state.range(1));
+  Hmm hmm(states, 20);
+  Rng rng(10);
+  hmm.RandomInit(&rng);
+  auto seq = RandomText(len, 20, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.LogLikelihood(seq));
+  }
+}
+BENCHMARK(BM_HmmLogLikelihood)
+    ->Args({200, 4})
+    ->Args({200, 16})
+    ->Args({1000, 4})
+    ->Args({1000, 16});
+
+}  // namespace
+}  // namespace cluseq
+
+BENCHMARK_MAIN();

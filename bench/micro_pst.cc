@@ -1,0 +1,98 @@
+// Micro-benchmarks for the probabilistic suffix tree: insertion, prediction
+// and the three pruning strategies.
+
+#include <benchmark/benchmark.h>
+
+#include "pst/pst.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+std::vector<SymbolId> RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SymbolId> text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+void BM_PstInsertSequence(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const size_t depth = static_cast<size_t>(state.range(1));
+  auto text = RandomText(len, 20, 1);
+  PstOptions options;
+  options.max_depth = depth;
+  for (auto _ : state) {
+    Pst pst(20, options);
+    pst.InsertSequence(text);
+    benchmark::DoNotOptimize(pst.NumNodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_PstInsertSequence)
+    ->Args({200, 4})
+    ->Args({200, 8})
+    ->Args({1000, 4})
+    ->Args({1000, 8})
+    ->Args({5000, 8});
+
+void BM_PstPrediction(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  PstOptions options;
+  options.max_depth = depth;
+  options.significance_threshold = 3;
+  Pst pst(20, options);
+  pst.InsertSequence(RandomText(5000, 20, 2));
+  auto queries = RandomText(256, 20, 3);
+  size_t pos = 8;
+  for (auto _ : state) {
+    std::span<const SymbolId> ctx(queries.data() + pos - 8, 8);
+    benchmark::DoNotOptimize(pst.ConditionalProbability(ctx, queries[pos]));
+    pos = (pos + 1) % 248 + 8;
+  }
+}
+BENCHMARK(BM_PstPrediction)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_PstLogSequenceProbability(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  PstOptions options;
+  options.max_depth = 6;
+  options.significance_threshold = 3;
+  Pst pst(20, options);
+  pst.InsertSequence(RandomText(5000, 20, 4));
+  auto query = RandomText(len, 20, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pst.LogSequenceProbability(query));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_PstLogSequenceProbability)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_PstPrune(benchmark::State& state) {
+  const PruneStrategy strategy = static_cast<PruneStrategy>(state.range(0));
+  PstOptions options;
+  options.max_depth = 8;
+  options.significance_threshold = 5;
+  options.prune_strategy = strategy;
+  Pst big(20, options);
+  big.InsertSequence(RandomText(20000, 20, 6));
+  const size_t target = big.ApproxMemoryBytes() / 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pst pst = big;  // Copy; pruning is destructive.
+    state.ResumeTiming();
+    pst.PruneToBudget(target);
+    benchmark::DoNotOptimize(pst.NumNodes());
+  }
+}
+BENCHMARK(BM_PstPrune)
+    ->Arg(static_cast<int>(PruneStrategy::kSmallestCountFirst))
+    ->Arg(static_cast<int>(PruneStrategy::kLongestLabelFirst))
+    ->Arg(static_cast<int>(PruneStrategy::kExpectedVectorFirst));
+
+}  // namespace
+}  // namespace cluseq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmarks for the similarity DP: the O(l) single-scan recurrence
+// vs the O(l^2) reference, and the cost of probability smoothing (§5.2
+// ablation).
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/similarity.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+std::vector<SymbolId> RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SymbolId> text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+struct Fixture {
+  Fixture(size_t query_len, double p_min) {
+    PstOptions options;
+    options.max_depth = 6;
+    options.significance_threshold = 4;
+    options.smoothing_p_min = p_min;
+    pst = std::make_unique<Pst>(20, options);
+    pst->InsertSequence(RandomText(5000, 20, 11));
+    background = BackgroundModel::FromCounts(std::vector<uint64_t>(20, 100));
+    query = RandomText(query_len, 20, 13);
+  }
+  std::unique_ptr<Pst> pst;
+  BackgroundModel background;
+  std::vector<SymbolId> query;
+};
+
+void BM_SimilarityDp(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeSimilarity(*f.pst, f.background, f.query).log_sim);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimilarityDp)->Arg(50)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_SimilarityBruteForce(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeSimilarityBruteForce(*f.pst, f.background, f.query).log_sim);
+  }
+}
+BENCHMARK(BM_SimilarityBruteForce)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_SimilaritySmoothingOff(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeSimilarity(*f.pst, f.background, f.query).log_sim);
+  }
+}
+BENCHMARK(BM_SimilaritySmoothingOff)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace cluseq
+
+BENCHMARK_MAIN();

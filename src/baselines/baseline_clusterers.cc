@@ -1,0 +1,43 @@
+#include "baselines/baseline_clusterers.h"
+
+#include <span>
+
+#include "baselines/edit_distance.h"
+#include "baselines/kmedoids.h"
+
+namespace cluseq {
+
+Status EditDistanceCluster(const SequenceDatabase& db,
+                           const DistanceClusterOptions& options,
+                           std::vector<int32_t>* assignment) {
+  KMedoidsOptions km;
+  km.num_clusters = options.num_clusters;
+  km.max_iterations = options.max_iterations;
+  km.seed = options.seed;
+  KMedoidsResult result;
+  auto distance = [&db](size_t a, size_t b) {
+    return static_cast<double>(EditDistance(db[a], db[b]));
+  };
+  CLUSEQ_RETURN_NOT_OK(KMedoids(db.size(), distance, km, &result));
+  *assignment = std::move(result.assignment);
+  return Status::OK();
+}
+
+Status BlockEditCluster(const SequenceDatabase& db,
+                        const DistanceClusterOptions& options,
+                        const BlockEditOptions& block_options,
+                        std::vector<int32_t>* assignment) {
+  KMedoidsOptions km;
+  km.num_clusters = options.num_clusters;
+  km.max_iterations = options.max_iterations;
+  km.seed = options.seed;
+  KMedoidsResult result;
+  auto distance = [&db, &block_options](size_t a, size_t b) {
+    return BlockEditDistance(db[a], db[b], block_options).distance;
+  };
+  CLUSEQ_RETURN_NOT_OK(KMedoids(db.size(), distance, km, &result));
+  *assignment = std::move(result.assignment);
+  return Status::OK();
+}
+
+}  // namespace cluseq

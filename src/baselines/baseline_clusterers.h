@@ -1,0 +1,43 @@
+// Unified entry points for the baseline clusterers of Table 2.
+//
+// Each returns a hard assignment (one cluster id per sequence) so all five
+// models — CLUSEQ, ED, EDBO, HMM, q-gram — can be scored with the same
+// evaluation code.
+
+#ifndef CLUSEQ_BASELINES_BASELINE_CLUSTERERS_H_
+#define CLUSEQ_BASELINES_BASELINE_CLUSTERERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/block_edit_distance.h"
+#include "baselines/hmm.h"
+#include "baselines/qgram.h"
+#include "seq/sequence_database.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+struct DistanceClusterOptions {
+  size_t num_clusters = 2;
+  size_t max_iterations = 20;
+  uint64_t seed = 42;
+};
+
+/// k-medoids over plain edit distance (the ED baseline).
+Status EditDistanceCluster(const SequenceDatabase& db,
+                           const DistanceClusterOptions& options,
+                           std::vector<int32_t>* assignment);
+
+/// k-medoids over the greedy-string-tiling block edit distance (EDBO).
+Status BlockEditCluster(const SequenceDatabase& db,
+                        const DistanceClusterOptions& options,
+                        const BlockEditOptions& block_options,
+                        std::vector<int32_t>* assignment);
+
+// QGramCluster and HmmCluster are declared in their own headers and
+// re-exported here for convenience.
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_BASELINES_BASELINE_CLUSTERERS_H_

@@ -1,0 +1,81 @@
+#include "baselines/block_edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cluseq {
+
+namespace {
+
+// One round of "find the longest common substring of the unmarked parts".
+// dp[j] = length of the common suffix of a[..i] / b[..j] consisting solely
+// of unmarked positions. O(|a| · |b|).
+struct Match {
+  size_t a_pos = 0;
+  size_t b_pos = 0;
+  size_t len = 0;
+};
+
+Match LongestUnmarkedMatch(std::span<const SymbolId> a,
+                           std::span<const SymbolId> b,
+                           const std::vector<bool>& marked_a,
+                           const std::vector<bool>& marked_b) {
+  Match best;
+  std::vector<size_t> prev(b.size() + 1, 0);
+  std::vector<size_t> cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    const bool a_ok = !marked_a[i - 1];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a_ok && !marked_b[j - 1] && a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+        if (cur[j] > best.len) {
+          best.len = cur[j];
+          best.a_pos = i - cur[j];
+          best.b_pos = j - cur[j];
+        }
+      } else {
+        cur[j] = 0;
+      }
+    }
+    prev.swap(cur);
+  }
+  return best;
+}
+
+}  // namespace
+
+BlockEditResult BlockEditDistance(std::span<const SymbolId> a,
+                                  std::span<const SymbolId> b,
+                                  const BlockEditOptions& options) {
+  // Greedy tiling is order-sensitive on ties; canonicalize the argument
+  // order so the distance is symmetric by construction.
+  if (b.size() < a.size() ||
+      (b.size() == a.size() &&
+       std::lexicographical_compare(b.begin(), b.end(), a.begin(), a.end()))) {
+    std::swap(a, b);
+  }
+  BlockEditResult result;
+  const size_t min_len = std::max<size_t>(options.min_match_len, 1);
+  std::vector<bool> marked_a(a.size(), false);
+  std::vector<bool> marked_b(b.size(), false);
+
+  for (;;) {
+    Match m = LongestUnmarkedMatch(a, b, marked_a, marked_b);
+    if (m.len < min_len) break;
+    for (size_t p = 0; p < m.len; ++p) {
+      marked_a[m.a_pos + p] = true;
+      marked_b[m.b_pos + p] = true;
+    }
+    ++result.num_tiles;
+    result.matched_symbols += m.len;
+  }
+
+  const size_t unmatched =
+      (a.size() - result.matched_symbols) + (b.size() - result.matched_symbols);
+  result.distance = static_cast<double>(unmatched) +
+                    options.block_cost * static_cast<double>(result.num_tiles);
+  return result;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,69 @@
+#include "baselines/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace cluseq {
+
+size_t EditDistance(std::span<const SymbolId> a,
+                    std::span<const SymbolId> b) {
+  // Keep the shorter sequence as the DP row.
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m == 0) return n;
+
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diag = row[0];  // D[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t up = row[j];  // D[i-1][j]
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+size_t BandedEditDistance(std::span<const SymbolId> a,
+                          std::span<const SymbolId> b, size_t band) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n - m > band) return band + 1;  // Distance must exceed the band.
+  if (m == 0) return n;
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  std::vector<size_t> row(m + 1, kInf);
+  std::vector<size_t> prev(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, band); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(row.begin(), row.end(), kInf);
+    size_t j_lo = i > band ? i - band : 0;
+    size_t j_hi = std::min(m, i + band);
+    if (j_lo == 0) row[0] = i;
+    for (size_t j = std::max<size_t>(j_lo, 1); j <= j_hi; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t best = prev[j - 1] + cost;  // Substitution / match.
+      if (prev[j] != kInf) best = std::min(best, prev[j] + 1);  // Delete.
+      if (row[j - 1] != kInf) best = std::min(best, row[j - 1] + 1);  // Ins.
+      row[j] = best;
+    }
+    row.swap(prev);
+  }
+  return std::min(prev[m], band + 1);
+}
+
+double NormalizedEditDistance(std::span<const SymbolId> a,
+                              std::span<const SymbolId> b) {
+  size_t denom = std::max(a.size(), b.size());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) /
+         static_cast<double>(denom);
+}
+
+}  // namespace cluseq

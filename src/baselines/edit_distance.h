@@ -1,0 +1,38 @@
+// Classic (Levenshtein) edit distance between symbol sequences.
+//
+// This is the ED baseline of the paper's Table 2. Unit costs for insertion,
+// deletion and substitution; O(l1 · l2) time, O(min(l1, l2)) space. A banded
+// variant bounds the computation to |i - j| <= band for long near-equal
+// sequences.
+
+#ifndef CLUSEQ_BASELINES_EDIT_DISTANCE_H_
+#define CLUSEQ_BASELINES_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "seq/sequence.h"
+
+namespace cluseq {
+
+/// Unit-cost edit distance.
+size_t EditDistance(std::span<const SymbolId> a, std::span<const SymbolId> b);
+
+inline size_t EditDistance(const Sequence& a, const Sequence& b) {
+  return EditDistance(std::span<const SymbolId>(a.symbols()),
+                      std::span<const SymbolId>(b.symbols()));
+}
+
+/// Edit distance restricted to the diagonal band |i - j| <= band. Returns
+/// the exact distance when it is <= band; otherwise a value > band (an
+/// upper-bound clamp). band >= |l1 - l2| is required for a finite result.
+size_t BandedEditDistance(std::span<const SymbolId> a,
+                          std::span<const SymbolId> b, size_t band);
+
+/// Edit distance normalized to [0, 1] by max(l1, l2); 0 for two empties.
+double NormalizedEditDistance(std::span<const SymbolId> a,
+                              std::span<const SymbolId> b);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_BASELINES_EDIT_DISTANCE_H_

@@ -1,0 +1,283 @@
+#include "baselines/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cluseq {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kFloor = 1e-8;  // Keeps all parameters strictly positive.
+
+void NormalizeRow(double* row, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += row[i];
+  if (sum <= 0.0) {
+    for (size_t i = 0; i < n; ++i) row[i] = 1.0 / static_cast<double>(n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    row[i] = std::max(row[i] / sum, kFloor);
+  }
+  // Re-normalize after flooring.
+  sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += row[i];
+  for (size_t i = 0; i < n; ++i) row[i] /= sum;
+}
+}  // namespace
+
+Hmm::Hmm(size_t num_states, size_t alphabet_size)
+    : num_states_(std::max<size_t>(num_states, 1)),
+      alphabet_size_(std::max<size_t>(alphabet_size, 1)),
+      pi_(num_states_, 1.0 / static_cast<double>(num_states_)),
+      a_(num_states_ * num_states_, 1.0 / static_cast<double>(num_states_)),
+      b_(num_states_ * alphabet_size_,
+         1.0 / static_cast<double>(alphabet_size_)) {}
+
+void Hmm::RandomInit(Rng* rng) {
+  for (double& v : pi_) v = 0.5 + rng->UniformDouble();
+  for (double& v : a_) v = 0.5 + rng->UniformDouble();
+  for (double& v : b_) v = 0.5 + rng->UniformDouble();
+  NormalizeRow(pi_.data(), num_states_);
+  for (size_t s = 0; s < num_states_; ++s) {
+    NormalizeRow(&a_[s * num_states_], num_states_);
+    NormalizeRow(&b_[s * alphabet_size_], alphabet_size_);
+  }
+}
+
+double Hmm::Forward(std::span<const SymbolId> symbols,
+                    std::vector<double>* alpha,
+                    std::vector<double>* scale) const {
+  const size_t t_len = symbols.size();
+  const size_t s_n = num_states_;
+  alpha->assign(t_len * s_n, 0.0);
+  scale->assign(t_len, 0.0);
+  if (t_len == 0) return kNegInf;
+
+  double* a0 = alpha->data();
+  double c0 = 0.0;
+  for (size_t s = 0; s < s_n; ++s) {
+    a0[s] = pi_[s] * b_[s * alphabet_size_ + symbols[0]];
+    c0 += a0[s];
+  }
+  if (c0 <= 0.0) c0 = std::numeric_limits<double>::min();
+  for (size_t s = 0; s < s_n; ++s) a0[s] /= c0;
+  (*scale)[0] = c0;
+
+  for (size_t t = 1; t < t_len; ++t) {
+    const double* prev = alpha->data() + (t - 1) * s_n;
+    double* cur = alpha->data() + t * s_n;
+    double ct = 0.0;
+    for (size_t s = 0; s < s_n; ++s) {
+      double acc = 0.0;
+      for (size_t r = 0; r < s_n; ++r) acc += prev[r] * a_[r * s_n + s];
+      cur[s] = acc * b_[s * alphabet_size_ + symbols[t]];
+      ct += cur[s];
+    }
+    if (ct <= 0.0) ct = std::numeric_limits<double>::min();
+    for (size_t s = 0; s < s_n; ++s) cur[s] /= ct;
+    (*scale)[t] = ct;
+  }
+
+  double ll = 0.0;
+  for (double c : *scale) ll += std::log(c);
+  return ll;
+}
+
+void Hmm::Backward(std::span<const SymbolId> symbols,
+                   const std::vector<double>& scale,
+                   std::vector<double>* beta) const {
+  const size_t t_len = symbols.size();
+  const size_t s_n = num_states_;
+  beta->assign(t_len * s_n, 0.0);
+  if (t_len == 0) return;
+  double* last = beta->data() + (t_len - 1) * s_n;
+  for (size_t s = 0; s < s_n; ++s) last[s] = 1.0 / scale[t_len - 1];
+  for (size_t t = t_len - 1; t > 0; --t) {
+    const double* next = beta->data() + t * s_n;
+    double* cur = beta->data() + (t - 1) * s_n;
+    for (size_t s = 0; s < s_n; ++s) {
+      double acc = 0.0;
+      for (size_t r = 0; r < s_n; ++r) {
+        acc += a_[s * s_n + r] * b_[r * alphabet_size_ + symbols[t]] *
+               next[r];
+      }
+      cur[s] = acc / scale[t - 1];
+    }
+  }
+}
+
+double Hmm::LogLikelihood(std::span<const SymbolId> symbols) const {
+  std::vector<double> alpha, scale;
+  return Forward(symbols, &alpha, &scale);
+}
+
+double Hmm::LogLikelihoodPerSymbol(std::span<const SymbolId> symbols) const {
+  if (symbols.empty()) return kNegInf;
+  return LogLikelihood(symbols) / static_cast<double>(symbols.size());
+}
+
+double Hmm::BaumWelchStep(
+    const std::vector<std::span<const SymbolId>>& data) {
+  const size_t s_n = num_states_;
+  std::vector<double> pi_acc(s_n, 0.0);
+  std::vector<double> a_num(s_n * s_n, 0.0);
+  std::vector<double> a_den(s_n, 0.0);
+  std::vector<double> b_num(s_n * alphabet_size_, 0.0);
+  std::vector<double> b_den(s_n, 0.0);
+  double total_ll = 0.0;
+
+  std::vector<double> alpha, beta, scale;
+  for (const auto& symbols : data) {
+    if (symbols.empty()) continue;
+    const size_t t_len = symbols.size();
+    total_ll += Forward(symbols, &alpha, &scale);
+    Backward(symbols, scale, &beta);
+
+    // gamma_t(s) ∝ alpha_t(s) * beta_t(s); with this scaling convention
+    // alpha_t(s) * beta_t(s) * scale[t] sums to 1 over s.
+    for (size_t t = 0; t < t_len; ++t) {
+      const double* at = alpha.data() + t * s_n;
+      const double* bt = beta.data() + t * s_n;
+      for (size_t s = 0; s < s_n; ++s) {
+        double gamma = at[s] * bt[s] * scale[t];
+        if (t == 0) pi_acc[s] += gamma;
+        b_num[s * alphabet_size_ + symbols[t]] += gamma;
+        b_den[s] += gamma;
+        if (t + 1 < t_len) a_den[s] += gamma;
+      }
+    }
+    // xi_t(r, s) = alpha_t(r) * a(r,s) * b(s, o_{t+1}) * beta_{t+1}(s).
+    for (size_t t = 0; t + 1 < t_len; ++t) {
+      const double* at = alpha.data() + t * s_n;
+      const double* bt1 = beta.data() + (t + 1) * s_n;
+      for (size_t r = 0; r < s_n; ++r) {
+        for (size_t s = 0; s < s_n; ++s) {
+          a_num[r * s_n + s] += at[r] * a_[r * s_n + s] *
+                                b_[s * alphabet_size_ + symbols[t + 1]] *
+                                bt1[s];
+        }
+      }
+    }
+  }
+
+  // M-step with flooring to keep the model fully supported.
+  for (size_t s = 0; s < s_n; ++s) pi_[s] = pi_acc[s];
+  NormalizeRow(pi_.data(), s_n);
+  for (size_t r = 0; r < s_n; ++r) {
+    if (a_den[r] > 0.0) {
+      for (size_t s = 0; s < s_n; ++s) a_[r * s_n + s] = a_num[r * s_n + s];
+    }
+    NormalizeRow(&a_[r * s_n], s_n);
+    if (b_den[r] > 0.0) {
+      for (size_t v = 0; v < alphabet_size_; ++v) {
+        b_[r * alphabet_size_ + v] = b_num[r * alphabet_size_ + v];
+      }
+    }
+    NormalizeRow(&b_[r * alphabet_size_], alphabet_size_);
+  }
+  return total_ll;
+}
+
+double Hmm::Train(const std::vector<std::span<const SymbolId>>& data,
+                  size_t max_iters, double tol) {
+  double prev = kNegInf;
+  for (size_t i = 0; i < max_iters; ++i) {
+    double ll = BaumWelchStep(data);
+    if (std::isfinite(prev) && ll - prev < tol) {
+      return ll;
+    }
+    prev = ll;
+  }
+  // One more forward pass for the post-update likelihood.
+  double ll = 0.0;
+  for (const auto& s : data) {
+    if (!s.empty()) ll += LogLikelihood(s);
+  }
+  return ll;
+}
+
+Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
+                  std::vector<int32_t>* assignment) {
+  const size_t n = db.size();
+  assignment->assign(n, -1);
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (options.num_states == 0) {
+    return Status::InvalidArgument("num_states must be >= 1");
+  }
+  if (n == 0) return Status::OK();
+  const size_t k = std::min(options.num_clusters, n);
+
+  Rng rng(options.seed);
+  std::vector<int32_t>& assign = *assignment;
+
+  // Symmetry breaking: each model is seeded by training on one distinct
+  // random sequence (a random partition of mixed data would pull every
+  // model toward the same average and the mixture would collapse).
+  std::vector<size_t> seeds = rng.SampleWithoutReplacement(n, k);
+  std::vector<Hmm> models;
+  models.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    models.emplace_back(options.num_states, db.alphabet().size());
+    models.back().RandomInit(&rng);
+    std::vector<std::span<const SymbolId>> seed_data = {
+        std::span<const SymbolId>(db[seeds[c]].symbols())};
+    models[c].Train(seed_data, options.em_iters_per_round);
+  }
+  // Initial assignment from the seeded models.
+  for (size_t i = 0; i < n; ++i) {
+    double best = kNegInf;
+    int32_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      double ll = models[c].LogLikelihoodPerSymbol(
+          std::span<const SymbolId>(db[i].symbols()));
+      if (ll > best) {
+        best = ll;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    assign[i] = best_c;
+  }
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    // Refit each model on its members.
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<std::span<const SymbolId>> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (assign[i] == static_cast<int32_t>(c)) {
+          members.emplace_back(db[i].symbols());
+        }
+      }
+      if (members.empty()) {
+        // Re-seed an empty cluster from a random sequence.
+        members.emplace_back(db[rng.Uniform(n)].symbols());
+      }
+      models[c].Train(members, options.em_iters_per_round);
+    }
+    // Reassign.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = kNegInf;
+      int32_t best_c = assign[i];
+      for (size_t c = 0; c < k; ++c) {
+        double ll = models[c].LogLikelihoodPerSymbol(
+            std::span<const SymbolId>(db[i].symbols()));
+        if (ll > best) {
+          best = ll;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (best_c != assign[i]) {
+        assign[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace cluseq

@@ -1,0 +1,91 @@
+// Discrete hidden Markov model baseline.
+//
+// A first-order HMM with S hidden states and discrete emissions over the
+// sequence alphabet, trained with Baum-Welch (scaled forward-backward).
+// Clustering uses a mixture-of-HMMs with hard assignments: k models are
+// initialized from a random partition, each sequence is assigned to the
+// model with the highest per-symbol log-likelihood, and the models are
+// re-trained on their members until assignments stabilize. This is the HMM
+// column of the paper's Table 2 (and is, as the paper observes, expensive).
+
+#ifndef CLUSEQ_BASELINES_HMM_H_
+#define CLUSEQ_BASELINES_HMM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/sequence_database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+class Hmm {
+ public:
+  /// Constructs an HMM with uniform parameters.
+  Hmm(size_t num_states, size_t alphabet_size);
+
+  /// Randomizes parameters (row-stochastic, strictly positive).
+  void RandomInit(Rng* rng);
+
+  size_t num_states() const { return num_states_; }
+  size_t alphabet_size() const { return alphabet_size_; }
+
+  /// log P(sequence | model) via the scaled forward algorithm.
+  /// Returns -inf for an empty sequence.
+  double LogLikelihood(std::span<const SymbolId> symbols) const;
+
+  /// Per-symbol normalized log-likelihood (comparable across lengths).
+  double LogLikelihoodPerSymbol(std::span<const SymbolId> symbols) const;
+
+  /// One Baum-Welch EM pass over the training set; returns the total
+  /// log-likelihood *before* the update.
+  double BaumWelchStep(const std::vector<std::span<const SymbolId>>& data);
+
+  /// Runs Baum-Welch until the log-likelihood improvement drops below
+  /// `tol` or `max_iters` passes. Returns the final log-likelihood.
+  double Train(const std::vector<std::span<const SymbolId>>& data,
+               size_t max_iters = 20, double tol = 1e-3);
+
+  // Parameter access (tests / serialization).
+  double initial(size_t s) const { return pi_[s]; }
+  double transition(size_t from, size_t to) const {
+    return a_[from * num_states_ + to];
+  }
+  double emission(size_t state, SymbolId symbol) const {
+    return b_[state * alphabet_size_ + symbol];
+  }
+
+ private:
+  // Scaled forward pass; fills alpha (T x S) and per-step scale factors.
+  // Returns log-likelihood.
+  double Forward(std::span<const SymbolId> symbols,
+                 std::vector<double>* alpha,
+                 std::vector<double>* scale) const;
+  void Backward(std::span<const SymbolId> symbols,
+                const std::vector<double>& scale,
+                std::vector<double>* beta) const;
+
+  size_t num_states_;
+  size_t alphabet_size_;
+  std::vector<double> pi_;  // S
+  std::vector<double> a_;   // S x S row-major
+  std::vector<double> b_;   // S x n row-major
+};
+
+struct HmmClusterOptions {
+  size_t num_clusters = 2;
+  size_t num_states = 4;
+  size_t em_iters_per_round = 5;   ///< Baum-Welch passes per refit.
+  size_t max_rounds = 10;          ///< Assignment/refit alternations.
+  uint64_t seed = 42;
+};
+
+/// Mixture-of-HMMs hard clustering; fills `assignment` with ids in [0, k).
+Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
+                  std::vector<int32_t>* assignment);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_BASELINES_HMM_H_

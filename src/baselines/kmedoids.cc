@@ -1,0 +1,117 @@
+#include "baselines/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace cluseq {
+
+namespace {
+
+// Memoizing symmetric distance cache.
+class DistanceCache {
+ public:
+  DistanceCache(size_t n, const DistanceFn& fn) : n_(n), fn_(fn) {}
+
+  double Get(size_t a, size_t b) {
+    if (a == b) return 0.0;
+    uint64_t key = a < b ? (static_cast<uint64_t>(a) * n_ + b)
+                         : (static_cast<uint64_t>(b) * n_ + a);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    double d = fn_(a, b);
+    cache_.emplace(key, d);
+    return d;
+  }
+
+ private:
+  size_t n_;
+  const DistanceFn& fn_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace
+
+Status KMedoids(size_t n, const DistanceFn& distance,
+                const KMedoidsOptions& options, KMedoidsResult* result) {
+  result->assignment.assign(n, -1);
+  result->medoids.clear();
+  result->total_cost = 0.0;
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (n == 0) return Status::OK();
+  const size_t k = std::min(options.num_clusters, n);
+
+  DistanceCache cache(n, distance);
+  Rng rng(options.seed);
+
+  // k-medoids++ initialization: first medoid random, then weighted by the
+  // squared distance to the nearest already-chosen medoid.
+  std::vector<size_t>& medoids = result->medoids;
+  medoids.push_back(rng.Uniform(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (medoids.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], cache.Get(i, medoids.back()));
+    }
+    std::vector<double> weights(n);
+    for (size_t i = 0; i < n; ++i) weights[i] = min_dist[i] * min_dist[i];
+    size_t next = rng.Categorical(weights);
+    medoids.push_back(next);
+  }
+
+  std::vector<int32_t>& assign = result->assignment;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    double cost = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int32_t best_c = 0;
+      for (size_t c = 0; c < medoids.size(); ++c) {
+        double d = cache.Get(i, medoids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (assign[i] != best_c) {
+        assign[i] = best_c;
+        changed = true;
+      }
+      cost += best;
+    }
+    result->total_cost = cost;
+    if (!changed && iter > 0) break;
+
+    // Update step: re-center each cluster on its cost-minimizing member.
+    std::vector<std::vector<size_t>> members(medoids.size());
+    for (size_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(assign[i])].push_back(i);
+    }
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      if (members[c].empty()) {
+        medoids[c] = rng.Uniform(n);  // Re-seed an empty cluster.
+        continue;
+      }
+      double best_total = std::numeric_limits<double>::infinity();
+      size_t best_m = medoids[c];
+      for (size_t candidate : members[c]) {
+        double total = 0.0;
+        for (size_t other : members[c]) {
+          total += cache.Get(candidate, other);
+          if (total >= best_total) break;
+        }
+        if (total < best_total) {
+          best_total = total;
+          best_m = candidate;
+        }
+      }
+      medoids[c] = best_m;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cluseq

@@ -1,0 +1,44 @@
+// k-medoids clustering (Voronoi iteration, Park & Jun style) over an
+// arbitrary pairwise distance.
+//
+// Used to turn the distance-based baselines (edit distance, block edit
+// distance) into clusterers: assign every object to its nearest medoid, then
+// re-center each cluster on the member minimizing the total within-cluster
+// distance, until assignments stabilize. Distances are computed through a
+// callback and memoized, since edit-distance evaluations dominate the cost.
+
+#ifndef CLUSEQ_BASELINES_KMEDOIDS_H_
+#define CLUSEQ_BASELINES_KMEDOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+struct KMedoidsOptions {
+  size_t num_clusters = 2;
+  size_t max_iterations = 20;
+  uint64_t seed = 42;
+};
+
+/// Distance oracle: must be symmetric and non-negative; called O(n·k·iters)
+/// times (results are memoized internally by the solver).
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+struct KMedoidsResult {
+  std::vector<int32_t> assignment;  ///< Cluster id per object, in [0, k).
+  std::vector<size_t> medoids;      ///< Object index of each medoid.
+  double total_cost = 0.0;          ///< Sum of distances to assigned medoid.
+};
+
+/// Clusters `n` objects. Initialization is k-medoids++ (distance-weighted).
+Status KMedoids(size_t n, const DistanceFn& distance,
+                const KMedoidsOptions& options, KMedoidsResult* result);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_BASELINES_KMEDOIDS_H_

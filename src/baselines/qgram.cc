@@ -1,0 +1,148 @@
+#include "baselines/qgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cluseq {
+
+QGramProfile QGramProfile::Build(std::span<const SymbolId> symbols, size_t q,
+                                 size_t alphabet_size) {
+  QGramProfile p;
+  if (q == 0 || symbols.size() < q) return p;
+  const uint64_t base = std::max<uint64_t>(alphabet_size, 2);
+  for (size_t i = 0; i + q <= symbols.size(); ++i) {
+    uint64_t key = 0;
+    for (size_t j = 0; j < q; ++j) {
+      key = key * base + symbols[i + j];
+    }
+    p.counts_[key] += 1.0;
+  }
+  double sq = 0.0;
+  for (const auto& [k, v] : p.counts_) sq += v * v;
+  p.norm_ = std::sqrt(sq);
+  return p;
+}
+
+double QGramProfile::Cosine(const QGramProfile& a, const QGramProfile& b) {
+  if (a.norm_ == 0.0 || b.norm_ == 0.0) return 0.0;
+  const auto& small = a.counts_.size() <= b.counts_.size() ? a : b;
+  const auto& large = a.counts_.size() <= b.counts_.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [k, v] : small.counts_) {
+    auto it = large.counts_.find(k);
+    if (it != large.counts_.end()) dot += v * it->second;
+  }
+  return dot / (a.norm_ * b.norm_);
+}
+
+namespace {
+
+// Sparse centroid with cached norm.
+struct Centroid {
+  std::unordered_map<uint64_t, double> weights;
+  double norm = 0.0;
+
+  void Recompute() {
+    double sq = 0.0;
+    for (const auto& [k, v] : weights) sq += v * v;
+    norm = std::sqrt(sq);
+  }
+
+  double Cosine(const QGramProfile& p) const {
+    if (norm == 0.0 || p.norm() == 0.0) return 0.0;
+    double dot = 0.0;
+    for (const auto& [k, v] : p.counts()) {
+      auto it = weights.find(k);
+      if (it != weights.end()) dot += v * it->second;
+    }
+    return dot / (norm * p.norm());
+  }
+};
+
+Centroid MeanOf(const std::vector<QGramProfile>& profiles,
+                const std::vector<size_t>& members) {
+  Centroid c;
+  for (size_t m : members) {
+    const QGramProfile& p = profiles[m];
+    if (p.norm() == 0.0) continue;
+    for (const auto& [k, v] : p.counts()) {
+      c.weights[k] += v / p.norm();  // Spherical: sum of unit vectors.
+    }
+  }
+  c.Recompute();
+  return c;
+}
+
+}  // namespace
+
+Status QGramCluster(const SequenceDatabase& db,
+                    const QGramClusterOptions& options,
+                    std::vector<int32_t>* assignment) {
+  const size_t n = db.size();
+  assignment->assign(n, -1);
+  if (options.q == 0) return Status::InvalidArgument("q must be >= 1");
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (n == 0) return Status::OK();
+  const size_t k = std::min(options.num_clusters, n);
+
+  std::vector<QGramProfile> profiles(n);
+  for (size_t i = 0; i < n; ++i) {
+    profiles[i] = QGramProfile::Build(
+        std::span<const SymbolId>(db[i].symbols()), options.q,
+        db.alphabet().size());
+  }
+
+  // k-means++ initialization with distance = 1 - cosine.
+  Rng rng(options.seed);
+  std::vector<Centroid> centroids;
+  std::vector<double> min_dist(n, 1.0);
+  size_t first = rng.Uniform(n);
+  centroids.push_back(MeanOf(profiles, {first}));
+  while (centroids.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      double d = 1.0 - centroids.back().Cosine(profiles[i]);
+      min_dist[i] = std::min(min_dist[i], d);
+    }
+    std::vector<double> weights(n);
+    for (size_t i = 0; i < n; ++i) weights[i] = min_dist[i] * min_dist[i];
+    centroids.push_back(MeanOf(profiles, {rng.Categorical(weights)}));
+  }
+
+  std::vector<int32_t>& assign = *assignment;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = -1.0;
+      int32_t best_c = 0;
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double s = centroids[c].Cosine(profiles[i]);
+        if (s > best) {
+          best = s;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (assign[i] != best_c) {
+        assign[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids; re-seed any that went empty.
+    std::vector<std::vector<size_t>> members(centroids.size());
+    for (size_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(assign[i])].push_back(i);
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (members[c].empty()) {
+        centroids[c] = MeanOf(profiles, {rng.Uniform(n)});
+      } else {
+        centroids[c] = MeanOf(profiles, members[c]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cluseq

@@ -1,0 +1,60 @@
+// q-gram baseline (paper §1/§6.1): each sequence becomes a bag of length-q
+// segments; similarity is the cosine between (sparse) q-gram count vectors;
+// clustering is spherical k-means with k-means++ initialization.
+
+#ifndef CLUSEQ_BASELINES_QGRAM_H_
+#define CLUSEQ_BASELINES_QGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/sequence_database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Sparse q-gram count profile. Keys are rolling-hash encodings of the
+/// q-grams (exact, not lossy, for alphabets up to 2^12 and q <= 5; larger
+/// configurations may alias, which only perturbs the baseline slightly).
+class QGramProfile {
+ public:
+  QGramProfile() = default;
+
+  /// Builds the profile of `symbols` with gram length q (q >= 1).
+  static QGramProfile Build(std::span<const SymbolId> symbols, size_t q,
+                            size_t alphabet_size);
+
+  /// Cosine similarity in [0, 1].
+  static double Cosine(const QGramProfile& a, const QGramProfile& b);
+
+  size_t num_distinct() const { return counts_.size(); }
+  double norm() const { return norm_; }
+  const std::unordered_map<uint64_t, double>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, double> counts_;
+  double norm_ = 0.0;
+};
+
+struct QGramClusterOptions {
+  size_t q = 3;
+  size_t num_clusters = 2;
+  size_t max_iterations = 50;
+  uint64_t seed = 42;
+};
+
+/// Hard assignment of each sequence to one of k clusters via spherical
+/// k-means over q-gram profiles. Fills `assignment` with cluster ids in
+/// [0, k).
+Status QGramCluster(const SequenceDatabase& db,
+                    const QGramClusterOptions& options,
+                    std::vector<int32_t>* assignment);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_BASELINES_QGRAM_H_

@@ -1,0 +1,451 @@
+#include "core/cluseq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "core/seeding.h"
+#include "core/similarity.h"
+#include "core/threshold.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace cluseq {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+uint64_t HashMembers(const std::vector<size_t>& members) {
+  // FNV-1a over the (already sorted) member indices.
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t m : members) {
+    h ^= static_cast<uint64_t>(m);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Status CluseqOptions::Validate() const {
+  if (initial_clusters == 0) {
+    return Status::InvalidArgument("initial_clusters must be >= 1");
+  }
+  if (!(similarity_threshold >= 1.0)) {
+    return Status::InvalidArgument(
+        "similarity_threshold must be >= 1 (paper §2)");
+  }
+  if (significance_threshold == 0) {
+    return Status::InvalidArgument("significance_threshold must be >= 1");
+  }
+  if (!(sample_multiplier >= 1.0)) {
+    return Status::InvalidArgument("sample_multiplier must be >= 1");
+  }
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (histogram_buckets < 4) {
+    return Status::InvalidArgument("histogram_buckets must be >= 4");
+  }
+  if (!(auto_threshold_quantile > 0.0) || !(auto_threshold_quantile < 1.0)) {
+    return Status::InvalidArgument(
+        "auto_threshold_quantile must be in (0, 1)");
+  }
+  return pst.Validate();
+}
+
+double ClusteringResult::final_threshold() const {
+  return std::exp(final_log_threshold);
+}
+
+CluseqClusterer::CluseqClusterer(const SequenceDatabase& db,
+                                 CluseqOptions options)
+    : db_(db), options_(options), rng_(options.rng_seed) {
+  // Single source of truth for c.
+  options_.pst.significance_threshold = options_.significance_threshold;
+  if (options_.num_threads == 0) options_.num_threads = 1;
+}
+
+size_t CluseqClusterer::PlanNewClusters(size_t iteration) const {
+  size_t planned;
+  if (iteration == 1) {
+    planned = options_.initial_clusters;
+  } else {
+    // Growth factor f = max(k'_n - k'_c, 0) / k'_n (see DESIGN.md on the
+    // denominator): full pace while consolidation removes nothing, throttled
+    // toward zero once new clusters start being merged away. The formula is
+    // undefined at k'_n = 0; "nothing generated, nothing consolidated" reads
+    // as full pace (otherwise growth could never restart after the threshold
+    // rises and sequences fall back out of clusters), while "nothing
+    // generated, some consolidated" reads as zero.
+    double f;
+    if (prev_new_ > 0) {
+      f = std::max(static_cast<double>(prev_new_) -
+                       static_cast<double>(prev_consolidated_),
+                   0.0) /
+          static_cast<double>(prev_new_);
+    } else {
+      f = prev_consolidated_ == 0 ? 1.0 : 0.0;
+    }
+    planned = static_cast<size_t>(
+        std::llround(static_cast<double>(clusters_.size()) * f));
+    // Rescue: with no clusters at all but unclustered sequences remaining,
+    // always try at least one seed so the algorithm cannot stall at zero.
+    if (clusters_.empty() && !unclustered_.empty()) {
+      planned = std::max<size_t>(planned, 1);
+    }
+  }
+  return std::min(planned, unclustered_.size());
+}
+
+double CluseqClusterer::EstimateInitialLogThreshold() {
+  const size_t n = db_.size();
+  const size_t sample_size = std::min<size_t>(n, 24);
+  if (sample_size < 3) return std::log(options_.similarity_threshold);
+  std::vector<size_t> sample = rng_.SampleWithoutReplacement(n, sample_size);
+  std::vector<Pst> psts;
+  psts.reserve(sample_size);
+  for (size_t idx : sample) {
+    psts.emplace_back(db_.alphabet().size(), options_.pst);
+    psts.back().InsertSequence(db_[idx]);
+  }
+  std::vector<double> sims;
+  sims.reserve(sample_size * (sample_size - 1));
+  for (size_t i = 0; i < sample_size; ++i) {
+    for (size_t j = 0; j < sample_size; ++j) {
+      if (i == j) continue;
+      double s =
+          ComputeSimilarity(psts[j], background_, db_[sample[i]]).log_sim;
+      if (std::isfinite(s)) sims.push_back(s);
+    }
+  }
+  if (sims.size() < 8) return std::log(options_.similarity_threshold);
+  size_t pos = static_cast<size_t>(options_.auto_threshold_quantile *
+                                   static_cast<double>(sims.size() - 1));
+  std::nth_element(sims.begin(), sims.begin() + static_cast<long>(pos),
+                   sims.end());
+  // t >= 1 always (paper §2).
+  return std::max(sims[pos], 0.0);
+}
+
+void CluseqClusterer::GenerateNewClusters(size_t count) {
+  if (count == 0) return;
+  size_t sample_size = static_cast<size_t>(
+      std::ceil(options_.sample_multiplier * static_cast<double>(count)));
+  std::vector<size_t> seeds =
+      SelectSeeds(db_, unclustered_, count, sample_size, clusters_,
+                  background_, options_.pst, options_.num_threads, &rng_);
+  for (size_t seq_index : seeds) {
+    clusters_.emplace_back(next_cluster_id_++, db_.alphabet().size(),
+                           options_.pst);
+    clusters_.back().Seed(db_[seq_index], seq_index);
+  }
+}
+
+std::vector<size_t> CluseqClusterer::VisitOrderIndices() {
+  std::vector<size_t> order(db_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  switch (options_.visit_order) {
+    case VisitOrder::kFixed:
+      break;
+    case VisitOrder::kRandom:
+      rng_.Shuffle(order);
+      break;
+    case VisitOrder::kClusterBased:
+      if (!prev_best_cluster_.empty()) {
+        std::stable_sort(order.begin(), order.end(),
+                         [this](size_t a, size_t b) {
+                           // Unclustered (-1) sequences go last.
+                           uint32_t ca = prev_best_cluster_[a] < 0
+                                             ? UINT32_MAX
+                                             : static_cast<uint32_t>(
+                                                   prev_best_cluster_[a]);
+                           uint32_t cb = prev_best_cluster_[b] < 0
+                                             ? UINT32_MAX
+                                             : static_cast<uint32_t>(
+                                                   prev_best_cluster_[b]);
+                           return ca < cb;
+                         });
+      }
+      break;
+  }
+  return order;
+}
+
+void CluseqClusterer::RebuildClusterPsts() {
+  // Purification step: the paper only ever *adds* counts to a cluster's
+  // PST, so sequences that joined under an early (too-permissive) threshold
+  // would contaminate the summary forever. Rebuilding from the current
+  // membership keeps the PST an honest summary of exactly its members —
+  // each contributing the segment that maximized its similarity under the
+  // outgoing summary — while the within-scan incremental updates of §4.2
+  // (and hence the §6.3 order sensitivity) are untouched.
+  for (Cluster& cluster : clusters_) {
+    const std::vector<size_t>& members = cluster.members();
+    if (members.empty()) continue;
+    std::vector<std::pair<size_t, size_t>> segments(members.size());
+    ParallelFor(members.size(), options_.num_threads, [&](size_t i) {
+      SimilarityResult sim =
+          ComputeSimilarity(cluster.pst(), background_, db_[members[i]]);
+      segments[i] = {sim.best_begin, sim.best_end};
+    });
+    cluster.ResetPst();
+    for (size_t i = 0; i < members.size(); ++i) {
+      auto segment = std::span<const SymbolId>(db_[members[i]].symbols())
+                         .subspan(segments[i].first,
+                                  segments[i].second - segments[i].first);
+      cluster.AbsorbSegment(members[i], segment);
+    }
+  }
+}
+
+void CluseqClusterer::Recluster() {
+  const size_t n = db_.size();
+  for (Cluster& c : clusters_) c.ClearMembers();
+  joined_.assign(n, {});
+  best_log_sim_.assign(n, kNegInf);
+  all_log_sims_.clear();
+  all_log_sims_.reserve(n * clusters_.size());
+
+  std::vector<size_t> order = VisitOrderIndices();
+  std::vector<SimilarityResult> sims;
+  for (size_t seq_index : order) {
+    const Sequence& seq = db_[seq_index];
+    const size_t kc = clusters_.size();
+    sims.assign(kc, SimilarityResult{});
+    // Sequences must be visited sequentially (each join updates the joined
+    // cluster's PST, which later sequences observe — §4.2), so parallelism
+    // is applied across clusters for one sequence.
+    size_t threads = kc >= 4 ? options_.num_threads : 1;
+    ParallelFor(kc, threads, [&](size_t ci) {
+      sims[ci] = ComputeSimilarity(clusters_[ci].pst(), background_, seq);
+    });
+    for (size_t ci = 0; ci < kc; ++ci) {
+      const SimilarityResult& sim = sims[ci];
+      all_log_sims_.push_back(sim.log_sim);
+      best_log_sim_[seq_index] = std::max(best_log_sim_[seq_index],
+                                          sim.log_sim);
+      if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
+        clusters_[ci].AddMember(seq_index);
+        joined_[seq_index].push_back({clusters_[ci].id(), sim.log_sim});
+        auto segment = std::span<const SymbolId>(seq.symbols())
+                           .subspan(sim.best_begin,
+                                    sim.best_end - sim.best_begin);
+        clusters_[ci].AbsorbSegment(seq_index, segment);
+      }
+    }
+  }
+}
+
+size_t CluseqClusterer::Consolidate() {
+  const size_t kc = clusters_.size();
+  if (kc == 0) return 0;
+  const size_t min_unique = options_.min_unique_members > 0
+                                ? options_.min_unique_members
+                                : static_cast<size_t>(
+                                      options_.significance_threshold);
+
+  // Ascending size; ties broken by position so exact duplicates cannot
+  // mutually survive.
+  std::vector<size_t> order(kc);
+  for (size_t i = 0; i < kc; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return clusters_[a].size() < clusters_[b].size();
+  });
+  std::vector<size_t> rank(kc);
+  for (size_t p = 0; p < kc; ++p) rank[order[p]] = p;
+
+  // seq index -> positions of clusters containing it.
+  std::unordered_map<size_t, std::vector<size_t>> containing;
+  for (size_t ci = 0; ci < kc; ++ci) {
+    for (size_t s : clusters_[ci].members()) containing[s].push_back(ci);
+  }
+
+  std::vector<bool> alive(kc, true);
+  size_t removed = 0;
+  for (size_t p = 0; p < kc; ++p) {
+    size_t i = order[p];
+    size_t unique = 0;
+    for (size_t s : clusters_[i].members()) {
+      bool shadowed = false;
+      for (size_t j : containing[s]) {
+        if (j != i && alive[j] && rank[j] > rank[i]) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) ++unique;
+    }
+    if (unique < min_unique) {
+      alive[i] = false;
+      ++removed;
+    }
+  }
+
+  if (removed > 0) {
+    std::vector<Cluster> kept;
+    kept.reserve(kc - removed);
+    for (size_t i = 0; i < kc; ++i) {
+      if (alive[i]) kept.push_back(std::move(clusters_[i]));
+    }
+    clusters_ = std::move(kept);
+  }
+  return removed;
+}
+
+void CluseqClusterer::RebuildMembershipViews() {
+  const size_t n = db_.size();
+  std::unordered_map<uint32_t, int32_t> id_to_pos;
+  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
+    id_to_pos[clusters_[ci].id()] = static_cast<int32_t>(ci);
+  }
+  prev_best_cluster_.assign(n, -1);
+  unclustered_.clear();
+  for (size_t s = 0; s < n; ++s) {
+    double best = kNegInf;
+    int32_t best_pos = -1;
+    for (const Joined& j : joined_[s]) {
+      auto it = id_to_pos.find(j.cluster_id);
+      if (it == id_to_pos.end()) continue;  // Cluster was consolidated away.
+      if (j.log_sim > best) {
+        best = j.log_sim;
+        best_pos = it->second;
+      }
+    }
+    prev_best_cluster_[s] = best_pos;
+    if (best_pos < 0) unclustered_.push_back(s);
+  }
+}
+
+std::vector<uint64_t> CluseqClusterer::MembershipFingerprint() const {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    std::vector<size_t> members = c.members();
+    std::sort(members.begin(), members.end());
+    hashes.push_back(HashMembers(members));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+Status CluseqClusterer::Run(ClusteringResult* result) {
+  CLUSEQ_RETURN_NOT_OK(options_.Validate());
+  *result = ClusteringResult{};
+  const size_t n = db_.size();
+  result->best_cluster.assign(n, -1);
+  result->best_log_sim.assign(n, kNegInf);
+  if (n == 0) return Status::OK();
+
+  background_ = BackgroundModel::FromDatabase(db_);
+  rng_ = Rng(options_.rng_seed);
+  clusters_.clear();
+  next_cluster_id_ = 0;
+  log_t_ = options_.auto_initial_threshold
+               ? EstimateInitialLogThreshold()
+               : std::log(options_.similarity_threshold);
+  if (options_.verbose) {
+    CLUSEQ_LOG(kInfo) << "initial log t = " << log_t_;
+  }
+  joined_.clear();
+  prev_best_cluster_.clear();
+  unclustered_.resize(n);
+  for (size_t i = 0; i < n; ++i) unclustered_[i] = i;
+  prev_new_ = 0;
+  prev_consolidated_ = 0;
+
+  ThresholdAdjuster adjuster(options_.histogram_buckets, /*min_log_t=*/0.0);
+  std::vector<uint64_t> prev_fingerprint;
+  bool have_prev_fingerprint = false;
+
+  size_t iteration = 0;
+  while (iteration < options_.max_iterations) {
+    ++iteration;
+    Stopwatch timer;
+
+    if (options_.rebuild_each_iteration) RebuildClusterPsts();
+    const size_t planned = PlanNewClusters(iteration);
+    const size_t before = clusters_.size();
+    GenerateNewClusters(planned);
+    const size_t generated = clusters_.size() - before;
+
+    Recluster();
+    const size_t consolidated = Consolidate();
+    RebuildMembershipViews();
+
+    const double log_t_before = log_t_;
+    if (options_.adjust_threshold && !adjuster.frozen()) {
+      ThresholdUpdate update = adjuster.Adjust(all_log_sims_, log_t_);
+      if (update.adjusted) log_t_ = update.new_log_t;
+    }
+    const bool threshold_stable =
+        std::abs(log_t_ - log_t_before) <
+        0.01 * std::max(1.0, std::abs(log_t_before));
+
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.new_clusters = generated;
+    stats.consolidated = consolidated;
+    stats.clusters_after = clusters_.size();
+    stats.unclustered = unclustered_.size();
+    stats.log_threshold = log_t_;
+    stats.seconds = timer.ElapsedSeconds();
+    result->iteration_stats.push_back(stats);
+    if (options_.verbose) {
+      CLUSEQ_LOG(kInfo) << "iteration " << iteration << ": +" << generated
+                        << " new, -" << consolidated << " consolidated, "
+                        << clusters_.size() << " clusters, "
+                        << unclustered_.size() << " unclustered, log t = "
+                        << log_t_;
+    }
+
+    std::vector<uint64_t> fingerprint = MembershipFingerprint();
+    if (have_prev_fingerprint && fingerprint == prev_fingerprint &&
+        generated == consolidated && threshold_stable) {
+      break;  // Fixed point: same clusters, same memberships, stable t.
+    }
+    prev_fingerprint = std::move(fingerprint);
+    have_prev_fingerprint = true;
+    prev_new_ = generated;
+    prev_consolidated_ = consolidated;
+  }
+
+  result->iterations = iteration;
+  result->final_log_threshold = log_t_;
+  result->num_unclustered = unclustered_.size();
+  result->clusters.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    std::vector<size_t> members = c.members();
+    std::sort(members.begin(), members.end());
+    result->clusters.push_back(std::move(members));
+  }
+  result->best_cluster = prev_best_cluster_;
+  result->best_log_sim = best_log_sim_;
+  return Status::OK();
+}
+
+int32_t CluseqClusterer::Classify(const Sequence& seq,
+                                  double* log_sim) const {
+  double best = kNegInf;
+  int32_t best_pos = -1;
+  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
+    double s = ComputeSimilarity(clusters_[ci].pst(), background_, seq)
+                   .log_sim;
+    if (s > best) {
+      best = s;
+      best_pos = static_cast<int32_t>(ci);
+    }
+  }
+  if (log_sim != nullptr) *log_sim = best;
+  if (best_pos >= 0 && best < log_t_) best_pos = -1;
+  return best_pos;
+}
+
+Status RunCluseq(const SequenceDatabase& db, const CluseqOptions& options,
+                 ClusteringResult* result) {
+  CluseqClusterer clusterer(db, options);
+  return clusterer.Run(result);
+}
+
+}  // namespace cluseq

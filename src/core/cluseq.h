@@ -1,0 +1,200 @@
+// The CLUSEQ clustering algorithm (paper §4).
+//
+// Starting from k initial clusters seeded from the unclustered pool, each
+// iteration (1) generates new clusters from unclustered sequences at a pace
+// set by the growth factor f, (2) re-examines every sequence against every
+// cluster, joining all clusters whose similarity exceeds the threshold t and
+// feeding the maximizing segment back into the joined cluster's PST,
+// (3) consolidates heavily-overlapped clusters (smallest first; a cluster
+// whose unique-member count is too small is dismissed), and (4) optionally
+// adjusts t toward the histogram-valley estimate. The process stops when the
+// clustering no longer changes.
+//
+// Clusters may overlap and some sequences may remain unclustered (outliers);
+// both are intended behaviors of the model.
+
+#ifndef CLUSEQ_CORE_CLUSEQ_H_
+#define CLUSEQ_CORE_CLUSEQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.h"
+#include "pst/pst.h"
+#include "seq/background_model.h"
+#include "seq/sequence_database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Order in which sequences are examined during re-clustering (§6.3).
+enum class VisitOrder {
+  kFixed,         ///< By sequence id; identical order every iteration.
+  kRandom,        ///< A fresh random permutation per iteration.
+  kClusterBased,  ///< Members of the same previous cluster visited together.
+};
+
+struct CluseqOptions {
+  /// k: number of clusters generated at the first iteration (paper default 1).
+  size_t initial_clusters = 1;
+
+  /// t: similarity threshold in natural units (>= 1). Compared against
+  /// SIM_S(σ) — internally log t vs log SIM.
+  double similarity_threshold = 1.0005;
+
+  /// When true (default), the initial t is estimated from the data instead
+  /// of `similarity_threshold`: a small sample of sequences is modeled by
+  /// single-sequence PSTs and log t starts at a quantile of their pairwise
+  /// similarities. The paper's fixed default presumes its weak-signal
+  /// datasets (cross-cluster SIM < 2); on stronger data a far-too-low start
+  /// lets iteration 1 collapse everything into one self-sustaining mega
+  /// cluster. Set false to start exactly at `similarity_threshold` (the
+  /// Table 6 sensitivity experiment does this).
+  bool auto_initial_threshold = true;
+
+  /// Quantile of sample pairwise similarities used by the auto start.
+  double auto_threshold_quantile = 0.5;
+
+  /// Rebuild each cluster's PST from its current membership at the start of
+  /// every iteration (purification; see DESIGN.md). The paper's PSTs only
+  /// ever accumulate counts, which freezes early pollution in place; set
+  /// false to reproduce that cumulative behavior (used by the order
+  /// sensitivity ablation).
+  bool rebuild_each_iteration = true;
+
+  /// c: significance threshold for PST nodes (paper rule of thumb: >= 30).
+  uint64_t significance_threshold = 30;
+
+  /// Sample size multiplier: m = multiplier × k_n (paper uses 5).
+  double sample_multiplier = 5.0;
+
+  /// Enables automatic adjustment of t (§4.6).
+  bool adjust_threshold = true;
+
+  /// Histogram granularity for the t adjustment.
+  size_t histogram_buckets = 100;
+
+  /// Consolidation dismisses clusters with fewer unique members than this;
+  /// 0 means "use significance_threshold" (the paper's "say, < c").
+  size_t min_unique_members = 0;
+
+  /// Hard cap on iterations (the paper iterates to a fixed point; this
+  /// guards pathological oscillation).
+  size_t max_iterations = 50;
+
+  VisitOrder visit_order = VisitOrder::kFixed;
+
+  /// Threads used for per-sequence similarity evaluation and seeding.
+  size_t num_threads = 1;
+
+  /// Seed for all randomized steps (sampling, random visit order).
+  uint64_t rng_seed = 42;
+
+  /// Per-cluster PST configuration (depth bound, memory budget, pruning
+  /// strategy, smoothing). Its significance_threshold is overridden by the
+  /// field above so there is a single source of truth for c.
+  PstOptions pst;
+
+  /// Emit per-iteration progress via CLUSEQ_LOG(kInfo).
+  bool verbose = false;
+
+  Status Validate() const;
+};
+
+/// Per-iteration diagnostics.
+struct IterationStats {
+  size_t iteration = 0;
+  size_t new_clusters = 0;
+  size_t consolidated = 0;
+  size_t clusters_after = 0;
+  size_t unclustered = 0;
+  double log_threshold = 0.0;
+  double seconds = 0.0;
+};
+
+struct ClusteringResult {
+  /// Member sequence indices of each final cluster (clusters may overlap).
+  std::vector<std::vector<size_t>> clusters;
+
+  /// For each sequence: index into `clusters` of the joined cluster with the
+  /// highest similarity, or -1 for outliers.
+  std::vector<int32_t> best_cluster;
+
+  /// For each sequence: highest log SIM against any final cluster (whether
+  /// or not it exceeded the threshold). -inf when there were no clusters.
+  std::vector<double> best_log_sim;
+
+  /// Final similarity threshold, log and natural units.
+  double final_log_threshold = 0.0;
+  double final_threshold() const;
+
+  size_t iterations = 0;
+  size_t num_unclustered = 0;
+  std::vector<IterationStats> iteration_stats;
+
+  size_t num_clusters() const { return clusters.size(); }
+};
+
+class CluseqClusterer {
+ public:
+  /// `db` must outlive the clusterer.
+  CluseqClusterer(const SequenceDatabase& db, CluseqOptions options);
+
+  /// Runs the full iterative algorithm. Idempotent per instance: a second
+  /// call restarts from scratch.
+  Status Run(ClusteringResult* result);
+
+  /// Final cluster states (PSTs + members); valid after Run(). Useful for
+  /// classifying new sequences against the discovered clusters.
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const BackgroundModel& background() const { return background_; }
+
+  /// Classifies a new sequence: returns the index of the most similar final
+  /// cluster and its log similarity, or -1 when below the final threshold.
+  int32_t Classify(const Sequence& seq, double* log_sim = nullptr) const;
+
+ private:
+  size_t PlanNewClusters(size_t iteration) const;
+  double EstimateInitialLogThreshold();
+  void GenerateNewClusters(size_t count);
+  // Rebuilds each cluster's PST from its current members (purification).
+  void RebuildClusterPsts();
+  // Re-examines every sequence; fills joined_, all_log_sims_.
+  void Recluster();
+  std::vector<size_t> VisitOrderIndices();
+  // Returns the number of clusters dismissed.
+  size_t Consolidate();
+  void RebuildMembershipViews();
+  std::vector<uint64_t> MembershipFingerprint() const;
+
+  const SequenceDatabase& db_;
+  CluseqOptions options_;
+  BackgroundModel background_;
+  Rng rng_;
+  std::vector<Cluster> clusters_;
+  uint32_t next_cluster_id_ = 0;
+  double log_t_ = 0.0;
+
+  // Per-sequence (cluster position, log sim, segment) of joined clusters,
+  // refreshed every iteration.
+  struct Joined {
+    uint32_t cluster_id;
+    double log_sim;
+  };
+  std::vector<std::vector<Joined>> joined_;
+  std::vector<double> best_log_sim_;
+  std::vector<int32_t> prev_best_cluster_;  // For cluster-based order.
+  std::vector<double> all_log_sims_;
+  std::vector<size_t> unclustered_;
+  size_t prev_new_ = 0;
+  size_t prev_consolidated_ = 0;
+};
+
+/// Convenience one-shot entry point.
+Status RunCluseq(const SequenceDatabase& db, const CluseqOptions& options,
+                 ClusteringResult* result);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_CLUSEQ_H_

@@ -1,0 +1,6 @@
+#include "core/cluster.h"
+
+// Cluster is header-only today; this translation unit anchors the type so
+// future non-inline members have a home and the library layout stays stable.
+
+namespace cluseq {}  // namespace cluseq

@@ -1,0 +1,82 @@
+// Cluster: one CLUSEQ cluster — a PST summary plus its current members.
+
+#ifndef CLUSEQ_CORE_CLUSTER_H_
+#define CLUSEQ_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "pst/pst.h"
+#include "seq/sequence.h"
+
+namespace cluseq {
+
+class Cluster {
+ public:
+  /// Creates an empty cluster with a fresh PST.
+  Cluster(uint32_t id, size_t alphabet_size, const PstOptions& pst_options)
+      : id_(id), pst_(alphabet_size, pst_options) {}
+
+  /// Initializes the cluster from a single seed sequence: the PST is built
+  /// from the entire sequence (paper §4.4).
+  void Seed(const Sequence& seq, size_t seq_index) {
+    pst_.InsertSequence(seq);
+    seed_index_ = static_cast<int64_t>(seq_index);
+    absorbed_.insert(seq_index);
+  }
+
+  /// Inserts the similarity-maximizing segment of a sequence that *becomes*
+  /// a member (paper §4.2 / §4.4: "only the segment that produces the
+  /// highest similarity score is used"). Each sequence contributes its
+  /// segment at most once per cluster: re-inserting on every iteration
+  /// would multiply private context counts by the iteration number, pushing
+  /// memorized single-sequence contexts past the significance threshold c
+  /// and freezing early (possibly wrong) memberships in place.
+  void AbsorbSegment(size_t seq_index, std::span<const SymbolId> segment) {
+    if (absorbed_.insert(seq_index).second) {
+      pst_.InsertSequence(segment);
+    }
+  }
+
+  /// Whether the sequence has already contributed to this cluster's PST.
+  bool HasAbsorbed(size_t seq_index) const {
+    return absorbed_.contains(seq_index);
+  }
+
+  /// Drops all statistics so the PST can be rebuilt from the current
+  /// membership (the per-iteration purification step; see
+  /// CluseqClusterer::RebuildClusterPsts).
+  void ResetPst() {
+    pst_.Clear();
+    absorbed_.clear();
+  }
+
+  uint32_t id() const { return id_; }
+  const Pst& pst() const { return pst_; }
+  Pst& mutable_pst() { return pst_; }
+
+  /// Index of the seed sequence, or -1 when constructed empty.
+  int64_t seed_index() const { return seed_index_; }
+
+  const std::vector<size_t>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+  void ClearMembers() { members_.clear(); }
+  void AddMember(size_t seq_index) { members_.push_back(seq_index); }
+  void SetMembers(std::vector<size_t> members) {
+    members_ = std::move(members);
+  }
+
+ private:
+  uint32_t id_;
+  Pst pst_;
+  std::unordered_set<size_t> absorbed_;
+  int64_t seed_index_ = -1;
+  std::vector<size_t> members_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_CLUSTER_H_

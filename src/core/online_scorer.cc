@@ -1,0 +1,79 @@
+#include "core/online_scorer.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+OnlineScorer::OnlineScorer(const BackgroundModel& background)
+    : background_(background) {}
+
+size_t OnlineScorer::AddModel(const Pst* pst) {
+  models_.push_back(ModelState{pst});
+  // The window must cover the deepest context any model can use; the
+  // prediction node never looks further back (short-memory property).
+  window_capacity_ =
+      std::max(window_capacity_, pst->options().max_depth);
+  return models_.size() - 1;
+}
+
+void OnlineScorer::Push(SymbolId symbol) {
+  std::span<const SymbolId> context(window_);
+  const double log_bg = background_.LogProbability(symbol);
+  for (ModelState& m : models_) {
+    const double x =
+        m.pst->LogConditionalProbability(context, symbol) - log_bg;
+    if (!m.started || m.y + x < x) {
+      m.y = x;  // Restart the running segment at this symbol.
+    } else {
+      m.y += x;
+    }
+    m.started = true;
+    m.z = std::max(m.z, m.y);
+  }
+  window_.push_back(symbol);
+  if (window_.size() > window_capacity_) {
+    window_.erase(window_.begin());
+  }
+  ++position_;
+}
+
+OnlineScorer::Score OnlineScorer::ScoreOf(size_t index) const {
+  const ModelState& m = models_[index];
+  Score s;
+  s.log_sim = m.z;
+  s.current_log_sim = m.started ? m.y : 0.0;
+  s.model = static_cast<int32_t>(index);
+  return s;
+}
+
+OnlineScorer::Score OnlineScorer::BestScore() const {
+  Score best;
+  for (size_t i = 0; i < models_.size(); ++i) {
+    Score s = ScoreOf(i);
+    if (best.model < 0 || s.log_sim > best.log_sim) best = s;
+  }
+  return best;
+}
+
+OnlineScorer::Score OnlineScorer::BestCurrentScore() const {
+  Score best;
+  for (size_t i = 0; i < models_.size(); ++i) {
+    Score s = ScoreOf(i);
+    if (best.model < 0 || s.current_log_sim > best.current_log_sim) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void OnlineScorer::Reset() {
+  window_.clear();
+  position_ = 0;
+  for (ModelState& m : models_) {
+    m.y = 0.0;
+    m.z = -std::numeric_limits<double>::infinity();
+    m.started = false;
+  }
+}
+
+}  // namespace cluseq

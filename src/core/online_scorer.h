@@ -1,0 +1,89 @@
+// Online similarity scoring for streaming sequences.
+//
+// The §4.3 dynamic program is a left-to-right scan with O(1) state per
+// model: Y (best segment ending *now*) and Z (best segment so far). That
+// makes it ideal for monitoring unbounded event streams: push one symbol at
+// a time and read, per cluster model, the running log SIM — no need to
+// re-score the whole history. A bounded context window of the last
+// max_depth symbols is all the PST lookup requires (short memory).
+//
+// Typical use (online anomaly detection over learned behavior clusters):
+//
+//   OnlineScorer scorer(background);
+//   scorer.AddModel(&cluster_pst_a);
+//   scorer.AddModel(&cluster_pst_b);
+//   for (SymbolId s : stream) {
+//     scorer.Push(s);
+//     if (scorer.BestScore().log_sim < alert_threshold) Alert();
+//   }
+
+#ifndef CLUSEQ_CORE_ONLINE_SCORER_H_
+#define CLUSEQ_CORE_ONLINE_SCORER_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "pst/pst.h"
+#include "seq/background_model.h"
+
+namespace cluseq {
+
+class OnlineScorer {
+ public:
+  struct Score {
+    /// Running log SIM (max over all segments seen so far).
+    double log_sim = -std::numeric_limits<double>::infinity();
+    /// Best log ratio of a segment ending at the current position — a
+    /// *local* signal that decays quickly when the stream leaves the
+    /// model's distribution, unlike the monotone log_sim.
+    double current_log_sim = 0.0;
+    int32_t model = -1;
+  };
+
+  /// `background` must outlive the scorer.
+  explicit OnlineScorer(const BackgroundModel& background);
+
+  /// Registers a model; `pst` must outlive the scorer. Returns its index.
+  size_t AddModel(const Pst* pst);
+
+  size_t num_models() const { return models_.size(); }
+
+  /// Consumes one symbol, updating every model's running scores. O(k · L).
+  void Push(SymbolId symbol);
+
+  /// Symbols consumed since construction or the last Reset().
+  size_t position() const { return position_; }
+
+  /// Running scores of model `index`.
+  Score ScoreOf(size_t index) const;
+
+  /// The model with the highest running log SIM (model = -1 when empty).
+  Score BestScore() const;
+
+  /// Like BestScore but on the decaying current-segment signal; this is the
+  /// one to monitor for drift/anomaly alerts.
+  Score BestCurrentScore() const;
+
+  /// Clears stream state (history and scores), keeping the models.
+  void Reset();
+
+ private:
+  struct ModelState {
+    const Pst* pst;
+    double y = 0.0;  // log of best segment ending at current position.
+    double z = -std::numeric_limits<double>::infinity();
+    bool started = false;
+  };
+
+  const BackgroundModel& background_;
+  std::vector<ModelState> models_;
+  // Ring buffer of the last `max context` symbols, most recent last.
+  std::vector<SymbolId> window_;
+  size_t window_capacity_ = 0;
+  size_t position_ = 0;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_ONLINE_SCORER_H_

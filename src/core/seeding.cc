@@ -1,0 +1,100 @@
+#include "core/seeding.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/similarity.h"
+#include "util/thread_pool.h"
+
+namespace cluseq {
+
+std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
+                                const std::vector<size_t>& unclustered,
+                                size_t num_seeds, size_t sample_size,
+                                const std::vector<Cluster>& existing,
+                                const BackgroundModel& background,
+                                const PstOptions& pst_options,
+                                size_t num_threads, Rng* rng) {
+  std::vector<size_t> chosen;
+  if (num_seeds == 0 || unclustered.empty()) return chosen;
+  num_seeds = std::min(num_seeds, unclustered.size());
+  sample_size = std::min(std::max(sample_size, num_seeds),
+                         unclustered.size());
+
+  // Draw the sample and build one PST per sample sequence.
+  std::vector<size_t> sample_positions =
+      rng->SampleWithoutReplacement(unclustered.size(), sample_size);
+  std::vector<size_t> sample_seq(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample_seq[i] = unclustered[sample_positions[i]];
+  }
+  std::vector<Pst> sample_psts;
+  sample_psts.reserve(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample_psts.emplace_back(db.alphabet().size(), pst_options);
+    sample_psts.back().InsertSequence(db[sample_seq[i]]);
+  }
+
+  // Outlier screen: how well is each sample explained by its best peer?
+  // Outliers have no similar peers and would otherwise win every
+  // farthest-first round.
+  std::vector<double> peer_best(sample_size,
+                                -std::numeric_limits<double>::infinity());
+  if (sample_size > 2) {
+    ParallelFor(sample_size, num_threads, [&](size_t i) {
+      for (size_t j = 0; j < sample_size; ++j) {
+        if (j == i) continue;
+        double s =
+            ComputeSimilarity(sample_psts[j], background, db[sample_seq[i]])
+                .log_sim;
+        peer_best[i] = std::max(peer_best[i], s);
+      }
+    });
+  }
+  std::vector<double> sorted_peer = peer_best;
+  std::sort(sorted_peer.begin(), sorted_peer.end());
+  const double eligibility_bar =
+      sample_size > 2 ? sorted_peer[sample_size / 4]
+                      : -std::numeric_limits<double>::infinity();
+
+  // Highest similarity of each sample to anything already in T.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> best_sim(sample_size, kNegInf);
+  ParallelFor(sample_size, num_threads, [&](size_t i) {
+    for (const Cluster& cluster : existing) {
+      double s =
+          ComputeSimilarity(cluster.pst(), background, db[sample_seq[i]])
+              .log_sim;
+      best_sim[i] = std::max(best_sim[i], s);
+    }
+  });
+
+  std::vector<bool> taken(sample_size, false);
+  for (size_t round = 0; round < num_seeds; ++round) {
+    // Pick the remaining eligible sample least similar to everything in T;
+    // fall back to screened-out samples only when nothing else remains.
+    size_t pick = sample_size;
+    for (int pass = 0; pass < 2 && pick == sample_size; ++pass) {
+      for (size_t i = 0; i < sample_size; ++i) {
+        if (taken[i]) continue;
+        if (pass == 0 && peer_best[i] < eligibility_bar) continue;
+        if (pick == sample_size || best_sim[i] < best_sim[pick]) pick = i;
+      }
+    }
+    if (pick == sample_size) break;
+    taken[pick] = true;
+    chosen.push_back(sample_seq[pick]);
+
+    // The chosen seed joins T: refresh the remaining samples' best
+    // similarity against its PST.
+    const Pst& pst = sample_psts[pick];
+    ParallelFor(sample_size, num_threads, [&](size_t i) {
+      if (taken[i]) return;
+      double s = ComputeSimilarity(pst, background, db[sample_seq[i]]).log_sim;
+      best_sim[i] = std::max(best_sim[i], s);
+    });
+  }
+  return chosen;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,73 @@
+#include "core/similarity.h"
+
+#include <limits>
+#include <vector>
+
+namespace cluseq {
+
+SimilarityResult ComputeSimilarity(const Pst& pst,
+                                   const BackgroundModel& background,
+                                   std::span<const SymbolId> symbols) {
+  SimilarityResult result;
+  const size_t l = symbols.size();
+  if (l == 0) {
+    result.log_sim = -std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  double y = 0.0;           // log Y_i
+  size_t y_begin = 0;       // Start of the segment realizing Y_i.
+  double z = -std::numeric_limits<double>::infinity();  // log Z_i
+
+  for (size_t i = 0; i < l; ++i) {
+    const double x = pst.LogConditionalProbability(symbols.subspan(0, i),
+                                                   symbols[i]) -
+                     background.LogProbability(symbols[i]);
+    if (i == 0 || y + x < x) {
+      y = x;  // Restart: the best segment ending at i is {s_i} alone.
+      y_begin = i;
+    } else {
+      y += x;  // Extend the running segment.
+    }
+    if (y > z) {
+      z = y;
+      result.best_begin = y_begin;
+      result.best_end = i + 1;
+    }
+  }
+  result.log_sim = z;
+  return result;
+}
+
+SimilarityResult ComputeSimilarityBruteForce(
+    const Pst& pst, const BackgroundModel& background,
+    std::span<const SymbolId> symbols) {
+  SimilarityResult result;
+  const size_t l = symbols.size();
+  if (l == 0) {
+    result.log_sim = -std::numeric_limits<double>::infinity();
+    return result;
+  }
+  // Per-position log ratios; conditional probabilities always use the full
+  // preceding context, regardless of the segment boundary.
+  std::vector<double> x(l);
+  for (size_t i = 0; i < l; ++i) {
+    x[i] = pst.LogConditionalProbability(symbols.subspan(0, i), symbols[i]) -
+           background.LogProbability(symbols[i]);
+  }
+  result.log_sim = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < l; ++j) {
+    double acc = 0.0;
+    for (size_t i = j; i < l; ++i) {
+      acc += x[i];
+      if (acc > result.log_sim) {
+        result.log_sim = acc;
+        result.best_begin = j;
+        result.best_end = i + 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cluseq

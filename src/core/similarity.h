@@ -1,0 +1,63 @@
+// Sequence-to-cluster similarity (paper §2 and §4.3).
+//
+// The similarity of a sequence σ = s_1…s_l to a cluster S is
+//     SIM_S(σ) = max over segments s_j…s_i of
+//                Π_{p=j..i} P_S(s_p | s_1…s_{p-1}) / p(s_p),
+// the best likelihood ratio of any contiguous segment against the memoryless
+// background model. Each position's conditional probability is looked up at
+// the prediction node of its full preceding context (the CPD "carries
+// through" segment boundaries, exactly as in the paper's Table 1 example).
+//
+// Computation is the single-scan dynamic program of §4.3:
+//     X_i = P_S(s_i | s_1…s_{i-1}) / p(s_i)
+//     Y_i = max(Y_{i-1} · X_i, X_i)      (best segment ending at i)
+//     Z_i = max(Z_{i-1}, Y_i)            (best segment ending ≤ i)
+// run in log space: the paper multiplies raw ratios, which over- or
+// under-flows IEEE doubles within a few hundred positions, so we work with
+// log X_i and report log SIM. Thresholds compare as log SIM ≥ log t.
+
+#ifndef CLUSEQ_CORE_SIMILARITY_H_
+#define CLUSEQ_CORE_SIMILARITY_H_
+
+#include <cstddef>
+#include <span>
+
+#include "pst/pst.h"
+#include "seq/background_model.h"
+#include "seq/sequence.h"
+
+namespace cluseq {
+
+struct SimilarityResult {
+  /// log SIM_S(σ); -inf for an empty sequence.
+  double log_sim = 0.0;
+  /// Maximizing segment [begin, end) of σ.
+  size_t best_begin = 0;
+  size_t best_end = 0;
+
+  bool Exceeds(double log_threshold) const { return log_sim >= log_threshold; }
+};
+
+/// Computes SIM between `symbols` and the cluster summarized by `pst`,
+/// with `background` supplying the memoryless p(s) probabilities.
+/// O(l · L) where L is the PST depth bound.
+SimilarityResult ComputeSimilarity(const Pst& pst,
+                                   const BackgroundModel& background,
+                                   std::span<const SymbolId> symbols);
+
+inline SimilarityResult ComputeSimilarity(const Pst& pst,
+                                          const BackgroundModel& background,
+                                          const Sequence& seq) {
+  return ComputeSimilarity(pst, background,
+                           std::span<const SymbolId>(seq.symbols()));
+}
+
+/// Reference O(l^2) implementation that evaluates every segment explicitly.
+/// Used by tests to validate the DP; not for production use.
+SimilarityResult ComputeSimilarityBruteForce(
+    const Pst& pst, const BackgroundModel& background,
+    std::span<const SymbolId> symbols);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_SIMILARITY_H_

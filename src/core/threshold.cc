@@ -1,0 +1,68 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/histogram.h"
+
+namespace cluseq {
+
+ThresholdAdjuster::ThresholdAdjuster(size_t buckets, double min_log_t,
+                                     double max_up_step)
+    : buckets_(std::max<size_t>(buckets, 4)),
+      min_log_t_(min_log_t),
+      max_up_step_(max_up_step) {}
+
+ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
+                                          double current_log_t) {
+  ThresholdUpdate update;
+  update.new_log_t = current_log_t;
+  if (frozen_) return update;
+
+  std::vector<double> finite_sims;
+  finite_sims.reserve(log_sims.size());
+  for (double v : log_sims) {
+    if (std::isfinite(v)) finite_sims.push_back(v);
+  }
+  if (finite_sims.size() < 8) return update;
+  // Clamp the histogram domain to the inner [1%, 99%] quantiles: a handful
+  // of extreme self-similarities would otherwise stretch the domain and
+  // squeeze the informative region into a few buckets.
+  std::sort(finite_sims.begin(), finite_sims.end());
+  double lo = finite_sims[finite_sims.size() / 100];
+  double hi = finite_sims[finite_sims.size() - 1 - finite_sims.size() / 100];
+  if (!(hi > lo)) return update;
+
+  Histogram hist(lo, hi, buckets_);
+  for (double v : finite_sims) hist.Add(v);
+  ValleyResult valley = FindValley(hist);
+  if (!valley.found) return update;
+
+  // The paper requires t >= 1 to separate clustered sequences from outliers.
+  double valley_log_t = std::max(valley.x, min_log_t_);
+  update.valley_log_t = valley_log_t;
+
+  // Freeze once t and t̂ are within 1% of each other (natural units; for
+  // small deltas |log t - log t̂| is exactly the relative difference).
+  if (std::abs(valley_log_t - current_log_t) <
+      0.01 * std::max(1.0, std::abs(current_log_t))) {
+    frozen_ = true;
+    return update;
+  }
+
+  // Conservative pace, taken in log space: with likelihood-ratio magnitudes
+  // spanning hundreds of log units, the paper's natural-unit average
+  // (t + t̂)/2 degenerates to "jump straight to t̂"; the geometric mean
+  // preserves the intended halfway step at any scale (and agrees with the
+  // arithmetic mean to first order when t ≈ t̂, the paper's regime).
+  update.adjusted = true;
+  double stepped = (current_log_t + valley_log_t) / 2.0;
+  if (max_up_step_ > 0.0 && stepped > current_log_t + max_up_step_) {
+    stepped = current_log_t + max_up_step_;  // Bounded upward pace.
+  }
+  update.new_log_t = std::max(stepped, min_log_t_);
+  return update;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,58 @@
+// Automatic adjustment of the similarity threshold t (paper §4.6).
+//
+// During each iteration the similarities of all sequence-cluster pairs are
+// histogrammed; the "valley" — the bucket where the curve turns sharpest,
+// measured by the maximal difference between left- and right-portion
+// regression slopes — yields an estimate t̂, and t moves conservatively
+// halfway toward it each iteration. Adjustment freezes once |t − t̂| < 1%.
+//
+// All similarities here are in log space (see core/similarity.h), so the
+// histogram domain, t and t̂ are log values, and the halfway step is taken
+// in log space (geometric mean in natural units): see the implementation
+// note on why the paper's arithmetic (t + t̂)/2 degenerates at log-ratio
+// scale.
+
+#ifndef CLUSEQ_CORE_THRESHOLD_H_
+#define CLUSEQ_CORE_THRESHOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cluseq {
+
+struct ThresholdUpdate {
+  bool adjusted = false;      ///< False when no valley was found or frozen.
+  double new_log_t = 0.0;     ///< t after the conservative step.
+  double valley_log_t = 0.0;  ///< The raw valley estimate t̂.
+};
+
+class ThresholdAdjuster {
+ public:
+  /// `buckets` is the histogram granularity (paper: 1/n of the domain).
+  /// `min_log_t` floors the threshold (the paper requires t >= 1, i.e.
+  /// log t >= 0). `max_up_step` bounds how far log t may rise in a single
+  /// adjustment: newly seeded clusters are built from one sequence and can
+  /// only attract members while t stays moderate, so a sudden jump of t
+  /// into the mature-cluster similarity range starves cluster growth before
+  /// it begins (downward moves are never bounded).
+  explicit ThresholdAdjuster(size_t buckets = 100, double min_log_t = 0.0,
+                             double max_up_step = 1.5);
+
+  /// Computes the valley of the given similarity observations and moves
+  /// `current_log_t` toward it. Non-finite observations are ignored.
+  /// Once frozen (|t - t̂| < 1% relative), returns adjusted=false forever.
+  ThresholdUpdate Adjust(const std::vector<double>& log_sims,
+                         double current_log_t);
+
+  bool frozen() const { return frozen_; }
+
+ private:
+  size_t buckets_;
+  double min_log_t_;
+  double max_up_step_;
+  bool frozen_ = false;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_THRESHOLD_H_

@@ -1,0 +1,40 @@
+#include "eval/contingency.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+ContingencyTable::ContingencyTable(const std::vector<int32_t>& assignment,
+                                   const std::vector<Label>& labels) {
+  total_ = std::min(assignment.size(), labels.size());
+  int32_t max_found = -1;
+  Label max_true = kNoLabel;
+  for (size_t i = 0; i < total_; ++i) {
+    max_found = std::max(max_found, assignment[i]);
+    max_true = std::max(max_true, labels[i]);
+  }
+  num_found_ = max_found < 0 ? 0 : static_cast<size_t>(max_found) + 1;
+  num_true_ = max_true == kNoLabel ? 0 : static_cast<size_t>(max_true) + 1;
+  matrix_.assign(num_found_ * std::max<size_t>(num_true_, 1), 0);
+  found_totals_.assign(num_found_, 0);
+  true_totals_.assign(num_true_, 0);
+
+  for (size_t i = 0; i < total_; ++i) {
+    const int32_t f = assignment[i];
+    const Label t = labels[i];
+    if (t == kNoLabel) ++num_true_outliers_;
+    if (t != kNoLabel) ++true_totals_[static_cast<size_t>(t)];
+    if (f < 0) {
+      ++num_unassigned_;
+      if (t == kNoLabel) ++outliers_unassigned_;
+      continue;
+    }
+    ++found_totals_[static_cast<size_t>(f)];
+    if (t != kNoLabel && num_true_ > 0) {
+      ++matrix_[static_cast<size_t>(f) * num_true_ +
+                static_cast<size_t>(t)];
+    }
+  }
+}
+
+}  // namespace cluseq

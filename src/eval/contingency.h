@@ -1,0 +1,59 @@
+// Contingency table between found clusters and ground-truth labels.
+
+#ifndef CLUSEQ_EVAL_CONTINGENCY_H_
+#define CLUSEQ_EVAL_CONTINGENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace cluseq {
+
+/// Counts of (found cluster, true label) co-occurrences. Row -1 (sequences
+/// assigned to no cluster) and column kNoLabel (true outliers) are tracked
+/// separately from the dense matrix.
+class ContingencyTable {
+ public:
+  /// `assignment[i]` is the found-cluster id of sequence i (or -1);
+  /// `labels[i]` its true label (or kNoLabel). Both must have equal size.
+  ContingencyTable(const std::vector<int32_t>& assignment,
+                   const std::vector<Label>& labels);
+
+  size_t num_found() const { return num_found_; }
+  size_t num_true() const { return num_true_; }
+
+  /// Count of sequences in found cluster f with true label t.
+  size_t count(size_t f, size_t t) const {
+    return matrix_[f * num_true_ + t];
+  }
+
+  /// Total size of found cluster f (including true outliers in it).
+  size_t found_total(size_t f) const { return found_totals_[f]; }
+  /// Total number of sequences with true label t (including unassigned).
+  size_t true_total(size_t t) const { return true_totals_[t]; }
+
+  /// Sequences assigned to no cluster.
+  size_t num_unassigned() const { return num_unassigned_; }
+  /// True outliers assigned to no cluster (correct outlier rejections).
+  size_t outliers_unassigned() const { return outliers_unassigned_; }
+  /// True outliers in total.
+  size_t num_true_outliers() const { return num_true_outliers_; }
+
+  size_t total() const { return total_; }
+
+ private:
+  size_t num_found_ = 0;
+  size_t num_true_ = 0;
+  std::vector<size_t> matrix_;
+  std::vector<size_t> found_totals_;
+  std::vector<size_t> true_totals_;
+  size_t num_unassigned_ = 0;
+  size_t outliers_unassigned_ = 0;
+  size_t num_true_outliers_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_EVAL_CONTINGENCY_H_

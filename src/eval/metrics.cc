@@ -1,0 +1,140 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cluseq {
+
+std::vector<Label> TrueLabels(const SequenceDatabase& db) {
+  std::vector<Label> labels(db.size());
+  for (size_t i = 0; i < db.size(); ++i) labels[i] = db[i].label();
+  return labels;
+}
+
+double CorrectlyLabeledFraction(const ContingencyTable& table) {
+  if (table.total() == 0) return 0.0;
+  size_t correct = 0;
+  // Majority label per found cluster; members matching it are correct.
+  for (size_t f = 0; f < table.num_found(); ++f) {
+    size_t best = 0;
+    for (size_t t = 0; t < table.num_true(); ++t) {
+      best = std::max(best, table.count(f, t));
+    }
+    correct += best;
+  }
+  // Unassigned true outliers are correct rejections.
+  correct += table.outliers_unassigned();
+  return static_cast<double>(correct) / static_cast<double>(table.total());
+}
+
+std::vector<FamilyQuality> PerFamilyQuality(const ContingencyTable& table) {
+  std::vector<FamilyQuality> out;
+  out.reserve(table.num_true());
+  for (size_t t = 0; t < table.num_true(); ++t) {
+    FamilyQuality q;
+    q.family = t;
+    q.size = table.true_total(t);
+    size_t best_overlap = 0;
+    for (size_t f = 0; f < table.num_found(); ++f) {
+      if (table.count(f, t) > best_overlap) {
+        best_overlap = table.count(f, t);
+        q.matched_cluster = static_cast<int32_t>(f);
+      }
+    }
+    if (q.matched_cluster >= 0) {
+      size_t f = static_cast<size_t>(q.matched_cluster);
+      if (table.found_total(f) > 0) {
+        q.precision = static_cast<double>(best_overlap) /
+                      static_cast<double>(table.found_total(f));
+      }
+      if (q.size > 0) {
+        q.recall = static_cast<double>(best_overlap) /
+                   static_cast<double>(q.size);
+      }
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+MacroQuality MacroAverage(const std::vector<FamilyQuality>& families) {
+  MacroQuality m;
+  if (families.empty()) return m;
+  for (const FamilyQuality& q : families) {
+    m.precision += q.precision;
+    m.recall += q.recall;
+  }
+  m.precision /= static_cast<double>(families.size());
+  m.recall /= static_cast<double>(families.size());
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+double Purity(const ContingencyTable& table) {
+  size_t assigned = 0;
+  size_t majority = 0;
+  for (size_t f = 0; f < table.num_found(); ++f) {
+    assigned += table.found_total(f);
+    size_t best = 0;
+    for (size_t t = 0; t < table.num_true(); ++t) {
+      best = std::max(best, table.count(f, t));
+    }
+    majority += best;
+  }
+  if (assigned == 0) return 0.0;
+  return static_cast<double>(majority) / static_cast<double>(assigned);
+}
+
+double NormalizedMutualInformation(const ContingencyTable& table) {
+  // Restrict to sequences that are assigned AND labeled.
+  double n = 0.0;
+  for (size_t f = 0; f < table.num_found(); ++f) {
+    for (size_t t = 0; t < table.num_true(); ++t) {
+      n += static_cast<double>(table.count(f, t));
+    }
+  }
+  if (n <= 0.0) return 0.0;
+
+  std::vector<double> pf(table.num_found(), 0.0);
+  std::vector<double> pt(table.num_true(), 0.0);
+  for (size_t f = 0; f < table.num_found(); ++f) {
+    for (size_t t = 0; t < table.num_true(); ++t) {
+      double c = static_cast<double>(table.count(f, t));
+      pf[f] += c;
+      pt[t] += c;
+    }
+  }
+  double mi = 0.0, hf = 0.0, ht = 0.0;
+  for (size_t f = 0; f < table.num_found(); ++f) {
+    if (pf[f] > 0.0) hf -= (pf[f] / n) * std::log(pf[f] / n);
+    for (size_t t = 0; t < table.num_true(); ++t) {
+      double c = static_cast<double>(table.count(f, t));
+      if (c > 0.0) {
+        mi += (c / n) * std::log(c * n / (pf[f] * pt[t]));
+      }
+    }
+  }
+  for (size_t t = 0; t < table.num_true(); ++t) {
+    if (pt[t] > 0.0) ht -= (pt[t] / n) * std::log(pt[t] / n);
+  }
+  double denom = std::sqrt(hf * ht);
+  if (denom <= 0.0) return 0.0;
+  return std::max(0.0, std::min(1.0, mi / denom));
+}
+
+EvaluationSummary Evaluate(const SequenceDatabase& db,
+                           const std::vector<int32_t>& assignment) {
+  ContingencyTable table(assignment, TrueLabels(db));
+  EvaluationSummary summary;
+  summary.correct_fraction = CorrectlyLabeledFraction(table);
+  summary.macro = MacroAverage(PerFamilyQuality(table));
+  summary.purity = Purity(table);
+  summary.nmi = NormalizedMutualInformation(table);
+  summary.num_found_clusters = table.num_found();
+  summary.num_unassigned = table.num_unassigned();
+  return summary;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,70 @@
+// Clustering quality metrics matching the paper's reporting.
+//
+// * Percentage of correctly labeled sequences (Table 2): each found cluster
+//   is labeled with its majority true family; a sequence is correct when its
+//   assigned cluster's majority label equals its own true label. True
+//   outliers count as correct when left unassigned.
+// * Per-family precision/recall (Tables 3, 4): for each true family F, the
+//   found cluster F' maximizing |F ∩ F'| is its match; precision is
+//   |F ∩ F'| / |F'| and recall |F ∩ F'| / |F|.
+// * Purity and NMI are also provided for completeness.
+
+#ifndef CLUSEQ_EVAL_METRICS_H_
+#define CLUSEQ_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/contingency.h"
+#include "seq/sequence_database.h"
+
+namespace cluseq {
+
+/// Extracts the true-label vector of a database.
+std::vector<Label> TrueLabels(const SequenceDatabase& db);
+
+/// Percentage (0..1) of correctly labeled sequences under majority-label
+/// mapping; unassigned true outliers count as correct.
+double CorrectlyLabeledFraction(const ContingencyTable& table);
+
+struct FamilyQuality {
+  size_t family = 0;
+  size_t size = 0;          ///< |F|
+  int32_t matched_cluster = -1;
+  double precision = 0.0;   ///< |F ∩ F'| / |F'|
+  double recall = 0.0;      ///< |F ∩ F'| / |F|
+};
+
+/// Best-match precision/recall for every true family.
+std::vector<FamilyQuality> PerFamilyQuality(const ContingencyTable& table);
+
+/// Macro-averages over PerFamilyQuality.
+struct MacroQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+MacroQuality MacroAverage(const std::vector<FamilyQuality>& families);
+
+/// Purity: Σ_f max_t count(f, t) / #assigned.
+double Purity(const ContingencyTable& table);
+
+/// Normalized mutual information between found clusters and true labels
+/// (over sequences that are both assigned and labeled). In [0, 1].
+double NormalizedMutualInformation(const ContingencyTable& table);
+
+/// Convenience: evaluates a hard assignment against a database's labels.
+struct EvaluationSummary {
+  double correct_fraction = 0.0;
+  MacroQuality macro;
+  double purity = 0.0;
+  double nmi = 0.0;
+  size_t num_found_clusters = 0;
+  size_t num_unassigned = 0;
+};
+EvaluationSummary Evaluate(const SequenceDatabase& db,
+                           const std::vector<int32_t>& assignment);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_EVAL_METRICS_H_

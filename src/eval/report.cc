@@ -1,0 +1,86 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "core/cluseq.h"
+#include "seq/sequence_database.h"
+#include "util/string_util.h"
+
+namespace cluseq {
+
+ReportTable::ReportTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void ReportTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void ReportTable::PrintCsv(std::ostream& out) const {
+  out << Join(header_, ",") << '\n';
+  for (const auto& row : rows_) {
+    out << Join(row, ",") << '\n';
+  }
+}
+
+std::string FormatDouble(double v, int digits) {
+  return StringPrintf("%.*f", digits, v);
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return StringPrintf("%.*f", digits, fraction * 100.0);
+}
+
+Status WriteAssignments(const ClusteringResult& result,
+                        const SequenceDatabase& db, std::ostream& out) {
+  const size_t n = std::min(db.size(), result.best_cluster.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& id = db[i].id();
+    out << (id.empty() ? "seq" + std::to_string(i) : id) << '\t'
+        << result.best_cluster[i] << '\t';
+    double s = i < result.best_log_sim.size() ? result.best_log_sim[i] : 0.0;
+    out << StringPrintf("%.6g", s) << '\n';
+  }
+  if (!out) return Status::IOError("assignment write failed");
+  return Status::OK();
+}
+
+Status WriteAssignmentsFile(const ClusteringResult& result,
+                            const SequenceDatabase& db,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteAssignments(result, db, out);
+}
+
+}  // namespace cluseq

@@ -1,0 +1,53 @@
+// Fixed-width table / CSV printers for the bench harnesses.
+
+#ifndef CLUSEQ_EVAL_REPORT_H_
+#define CLUSEQ_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Simple column-aligned text table with an optional CSV rendering.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns, a separator under the header.
+  void Print(std::ostream& out) const;
+
+  /// Renders as CSV (no escaping needed for the numeric content we emit).
+  void PrintCsv(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string FormatDouble(double v, int digits = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.823 -> "82.3".
+std::string FormatPercent(double fraction, int digits = 1);
+
+class SequenceDatabase;
+struct ClusteringResult;
+
+/// Writes one line per sequence: "id <TAB> best_cluster <TAB> log_sim".
+/// best_cluster is -1 for outliers. Round-trips with any TSV reader.
+Status WriteAssignments(const ClusteringResult& result,
+                        const SequenceDatabase& db, std::ostream& out);
+Status WriteAssignmentsFile(const ClusteringResult& result,
+                            const SequenceDatabase& db,
+                            const std::string& path);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_EVAL_REPORT_H_

@@ -1,0 +1,95 @@
+#include "pst/pst_dot.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace cluseq {
+
+namespace {
+
+std::string LabelOf(const Pst& pst, const Alphabet& alphabet, PstNodeId id) {
+  std::vector<SymbolId> label = pst.NodeLabel(id);
+  if (label.empty()) return "(root)";
+  std::string out;
+  for (SymbolId s : label) {
+    out += s < alphabet.size() ? alphabet.Name(s) : "?";
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WritePstDot(const Pst& pst, const Alphabet& alphabet,
+                   const PstDotOptions& options, std::ostream& out) {
+  if (alphabet.size() < pst.alphabet_size()) {
+    return Status::InvalidArgument(
+        "alphabet smaller than the PST's symbol space");
+  }
+
+  // Select nodes: walk the tree, rank by count.
+  std::vector<PstNodeId> nodes;
+  std::vector<PstNodeId> stack = {kPstRoot};
+  while (!stack.empty()) {
+    PstNodeId id = stack.back();
+    stack.pop_back();
+    if (id != kPstRoot &&
+        (!options.significant_only || pst.IsSignificant(id))) {
+      nodes.push_back(id);
+    }
+    for (const auto& [sym, child] : pst.Children(id)) {
+      stack.push_back(child);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(), [&pst](PstNodeId a, PstNodeId b) {
+    return pst.NodeCount(a) > pst.NodeCount(b);
+  });
+  if (options.max_nodes > 0 && nodes.size() > options.max_nodes) {
+    nodes.resize(options.max_nodes);
+  }
+  std::unordered_set<PstNodeId> keep(nodes.begin(), nodes.end());
+  keep.insert(kPstRoot);
+
+  out << "digraph pst {\n"
+      << "  rankdir=TB;\n"
+      << "  node [fontname=\"monospace\"];\n";
+  for (PstNodeId id : keep) {
+    // CPD mode for the node caption.
+    SymbolId mode = kInvalidSymbol;
+    uint64_t mode_count = 0;
+    for (SymbolId s = 0; s < pst.alphabet_size(); ++s) {
+      uint64_t c = pst.NextCount(id, s);
+      if (c > mode_count) {
+        mode_count = c;
+        mode = s;
+      }
+    }
+    std::string caption = LabelOf(pst, alphabet, id);
+    caption += StringPrintf("\\nC=%llu",
+                            static_cast<unsigned long long>(
+                                pst.NodeCount(id)));
+    if (mode != kInvalidSymbol && pst.NodeCount(id) > 0) {
+      caption += StringPrintf(
+          "\\nP(%s)=%.2f", alphabet.Name(mode).c_str(),
+          static_cast<double>(mode_count) /
+              static_cast<double>(pst.NodeCount(id)));
+    }
+    out << "  n" << id << " [label=\"" << caption << "\", style=\""
+        << (pst.IsSignificant(id) ? "solid" : "dashed") << "\"];\n";
+  }
+  for (PstNodeId id : keep) {
+    for (const auto& [sym, child] : pst.Children(id)) {
+      if (!keep.contains(child)) continue;
+      out << "  n" << id << " -> n" << child << " [label=\""
+          << (sym < alphabet.size() ? alphabet.Name(sym) : "?") << "\"];\n";
+    }
+  }
+  out << "}\n";
+  if (!out) return Status::IOError("DOT write failed");
+  return Status::OK();
+}
+
+}  // namespace cluseq

@@ -1,0 +1,32 @@
+// Graphviz (DOT) export of a probabilistic suffix tree, for inspecting what
+// a cluster's model actually learned. Significant nodes are drawn solid,
+// insignificant ones dashed; each node shows its label (via the alphabet),
+// count, and CPD mode.
+
+#ifndef CLUSEQ_PST_PST_DOT_H_
+#define CLUSEQ_PST_PST_DOT_H_
+
+#include <iosfwd>
+
+#include "pst/pst.h"
+#include "seq/alphabet.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+struct PstDotOptions {
+  /// Draw at most this many nodes (highest-count first, root always
+  /// included); 0 = all.
+  size_t max_nodes = 64;
+  /// Skip insignificant nodes entirely.
+  bool significant_only = false;
+};
+
+/// Writes `pst` as a DOT digraph. `alphabet` renders symbol names; pass an
+/// alphabet of at least pst.alphabet_size() symbols.
+Status WritePstDot(const Pst& pst, const Alphabet& alphabet,
+                   const PstDotOptions& options, std::ostream& out);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_PST_PST_DOT_H_

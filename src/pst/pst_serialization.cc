@@ -1,0 +1,174 @@
+#include "pst/pst_serialization.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace cluseq {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'T', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+// Accesses Pst internals on behalf of the save/load free functions.
+class PstSerializer {
+ public:
+  static Status Save(const Pst& pst, std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    WritePod(out, static_cast<uint64_t>(pst.alphabet_size_));
+    WritePod(out, static_cast<uint64_t>(pst.options_.max_depth));
+    WritePod(out, pst.options_.significance_threshold);
+    WritePod(out, static_cast<uint64_t>(pst.options_.max_memory_bytes));
+    WritePod(out, static_cast<uint32_t>(pst.options_.prune_strategy));
+    WritePod(out, pst.options_.smoothing_p_min);
+
+    // Dense pre-order numbering of live nodes.
+    std::vector<PstNodeId> order;
+    std::vector<uint32_t> dense(pst.nodes_.size(),
+                                static_cast<uint32_t>(-1));
+    std::vector<PstNodeId> stack = {kPstRoot};
+    while (!stack.empty()) {
+      PstNodeId id = stack.back();
+      stack.pop_back();
+      dense[id] = static_cast<uint32_t>(order.size());
+      order.push_back(id);
+      const auto& children = pst.nodes_[id].children;
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back(it->second);
+      }
+    }
+    WritePod(out, static_cast<uint64_t>(order.size()));
+    for (PstNodeId id : order) {
+      const auto& node = pst.nodes_[id];
+      uint32_t parent =
+          node.parent == kNoPstNode ? static_cast<uint32_t>(-1)
+                                    : dense[node.parent];
+      WritePod(out, parent);
+      WritePod(out, node.edge_symbol);
+      WritePod(out, node.count);
+      WritePod(out, static_cast<uint32_t>(node.next.size()));
+      for (const auto& [sym, cnt] : node.next) {
+        WritePod(out, sym);
+        WritePod(out, cnt);
+      }
+    }
+    if (!out) return Status::IOError("PST write failed");
+    return Status::OK();
+  }
+
+  static Status Load(std::istream& in, Pst* pst) {
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::Corruption("bad PST magic");
+    }
+    uint64_t alphabet_size = 0, max_depth = 0, sig = 0, max_mem = 0;
+    uint32_t strategy = 0;
+    double p_min = 0.0;
+    if (!ReadPod(in, &alphabet_size) || !ReadPod(in, &max_depth) ||
+        !ReadPod(in, &sig) || !ReadPod(in, &max_mem) ||
+        !ReadPod(in, &strategy) || !ReadPod(in, &p_min)) {
+      return Status::Corruption("truncated PST header");
+    }
+    PstOptions options;
+    options.max_depth = static_cast<size_t>(max_depth);
+    options.significance_threshold = sig;
+    options.max_memory_bytes = static_cast<size_t>(max_mem);
+    options.prune_strategy = static_cast<PruneStrategy>(strategy);
+    options.smoothing_p_min = p_min;
+    CLUSEQ_RETURN_NOT_OK(options.Validate());
+
+    uint64_t node_count = 0;
+    if (!ReadPod(in, &node_count) || node_count == 0) {
+      return Status::Corruption("truncated or empty PST body");
+    }
+    // Sanity bounds on untrusted sizes: a corrupted count must not drive a
+    // multi-gigabyte allocation before the stream runs dry.
+    constexpr uint64_t kMaxNodes = 1ULL << 28;
+    if (node_count > kMaxNodes || alphabet_size > (1ULL << 24)) {
+      return Status::Corruption("implausible PST header sizes");
+    }
+
+    Pst loaded(static_cast<size_t>(alphabet_size), options);
+    loaded.nodes_.resize(node_count);
+    loaded.live_nodes_ = node_count;
+    loaded.approx_bytes_ = 0;
+    for (uint64_t i = 0; i < node_count; ++i) {
+      uint32_t parent = 0;
+      Pst::Node& node = loaded.nodes_[i];
+      uint32_t next_size = 0;
+      if (!ReadPod(in, &parent) || !ReadPod(in, &node.edge_symbol) ||
+          !ReadPod(in, &node.count) || !ReadPod(in, &next_size)) {
+        return Status::Corruption("truncated PST node");
+      }
+      node.parent = parent == static_cast<uint32_t>(-1) ? kNoPstNode : parent;
+      if (node.parent != kNoPstNode) {
+        if (node.parent >= i) {
+          return Status::Corruption("PST node order violates pre-order");
+        }
+        Pst::Node& par = loaded.nodes_[node.parent];
+        node.depth = par.depth + 1;
+        par.children.emplace_back(node.edge_symbol, static_cast<PstNodeId>(i));
+      } else if (i != 0) {
+        return Status::Corruption("non-root node without parent");
+      }
+      if (next_size > alphabet_size) {
+        return Status::Corruption("PST probability vector exceeds alphabet");
+      }
+      node.next.resize(next_size);
+      for (uint32_t j = 0; j < next_size; ++j) {
+        if (!ReadPod(in, &node.next[j].first) ||
+            !ReadPod(in, &node.next[j].second)) {
+          return Status::Corruption("truncated PST probability vector");
+        }
+      }
+      loaded.approx_bytes_ += loaded.NodeBytes(node);
+    }
+    // Children arrive in pre-order, not symbol order; restore the invariant.
+    for (auto& node : loaded.nodes_) {
+      std::sort(node.children.begin(), node.children.end());
+      loaded.approx_bytes_ +=
+          node.children.size() * sizeof(std::pair<SymbolId, PstNodeId>);
+    }
+    *pst = std::move(loaded);
+    return Status::OK();
+  }
+};
+
+Status SavePst(const Pst& pst, std::ostream& out) {
+  return PstSerializer::Save(pst, out);
+}
+
+Status SavePstToFile(const Pst& pst, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SavePst(pst, out);
+}
+
+Status LoadPst(std::istream& in, Pst* pst) {
+  return PstSerializer::Load(in, pst);
+}
+
+Status LoadPstFromFile(const std::string& path, Pst* pst) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadPst(in, pst);
+}
+
+}  // namespace cluseq

@@ -1,0 +1,31 @@
+// Binary serialization for trained PSTs.
+//
+// Format (little-endian):
+//   magic "PST1" | u64 alphabet_size | PstOptions fields | u64 node_count |
+//   per live node (pre-order): u32 parent_index, u32 edge_symbol, u64 count,
+//   u32 #next, (u32 symbol, u64 count)*
+// Node indices in the file are dense pre-order positions, so tombstones in
+// the in-memory arena are compacted away on save.
+
+#ifndef CLUSEQ_PST_PST_SERIALIZATION_H_
+#define CLUSEQ_PST_PST_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "pst/pst.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Writes `pst` to `out`.
+Status SavePst(const Pst& pst, std::ostream& out);
+Status SavePstToFile(const Pst& pst, const std::string& path);
+
+/// Reads a PST from `in` into `*pst` (replacing its contents).
+Status LoadPst(std::istream& in, Pst* pst);
+Status LoadPstFromFile(const std::string& path, Pst* pst);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_PST_PST_SERIALIZATION_H_

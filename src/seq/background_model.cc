@@ -1,0 +1,41 @@
+#include "seq/background_model.h"
+
+#include <cmath>
+
+namespace cluseq {
+
+BackgroundModel BackgroundModel::FromDatabase(const SequenceDatabase& db) {
+  std::vector<uint64_t> counts(db.alphabet().size(), 0);
+  for (const auto& seq : db.sequences()) {
+    for (SymbolId s : seq.symbols()) {
+      if (s < counts.size()) ++counts[s];
+    }
+  }
+  return FromCounts(counts);
+}
+
+BackgroundModel BackgroundModel::FromCounts(
+    const std::vector<uint64_t>& counts) {
+  BackgroundModel m;
+  size_t n = counts.size();
+  m.probs_.resize(n);
+  m.log_probs_.resize(n);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  // Add-one smoothing keeps log p(s) finite for unseen symbols.
+  double denom = static_cast<double>(total) + static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.probs_[i] = (static_cast<double>(counts[i]) + 1.0) / denom;
+    m.log_probs_[i] = std::log(m.probs_[i]);
+  }
+  return m;
+}
+
+double BackgroundModel::LogSequenceProbability(
+    const std::vector<SymbolId>& symbols) const {
+  double sum = 0.0;
+  for (SymbolId s : symbols) sum += log_probs_[s];
+  return sum;
+}
+
+}  // namespace cluseq

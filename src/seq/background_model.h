@@ -1,0 +1,46 @@
+// BackgroundModel: the memoryless random generator P^r of the paper.
+//
+// P^r(σ) = Π p(s_i), where p(s) is the empirical probability of observing
+// symbol s at any position of any sequence in the database. The similarity
+// measure sim_S(σ) = P_S(σ) / P^r(σ) divides by these probabilities, so the
+// model also exposes log probabilities directly.
+
+#ifndef CLUSEQ_SEQ_BACKGROUND_MODEL_H_
+#define CLUSEQ_SEQ_BACKGROUND_MODEL_H_
+
+#include <vector>
+
+#include "seq/sequence_database.h"
+
+namespace cluseq {
+
+class BackgroundModel {
+ public:
+  BackgroundModel() = default;
+
+  /// Estimates symbol frequencies over the whole database with add-one
+  /// (Laplace) smoothing so that no symbol has probability zero.
+  static BackgroundModel FromDatabase(const SequenceDatabase& db);
+
+  /// Builds directly from raw counts (must cover the whole alphabet).
+  static BackgroundModel FromCounts(const std::vector<uint64_t>& counts);
+
+  size_t alphabet_size() const { return probs_.size(); }
+
+  /// p(s). Requires s < alphabet_size().
+  double Probability(SymbolId s) const { return probs_[s]; }
+
+  /// log p(s).
+  double LogProbability(SymbolId s) const { return log_probs_[s]; }
+
+  /// log P^r(σ) of a whole symbol string.
+  double LogSequenceProbability(const std::vector<SymbolId>& symbols) const;
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> log_probs_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_BACKGROUND_MODEL_H_

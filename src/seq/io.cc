@@ -1,0 +1,141 @@
+#include "seq/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cluseq {
+
+namespace {
+
+// Parses ">id label=3" header lines. The label annotation is optional.
+void ParseFastaHeader(std::string_view header, std::string* id,
+                      Label* label) {
+  *label = kNoLabel;
+  header = StripAsciiWhitespace(header);
+  size_t space = header.find(' ');
+  *id = std::string(header.substr(0, space));
+  while (space != std::string_view::npos) {
+    header = StripAsciiWhitespace(header.substr(space + 1));
+    space = header.find(' ');
+    std::string_view token = header.substr(0, space);
+    if (StartsWith(token, "label=")) {
+      *label = static_cast<Label>(
+          std::strtol(std::string(token.substr(6)).c_str(), nullptr, 10));
+    }
+  }
+}
+
+Status FlushFastaRecord(const std::string& id, Label label,
+                        const std::string& body, SequenceDatabase* db) {
+  return db->AddText(body, id, label);
+}
+
+}  // namespace
+
+Status ReadFasta(std::istream& in, SequenceDatabase* db) {
+  std::string line;
+  std::string id;
+  std::string body;
+  Label label = kNoLabel;
+  bool in_record = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty()) continue;
+    if (sv[0] == '>') {
+      if (in_record) {
+        CLUSEQ_RETURN_NOT_OK(FlushFastaRecord(id, label, body, db));
+      }
+      ParseFastaHeader(sv.substr(1), &id, &label);
+      body.clear();
+      in_record = true;
+    } else {
+      if (!in_record) {
+        return Status::Corruption(StringPrintf(
+            "FASTA line %zu: sequence data before any '>' header", line_no));
+      }
+      body.append(sv);
+    }
+  }
+  if (in_record) {
+    CLUSEQ_RETURN_NOT_OK(FlushFastaRecord(id, label, body, db));
+  }
+  return Status::OK();
+}
+
+Status ReadFastaFile(const std::string& path, SequenceDatabase* db) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadFasta(in, db);
+}
+
+Status WriteFasta(const SequenceDatabase& db, std::ostream& out) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Sequence& s = db[i];
+    out << '>' << (s.id().empty() ? "seq" + std::to_string(i) : s.id());
+    if (s.label() != kNoLabel) out << " label=" << s.label();
+    out << '\n';
+    std::string text = db.alphabet().Decode(s.symbols());
+    // Wrap at 70 columns like classic FASTA writers.
+    for (size_t pos = 0; pos < text.size(); pos += 70) {
+      out << text.substr(pos, 70) << '\n';
+    }
+    if (text.empty()) out << '\n';
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteFastaFile(const SequenceDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteFasta(db, out);
+}
+
+Status ReadTsv(std::istream& in, SequenceDatabase* db) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripAsciiWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::Corruption(StringPrintf(
+          "TSV line %zu: expected 3 tab-separated fields, got %zu", line_no,
+          fields.size()));
+    }
+    Label label =
+        static_cast<Label>(std::strtol(fields[1].c_str(), nullptr, 10));
+    CLUSEQ_RETURN_NOT_OK(db->AddText(fields[2], fields[0], label));
+  }
+  return Status::OK();
+}
+
+Status ReadTsvFile(const std::string& path, SequenceDatabase* db) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadTsv(in, db);
+}
+
+Status WriteTsv(const SequenceDatabase& db, std::ostream& out) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Sequence& s = db[i];
+    out << (s.id().empty() ? "seq" + std::to_string(i) : s.id()) << '\t'
+        << s.label() << '\t' << db.alphabet().Decode(s.symbols()) << '\n';
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteTsvFile(const SequenceDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteTsv(db, out);
+}
+
+}  // namespace cluseq

@@ -1,0 +1,47 @@
+// Sequence database readers and writers.
+//
+// Two formats are supported:
+//
+//  * FASTA-like: records of the form
+//        >id [label=<int>]
+//        ACDEFGH...
+//    with sequence data possibly wrapped over multiple lines. Symbols are
+//    one character each.
+//
+//  * TSV lines: one sequence per line, "id <TAB> label <TAB> text".
+//    A label of -1 means unlabeled.
+
+#ifndef CLUSEQ_SEQ_IO_H_
+#define CLUSEQ_SEQ_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/sequence_database.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Reads FASTA-like data from a stream into `db` (appending). Characters are
+/// interned into the database alphabet.
+Status ReadFasta(std::istream& in, SequenceDatabase* db);
+
+/// Reads FASTA-like data from a file.
+Status ReadFastaFile(const std::string& path, SequenceDatabase* db);
+
+/// Writes the database in FASTA-like format (single-character symbol
+/// alphabets round-trip exactly; multi-character names are concatenated).
+Status WriteFasta(const SequenceDatabase& db, std::ostream& out);
+Status WriteFastaFile(const SequenceDatabase& db, const std::string& path);
+
+/// Reads TSV lines ("id\tlabel\ttext").
+Status ReadTsv(std::istream& in, SequenceDatabase* db);
+Status ReadTsvFile(const std::string& path, SequenceDatabase* db);
+
+/// Writes TSV lines.
+Status WriteTsv(const SequenceDatabase& db, std::ostream& out);
+Status WriteTsvFile(const SequenceDatabase& db, const std::string& path);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_IO_H_

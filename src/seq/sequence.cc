@@ -1,0 +1,20 @@
+#include "seq/sequence.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+std::vector<SymbolId> Sequence::Segment(size_t begin, size_t end) const {
+  if (begin > symbols_.size()) begin = symbols_.size();
+  if (end > symbols_.size()) end = symbols_.size();
+  if (begin >= end) return {};
+  return std::vector<SymbolId>(symbols_.begin() + static_cast<long>(begin),
+                               symbols_.begin() + static_cast<long>(end));
+}
+
+std::vector<SymbolId> Sequence::Reversed() const {
+  std::vector<SymbolId> out(symbols_.rbegin(), symbols_.rend());
+  return out;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,60 @@
+// Sequence: an ordered list of SymbolIds plus optional metadata.
+//
+// The optional `label` carries ground-truth cluster/family membership for
+// evaluation; the algorithms never read it.
+
+#ifndef CLUSEQ_SEQ_SEQUENCE_H_
+#define CLUSEQ_SEQ_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace cluseq {
+
+/// Ground-truth label; kNoLabel means unknown / outlier.
+using Label = int32_t;
+inline constexpr Label kNoLabel = -1;
+
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<SymbolId> symbols, std::string id = "",
+                    Label label = kNoLabel)
+      : symbols_(std::move(symbols)), id_(std::move(id)), label_(label) {}
+
+  const std::vector<SymbolId>& symbols() const { return symbols_; }
+  std::vector<SymbolId>& mutable_symbols() { return symbols_; }
+
+  size_t length() const { return symbols_.size(); }
+  bool empty() const { return symbols_.empty(); }
+  SymbolId operator[](size_t i) const { return symbols_[i]; }
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  Label label() const { return label_; }
+  void set_label(Label label) { label_ = label; }
+
+  /// Contiguous segment [begin, end) as a fresh symbol vector.
+  std::vector<SymbolId> Segment(size_t begin, size_t end) const;
+
+  /// The reversed symbol sequence (used for PST construction).
+  std::vector<SymbolId> Reversed() const;
+
+  friend bool operator==(const Sequence& a, const Sequence& b) {
+    return a.symbols_ == b.symbols_;
+  }
+
+ private:
+  std::vector<SymbolId> symbols_;
+  std::string id_;
+  Label label_ = kNoLabel;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SEQUENCE_H_

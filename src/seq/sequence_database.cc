@@ -1,0 +1,41 @@
+#include "seq/sequence_database.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+size_t SequenceDatabase::Add(Sequence seq) {
+  sequences_.push_back(std::move(seq));
+  return sequences_.size() - 1;
+}
+
+Status SequenceDatabase::AddText(std::string_view text, std::string id,
+                                 Label label) {
+  std::vector<SymbolId> symbols;
+  CLUSEQ_RETURN_NOT_OK(
+      alphabet_.EncodeChars(text, /*intern_missing=*/true, &symbols));
+  sequences_.emplace_back(std::move(symbols), std::move(id), label);
+  return Status::OK();
+}
+
+size_t SequenceDatabase::TotalSymbols() const {
+  size_t total = 0;
+  for (const auto& s : sequences_) total += s.length();
+  return total;
+}
+
+double SequenceDatabase::AverageLength() const {
+  if (sequences_.empty()) return 0.0;
+  return static_cast<double>(TotalSymbols()) /
+         static_cast<double>(sequences_.size());
+}
+
+size_t SequenceDatabase::NumLabels() const {
+  Label max_label = kNoLabel;
+  for (const auto& s : sequences_) max_label = std::max(max_label, s.label());
+  return max_label == kNoLabel ? 0 : static_cast<size_t>(max_label) + 1;
+}
+
+void SequenceDatabase::Clear() { sequences_.clear(); }
+
+}  // namespace cluseq

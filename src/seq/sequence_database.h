@@ -1,0 +1,61 @@
+// SequenceDatabase: the collection of sequences to be clustered, together
+// with the alphabet they are encoded over.
+
+#ifndef CLUSEQ_SEQ_SEQUENCE_DATABASE_H_
+#define CLUSEQ_SEQ_SEQUENCE_DATABASE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "seq/sequence.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+  explicit SequenceDatabase(Alphabet alphabet)
+      : alphabet_(std::move(alphabet)) {}
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  Alphabet& mutable_alphabet() { return alphabet_; }
+
+  size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+
+  const Sequence& operator[](size_t i) const { return sequences_[i]; }
+  Sequence& operator[](size_t i) { return sequences_[i]; }
+
+  const std::vector<Sequence>& sequences() const { return sequences_; }
+
+  /// Appends a sequence; returns its index.
+  size_t Add(Sequence seq);
+
+  /// Encodes `text` character-per-symbol and appends it. Unknown characters
+  /// are interned into the alphabet.
+  Status AddText(std::string_view text, std::string id = "",
+                 Label label = kNoLabel);
+
+  /// Total number of symbols across all sequences.
+  size_t TotalSymbols() const;
+
+  /// Average sequence length (0 for an empty database).
+  double AverageLength() const;
+
+  /// Largest label value + 1 (i.e. the number of ground-truth classes),
+  /// ignoring kNoLabel. Returns 0 when nothing is labeled.
+  size_t NumLabels() const;
+
+  void Clear();
+
+ private:
+  Alphabet alphabet_;
+  std::vector<Sequence> sequences_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SEQUENCE_DATABASE_H_

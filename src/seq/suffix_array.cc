@@ -1,0 +1,114 @@
+#include "seq/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cluseq {
+
+SuffixArray::SuffixArray(std::span<const SymbolId> text)
+    : text_(text.begin(), text.end()) {
+  const size_t n = text_.size();
+  sa_.resize(n);
+  lcp_.assign(n, 0);
+  if (n == 0) return;
+
+  // Prefix-doubling: rank[i] is the order class of the suffix at i
+  // considering its first `len` symbols.
+  std::iota(sa_.begin(), sa_.end(), 0u);
+  std::vector<uint64_t> rank(n), tmp(n);
+  for (size_t i = 0; i < n; ++i) rank[i] = text_[i];
+  for (size_t len = 1;; len *= 2) {
+    auto key = [&](uint32_t i) {
+      uint64_t second = (i + len < n) ? rank[i + len] + 1 : 0;
+      return (rank[i] << 32) | second;
+    };
+    std::sort(sa_.begin(), sa_.end(),
+              [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+    tmp[sa_[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      tmp[sa_[i]] = tmp[sa_[i - 1]] + (key(sa_[i - 1]) != key(sa_[i]));
+    }
+    rank = tmp;
+    if (rank[sa_[n - 1]] == n - 1) break;
+  }
+
+  // Kasai's LCP construction, O(n).
+  std::vector<uint32_t> pos(n);  // Inverse permutation of sa_.
+  for (size_t i = 0; i < n; ++i) pos[sa_[i]] = static_cast<uint32_t>(i);
+  size_t h = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (pos[i] == 0) {
+      h = 0;
+      continue;
+    }
+    size_t j = sa_[pos[i] - 1];
+    while (i + h < n && j + h < n && text_[i + h] == text_[j + h]) ++h;
+    lcp_[pos[i]] = static_cast<uint32_t>(h);
+    if (h > 0) --h;
+  }
+}
+
+std::pair<size_t, size_t> SuffixArray::EqualRange(
+    std::span<const SymbolId> segment) const {
+  auto less_than_segment = [this](uint32_t suffix_start,
+                                  std::span<const SymbolId> seg) {
+    size_t i = suffix_start;
+    for (SymbolId s : seg) {
+      if (i >= text_.size()) return true;   // Suffix is a proper prefix.
+      if (text_[i] != s) return text_[i] < s;
+      ++i;
+    }
+    return false;  // Segment is a prefix of the suffix: not less.
+  };
+  auto segment_less_than = [this](std::span<const SymbolId> seg,
+                                  uint32_t suffix_start) {
+    size_t i = suffix_start;
+    for (SymbolId s : seg) {
+      if (i >= text_.size()) return false;
+      if (text_[i] != s) return s < text_[i];
+      ++i;
+    }
+    return false;  // Segment is a prefix: equal range membership.
+  };
+  auto lo = std::lower_bound(sa_.begin(), sa_.end(), segment,
+                             less_than_segment);
+  auto hi = std::upper_bound(sa_.begin(), sa_.end(), segment,
+                             segment_less_than);
+  return {static_cast<size_t>(lo - sa_.begin()),
+          static_cast<size_t>(hi - sa_.begin())};
+}
+
+size_t SuffixArray::CountOccurrences(
+    std::span<const SymbolId> segment) const {
+  if (segment.empty()) return text_.size() + 1;
+  auto [lo, hi] = EqualRange(segment);
+  return hi - lo;
+}
+
+std::vector<size_t> SuffixArray::Locate(
+    std::span<const SymbolId> segment) const {
+  std::vector<size_t> out;
+  if (segment.empty()) {
+    out.resize(text_.size() + 1);
+    std::iota(out.begin(), out.end(), 0u);
+    return out;
+  }
+  auto [lo, hi] = EqualRange(segment);
+  out.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) out.push_back(sa_[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::pair<size_t, size_t> SuffixArray::LongestRepeat() const {
+  size_t best_len = 0, best_pos = 0;
+  for (size_t i = 1; i < lcp_.size(); ++i) {
+    if (lcp_[i] > best_len) {
+      best_len = lcp_[i];
+      best_pos = sa_[i];
+    }
+  }
+  return {best_len, best_pos};
+}
+
+}  // namespace cluseq

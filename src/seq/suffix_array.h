@@ -1,0 +1,62 @@
+// Suffix array with LCP, the classic exact-index substrate (paper §3/§7.1:
+// the PST is "a variation of the suffix tree"; this module provides the
+// exact-counting member of that family).
+//
+// Built in O(n log n) (prefix-doubling) over a symbol sequence, it answers
+// * CountOccurrences(segment): exact number of occurrences, O(|seg| log n);
+// * the positions themselves (Locate);
+// * longest repeated segment queries via the LCP array.
+//
+// Tests use it to cross-validate PST counts: for every PST node, the node
+// count must equal the suffix-array count of "label followed by one more
+// symbol" — tying the probabilistic structure back to an independently
+// implemented exact index.
+
+#ifndef CLUSEQ_SEQ_SUFFIX_ARRAY_H_
+#define CLUSEQ_SEQ_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace cluseq {
+
+class SuffixArray {
+ public:
+  /// Builds the suffix array (and LCP) of `text`. O(n log n) time.
+  explicit SuffixArray(std::span<const SymbolId> text);
+
+  size_t size() const { return text_.size(); }
+
+  /// i-th smallest suffix's starting position.
+  size_t suffix(size_t i) const { return sa_[i]; }
+
+  /// LCP between suffix(i) and suffix(i-1); lcp(0) == 0.
+  size_t lcp(size_t i) const { return lcp_[i]; }
+
+  /// Number of occurrences of `segment` in the text. The empty segment is
+  /// defined to occur at every start position, i.e. size() + 1 times.
+  size_t CountOccurrences(std::span<const SymbolId> segment) const;
+
+  /// Sorted starting positions of `segment`.
+  std::vector<size_t> Locate(std::span<const SymbolId> segment) const;
+
+  /// Length and a starting position of the longest segment occurring at
+  /// least twice; {0, 0} when none.
+  std::pair<size_t, size_t> LongestRepeat() const;
+
+ private:
+  // Range [lo, hi) of suffixes with `segment` as a prefix.
+  std::pair<size_t, size_t> EqualRange(
+      std::span<const SymbolId> segment) const;
+
+  std::vector<SymbolId> text_;
+  std::vector<uint32_t> sa_;
+  std::vector<uint32_t> lcp_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SUFFIX_ARRAY_H_

@@ -1,0 +1,48 @@
+#include "synth/dataset.h"
+
+#include <string>
+
+namespace cluseq {
+
+SequenceDatabase MakeSyntheticDataset(const SyntheticDatasetOptions& options) {
+  SequenceDatabase db(Alphabet::Synthetic(options.alphabet_size));
+  Rng rng(options.seed);
+
+  size_t min_len =
+      options.min_length > 0 ? options.min_length : options.avg_length / 2;
+  size_t max_len =
+      options.max_length > 0 ? options.max_length : options.avg_length * 2;
+  if (min_len == 0) min_len = 1;
+  if (max_len < min_len) max_len = min_len;
+
+  GeneratorModel::Params params;
+  params.alphabet_size = options.alphabet_size;
+  params.order = options.markov_order;
+  params.num_overrides = options.overrides_per_cluster;
+  params.spread = options.spread;
+  params.peak_symbols = options.peak_symbols;
+
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    GeneratorModel model = GeneratorModel::Random(params, &rng);
+    for (size_t i = 0; i < options.sequences_per_cluster; ++i) {
+      size_t len = rng.Length(options.avg_length, min_len, max_len);
+      db.Add(Sequence(model.Generate(len, &rng),
+                      "c" + std::to_string(c) + "_" + std::to_string(i),
+                      static_cast<Label>(c)));
+    }
+  }
+
+  size_t clustered_total =
+      options.num_clusters * options.sequences_per_cluster;
+  size_t num_outliers = static_cast<size_t>(
+      options.outlier_fraction * static_cast<double>(clustered_total));
+  GeneratorModel noise = GeneratorModel::Uniform(options.alphabet_size);
+  for (size_t i = 0; i < num_outliers; ++i) {
+    size_t len = rng.Length(options.avg_length, min_len, max_len);
+    db.Add(Sequence(noise.Generate(len, &rng), "out" + std::to_string(i),
+                    kNoLabel));
+  }
+  return db;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,121 @@
+#include "synth/generator_model.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+namespace {
+
+// A peaked distribution: `peak` symbols share (1 - spread) of the mass, the
+// rest share `spread` uniformly.
+std::vector<double> PeakedDistribution(size_t n, size_t peak, double spread,
+                                       Rng* rng) {
+  std::vector<double> dist(n, 0.0);
+  peak = std::min(std::max<size_t>(peak, 1), n);
+  std::vector<size_t> chosen = rng->SampleWithoutReplacement(n, peak);
+  // Random split of the peak mass.
+  double remaining = 1.0 - spread;
+  std::vector<double> cuts(peak);
+  double total = 0.0;
+  for (double& c : cuts) {
+    c = 0.2 + rng->UniformDouble();
+    total += c;
+  }
+  for (size_t i = 0; i < peak; ++i) {
+    dist[chosen[i]] += remaining * cuts[i] / total;
+  }
+  double base = spread / static_cast<double>(n);
+  for (double& d : dist) d += base;
+  return dist;
+}
+
+}  // namespace
+
+GeneratorModel GeneratorModel::Random(const Params& params, Rng* rng) {
+  GeneratorModel m;
+  m.alphabet_size_ = std::max<size_t>(params.alphabet_size, 2);
+  m.order_ = std::max<size_t>(params.order, 1);
+  const size_t n = m.alphabet_size_;
+
+  m.initial_ = PeakedDistribution(n, std::max<size_t>(n / 3, 2),
+                                  /*spread=*/0.5, rng);
+  m.rows_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    m.rows_.push_back(
+        PeakedDistribution(n, params.peak_symbols, params.spread, rng));
+  }
+  // Higher-order overrides on random contexts of length 2..order. Contexts
+  // are drawn from the symbols the order-1 chain actually favors, so the
+  // overrides fire frequently during generation.
+  for (size_t i = 0; i < params.num_overrides && m.order_ >= 2; ++i) {
+    size_t len = 2 + rng->Uniform(m.order_ - 1);
+    std::vector<SymbolId> ctx(len);
+    // Walk the order-1 chain to land on a plausible context.
+    SymbolId cur = static_cast<SymbolId>(rng->Categorical(m.initial_));
+    for (size_t j = 0; j < len; ++j) {
+      ctx[j] = cur;
+      cur = static_cast<SymbolId>(rng->Categorical(m.rows_[cur]));
+    }
+    uint64_t key = PackContext(ctx.data(), len, n + 1);
+    double override_spread = params.override_spread >= 0.0
+                                 ? params.override_spread
+                                 : params.spread;
+    m.overrides_[key] =
+        PeakedDistribution(n, params.peak_symbols, override_spread, rng);
+  }
+  return m;
+}
+
+GeneratorModel GeneratorModel::Uniform(size_t alphabet_size) {
+  GeneratorModel m;
+  m.alphabet_size_ = std::max<size_t>(alphabet_size, 2);
+  m.order_ = 1;
+  const size_t n = m.alphabet_size_;
+  m.initial_.assign(n, 1.0 / static_cast<double>(n));
+  m.rows_.assign(n, m.initial_);
+  return m;
+}
+
+uint64_t GeneratorModel::PackContext(const SymbolId* ctx, size_t len,
+                                     size_t base) {
+  uint64_t key = 0;
+  for (size_t i = 0; i < len; ++i) {
+    key = key * base + (ctx[i] + 1);
+  }
+  return key;
+}
+
+const std::vector<double>& GeneratorModel::NextDistribution(
+    const std::vector<SymbolId>& history) const {
+  if (history.empty()) return initial_;
+  // Longest matching override (suffix of the history), then the order-1 row.
+  const size_t base = alphabet_size_ + 1;
+  size_t max_len = std::min(history.size(), order_);
+  for (size_t len = max_len; len >= 2; --len) {
+    uint64_t key =
+        PackContext(history.data() + history.size() - len, len, base);
+    auto it = overrides_.find(key);
+    if (it != overrides_.end()) return it->second;
+  }
+  return rows_[history.back()];
+}
+
+std::vector<SymbolId> GeneratorModel::Generate(size_t length,
+                                               Rng* rng) const {
+  std::vector<SymbolId> out;
+  out.reserve(length);
+  std::vector<SymbolId> history;
+  history.reserve(order_);
+  for (size_t i = 0; i < length; ++i) {
+    const std::vector<double>& dist = NextDistribution(history);
+    SymbolId s = static_cast<SymbolId>(rng->Categorical(dist));
+    out.push_back(s);
+    history.push_back(s);
+    if (history.size() > order_) {
+      history.erase(history.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,75 @@
+// Variable-order Markov sources for synthetic cluster generation.
+//
+// The paper's synthetic data embeds each cluster as "sequences all generated
+// according to the same probabilistic suffix tree" (§6.4). A GeneratorModel
+// is exactly such a source: a skewed order-1 transition matrix (every row a
+// peaked distribution) plus a set of higher-order context overrides, so the
+// generated sequences have cluster-specific conditional probability
+// structure at several context lengths — the signal CLUSEQ's PSTs pick up.
+
+#ifndef CLUSEQ_SYNTH_GENERATOR_MODEL_H_
+#define CLUSEQ_SYNTH_GENERATOR_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "util/rng.h"
+
+namespace cluseq {
+
+class GeneratorModel {
+ public:
+  struct Params {
+    size_t alphabet_size = 20;
+    /// Maximum override-context length (>= 1; 1 disables overrides).
+    size_t order = 3;
+    /// Number of higher-order context overrides embedded in the source.
+    size_t num_overrides = 30;
+    /// Peakedness of the order-1 rows: each row concentrates roughly
+    /// (1 - spread) of its mass on `peak_symbols` symbols.
+    double spread = 0.3;
+    size_t peak_symbols = 3;
+    /// Peakedness of the higher-order overrides; defaults to `spread` when
+    /// negative. Setting this much lower than `spread` puts the source's
+    /// signal into deep contexts (weak order-1, strong order-2+), the
+    /// regime where variable-order models shine over small HMMs.
+    double override_spread = -1.0;
+  };
+
+  /// Draws a random source. Distinct seeds/rng states give statistically
+  /// distinguishable sources with overwhelming probability.
+  static GeneratorModel Random(const Params& params, Rng* rng);
+
+  /// Uniform memoryless source (used for outlier sequences).
+  static GeneratorModel Uniform(size_t alphabet_size);
+
+  /// Generates a sequence of exactly `length` symbols.
+  std::vector<SymbolId> Generate(size_t length, Rng* rng) const;
+
+  /// Next-symbol distribution given the trailing context (longest matching
+  /// override wins, then the order-1 row). Exposed for tests.
+  const std::vector<double>& NextDistribution(
+      const std::vector<SymbolId>& history) const;
+
+  size_t alphabet_size() const { return alphabet_size_; }
+  size_t order() const { return order_; }
+  size_t num_overrides() const { return overrides_.size(); }
+
+ private:
+  GeneratorModel() = default;
+
+  static uint64_t PackContext(const SymbolId* ctx, size_t len, size_t base);
+
+  size_t alphabet_size_ = 0;
+  size_t order_ = 1;
+  std::vector<double> initial_;                 // n
+  std::vector<std::vector<double>> rows_;       // n rows of n
+  // Packed context (length 2..order, most recent symbol last) -> dist.
+  std::unordered_map<uint64_t, std::vector<double>> overrides_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SYNTH_GENERATOR_MODEL_H_

@@ -1,0 +1,152 @@
+#include "synth/language_like.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cluseq {
+
+namespace {
+
+struct WeightedUnit {
+  const char* text;
+  double weight;
+};
+
+// English-like: frequent words and morphemes — yields the th/he/er/ion/ing
+// bigram and trigram statistics the paper calls out as England's signature.
+constexpr WeightedUnit kEnglishUnits[] = {
+    {"the", 10}, {"and", 6},  {"that", 3}, {"have", 2},  {"with", 3},
+    {"this", 2}, {"from", 2}, {"they", 2}, {"would", 1}, {"there", 2},
+    {"their", 2}, {"what", 1}, {"about", 2}, {"which", 2}, {"when", 2},
+    {"tion", 4}, {"ing", 5},  {"ment", 2}, {"ness", 1},  {"able", 1},
+    {"ther", 2}, {"ough", 1}, {"ould", 1}, {"ight", 1},  {"ation", 2},
+    {"for", 3},  {"not", 2},  {"are", 3},  {"but", 2},   {"was", 3},
+    {"you", 2},  {"all", 2},  {"can", 1},  {"her", 2},   {"one", 1},
+    {"our", 1},  {"out", 1},  {"day", 1},  {"get", 1},   {"has", 1},
+    {"him", 1},  {"his", 2},  {"how", 1},  {"man", 1},   {"new", 1},
+    {"now", 1},  {"old", 1},  {"see", 1},  {"two", 1},   {"way", 1},
+    {"who", 1},  {"said", 2}, {"each", 1}, {"she", 1},   {"were", 2},
+    {"been", 1}, {"more", 1}, {"some", 1}, {"time", 1},  {"very", 1},
+};
+
+// Japanese-like romaji: kana syllables; every unit is (consonant cluster +
+// vowel) or a bare vowel/n, giving the vowel-consonant alternation rule.
+constexpr WeightedUnit kJapaneseUnits[] = {
+    {"a", 3},   {"i", 4},   {"u", 3},   {"e", 2},   {"o", 3},
+    {"ka", 4},  {"ki", 3},  {"ku", 3},  {"ke", 2},  {"ko", 4},
+    {"sa", 2},  {"shi", 4}, {"su", 3},  {"se", 2},  {"so", 2},
+    {"ta", 3},  {"chi", 2}, {"tsu", 3}, {"te", 3},  {"to", 4},
+    {"na", 3},  {"ni", 4},  {"nu", 1},  {"ne", 2},  {"no", 5},
+    {"ha", 2},  {"hi", 2},  {"fu", 1},  {"he", 1},  {"ho", 2},
+    {"ma", 3},  {"mi", 2},  {"mu", 1},  {"me", 2},  {"mo", 3},
+    {"ya", 2},  {"yu", 2},  {"yo", 2},  {"ra", 2},  {"ri", 2},
+    {"ru", 3},  {"re", 2},  {"ro", 2},  {"wa", 3},  {"n", 4},
+    {"ga", 3},  {"gi", 1},  {"gu", 1},  {"ge", 1},  {"go", 2},
+    {"za", 1},  {"ji", 2},  {"zu", 1},  {"ze", 1},  {"zo", 1},
+    {"da", 2},  {"de", 3},  {"do", 2},  {"ba", 1},  {"bi", 1},
+    {"bu", 1},  {"be", 1},  {"bo", 1},  {"kai", 2}, {"sha", 2},
+    {"shu", 1}, {"sho", 2}, {"kyo", 2}, {"ryo", 1}, {"nichi", 1},
+};
+
+// Chinese-pinyin-like: full pinyin syllables with zh/ch/sh initials and
+// ng finals / ao ai vowel clusters.
+constexpr WeightedUnit kChineseUnits[] = {
+    {"zhong", 3}, {"guo", 3},  {"shi", 5},  {"de", 6},   {"zai", 3},
+    {"ren", 3},   {"you", 3},  {"ta", 2},   {"men", 3},  {"zhe", 3},
+    {"ge", 3},    {"wo", 2},   {"bu", 3},   {"le", 4},   {"dao", 2},
+    {"shang", 2}, {"xia", 2},  {"jiu", 2},  {"hui", 2},  {"yao", 2},
+    {"jing", 2},  {"cheng", 2}, {"xiang", 2}, {"sheng", 2}, {"zhang", 2},
+    {"wang", 2},  {"yang", 2}, {"qing", 2}, {"ming", 2}, {"xing", 2},
+    {"tian", 2},  {"nian", 2}, {"jian", 2}, {"xian", 2}, {"dian", 1},
+    {"hao", 2},   {"gao", 2},  {"mao", 1},  {"zhao", 2}, {"chao", 1},
+    {"bai", 1},   {"mai", 1},  {"kai", 2},  {"tai", 2},  {"zhai", 1},
+    {"dui", 2},   {"shui", 1}, {"zhui", 1}, {"chang", 2}, {"huang", 1},
+    {"chuang", 1}, {"shuang", 1}, {"gong", 2}, {"dong", 2}, {"zhou", 2},
+    {"chou", 1},  {"shou", 2}, {"rou", 1},  {"nong", 1}, {"feng", 2},
+    {"deng", 1},  {"zheng", 2}, {"cai", 1}, {"zi", 3},   {"ci", 1},
+    {"si", 2},    {"ri", 1},   {"er", 2},   {"an", 2},   {"en", 1},
+};
+
+std::string GenerateFromUnits(const WeightedUnit* units, size_t num_units,
+                              size_t length, Rng* rng) {
+  std::vector<double> weights(num_units);
+  for (size_t i = 0; i < num_units; ++i) weights[i] = units[i].weight;
+  std::string out;
+  out.reserve(length + 8);
+  while (out.size() < length) {
+    out += units[rng->Categorical(weights)].text;
+  }
+  out.resize(length);
+  return out;
+}
+
+std::string GenerateNoiseSentence(size_t length, Rng* rng) {
+  // A random skewed letter source per sentence ("some other language").
+  std::vector<double> weights(26);
+  for (double& w : weights) w = rng->UniformDouble() * rng->UniformDouble();
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + rng->Categorical(weights)));
+  }
+  return out;
+}
+
+std::string GenerateSentenceImpl(LanguageId language, size_t length,
+                                 Rng* rng) {
+  switch (language) {
+    case LanguageId::kEnglish:
+      return GenerateFromUnits(kEnglishUnits,
+                               std::size(kEnglishUnits), length, rng);
+    case LanguageId::kChinese:
+      return GenerateFromUnits(kChineseUnits,
+                               std::size(kChineseUnits), length, rng);
+    case LanguageId::kJapanese:
+      return GenerateFromUnits(kJapaneseUnits,
+                               std::size(kJapaneseUnits), length, rng);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string GenerateSentence(LanguageId language, size_t length,
+                             uint64_t seed) {
+  Rng rng(seed);
+  return GenerateSentenceImpl(language, length, &rng);
+}
+
+LanguageLikeDataset MakeLanguageLikeDataset(
+    const LanguageLikeOptions& options) {
+  LanguageLikeDataset out;
+  out.language_names = {"english", "chinese", "japanese"};
+  out.db = SequenceDatabase(Alphabet::FromChars("abcdefghijklmnopqrstuvwxyz"));
+  Rng rng(options.seed);
+
+  size_t lo = std::max<size_t>(options.min_sentence_length, 4);
+  size_t hi = std::max(options.max_sentence_length, lo);
+  const LanguageId languages[] = {LanguageId::kEnglish, LanguageId::kChinese,
+                                  LanguageId::kJapanese};
+  for (LanguageId lang : languages) {
+    for (size_t i = 0; i < options.sentences_per_language; ++i) {
+      size_t len = lo + rng.Uniform(hi - lo + 1);
+      std::string text = GenerateSentenceImpl(lang, len, &rng);
+      Status st = out.db.AddText(
+          text,
+          out.language_names[static_cast<size_t>(lang)] + "_" +
+              std::to_string(i),
+          static_cast<Label>(lang));
+      (void)st;  // Lowercase a-z is always encodable.
+    }
+  }
+  for (size_t i = 0; i < options.noise_sentences; ++i) {
+    size_t len = lo + rng.Uniform(hi - lo + 1);
+    Status st = out.db.AddText(GenerateNoiseSentence(len, &rng),
+                               "noise_" + std::to_string(i), kNoLabel);
+    (void)st;
+  }
+  return out;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,127 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cluseq {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(num_buckets == 0 ? 1 : num_buckets)),
+      counts_(std::max<size_t>(num_buckets, 1), 0) {}
+
+void Histogram::Add(double value) { AddCount(value, 1); }
+
+void Histogram::AddCount(double value, size_t count) {
+  double pos = (value - lo_) / width_;
+  long idx = static_cast<long>(std::floor(pos));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(counts_.size())) {
+    idx = static_cast<long>(counts_.size()) - 1;
+  }
+  counts_[static_cast<size_t>(idx)] += count;
+  total_count_ += count;
+}
+
+double Histogram::bucket_center(size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+}
+
+namespace {
+
+// Incrementally maintained sums for a regression slope over a window.
+struct SlopeSums {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  size_t n = 0;
+
+  void Add(double x, double y) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  void Remove(double x, double y) {
+    sx -= x;
+    sy -= y;
+    sxx -= x * x;
+    sxy -= x * y;
+    --n;
+  }
+  // Least-squares slope; 0 when degenerate.
+  double Slope() const {
+    if (n < 2) return 0.0;
+    double dn = static_cast<double>(n);
+    double denom = sxx - sx * sx / dn;
+    if (std::abs(denom) < 1e-300) return 0.0;
+    return (sxy - sx * sy / dn) / denom;
+  }
+};
+
+}  // namespace
+
+double RegressionSlope(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  SlopeSums s;
+  size_t n = std::min(xs.size(), ys.size());
+  for (size_t i = 0; i < n; ++i) s.Add(xs[i], ys[i]);
+  return s.Slope();
+}
+
+ValleyResult FindValley(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  ValleyResult result;
+  size_t n = std::min(xs.size(), ys.size());
+  if (n < 4) return result;  // Need >= 2 points on each side.
+
+  SlopeSums left;   // Points [0, i]
+  SlopeSums right;  // Points [i, n-1]
+  for (size_t j = 0; j < n; ++j) right.Add(xs[j], ys[j]);
+  left.Add(xs[0], ys[0]);
+  right.Remove(xs[0], ys[0]);
+
+  // Regressions over fewer than `margin` points are dominated by per-bucket
+  // noise (two noisy adjacent buckets can produce an arbitrarily steep
+  // slope), so only split points with at least `margin` points on each side
+  // are considered.
+  const size_t margin = std::max<size_t>(3, n / 10);
+
+  // Split points i = 1 .. n-2 (interior only); point i belongs to both sides
+  // per the paper's formulas (left sums run j=1..i, right sums run j=i..n).
+  for (size_t i = 1; i + 1 < n; ++i) {
+    if (i + 1 < margin || n - i < margin) {
+      // Keep the running sums in step even when the point is skipped.
+      left.Add(xs[i], ys[i]);
+      right.Remove(xs[i], ys[i]);
+      continue;
+    }
+    left.Add(xs[i], ys[i]);
+    double diff = std::abs(left.Slope() - right.Slope());
+    if (!result.found || diff > result.slope_diff) {
+      result.found = true;
+      result.bucket = i;
+      result.x = xs[i];
+      result.slope_diff = diff;
+    }
+    right.Remove(xs[i], ys[i]);
+  }
+  return result;
+}
+
+ValleyResult FindValley(const Histogram& hist) {
+  std::vector<double> xs(hist.num_buckets());
+  std::vector<double> ys(hist.num_buckets());
+  for (size_t i = 0; i < hist.num_buckets(); ++i) {
+    xs[i] = hist.bucket_center(i);
+    ys[i] = static_cast<double>(hist.count(i));
+  }
+  return FindValley(xs, ys);
+}
+
+}  // namespace cluseq

@@ -1,0 +1,79 @@
+// Fixed-bucket histogram and the "valley" detector used to auto-adjust the
+// CLUSEQ similarity threshold t (paper §4.6).
+//
+// The valley of a histogram curve is the point where the curve makes the
+// sharpest turn: counts decline steeply on the left and flatly on the right.
+// Following the paper, sharpness at bucket i is measured by the difference
+// between the slopes of the least-squares regression lines fitted to the
+// left portion [1, i] and the right portion [i, n] of the curve; the valley
+// is the bucket maximizing |b_l - b_r|. Both slopes for all split points are
+// computed in O(n) total using running sums.
+
+#ifndef CLUSEQ_UTIL_HISTOGRAM_H_
+#define CLUSEQ_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cluseq {
+
+/// Equal-width histogram over [lo, hi) with `num_buckets` buckets.
+/// Values outside the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds `count` observations of `value`.
+  void AddCount(double value, size_t count);
+
+  /// Number of observations recorded so far.
+  size_t total_count() const { return total_count_; }
+
+  size_t num_buckets() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Count in bucket i.
+  size_t count(size_t i) const { return counts_[i]; }
+
+  /// Median (center) x-value of bucket i.
+  double bucket_center(size_t i) const;
+
+  /// Resets all counts to zero.
+  void Clear();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_count_ = 0;
+};
+
+/// Result of a valley search on a histogram curve.
+struct ValleyResult {
+  bool found = false;      ///< False when the curve is too short/degenerate.
+  size_t bucket = 0;       ///< Index of the valley bucket.
+  double x = 0.0;          ///< Center x-value of the valley bucket.
+  double slope_diff = 0.0; ///< |b_l - b_r| at the valley.
+};
+
+/// Finds the valley (sharpest turn) of the points (x_i, y_i), i = 0..n-1.
+/// Interior split points only (paper: i in [2, n-1]). O(n).
+ValleyResult FindValley(const std::vector<double>& xs,
+                        const std::vector<double>& ys);
+
+/// Convenience overload operating directly on a histogram's buckets.
+ValleyResult FindValley(const Histogram& hist);
+
+/// Slope of the least-squares regression line through the given points.
+/// Returns 0 when fewer than two distinct x positions are present.
+double RegressionSlope(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_HISTOGRAM_H_

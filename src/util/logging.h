@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing at default verbosity; the CLUSEQ driver
+// emits per-iteration progress at kInfo when CluseqOptions::verbose is set,
+// and the bench harnesses raise the level explicitly.
+
+#ifndef CLUSEQ_UTIL_LOGGING_H_
+#define CLUSEQ_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cluseq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CLUSEQ_LOG(level)                                             \
+  ::cluseq::internal_logging::LogMessage(::cluseq::LogLevel::level,   \
+                                         __FILE__, __LINE__)
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_LOGGING_H_

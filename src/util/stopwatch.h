@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for benchmark harnesses and progress reporting.
+
+#ifndef CLUSEQ_UTIL_STOPWATCH_H_
+#define CLUSEQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cluseq {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds as a double.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_STOPWATCH_H_

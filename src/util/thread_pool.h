@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool and a blocking ParallelFor helper.
+//
+// CLUSEQ's re-clustering step evaluates every sequence against every cluster
+// independently, which parallelizes trivially; ParallelFor partitions the
+// index range into contiguous chunks, one per worker.
+
+#ifndef CLUSEQ_UTIL_THREAD_POOL_H_
+#define CLUSEQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cluseq {
+
+/// Fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 is coerced to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, n), split into contiguous chunks across
+/// `num_threads` threads. With num_threads <= 1 (or n small) runs inline.
+/// Blocks until all iterations complete. `body` must be thread-safe across
+/// distinct indices.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& body);
+
+/// Number of hardware threads, at least 1.
+size_t HardwareThreads();
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,60 @@
+#include "seq/background_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(BackgroundModelTest, FromCountsNormalizes) {
+  BackgroundModel m = BackgroundModel::FromCounts({9, 19, 29});
+  // Add-one smoothing: (c + 1) / (total + n) = (c+1)/60.
+  EXPECT_NEAR(m.Probability(0), 10.0 / 60.0, 1e-12);
+  EXPECT_NEAR(m.Probability(1), 20.0 / 60.0, 1e-12);
+  EXPECT_NEAR(m.Probability(2), 30.0 / 60.0, 1e-12);
+  double sum = m.Probability(0) + m.Probability(1) + m.Probability(2);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BackgroundModelTest, UnseenSymbolHasNonzeroProbability) {
+  BackgroundModel m = BackgroundModel::FromCounts({100, 0});
+  EXPECT_GT(m.Probability(1), 0.0);
+  EXPECT_TRUE(std::isfinite(m.LogProbability(1)));
+}
+
+TEST(BackgroundModelTest, LogMatchesProbability) {
+  BackgroundModel m = BackgroundModel::FromCounts({3, 5, 7, 11});
+  for (SymbolId s = 0; s < 4; ++s) {
+    EXPECT_NEAR(m.LogProbability(s), std::log(m.Probability(s)), 1e-12);
+  }
+}
+
+TEST(BackgroundModelTest, FromDatabaseCountsAllPositions) {
+  SequenceDatabase db(Alphabet::FromChars("ab"));
+  db.Add(Sequence({0, 0, 1}));  // 2 a's, 1 b.
+  db.Add(Sequence({0}));        // 1 a.
+  BackgroundModel m = BackgroundModel::FromDatabase(db);
+  // a: (3+1)/(4+2) = 4/6; b: (1+1)/6.
+  EXPECT_NEAR(m.Probability(0), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(m.Probability(1), 2.0 / 6.0, 1e-12);
+}
+
+TEST(BackgroundModelTest, LogSequenceProbabilitySums) {
+  BackgroundModel m = BackgroundModel::FromCounts({1, 1});
+  std::vector<SymbolId> seq = {0, 1, 0};
+  double expected = 2 * m.LogProbability(0) + m.LogProbability(1);
+  EXPECT_NEAR(m.LogSequenceProbability(seq), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(m.LogSequenceProbability({}), 0.0);
+}
+
+TEST(BackgroundModelTest, EmptyDatabaseIsUniform) {
+  SequenceDatabase db(Alphabet::FromChars("abcd"));
+  BackgroundModel m = BackgroundModel::FromDatabase(db);
+  for (SymbolId s = 0; s < 4; ++s) {
+    EXPECT_NEAR(m.Probability(s), 0.25, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,121 @@
+#include "baselines/block_edit_distance.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/edit_distance.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+Symbols Enc(const std::string& s) {
+  Symbols out;
+  for (char c : s) out.push_back(static_cast<SymbolId>(c - 'a'));
+  return out;
+}
+
+TEST(BlockEditTest, IdenticalSequencesAreOneTile) {
+  BlockEditResult r = BlockEditDistance(Enc("abcdefgh"), Enc("abcdefgh"));
+  EXPECT_EQ(r.num_tiles, 1u);
+  EXPECT_EQ(r.matched_symbols, 8u);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);  // One block op, no unmatched symbols.
+}
+
+TEST(BlockEditTest, PaperMotivatingExample) {
+  // aaaabbb vs bbbaaaa: plain ED is 6 (see edit_distance_test); with block
+  // moves it collapses to two tiles ("aaaa" and "bbb") and zero unmatched
+  // symbols — so bbbaaaa is much closer than abcdefg, matching intuition.
+  BlockEditResult swapped = BlockEditDistance(Enc("aaaabbb"), Enc("bbbaaaa"));
+  EXPECT_EQ(swapped.num_tiles, 2u);
+  EXPECT_EQ(swapped.matched_symbols, 7u);
+  EXPECT_DOUBLE_EQ(swapped.distance, 2.0);
+
+  BlockEditResult unrelated =
+      BlockEditDistance(Enc("aaaabbb"), Enc("abcdefg"));
+  EXPECT_GT(unrelated.distance, swapped.distance);
+}
+
+TEST(BlockEditTest, DisjointSequencesAllUnmatched) {
+  BlockEditResult r = BlockEditDistance(Enc("aaaa"), Enc("bbbb"));
+  EXPECT_EQ(r.num_tiles, 0u);
+  EXPECT_DOUBLE_EQ(r.distance, 8.0);
+}
+
+TEST(BlockEditTest, MinMatchLenFiltersShortTiles) {
+  BlockEditOptions opts;
+  opts.min_match_len = 5;
+  // Common substrings of length 3 only -> no tiles.
+  BlockEditResult r = BlockEditDistance(Enc("abcxxx"), Enc("yyyabc"), opts);
+  EXPECT_EQ(r.num_tiles, 0u);
+  EXPECT_DOUBLE_EQ(r.distance, 12.0);
+  opts.min_match_len = 3;
+  r = BlockEditDistance(Enc("abcxxx"), Enc("yyyabc"), opts);
+  EXPECT_GE(r.num_tiles, 1u);
+}
+
+TEST(BlockEditTest, BlockCostScalesTileCharge) {
+  BlockEditOptions opts;
+  opts.block_cost = 2.5;
+  BlockEditResult r = BlockEditDistance(Enc("abcdefgh"), Enc("abcdefgh"), opts);
+  EXPECT_DOUBLE_EQ(r.distance, 2.5);
+}
+
+TEST(BlockEditTest, EmptyInputs) {
+  BlockEditResult r = BlockEditDistance(Enc(""), Enc(""));
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  r = BlockEditDistance(Enc("abc"), Enc(""));
+  EXPECT_DOUBLE_EQ(r.distance, 3.0);
+  EXPECT_EQ(r.num_tiles, 0u);
+}
+
+TEST(BlockEditTest, Symmetry) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Symbols a(10 + rng.Uniform(20)), b(10 + rng.Uniform(20));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(4));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(4));
+    EXPECT_DOUBLE_EQ(BlockEditDistance(a, b).distance,
+                     BlockEditDistance(b, a).distance);
+  }
+}
+
+TEST(BlockEditTest, TilesNeverOverlap) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Symbols a(30), b(30);
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(3));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(3));
+    BlockEditResult r = BlockEditDistance(a, b);
+    EXPECT_LE(r.matched_symbols, std::min(a.size(), b.size()));
+  }
+}
+
+TEST(BlockEditTest, NeverWorseThanNoMatching) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Symbols a(20), b(25);
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(3));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(3));
+    BlockEditResult r = BlockEditDistance(a, b);
+    EXPECT_LE(r.distance, static_cast<double>(a.size() + b.size()));
+  }
+}
+
+TEST(BlockEditTest, RearrangedBlocksBeatEditDistance) {
+  // A long sequence split into blocks and shuffled: block distance stays
+  // small while the plain edit distance explodes — the reason EDBO exists.
+  Symbols original = Enc("aaaaabbbbbcccccdddddeeeee");
+  Symbols shuffled = Enc("eeeeedddddcccccbbbbbaaaaa");
+  BlockEditResult block = BlockEditDistance(original, shuffled);
+  size_t plain = EditDistance(original, shuffled);
+  EXPECT_LT(block.distance, static_cast<double>(plain));
+  EXPECT_EQ(block.num_tiles, 5u);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,121 @@
+#include "baselines/edit_distance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+Symbols Enc(const std::string& s) {
+  Symbols out;
+  for (char c : s) out.push_back(static_cast<SymbolId>(c - 'a'));
+  return out;
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance(Enc("kitten"), Enc("sitting")), 3u);
+  EXPECT_EQ(EditDistance(Enc("flaw"), Enc("lawn")), 2u);
+  EXPECT_EQ(EditDistance(Enc("abc"), Enc("abc")), 0u);
+  EXPECT_EQ(EditDistance(Enc(""), Enc("abc")), 3u);
+  EXPECT_EQ(EditDistance(Enc("abc"), Enc("")), 3u);
+  EXPECT_EQ(EditDistance(Enc(""), Enc("")), 0u);
+}
+
+TEST(EditDistanceTest, PaperMotivatingExample) {
+  // The paper's footnote: d(aaaabbb, bbbaaaa) = 6 = d(aaaabbb, abcdefg).
+  EXPECT_EQ(EditDistance(Enc("aaaabbb"), Enc("bbbaaaa")), 6u);
+  EXPECT_EQ(EditDistance(Enc("aaaabbb"), Enc("abcdefg")), 6u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    Symbols a(rng.Uniform(20)), b(rng.Uniform(20));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(4));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(4));
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequality) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    Symbols a(5 + rng.Uniform(10)), b(5 + rng.Uniform(10)),
+        c(5 + rng.Uniform(10));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(3));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(3));
+    for (auto& s : c) s = static_cast<SymbolId>(rng.Uniform(3));
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceTest, IdentityOfIndiscernibles) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Symbols a(rng.Uniform(15));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(5));
+    EXPECT_EQ(EditDistance(a, a), 0u);
+  }
+}
+
+TEST(EditDistanceTest, BoundedByMaxLength) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Symbols a(rng.Uniform(25)), b(rng.Uniform(25));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(4));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(4));
+    EXPECT_LE(EditDistance(a, b), std::max(a.size(), b.size()));
+    EXPECT_GE(EditDistance(a, b),
+              std::max(a.size(), b.size()) - std::min(a.size(), b.size()));
+  }
+}
+
+TEST(BandedEditDistanceTest, MatchesExactWithinBand) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    Symbols a(10 + rng.Uniform(15)), b(10 + rng.Uniform(15));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(3));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(3));
+    size_t exact = EditDistance(a, b);
+    size_t banded = BandedEditDistance(a, b, 30);  // Band covers everything.
+    EXPECT_EQ(banded, exact);
+  }
+}
+
+TEST(BandedEditDistanceTest, ClampsWhenBandTooNarrow) {
+  // Length difference exceeds the band: must report > band.
+  Symbols a(20, 0), b(2, 0);
+  EXPECT_GT(BandedEditDistance(a, b, 5), 5u);
+}
+
+TEST(BandedEditDistanceTest, ExactWhenDistanceInsideBand) {
+  Symbols a = Enc("abcdefgh");
+  Symbols b = Enc("abcxefgh");  // Distance 1.
+  EXPECT_EQ(BandedEditDistance(a, b, 3), 1u);
+}
+
+TEST(BandedEditDistanceTest, EmptyInputs) {
+  EXPECT_EQ(BandedEditDistance(Enc(""), Enc(""), 3), 0u);
+  EXPECT_EQ(BandedEditDistance(Enc("ab"), Enc(""), 3), 2u);
+}
+
+TEST(NormalizedEditDistanceTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(Enc(""), Enc("")), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(Enc("abc"), Enc("abc")), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance(Enc("aaa"), Enc("bbb")), 1.0);
+  double d = NormalizedEditDistance(Enc("kitten"), Enc("sitting"));
+  EXPECT_NEAR(d, 3.0 / 7.0, 1e-12);
+}
+
+TEST(EditDistanceTest, SequenceOverload) {
+  Sequence a(Enc("abc")), b(Enc("abd"));
+  EXPECT_EQ(EditDistance(a, b), 1u);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,243 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+#include "synth/generator_model.h"
+#include "synth/language_like.h"
+#include "synth/protein_like.h"
+
+namespace cluseq {
+namespace {
+
+TEST(GeneratorModelTest, GeneratesRequestedLength) {
+  Rng rng(1);
+  GeneratorModel::Params p;
+  p.alphabet_size = 6;
+  GeneratorModel m = GeneratorModel::Random(p, &rng);
+  for (size_t len : {0u, 1u, 10u, 500u}) {
+    Rng gen(2);
+    EXPECT_EQ(m.Generate(len, &gen).size(), len);
+  }
+}
+
+TEST(GeneratorModelTest, SymbolsInRange) {
+  Rng rng(3);
+  GeneratorModel::Params p;
+  p.alphabet_size = 5;
+  GeneratorModel m = GeneratorModel::Random(p, &rng);
+  Rng gen(4);
+  for (SymbolId s : m.Generate(1000, &gen)) {
+    EXPECT_LT(s, 5u);
+  }
+}
+
+TEST(GeneratorModelTest, DeterministicGivenRngState) {
+  Rng rng1(5), rng2(5);
+  GeneratorModel::Params p;
+  GeneratorModel m1 = GeneratorModel::Random(p, &rng1);
+  GeneratorModel m2 = GeneratorModel::Random(p, &rng2);
+  Rng g1(6), g2(6);
+  EXPECT_EQ(m1.Generate(200, &g1), m2.Generate(200, &g2));
+}
+
+TEST(GeneratorModelTest, NextDistributionNormalized) {
+  Rng rng(7);
+  GeneratorModel::Params p;
+  p.alphabet_size = 8;
+  GeneratorModel m = GeneratorModel::Random(p, &rng);
+  Rng g(8);
+  std::vector<SymbolId> history = m.Generate(20, &g);
+  const auto& dist = m.NextDistribution(history);
+  double sum = 0.0;
+  for (double d : dist) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GeneratorModelTest, DistinctSourcesAreStatisticallyDifferent) {
+  Rng rng(9);
+  GeneratorModel::Params p;
+  p.alphabet_size = 8;
+  p.spread = 0.2;
+  GeneratorModel a = GeneratorModel::Random(p, &rng);
+  GeneratorModel b = GeneratorModel::Random(p, &rng);
+  Rng g(10);
+  auto sa = a.Generate(5000, &g);
+  auto sb = b.Generate(5000, &g);
+  // Compare bigram distributions: total variation must be noticeable.
+  auto bigrams = [](const std::vector<SymbolId>& s) {
+    std::vector<double> counts(64, 0.0);
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      counts[s[i] * 8 + s[i + 1]] += 1.0;
+    }
+    double total = static_cast<double>(s.size() - 1);
+    for (double& c : counts) c /= total;
+    return counts;
+  };
+  auto ba = bigrams(sa), bb = bigrams(sb);
+  double tv = 0.0;
+  for (size_t i = 0; i < 64; ++i) tv += std::abs(ba[i] - bb[i]);
+  EXPECT_GT(tv, 0.3);
+}
+
+TEST(GeneratorModelTest, UniformSourceIsFlat) {
+  GeneratorModel u = GeneratorModel::Uniform(4);
+  Rng g(11);
+  auto s = u.Generate(8000, &g);
+  std::vector<size_t> counts(4, 0);
+  for (SymbolId v : s) ++counts[v];
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 8000.0, 0.25, 0.03);
+  }
+}
+
+TEST(SyntheticDatasetTest, ShapeAndLabels) {
+  SyntheticDatasetOptions o;
+  o.num_clusters = 3;
+  o.sequences_per_cluster = 10;
+  o.alphabet_size = 6;
+  o.avg_length = 50;
+  o.outlier_fraction = 0.2;
+  o.seed = 12;
+  SequenceDatabase db = MakeSyntheticDataset(o);
+  EXPECT_EQ(db.size(), 30u + 6u);
+  EXPECT_EQ(db.alphabet().size(), 6u);
+  std::set<Label> labels;
+  size_t outliers = 0;
+  for (const auto& s : db.sequences()) {
+    if (s.label() == kNoLabel) {
+      ++outliers;
+    } else {
+      labels.insert(s.label());
+    }
+    EXPECT_GE(s.length(), 25u);
+    EXPECT_LE(s.length(), 100u);
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(outliers, 6u);
+  EXPECT_EQ(db.NumLabels(), 3u);
+}
+
+TEST(SyntheticDatasetTest, DeterministicGivenSeed) {
+  SyntheticDatasetOptions o;
+  o.num_clusters = 2;
+  o.sequences_per_cluster = 5;
+  o.seed = 13;
+  SequenceDatabase a = MakeSyntheticDataset(o);
+  SequenceDatabase b = MakeSyntheticDataset(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].symbols(), b[i].symbols());
+  }
+}
+
+TEST(SyntheticDatasetTest, ZeroOutliers) {
+  SyntheticDatasetOptions o;
+  o.num_clusters = 2;
+  o.sequences_per_cluster = 5;
+  o.outlier_fraction = 0.0;
+  SequenceDatabase db = MakeSyntheticDataset(o);
+  EXPECT_EQ(db.size(), 10u);
+}
+
+TEST(ProteinLikeTest, FamilyStructure) {
+  ProteinLikeOptions o;
+  o.num_families = 30;
+  o.scale = 0.05;
+  o.avg_length = 100;
+  o.seed = 14;
+  ProteinLikeDataset d = MakeProteinLikeDataset(o);
+  EXPECT_EQ(d.family_names.size(), 30u);
+  EXPECT_EQ(d.family_names[0], "ig");
+  EXPECT_EQ(d.family_names[1], "pkinase");
+  EXPECT_EQ(d.family_names[29], "rrm");
+  EXPECT_EQ(d.db.alphabet().size(), 20u);  // Amino acids.
+  EXPECT_EQ(d.db.NumLabels(), 30u);
+  // Sizes follow the skewed ladder: family 0 biggest.
+  EXPECT_GT(d.family_sizes[0], d.family_sizes[29]);
+  size_t total = 0;
+  for (size_t s : d.family_sizes) total += s;
+  EXPECT_EQ(d.db.size(), total);
+}
+
+TEST(ProteinLikeTest, MembersCarryFamilyLabel) {
+  ProteinLikeOptions o;
+  o.num_families = 5;
+  o.scale = 0.02;
+  o.seed = 15;
+  ProteinLikeDataset d = MakeProteinLikeDataset(o);
+  std::vector<size_t> counts(5, 0);
+  for (const auto& s : d.db.sequences()) {
+    ASSERT_NE(s.label(), kNoLabel);
+    ASSERT_LT(static_cast<size_t>(s.label()), 5u);
+    ++counts[static_cast<size_t>(s.label())];
+  }
+  for (size_t f = 0; f < 5; ++f) EXPECT_EQ(counts[f], d.family_sizes[f]);
+}
+
+TEST(LanguageLikeTest, DatasetShape) {
+  LanguageLikeOptions o;
+  o.sentences_per_language = 20;
+  o.noise_sentences = 5;
+  o.seed = 16;
+  LanguageLikeDataset d = MakeLanguageLikeDataset(o);
+  EXPECT_EQ(d.db.size(), 65u);
+  EXPECT_EQ(d.language_names.size(), 3u);
+  size_t noise = 0;
+  for (const auto& s : d.db.sequences()) {
+    if (s.label() == kNoLabel) ++noise;
+    EXPECT_GE(s.length(), o.min_sentence_length);
+    EXPECT_LE(s.length(), o.max_sentence_length);
+  }
+  EXPECT_EQ(noise, 5u);
+}
+
+TEST(LanguageLikeTest, EnglishHasThBigram) {
+  std::string s = GenerateSentence(LanguageId::kEnglish, 4000, 17);
+  size_t th = 0;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] == 't' && s[i + 1] == 'h') ++th;
+  }
+  // "the/that/they/..." make th far more common than chance (~1/676 ≈ 6).
+  EXPECT_GT(th, 40u);
+}
+
+TEST(LanguageLikeTest, JapaneseAlternatesVowelConsonant) {
+  std::string s = GenerateSentence(LanguageId::kJapanese, 4000, 18);
+  auto is_vowel = [](char c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+  };
+  size_t vowels = 0;
+  size_t cc_runs = 0;  // Consonant pairs (rare in romaji except n/sh/ts..).
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (is_vowel(s[i])) ++vowels;
+    if (i > 0 && !is_vowel(s[i]) && !is_vowel(s[i - 1])) ++cc_runs;
+  }
+  double vowel_rate = static_cast<double>(vowels) / s.size();
+  EXPECT_GT(vowel_rate, 0.40);
+  EXPECT_LT(static_cast<double>(cc_runs) / s.size(), 0.12);
+}
+
+TEST(LanguageLikeTest, LanguagesHaveDistinctLetterStatistics) {
+  std::string en = GenerateSentence(LanguageId::kEnglish, 6000, 19);
+  std::string zh = GenerateSentence(LanguageId::kChinese, 6000, 19);
+  std::string ja = GenerateSentence(LanguageId::kJapanese, 6000, 19);
+  auto freq = [](const std::string& s) {
+    std::vector<double> f(26, 0.0);
+    for (char c : s) f[c - 'a'] += 1.0 / s.size();
+    return f;
+  };
+  auto tv = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (size_t i = 0; i < 26; ++i) d += std::abs(a[i] - b[i]);
+    return d;
+  };
+  auto fe = freq(en), fz = freq(zh), fj = freq(ja);
+  EXPECT_GT(tv(fe, fz), 0.2);
+  EXPECT_GT(tv(fe, fj), 0.2);
+  EXPECT_GT(tv(fz, fj), 0.2);
+}
+
+}  // namespace
+}  // namespace cluseq

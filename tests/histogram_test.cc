@@ -1,0 +1,132 @@
+#include "util/histogram.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(HistogramTest, BucketsAndCenters) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.num_buckets(), 10u);
+  EXPECT_DOUBLE_EQ(h.bucket_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bucket_center(9), 9.5);
+}
+
+TEST(HistogramTest, AddPlacesValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.1);
+  h.Add(5.5);
+  h.Add(5.6);
+  h.Add(9.99);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(HistogramTest, AddCountAndClear) {
+  Histogram h(0.0, 1.0, 4);
+  h.AddCount(0.3, 7);
+  EXPECT_EQ(h.count(1), 7u);
+  EXPECT_EQ(h.total_count(), 7u);
+  h.Clear();
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(RegressionSlopeTest, ExactLine) {
+  std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys = {1, 3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(RegressionSlope(xs, ys), 2.0, 1e-9);
+}
+
+TEST(RegressionSlopeTest, FlatLine) {
+  std::vector<double> xs = {0, 1, 2, 3};
+  std::vector<double> ys = {4, 4, 4, 4};
+  EXPECT_NEAR(RegressionSlope(xs, ys), 0.0, 1e-12);
+}
+
+TEST(RegressionSlopeTest, DegenerateInputs) {
+  EXPECT_EQ(RegressionSlope({}, {}), 0.0);
+  EXPECT_EQ(RegressionSlope({1.0}, {2.0}), 0.0);
+  // All x equal: denominator 0.
+  EXPECT_EQ(RegressionSlope({2.0, 2.0, 2.0}, {1.0, 5.0, 9.0}), 0.0);
+}
+
+TEST(FindValleyTest, TooFewPoints) {
+  EXPECT_FALSE(FindValley({1, 2, 3}, {3, 2, 1}).found);
+}
+
+// A piecewise-linear curve dropping steeply then flattening: the valley is
+// at the knee.
+TEST(FindValleyTest, FindsKneeOfPiecewiseLinearCurve) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(i < 10 ? 1000.0 - 95.0 * i : 50.0 - 1.0 * (i - 10));
+  }
+  ValleyResult v = FindValley(xs, ys);
+  ASSERT_TRUE(v.found);
+  EXPECT_NEAR(v.x, 10.0, 2.0);
+  EXPECT_GT(v.slope_diff, 50.0);
+}
+
+TEST(FindValleyTest, SymmetricVShape) {
+  // For a V the sharpest turn is at the bottom.
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::abs(i - 10) * 100.0);
+  }
+  ValleyResult v = FindValley(xs, ys);
+  ASSERT_TRUE(v.found);
+  EXPECT_NEAR(v.x, 10.0, 1.5);
+}
+
+TEST(FindValleyTest, OnHistogram) {
+  // The paper's assumed shape (Figure 3): counts decline steeply over low
+  // similarities, then slowly over high ones; the valley is the knee.
+  Histogram h(0.0, 10.0, 50);
+  for (size_t b = 0; b < 50; ++b) {
+    double x = h.bucket_center(b);
+    double y = x < 4.0 ? 4000.0 - 950.0 * x : 300.0 - 20.0 * (x - 4.0);
+    h.AddCount(x, static_cast<size_t>(std::max(y, 0.0)));
+  }
+  ValleyResult v = FindValley(h);
+  ASSERT_TRUE(v.found);
+  EXPECT_NEAR(v.x, 4.0, 1.2);
+}
+
+// Property sweep: the valley of steep-then-flat curves tracks the knee for
+// many knee positions.
+class ValleyKneeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValleyKneeSweep, TracksKnee) {
+  const int knee = GetParam();
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(i < knee ? 3000.0 - (3000.0 / knee) * i
+                          : 40.0 - 0.5 * (i - knee));
+  }
+  ValleyResult v = FindValley(xs, ys);
+  ASSERT_TRUE(v.found);
+  EXPECT_NEAR(v.x, knee, 3.0) << "knee=" << knee;
+}
+
+INSTANTIATE_TEST_SUITE_P(Knees, ValleyKneeSweep,
+                         ::testing::Values(5, 8, 10, 15, 20, 25));
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,183 @@
+#include "baselines/hmm.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+TEST(HmmTest, UniformModelRowsAreStochastic) {
+  Hmm hmm(3, 4);
+  double pi_sum = 0.0;
+  for (size_t s = 0; s < 3; ++s) pi_sum += hmm.initial(s);
+  EXPECT_NEAR(pi_sum, 1.0, 1e-12);
+  for (size_t r = 0; r < 3; ++r) {
+    double a_sum = 0.0, b_sum = 0.0;
+    for (size_t s = 0; s < 3; ++s) a_sum += hmm.transition(r, s);
+    for (SymbolId v = 0; v < 4; ++v) b_sum += hmm.emission(r, v);
+    EXPECT_NEAR(a_sum, 1.0, 1e-12);
+    EXPECT_NEAR(b_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(HmmTest, RandomInitKeepsStochasticity) {
+  Hmm hmm(4, 5);
+  Rng rng(1);
+  hmm.RandomInit(&rng);
+  for (size_t r = 0; r < 4; ++r) {
+    double a_sum = 0.0, b_sum = 0.0;
+    for (size_t s = 0; s < 4; ++s) a_sum += hmm.transition(r, s);
+    for (SymbolId v = 0; v < 5; ++v) b_sum += hmm.emission(r, v);
+    EXPECT_NEAR(a_sum, 1.0, 1e-9);
+    EXPECT_NEAR(b_sum, 1.0, 1e-9);
+    for (size_t s = 0; s < 4; ++s) EXPECT_GT(hmm.transition(r, s), 0.0);
+  }
+}
+
+TEST(HmmTest, LikelihoodSumsToOneOverAllSequences) {
+  // For a 2-symbol alphabet and length-3 sequences, the probabilities of all
+  // 8 sequences must sum to 1.
+  Hmm hmm(2, 2);
+  Rng rng(2);
+  hmm.RandomInit(&rng);
+  double total = 0.0;
+  for (int bits = 0; bits < 8; ++bits) {
+    Symbols s = {static_cast<SymbolId>(bits & 1),
+                 static_cast<SymbolId>((bits >> 1) & 1),
+                 static_cast<SymbolId>((bits >> 2) & 1)};
+    total += std::exp(hmm.LogLikelihood(s));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HmmTest, EmptySequenceIsNegInf) {
+  Hmm hmm(2, 2);
+  EXPECT_TRUE(std::isinf(hmm.LogLikelihood({})));
+  EXPECT_TRUE(std::isinf(hmm.LogLikelihoodPerSymbol({})));
+}
+
+TEST(HmmTest, PerSymbolNormalization) {
+  Hmm hmm(2, 3);
+  Rng rng(3);
+  hmm.RandomInit(&rng);
+  Symbols s = {0, 1, 2, 1};
+  EXPECT_NEAR(hmm.LogLikelihoodPerSymbol(s), hmm.LogLikelihood(s) / 4.0,
+              1e-12);
+}
+
+TEST(HmmTest, BaumWelchImprovesLikelihood) {
+  // Train on strongly patterned data; EM must not decrease the likelihood.
+  std::vector<Symbols> storage;
+  for (int i = 0; i < 10; ++i) {
+    Symbols s;
+    for (int j = 0; j < 30; ++j) s.push_back(static_cast<SymbolId>(j % 2));
+    storage.push_back(std::move(s));
+  }
+  std::vector<std::span<const SymbolId>> data;
+  for (const auto& s : storage) data.emplace_back(s);
+
+  Hmm hmm(2, 2);
+  Rng rng(4);
+  hmm.RandomInit(&rng);
+  double ll0 = hmm.BaumWelchStep(data);
+  double prev = ll0;
+  for (int it = 0; it < 10; ++it) {
+    double ll = hmm.BaumWelchStep(data);
+    EXPECT_GE(ll, prev - 1e-6) << "EM decreased likelihood at iter " << it;
+    prev = ll;
+  }
+  EXPECT_GT(prev, ll0);
+}
+
+TEST(HmmTest, TrainedModelPrefersItsOwnPattern) {
+  std::vector<Symbols> storage;
+  for (int i = 0; i < 8; ++i) {
+    Symbols s;
+    for (int j = 0; j < 40; ++j) s.push_back(static_cast<SymbolId>(j % 3));
+    storage.push_back(std::move(s));
+  }
+  std::vector<std::span<const SymbolId>> data;
+  for (const auto& s : storage) data.emplace_back(s);
+  Hmm hmm(3, 3);
+  Rng rng(5);
+  hmm.RandomInit(&rng);
+  hmm.Train(data, 30);
+
+  Symbols own;
+  for (int j = 0; j < 30; ++j) own.push_back(static_cast<SymbolId>(j % 3));
+  Symbols other(30, 0);
+  EXPECT_GT(hmm.LogLikelihoodPerSymbol(own),
+            hmm.LogLikelihoodPerSymbol(other));
+}
+
+TEST(HmmClusterTest, RejectsBadOptions) {
+  SequenceDatabase db(Alphabet::Synthetic(2));
+  std::vector<int32_t> assign;
+  HmmClusterOptions o;
+  o.num_clusters = 0;
+  EXPECT_TRUE(HmmCluster(db, o, &assign).IsInvalidArgument());
+  o = HmmClusterOptions();
+  o.num_states = 0;
+  EXPECT_TRUE(HmmCluster(db, o, &assign).IsInvalidArgument());
+}
+
+TEST(HmmClusterTest, EmptyDatabaseOk) {
+  SequenceDatabase db(Alphabet::Synthetic(2));
+  std::vector<int32_t> assign;
+  HmmClusterOptions o;
+  EXPECT_TRUE(HmmCluster(db, o, &assign).ok());
+  EXPECT_TRUE(assign.empty());
+}
+
+TEST(HmmClusterTest, SeparatesTwoObviousSources) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = 15;
+  opts.alphabet_size = 5;
+  opts.avg_length = 60;
+  opts.outlier_fraction = 0.0;
+  opts.spread = 0.15;
+  opts.seed = 8;
+  SequenceDatabase db = MakeSyntheticDataset(opts);
+
+  HmmClusterOptions o;
+  o.num_clusters = 2;
+  o.num_states = 3;
+  o.max_rounds = 6;
+  o.seed = 2;
+  std::vector<int32_t> assign;
+  ASSERT_TRUE(HmmCluster(db, o, &assign).ok());
+  EvaluationSummary eval = Evaluate(db, assign);
+  EXPECT_GT(eval.correct_fraction, 0.7);
+}
+
+TEST(HmmClusterTest, AssignmentShapeValid) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = 8;
+  opts.alphabet_size = 4;
+  opts.avg_length = 40;
+  opts.seed = 9;
+  SequenceDatabase db = MakeSyntheticDataset(opts);
+  HmmClusterOptions o;
+  o.num_clusters = 3;
+  o.num_states = 2;
+  o.max_rounds = 3;
+  std::vector<int32_t> assign;
+  ASSERT_TRUE(HmmCluster(db, o, &assign).ok());
+  ASSERT_EQ(assign.size(), db.size());
+  for (int32_t a : assign) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+}  // namespace
+}  // namespace cluseq

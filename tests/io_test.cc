@@ -1,0 +1,122 @@
+#include "seq/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(FastaTest, ReadsRecords) {
+  std::istringstream in(">s1 label=2\nABCD\n>s2\nAA\nBB\n");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadFasta(in, &db).ok());
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].id(), "s1");
+  EXPECT_EQ(db[0].label(), 2);
+  EXPECT_EQ(db[0].length(), 4u);
+  EXPECT_EQ(db[1].id(), "s2");
+  EXPECT_EQ(db[1].label(), kNoLabel);
+  EXPECT_EQ(db[1].length(), 4u);  // Wrapped body concatenated.
+}
+
+TEST(FastaTest, SkipsBlankLines) {
+  std::istringstream in("\n>s1\n\nAB\n\n");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadFasta(in, &db).ok());
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].length(), 2u);
+}
+
+TEST(FastaTest, DataBeforeHeaderIsCorruption) {
+  std::istringstream in("ABCD\n>s1\nAB\n");
+  SequenceDatabase db;
+  EXPECT_TRUE(ReadFasta(in, &db).IsCorruption());
+}
+
+TEST(FastaTest, RoundTrip) {
+  SequenceDatabase db;
+  ASSERT_TRUE(db.AddText("ACGTACGT", "seq_a", 1).ok());
+  ASSERT_TRUE(db.AddText("GGGG", "seq_b", kNoLabel).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFasta(db, out).ok());
+
+  std::istringstream in(out.str());
+  SequenceDatabase db2;
+  ASSERT_TRUE(ReadFasta(in, &db2).ok());
+  ASSERT_EQ(db2.size(), 2u);
+  EXPECT_EQ(db2[0].id(), "seq_a");
+  EXPECT_EQ(db2[0].label(), 1);
+  EXPECT_EQ(db2.alphabet().Decode(db2[0].symbols()), "ACGTACGT");
+  EXPECT_EQ(db2[1].label(), kNoLabel);
+  EXPECT_EQ(db2.alphabet().Decode(db2[1].symbols()), "GGGG");
+}
+
+TEST(FastaTest, LongSequenceWraps) {
+  SequenceDatabase db;
+  std::string body(200, 'A');
+  ASSERT_TRUE(db.AddText(body, "long").ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFasta(db, out).ok());
+  // No emitted data line longer than 70 chars.
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] != '>') {
+      EXPECT_LE(line.size(), 70u);
+    }
+  }
+  // And it round-trips.
+  std::istringstream in(out.str());
+  SequenceDatabase db2;
+  ASSERT_TRUE(ReadFasta(in, &db2).ok());
+  EXPECT_EQ(db2[0].length(), 200u);
+}
+
+TEST(FastaTest, MissingFileIsIOError) {
+  SequenceDatabase db;
+  EXPECT_TRUE(ReadFastaFile("/nonexistent/path/file.fa", &db).IsIOError());
+}
+
+TEST(TsvTest, ReadsLines) {
+  std::istringstream in("a\t0\tXYZ\nb\t-1\tXX\n");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadTsv(in, &db).ok());
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].label(), 0);
+  EXPECT_EQ(db[1].label(), kNoLabel);
+  EXPECT_EQ(db[1].id(), "b");
+}
+
+TEST(TsvTest, WrongFieldCountIsCorruption) {
+  std::istringstream in("only_two\tfields\n");
+  SequenceDatabase db;
+  EXPECT_TRUE(ReadTsv(in, &db).IsCorruption());
+}
+
+TEST(TsvTest, RoundTrip) {
+  SequenceDatabase db;
+  ASSERT_TRUE(db.AddText("hello", "h", 5).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTsv(db, out).ok());
+  std::istringstream in(out.str());
+  SequenceDatabase db2;
+  ASSERT_TRUE(ReadTsv(in, &db2).ok());
+  ASSERT_EQ(db2.size(), 1u);
+  EXPECT_EQ(db2[0].label(), 5);
+  EXPECT_EQ(db2.alphabet().Decode(db2[0].symbols()), "hello");
+}
+
+TEST(TsvTest, FileRoundTrip) {
+  SequenceDatabase db;
+  ASSERT_TRUE(db.AddText("abc", "x", 1).ok());
+  std::string path = ::testing::TempDir() + "/cluseq_io_test.tsv";
+  ASSERT_TRUE(WriteTsvFile(db, path).ok());
+  SequenceDatabase db2;
+  ASSERT_TRUE(ReadTsvFile(path, &db2).ok());
+  ASSERT_EQ(db2.size(), 1u);
+  EXPECT_EQ(db2.alphabet().Decode(db2[0].symbols()), "abc");
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,119 @@
+#include "baselines/kmedoids.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+// Points on a line with two obvious groups.
+std::vector<double> TwoBlobs() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 10.0, 10.1, 10.2, 10.3, 10.4};
+}
+
+DistanceFn LineDistance(const std::vector<double>& points) {
+  return [points](size_t a, size_t b) {
+    return std::abs(points[a] - points[b]);
+  };
+}
+
+TEST(KMedoidsTest, RejectsZeroClusters) {
+  KMedoidsOptions o;
+  o.num_clusters = 0;
+  KMedoidsResult r;
+  EXPECT_TRUE(KMedoids(5, LineDistance(TwoBlobs()), o, &r)
+                  .IsInvalidArgument());
+}
+
+TEST(KMedoidsTest, EmptyInputOk) {
+  KMedoidsOptions o;
+  KMedoidsResult r;
+  EXPECT_TRUE(KMedoids(0, LineDistance({}), o, &r).ok());
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+TEST(KMedoidsTest, SeparatesTwoBlobs) {
+  std::vector<double> pts = TwoBlobs();
+  KMedoidsOptions o;
+  o.num_clusters = 2;
+  o.seed = 1;
+  KMedoidsResult r;
+  ASSERT_TRUE(KMedoids(pts.size(), LineDistance(pts), o, &r).ok());
+  // First five together, last five together.
+  for (size_t i = 1; i < 5; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (size_t i = 6; i < 10; ++i) EXPECT_EQ(r.assignment[i], r.assignment[5]);
+  EXPECT_NE(r.assignment[0], r.assignment[5]);
+  EXPECT_EQ(r.medoids.size(), 2u);
+}
+
+TEST(KMedoidsTest, CostIsSumOfAssignedDistances) {
+  std::vector<double> pts = TwoBlobs();
+  KMedoidsOptions o;
+  o.num_clusters = 2;
+  o.seed = 2;
+  KMedoidsResult r;
+  ASSERT_TRUE(KMedoids(pts.size(), LineDistance(pts), o, &r).ok());
+  double manual = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    manual += std::abs(pts[i] -
+                       pts[r.medoids[static_cast<size_t>(r.assignment[i])]]);
+  }
+  EXPECT_NEAR(r.total_cost, manual, 1e-9);
+}
+
+TEST(KMedoidsTest, KEqualsNMakesSingletons) {
+  std::vector<double> pts = {0.0, 5.0, 10.0};
+  KMedoidsOptions o;
+  o.num_clusters = 3;
+  o.seed = 3;
+  KMedoidsResult r;
+  ASSERT_TRUE(KMedoids(3, LineDistance(pts), o, &r).ok());
+  EXPECT_NEAR(r.total_cost, 0.0, 1e-12);
+}
+
+TEST(KMedoidsTest, KGreaterThanNClamped) {
+  std::vector<double> pts = {0.0, 1.0};
+  KMedoidsOptions o;
+  o.num_clusters = 10;
+  KMedoidsResult r;
+  ASSERT_TRUE(KMedoids(2, LineDistance(pts), o, &r).ok());
+  EXPECT_LE(r.medoids.size(), 2u);
+}
+
+TEST(KMedoidsTest, DeterministicGivenSeed) {
+  std::vector<double> pts = TwoBlobs();
+  KMedoidsOptions o;
+  o.num_clusters = 2;
+  o.seed = 4;
+  KMedoidsResult r1, r2;
+  ASSERT_TRUE(KMedoids(pts.size(), LineDistance(pts), o, &r1).ok());
+  ASSERT_TRUE(KMedoids(pts.size(), LineDistance(pts), o, &r2).ok());
+  EXPECT_EQ(r1.assignment, r2.assignment);
+  EXPECT_EQ(r1.medoids, r2.medoids);
+}
+
+TEST(KMedoidsTest, ThreeBlobs) {
+  std::vector<double> pts;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      pts.push_back(b * 100.0 + i * 0.5);
+    }
+  }
+  KMedoidsOptions o;
+  o.num_clusters = 3;
+  o.seed = 5;
+  KMedoidsResult r;
+  ASSERT_TRUE(KMedoids(pts.size(), LineDistance(pts), o, &r).ok());
+  // Each blob pure.
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 1; i < 6; ++i) {
+      EXPECT_EQ(r.assignment[b * 6 + i], r.assignment[b * 6]);
+    }
+  }
+  EXPECT_LT(r.total_cost, 30.0);
+}
+
+}  // namespace
+}  // namespace cluseq

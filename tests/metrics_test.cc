@@ -1,0 +1,166 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+
+#include <sstream>
+
+namespace cluseq {
+namespace {
+
+TEST(ContingencyTest, BasicCounts) {
+  // 2 found clusters, 2 true labels, one outlier, one unassigned.
+  std::vector<int32_t> assign = {0, 0, 1, 1, -1, 0};
+  std::vector<Label> labels = {0, 0, 1, 0, 1, kNoLabel};
+  ContingencyTable t(assign, labels);
+  EXPECT_EQ(t.num_found(), 2u);
+  EXPECT_EQ(t.num_true(), 2u);
+  EXPECT_EQ(t.count(0, 0), 2u);
+  EXPECT_EQ(t.count(0, 1), 0u);
+  EXPECT_EQ(t.count(1, 0), 1u);
+  EXPECT_EQ(t.count(1, 1), 1u);
+  EXPECT_EQ(t.found_total(0), 3u);  // Includes the outlier member.
+  EXPECT_EQ(t.found_total(1), 2u);
+  EXPECT_EQ(t.true_total(0), 3u);
+  EXPECT_EQ(t.true_total(1), 2u);
+  EXPECT_EQ(t.num_unassigned(), 1u);
+  EXPECT_EQ(t.num_true_outliers(), 1u);
+  EXPECT_EQ(t.outliers_unassigned(), 0u);
+  EXPECT_EQ(t.total(), 6u);
+}
+
+TEST(ContingencyTest, EmptyInput) {
+  ContingencyTable t({}, {});
+  EXPECT_EQ(t.num_found(), 0u);
+  EXPECT_EQ(t.num_true(), 0u);
+  EXPECT_EQ(t.total(), 0u);
+}
+
+TEST(MetricsTest, PerfectClustering) {
+  std::vector<int32_t> assign = {0, 0, 1, 1, 2, 2};
+  std::vector<Label> labels = {0, 0, 1, 1, 2, 2};
+  ContingencyTable t(assign, labels);
+  EXPECT_DOUBLE_EQ(CorrectlyLabeledFraction(t), 1.0);
+  EXPECT_DOUBLE_EQ(Purity(t), 1.0);
+  EXPECT_NEAR(NormalizedMutualInformation(t), 1.0, 1e-9);
+  auto fams = PerFamilyQuality(t);
+  ASSERT_EQ(fams.size(), 3u);
+  for (const auto& f : fams) {
+    EXPECT_DOUBLE_EQ(f.precision, 1.0);
+    EXPECT_DOUBLE_EQ(f.recall, 1.0);
+  }
+  MacroQuality m = MacroAverage(fams);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, LabelPermutationInvariance) {
+  // Swapping found-cluster ids must not change scores.
+  std::vector<Label> labels = {0, 0, 1, 1};
+  ContingencyTable t1({0, 0, 1, 1}, labels);
+  ContingencyTable t2({1, 1, 0, 0}, labels);
+  EXPECT_DOUBLE_EQ(CorrectlyLabeledFraction(t1),
+                   CorrectlyLabeledFraction(t2));
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(t1),
+                   NormalizedMutualInformation(t2));
+}
+
+TEST(MetricsTest, RandomClusteringScoresLow) {
+  // One found cluster absorbing both labels: NMI 0.
+  std::vector<int32_t> assign = {0, 0, 0, 0};
+  std::vector<Label> labels = {0, 1, 0, 1};
+  ContingencyTable t(assign, labels);
+  EXPECT_NEAR(NormalizedMutualInformation(t), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Purity(t), 0.5);
+  EXPECT_DOUBLE_EQ(CorrectlyLabeledFraction(t), 0.5);
+}
+
+TEST(MetricsTest, OutlierRejectionCountsAsCorrect) {
+  std::vector<int32_t> assign = {0, 0, -1, -1};
+  std::vector<Label> labels = {0, 0, kNoLabel, kNoLabel};
+  ContingencyTable t(assign, labels);
+  EXPECT_DOUBLE_EQ(CorrectlyLabeledFraction(t), 1.0);
+}
+
+TEST(MetricsTest, UnassignedTrueMemberHurtsRecall) {
+  std::vector<int32_t> assign = {0, 0, -1};
+  std::vector<Label> labels = {0, 0, 0};
+  ContingencyTable t(assign, labels);
+  auto fams = PerFamilyQuality(t);
+  ASSERT_EQ(fams.size(), 1u);
+  EXPECT_DOUBLE_EQ(fams[0].precision, 1.0);
+  EXPECT_NEAR(fams[0].recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, SplitFamilyMatchesBiggerPiece) {
+  // Family 0 split across clusters 0 (3 members) and 1 (1 member).
+  std::vector<int32_t> assign = {0, 0, 0, 1, 1, 1};
+  std::vector<Label> labels = {0, 0, 0, 0, 1, 1};
+  ContingencyTable t(assign, labels);
+  auto fams = PerFamilyQuality(t);
+  ASSERT_EQ(fams.size(), 2u);
+  EXPECT_EQ(fams[0].matched_cluster, 0);
+  EXPECT_DOUBLE_EQ(fams[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(fams[0].recall, 0.75);
+  EXPECT_EQ(fams[1].matched_cluster, 1);
+  EXPECT_NEAR(fams[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fams[1].recall, 1.0);
+}
+
+TEST(MetricsTest, MacroAverageOfEmptyIsZero) {
+  MacroQuality m = MacroAverage({});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, EvaluateEndToEnd) {
+  SequenceDatabase db(Alphabet::Synthetic(2));
+  db.Add(Sequence({0}, "a", 0));
+  db.Add(Sequence({0}, "b", 0));
+  db.Add(Sequence({1}, "c", 1));
+  db.Add(Sequence({1}, "d", kNoLabel));
+  EvaluationSummary s = Evaluate(db, {0, 0, 1, -1});
+  EXPECT_DOUBLE_EQ(s.correct_fraction, 1.0);
+  EXPECT_EQ(s.num_found_clusters, 2u);
+  EXPECT_EQ(s.num_unassigned, 1u);
+}
+
+TEST(ReportTableTest, AlignedOutput) {
+  ReportTable t({"Model", "Acc"});
+  t.AddRow({"CLUSEQ", "82"});
+  t.AddRow({"ED", "23"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("CLUSEQ"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ReportTableTest, CsvOutput) {
+  ReportTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTableTest, ShortRowsPadded) {
+  ReportTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(FormatHelpersTest, Formats) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.823, 1), "82.3");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,138 @@
+#include "core/online_scorer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+Symbols RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  Symbols text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+PstOptions Opts(size_t depth) {
+  PstOptions o;
+  o.max_depth = depth;
+  o.significance_threshold = 3;
+  o.smoothing_p_min = 1e-4;
+  return o;
+}
+
+BackgroundModel UniformBackground(size_t alphabet) {
+  return BackgroundModel::FromCounts(std::vector<uint64_t>(alphabet, 1));
+}
+
+TEST(OnlineScorerTest, EmptyScorerBestScoreIsSentinel) {
+  BackgroundModel bg = UniformBackground(4);
+  OnlineScorer scorer(bg);
+  EXPECT_EQ(scorer.BestScore().model, -1);
+  EXPECT_EQ(scorer.num_models(), 0u);
+}
+
+// The defining property: streaming one symbol at a time must produce
+// exactly the batch DP's log SIM at every prefix.
+TEST(OnlineScorerTest, MatchesBatchSimilarityAtEveryPrefix) {
+  BackgroundModel bg = UniformBackground(4);
+  Pst pst(4, Opts(5));
+  pst.InsertSequence(RandomText(300, 4, 1));
+
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&pst);
+  Symbols stream = RandomText(80, 4, 2);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    scorer.Push(stream[i]);
+    SimilarityResult batch = ComputeSimilarity(
+        pst, bg, std::span<const SymbolId>(stream.data(), i + 1));
+    EXPECT_NEAR(scorer.ScoreOf(0).log_sim, batch.log_sim, 1e-9)
+        << "prefix length " << (i + 1);
+  }
+  EXPECT_EQ(scorer.position(), stream.size());
+}
+
+TEST(OnlineScorerTest, MultipleModelsMatchBatch) {
+  BackgroundModel bg = UniformBackground(5);
+  Pst a(5, Opts(4)), b(5, Opts(6));
+  a.InsertSequence(RandomText(200, 5, 3));
+  b.InsertSequence(RandomText(200, 5, 4));
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&a);
+  scorer.AddModel(&b);
+  Symbols stream = RandomText(60, 5, 5);
+  for (SymbolId s : stream) scorer.Push(s);
+  EXPECT_NEAR(scorer.ScoreOf(0).log_sim,
+              ComputeSimilarity(a, bg, stream).log_sim, 1e-9);
+  EXPECT_NEAR(scorer.ScoreOf(1).log_sim,
+              ComputeSimilarity(b, bg, stream).log_sim, 1e-9);
+  // BestScore picks the larger of the two.
+  double expect_best = std::max(scorer.ScoreOf(0).log_sim,
+                                scorer.ScoreOf(1).log_sim);
+  EXPECT_DOUBLE_EQ(scorer.BestScore().log_sim, expect_best);
+}
+
+TEST(OnlineScorerTest, CurrentScoreDecaysOnDistributionShift) {
+  BackgroundModel bg = UniformBackground(4);
+  // Model of "0123 0123 ..." pattern.
+  Symbols pattern;
+  for (int i = 0; i < 100; ++i) pattern.push_back(static_cast<SymbolId>(i % 4));
+  Pst pst(4, Opts(5));
+  pst.InsertSequence(pattern);
+
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&pst);
+  // Matching stream: current score climbs.
+  for (int i = 0; i < 40; ++i) scorer.Push(static_cast<SymbolId>(i % 4));
+  double matched = scorer.ScoreOf(0).current_log_sim;
+  EXPECT_GT(matched, 5.0);
+  // Shift to constant 0s: the current (decaying) score collapses while the
+  // historical max stays.
+  double peak = scorer.ScoreOf(0).log_sim;
+  for (int i = 0; i < 40; ++i) scorer.Push(0);
+  EXPECT_LT(scorer.ScoreOf(0).current_log_sim, matched - 3.0);
+  EXPECT_GE(scorer.ScoreOf(0).log_sim, peak);
+}
+
+TEST(OnlineScorerTest, ResetClearsStreamButKeepsModels) {
+  BackgroundModel bg = UniformBackground(4);
+  Pst pst(4, Opts(5));
+  pst.InsertSequence(RandomText(100, 4, 6));
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&pst);
+  Symbols stream = RandomText(30, 4, 7);
+  for (SymbolId s : stream) scorer.Push(s);
+  double first = scorer.ScoreOf(0).log_sim;
+  scorer.Reset();
+  EXPECT_EQ(scorer.position(), 0u);
+  EXPECT_EQ(scorer.num_models(), 1u);
+  for (SymbolId s : stream) scorer.Push(s);
+  EXPECT_DOUBLE_EQ(scorer.ScoreOf(0).log_sim, first);  // Replays identically.
+}
+
+TEST(OnlineScorerTest, WindowCoversDeepestModel) {
+  // A depth-8 model registered after a depth-2 model must still see its
+  // full context.
+  BackgroundModel bg = UniformBackground(3);
+  Pst shallow(3, Opts(2)), deep(3, Opts(8));
+  Symbols text = RandomText(400, 3, 8);
+  shallow.InsertSequence(text);
+  deep.InsertSequence(text);
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&shallow);
+  scorer.AddModel(&deep);
+  Symbols stream = RandomText(50, 3, 9);
+  for (SymbolId s : stream) scorer.Push(s);
+  EXPECT_NEAR(scorer.ScoreOf(1).log_sim,
+              ComputeSimilarity(deep, bg, stream).log_sim, 1e-9);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,143 @@
+// Behavioral tests for the robustness options documented in DESIGN.md §6:
+// the data-driven initial threshold, the PST rebuild toggle, and the
+// assignment export.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/cluseq.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/dataset.h"
+#include "util/string_util.h"
+
+namespace cluseq {
+namespace {
+
+SequenceDatabase StrongSignalDb(uint64_t seed) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 3;
+  opts.sequences_per_cluster = 15;
+  opts.alphabet_size = 8;
+  opts.avg_length = 100;
+  opts.outlier_fraction = 0.0;
+  opts.spread = 0.25;
+  opts.seed = seed;
+  return MakeSyntheticDataset(opts);
+}
+
+CluseqOptions BaseOptions() {
+  CluseqOptions o;
+  o.initial_clusters = 3;
+  o.significance_threshold = 4;
+  o.min_unique_members = 3;
+  o.max_iterations = 12;
+  o.pst.max_depth = 5;
+  o.rng_seed = 7;
+  return o;
+}
+
+TEST(AutoThresholdTest, StartsAboveUserDefaultOnStrongData) {
+  // On strong-signal data the estimated start must exceed the paper default
+  // log(1.0005) ~ 0.0005 by a wide margin; the first iteration stats record
+  // the threshold actually used.
+  SequenceDatabase db = StrongSignalDb(1);
+  CluseqOptions o = BaseOptions();
+  o.auto_initial_threshold = true;
+  o.adjust_threshold = false;  // Freeze so the final value is the start.
+  ClusteringResult result;
+  ASSERT_TRUE(RunCluseq(db, o, &result).ok());
+  EXPECT_GT(result.final_log_threshold, 0.5);
+}
+
+TEST(AutoThresholdTest, DisabledUsesExplicitValue) {
+  SequenceDatabase db = StrongSignalDb(1);
+  CluseqOptions o = BaseOptions();
+  o.auto_initial_threshold = false;
+  o.adjust_threshold = false;
+  o.similarity_threshold = 2.5;
+  ClusteringResult result;
+  ASSERT_TRUE(RunCluseq(db, o, &result).ok());
+  EXPECT_NEAR(result.final_log_threshold, std::log(2.5), 1e-12);
+}
+
+TEST(AutoThresholdTest, QuantileValidated) {
+  CluseqOptions o = BaseOptions();
+  o.auto_threshold_quantile = 0.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.auto_threshold_quantile = 1.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.auto_threshold_quantile = 0.75;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(AutoThresholdTest, HigherQuantileGivesHigherStart) {
+  SequenceDatabase db = StrongSignalDb(2);
+  double starts[2];
+  int i = 0;
+  for (double q : {0.25, 0.9}) {
+    CluseqOptions o = BaseOptions();
+    o.auto_threshold_quantile = q;
+    o.adjust_threshold = false;
+    ClusteringResult result;
+    ASSERT_TRUE(RunCluseq(db, o, &result).ok());
+    starts[i++] = result.final_log_threshold;
+  }
+  EXPECT_LE(starts[0], starts[1]);
+}
+
+TEST(RebuildToggleTest, BothModesProduceValidClusterings) {
+  SequenceDatabase db = StrongSignalDb(3);
+  for (bool rebuild : {true, false}) {
+    CluseqOptions o = BaseOptions();
+    o.rebuild_each_iteration = rebuild;
+    ClusteringResult result;
+    ASSERT_TRUE(RunCluseq(db, o, &result).ok());
+    EvaluationSummary eval = Evaluate(db, result.best_cluster);
+    EXPECT_GT(eval.correct_fraction, 0.6) << "rebuild=" << rebuild;
+  }
+}
+
+TEST(RebuildToggleTest, CumulativeModeIsDeterministicToo) {
+  SequenceDatabase db = StrongSignalDb(4);
+  CluseqOptions o = BaseOptions();
+  o.rebuild_each_iteration = false;
+  ClusteringResult r1, r2;
+  ASSERT_TRUE(RunCluseq(db, o, &r1).ok());
+  ASSERT_TRUE(RunCluseq(db, o, &r2).ok());
+  EXPECT_EQ(r1.clusters, r2.clusters);
+}
+
+TEST(WriteAssignmentsTest, OneLinePerSequence) {
+  SequenceDatabase db = StrongSignalDb(5);
+  ClusteringResult result;
+  ASSERT_TRUE(RunCluseq(db, BaseOptions(), &result).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteAssignments(result, db, out).ok());
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    std::vector<std::string> fields = Split(line, '\t');
+    ASSERT_EQ(fields.size(), 3u) << line;
+    // Cluster field parses as an integer >= -1.
+    long c = std::strtol(fields[1].c_str(), nullptr, 10);
+    EXPECT_GE(c, -1);
+    EXPECT_LT(c, static_cast<long>(result.num_clusters()));
+    ++count;
+  }
+  EXPECT_EQ(count, db.size());
+}
+
+TEST(WriteAssignmentsTest, MissingDirectoryIsIOError) {
+  SequenceDatabase db = StrongSignalDb(6);
+  ClusteringResult result;
+  ASSERT_TRUE(RunCluseq(db, BaseOptions(), &result).ok());
+  EXPECT_TRUE(
+      WriteAssignmentsFile(result, db, "/no/such/dir/x.tsv").IsIOError());
+}
+
+}  // namespace
+}  // namespace cluseq

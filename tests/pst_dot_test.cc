@@ -1,0 +1,80 @@
+#include "pst/pst_dot.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+Pst TrainedPst(size_t alphabet, uint64_t c) {
+  PstOptions o;
+  o.max_depth = 4;
+  o.significance_threshold = c;
+  Pst pst(alphabet, o);
+  Rng rng(1);
+  std::vector<SymbolId> text(200);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  pst.InsertSequence(text);
+  return pst;
+}
+
+TEST(PstDotTest, ProducesWellFormedDigraph) {
+  Pst pst = TrainedPst(3, 3);
+  Alphabet alphabet = Alphabet::FromChars("abc");
+  std::ostringstream out;
+  ASSERT_TRUE(WritePstDot(pst, alphabet, {}, out).ok());
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph pst {"), std::string::npos);
+  EXPECT_NE(dot.find("(root)"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(PstDotTest, MaxNodesLimitsOutput) {
+  Pst pst = TrainedPst(4, 1);
+  Alphabet alphabet = Alphabet::FromChars("abcd");
+  PstDotOptions small;
+  small.max_nodes = 5;
+  std::ostringstream out_small, out_all;
+  ASSERT_TRUE(WritePstDot(pst, alphabet, small, out_small).ok());
+  PstDotOptions all;
+  all.max_nodes = 0;
+  ASSERT_TRUE(WritePstDot(pst, alphabet, all, out_all).ok());
+  EXPECT_LT(out_small.str().size(), out_all.str().size());
+}
+
+TEST(PstDotTest, SignificantOnlyDropsDashedNodes) {
+  Pst pst = TrainedPst(3, 5);
+  Alphabet alphabet = Alphabet::FromChars("abc");
+  PstDotOptions opts;
+  opts.significant_only = true;
+  opts.max_nodes = 0;
+  std::ostringstream out;
+  ASSERT_TRUE(WritePstDot(pst, alphabet, opts, out).ok());
+  // Only the root may be dashed (when its count is below c, which it is not
+  // here), so no dashed style should appear.
+  EXPECT_EQ(out.str().find("dashed"), std::string::npos);
+}
+
+TEST(PstDotTest, AlphabetTooSmallRejected) {
+  Pst pst = TrainedPst(4, 2);
+  Alphabet alphabet = Alphabet::FromChars("ab");
+  std::ostringstream out;
+  EXPECT_TRUE(WritePstDot(pst, alphabet, {}, out).IsInvalidArgument());
+}
+
+TEST(PstDotTest, EmptyTreeIsJustRoot) {
+  Pst pst(2, PstOptions{});
+  Alphabet alphabet = Alphabet::FromChars("ab");
+  std::ostringstream out;
+  ASSERT_TRUE(WritePstDot(pst, alphabet, {}, out).ok());
+  EXPECT_NE(out.str().find("(root)"), std::string::npos);
+  EXPECT_EQ(out.str().find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,417 @@
+#include "pst/pst.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+PstOptions NoSmoothing(size_t depth, uint64_t c) {
+  PstOptions o;
+  o.max_depth = depth;
+  o.significance_threshold = c;
+  o.smoothing_p_min = 0.0;
+  return o;
+}
+
+// Brute-force count of occurrences of `segment` followed by at least one
+// symbol across all texts; and occurrences followed specifically by `next`.
+size_t CountFollowed(const std::vector<Symbols>& texts,
+                     const Symbols& segment) {
+  size_t count = 0;
+  for (const auto& t : texts) {
+    if (t.size() < segment.size() + 1) continue;
+    for (size_t pos = 0; pos + segment.size() + 1 <= t.size(); ++pos) {
+      bool match = true;
+      for (size_t j = 0; j < segment.size(); ++j) {
+        if (t[pos + j] != segment[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountFollowedBy(const std::vector<Symbols>& texts,
+                       const Symbols& segment, SymbolId next) {
+  Symbols extended = segment;
+  extended.push_back(next);
+  size_t count = 0;
+  for (const auto& t : texts) {
+    if (t.size() < extended.size()) continue;
+    for (size_t pos = 0; pos + extended.size() <= t.size(); ++pos) {
+      bool match = true;
+      for (size_t j = 0; j < extended.size(); ++j) {
+        if (t[pos + j] != extended[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+  }
+  return count;
+}
+
+// Collects every node with its natural-order label.
+void CollectNodes(const Pst& pst, PstNodeId id,
+                  std::map<Symbols, PstNodeId>* out) {
+  (*out)[pst.NodeLabel(id)] = id;
+  for (const auto& [sym, child] : pst.Children(id)) {
+    CollectNodes(pst, child, out);
+  }
+}
+
+TEST(PstTest, EmptyTreeHasOnlyRoot) {
+  Pst pst(4, NoSmoothing(5, 2));
+  EXPECT_EQ(pst.NumNodes(), 1u);
+  EXPECT_EQ(pst.total_symbols(), 0u);
+  EXPECT_EQ(pst.NodeCount(kPstRoot), 0u);
+}
+
+TEST(PstTest, RootCountEqualsTotalSymbols) {
+  Pst pst(3, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 2, 0, 1});
+  pst.InsertSequence(Symbols{2, 2});
+  EXPECT_EQ(pst.total_symbols(), 7u);
+}
+
+TEST(PstTest, SingleSequenceCountsMatchBruteForce) {
+  // ababb over {a=0, b=1}.
+  std::vector<Symbols> texts = {{0, 1, 0, 1, 1}};
+  Pst pst(2, NoSmoothing(4, 1));
+  pst.InsertSequence(texts[0]);
+
+  std::map<Symbols, PstNodeId> nodes;
+  CollectNodes(pst, kPstRoot, &nodes);
+  for (const auto& [label, id] : nodes) {
+    EXPECT_EQ(pst.NodeCount(id), CountFollowed(texts, label))
+        << "label length " << label.size();
+    for (SymbolId s = 0; s < 2; ++s) {
+      EXPECT_EQ(pst.NextCount(id, s), CountFollowedBy(texts, label, s));
+    }
+  }
+}
+
+TEST(PstTest, NodeCountEqualsSumOfNextCounts) {
+  Rng rng(5);
+  Pst pst(4, NoSmoothing(6, 1));
+  std::vector<Symbols> texts;
+  for (int t = 0; t < 3; ++t) {
+    Symbols text(50);
+    for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(4));
+    pst.InsertSequence(text);
+    texts.push_back(text);
+  }
+  std::map<Symbols, PstNodeId> nodes;
+  CollectNodes(pst, kPstRoot, &nodes);
+  for (const auto& [label, id] : nodes) {
+    uint64_t sum = 0;
+    for (SymbolId s = 0; s < 4; ++s) sum += pst.NextCount(id, s);
+    EXPECT_EQ(pst.NodeCount(id), sum);
+  }
+}
+
+// Property sweep: counts match brute force for random texts over several
+// alphabet sizes and depths.
+struct CountsParam {
+  size_t alphabet;
+  size_t depth;
+  size_t length;
+  uint64_t seed;
+};
+
+class PstCountsSweep : public ::testing::TestWithParam<CountsParam> {};
+
+TEST_P(PstCountsSweep, MatchesBruteForce) {
+  const CountsParam p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Symbols> texts;
+  Pst pst(p.alphabet, NoSmoothing(p.depth, 1));
+  for (int t = 0; t < 2; ++t) {
+    Symbols text(p.length);
+    for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(p.alphabet));
+    pst.InsertSequence(text);
+    texts.push_back(text);
+  }
+  std::map<Symbols, PstNodeId> nodes;
+  CollectNodes(pst, kPstRoot, &nodes);
+  ASSERT_GT(nodes.size(), 1u);
+  for (const auto& [label, id] : nodes) {
+    ASSERT_LE(label.size(), p.depth);
+    EXPECT_EQ(pst.NodeCount(id), CountFollowed(texts, label));
+    for (SymbolId s = 0; s < p.alphabet; ++s) {
+      EXPECT_EQ(pst.NextCount(id, s), CountFollowedBy(texts, label, s));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PstCountsSweep,
+    ::testing::Values(CountsParam{2, 3, 40, 1}, CountsParam{2, 5, 60, 2},
+                      CountsParam{3, 4, 50, 3}, CountsParam{5, 3, 80, 4},
+                      CountsParam{8, 2, 100, 5}, CountsParam{4, 6, 70, 6}));
+
+TEST(PstTest, DepthIsBounded) {
+  Pst pst(2, NoSmoothing(3, 1));
+  Symbols text(100, 0);
+  pst.InsertSequence(text);
+  EXPECT_LE(pst.Stats().max_depth, 3u);
+}
+
+TEST(PstTest, ProbabilityVectorSumsToOne) {
+  Rng rng(9);
+  PstOptions o;
+  o.max_depth = 4;
+  o.significance_threshold = 1;
+  o.smoothing_p_min = 1e-3;
+  Pst pst(5, o);
+  Symbols text(200);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(5));
+  pst.InsertSequence(text);
+
+  std::map<Symbols, PstNodeId> nodes;
+  CollectNodes(pst, kPstRoot, &nodes);
+  for (const auto& [label, id] : nodes) {
+    double sum = 0.0;
+    for (SymbolId s = 0; s < 5; ++s) sum += pst.NodeProbability(id, s);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "node label size " << label.size();
+  }
+}
+
+TEST(PstTest, EmpiricalProbabilityIsRatioOfCounts) {
+  // Text abab: context "a" is followed by b twice; P(b|a) = 1.
+  Pst pst(2, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 0, 1});
+  Symbols ctx = {0};
+  EXPECT_DOUBLE_EQ(pst.ConditionalProbability(ctx, 1), 1.0);
+  EXPECT_DOUBLE_EQ(pst.ConditionalProbability(ctx, 0), 0.0);
+}
+
+TEST(PstTest, SmoothedProbabilityNeverZero) {
+  PstOptions o = NoSmoothing(4, 1);
+  o.smoothing_p_min = 1e-3;
+  Pst pst(2, o);
+  pst.InsertSequence(Symbols{0, 1, 0, 1});
+  Symbols ctx = {0};
+  double pb = pst.ConditionalProbability(ctx, 1);
+  double pa = pst.ConditionalProbability(ctx, 0);
+  EXPECT_GT(pa, 0.0);
+  EXPECT_LT(pb, 1.0);
+  EXPECT_NEAR(pa + pb, 1.0, 1e-12);
+  // Matches the paper's formula: (1 - n*p_min)*P + p_min.
+  EXPECT_NEAR(pa, 1e-3, 1e-12);
+  EXPECT_NEAR(pb, (1.0 - 2e-3) * 1.0 + 1e-3, 1e-12);
+}
+
+TEST(PstTest, SmoothingPminClampedForLargeAlphabets) {
+  PstOptions o;
+  o.smoothing_p_min = 0.5;  // Would make n * p_min >= 1 for n >= 2.
+  Pst pst(100, o);
+  EXPECT_LE(pst.options().smoothing_p_min * 100.0, 0.5 + 1e-12);
+}
+
+TEST(PstTest, PredictionNodeIsLongestSignificantSuffix) {
+  // Build counts such that "ba" is significant but "bba" is not (c = 3).
+  // Text: repeat "ba" 5 times then one "bba".
+  Symbols text;
+  for (int i = 0; i < 5; ++i) {
+    text.push_back(1);
+    text.push_back(0);
+  }
+  text.insert(text.end(), {1, 1, 0});
+  Pst pst(2, NoSmoothing(5, 3));
+  pst.InsertSequence(text);
+
+  // Context "bba": the walk a <- b goes to node "ba" (count >= 3); stepping
+  // to "bba" (count < 3) is refused.
+  Symbols ctx = {1, 1, 0};
+  PstNodeId node = pst.PredictionNode(ctx);
+  EXPECT_EQ(pst.NodeLabel(node), (Symbols{1, 0}));
+}
+
+TEST(PstTest, PredictionNodeFullSegmentWhenSignificant) {
+  Symbols text;
+  for (int i = 0; i < 10; ++i) text.insert(text.end(), {0, 1, 0});
+  Pst pst(2, NoSmoothing(5, 3));
+  pst.InsertSequence(text);
+  Symbols ctx = {1, 0};
+  PstNodeId node = pst.PredictionNode(ctx);
+  EXPECT_EQ(pst.NodeLabel(node), ctx);
+}
+
+TEST(PstTest, PredictionFallsBackToRoot) {
+  Pst pst(3, NoSmoothing(5, 100));  // Everything insignificant.
+  pst.InsertSequence(Symbols{0, 1, 2, 0, 1, 2});
+  Symbols ctx = {0, 1};
+  EXPECT_EQ(pst.PredictionNode(ctx), kPstRoot);
+}
+
+TEST(PstTest, PredictionOnEmptyContextIsRoot) {
+  Pst pst(2, NoSmoothing(5, 1));
+  pst.InsertSequence(Symbols{0, 1});
+  EXPECT_EQ(pst.PredictionNode(Symbols{}), kPstRoot);
+}
+
+// Brute-force longest significant suffix vs PredictionNode on random data.
+TEST(PstTest, PredictionNodeMatchesBruteForce) {
+  Rng rng(77);
+  const size_t alpha = 3, depth = 5;
+  const uint64_t c = 4;
+  std::vector<Symbols> texts;
+  Pst pst(alpha, NoSmoothing(depth, c));
+  Symbols text(300);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alpha));
+  pst.InsertSequence(text);
+  texts.push_back(text);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = 1 + rng.Uniform(8);
+    Symbols ctx(len);
+    for (auto& s : ctx) s = static_cast<SymbolId>(rng.Uniform(alpha));
+    // Brute force: longest suffix of ctx (up to depth) whose
+    // followed-count >= c, and every longer suffix along the chain must
+    // also exist as a node (trie path property holds by construction).
+    Symbols best;  // Empty = root.
+    for (size_t take = 1; take <= std::min(len, depth); ++take) {
+      Symbols suffix(ctx.end() - static_cast<long>(take), ctx.end());
+      if (CountFollowed(texts, suffix) >= c) {
+        best = suffix;
+      } else {
+        break;  // The paper's walk stops at the first insignificant step.
+      }
+    }
+    PstNodeId node = pst.PredictionNode(ctx);
+    EXPECT_EQ(pst.NodeLabel(node), best) << "trial " << trial;
+  }
+}
+
+TEST(PstTest, LogConditionalProbabilityMatchesLog) {
+  Pst pst(2, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 1, 0, 1});
+  Symbols ctx = {1};
+  double p = pst.ConditionalProbability(ctx, 0);
+  ASSERT_GT(p, 0.0);
+  EXPECT_NEAR(pst.LogConditionalProbability(ctx, 0), std::log(p), 1e-12);
+}
+
+TEST(PstTest, LogConditionalProbabilityZeroIsNegInf) {
+  Pst pst(3, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 0, 1});
+  Symbols ctx = {1};
+  EXPECT_TRUE(std::isinf(pst.LogConditionalProbability(ctx, 2)));
+}
+
+TEST(PstTest, LogSequenceProbabilityDecomposes) {
+  PstOptions o = NoSmoothing(4, 1);
+  o.smoothing_p_min = 1e-3;
+  Pst pst(2, o);
+  pst.InsertSequence(Symbols{0, 1, 0, 1, 0, 0, 1});
+  Symbols query = {0, 1, 0};
+  double manual = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    Symbols prefix(query.begin(), query.begin() + static_cast<long>(i));
+    manual += pst.LogConditionalProbability(prefix, query[i]);
+  }
+  EXPECT_NEAR(pst.LogSequenceProbability(query), manual, 1e-12);
+}
+
+TEST(PstTest, NodeLabelNaturalOrder) {
+  Pst pst(3, NoSmoothing(5, 1));
+  // Text "abc": position of c (index 2) inserts contexts "b" (depth1) and
+  // "ab" (depth2). Node reached by root->b->a has label "ab".
+  pst.InsertSequence(Symbols{0, 1, 2});
+  PstNodeId b = pst.Child(kPstRoot, 1);
+  ASSERT_NE(b, kNoPstNode);
+  PstNodeId ab = pst.Child(b, 0);
+  ASSERT_NE(ab, kNoPstNode);
+  EXPECT_EQ(pst.NodeLabel(ab), (Symbols{0, 1}));
+  EXPECT_EQ(pst.NextCount(ab, 2), 1u);
+}
+
+TEST(PstTest, IsSignificantThreshold) {
+  Pst pst(2, NoSmoothing(3, 2));
+  pst.InsertSequence(Symbols{0, 0, 0, 1});
+  PstNodeId a = pst.Child(kPstRoot, 0);
+  ASSERT_NE(a, kNoPstNode);
+  EXPECT_GE(pst.NodeCount(a), 2u);
+  EXPECT_TRUE(pst.IsSignificant(a));
+  PstNodeId b = pst.Child(kPstRoot, 1);
+  // 'b' is never followed by a symbol -> no node for it.
+  EXPECT_EQ(b, kNoPstNode);
+}
+
+TEST(PstTest, ClearResetsEverything) {
+  Pst pst(2, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 0, 1, 0});
+  ASSERT_GT(pst.NumNodes(), 1u);
+  pst.Clear();
+  EXPECT_EQ(pst.NumNodes(), 1u);
+  EXPECT_EQ(pst.total_symbols(), 0u);
+  EXPECT_EQ(pst.Stats().num_nodes, 1u);
+}
+
+TEST(PstTest, StatsAreConsistent) {
+  Rng rng(123);
+  Pst pst(4, NoSmoothing(5, 2));
+  Symbols text(150);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(4));
+  pst.InsertSequence(text);
+  PstStats stats = pst.Stats();
+  EXPECT_EQ(stats.num_nodes, pst.NumNodes());
+  EXPECT_LE(stats.num_significant_nodes, stats.num_nodes);
+  EXPECT_LE(stats.max_depth, 5u);
+  EXPECT_EQ(stats.total_symbols, 150u);
+  EXPECT_EQ(stats.approx_bytes, pst.ApproxMemoryBytes());
+  EXPECT_GT(stats.approx_bytes, 0u);
+}
+
+TEST(PstTest, DeepestExistingNodeIgnoresSignificance) {
+  // Text "bab": the final 'b' inserts contexts "a" and "ba" ({1,0}).
+  Symbols text = {1, 0, 1};
+  Pst pst(2, NoSmoothing(5, 100));
+  pst.InsertSequence(text);
+  // "ba" exists (count 1) though insignificant.
+  Symbols ctx = {1, 0};
+  PstNodeId deep = pst.DeepestExistingNode(ctx);
+  EXPECT_EQ(pst.NodeLabel(deep), ctx);
+  EXPECT_EQ(pst.PredictionNode(ctx), kPstRoot);
+}
+
+TEST(PstOptionsTest, Validate) {
+  PstOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.max_depth = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = PstOptions();
+  o.significance_threshold = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = PstOptions();
+  o.smoothing_p_min = 1.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.smoothing_p_min = -0.1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(PstTest, CopySemantics) {
+  Pst pst(2, NoSmoothing(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 0, 1});
+  Pst copy = pst;
+  copy.InsertSequence(Symbols{1, 1, 1, 1});
+  // Original unchanged.
+  EXPECT_EQ(pst.total_symbols(), 4u);
+  EXPECT_EQ(copy.total_symbols(), 8u);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,147 @@
+#include "baselines/qgram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+TEST(QGramProfileTest, CountsAllGrams) {
+  Symbols s = {0, 1, 0, 1, 0};
+  QGramProfile p = QGramProfile::Build(s, 2, 2);
+  // Grams: 01, 10, 01, 10 -> 2 distinct, counts 2 and 2.
+  EXPECT_EQ(p.num_distinct(), 2u);
+  EXPECT_NEAR(p.norm(), std::sqrt(8.0), 1e-12);
+}
+
+TEST(QGramProfileTest, ShortSequenceIsEmpty) {
+  Symbols s = {0, 1};
+  QGramProfile p = QGramProfile::Build(s, 3, 2);
+  EXPECT_EQ(p.num_distinct(), 0u);
+  EXPECT_DOUBLE_EQ(p.norm(), 0.0);
+}
+
+TEST(QGramProfileTest, QOneIsUnigramCounts) {
+  Symbols s = {0, 0, 1};
+  QGramProfile p = QGramProfile::Build(s, 1, 2);
+  EXPECT_EQ(p.num_distinct(), 2u);
+  EXPECT_NEAR(p.norm(), std::sqrt(4.0 + 1.0), 1e-12);
+}
+
+TEST(QGramCosineTest, IdenticalIsOne) {
+  Symbols s = {0, 1, 2, 0, 1, 2, 0};
+  QGramProfile p = QGramProfile::Build(s, 3, 3);
+  EXPECT_NEAR(QGramProfile::Cosine(p, p), 1.0, 1e-12);
+}
+
+TEST(QGramCosineTest, DisjointIsZero) {
+  Symbols a = {0, 0, 0, 0};
+  Symbols b = {1, 1, 1, 1};
+  QGramProfile pa = QGramProfile::Build(a, 2, 2);
+  QGramProfile pb = QGramProfile::Build(b, 2, 2);
+  EXPECT_DOUBLE_EQ(QGramProfile::Cosine(pa, pb), 0.0);
+}
+
+TEST(QGramCosineTest, SymmetricAndBounded) {
+  Symbols a = {0, 1, 2, 1, 0, 2, 1};
+  Symbols b = {2, 1, 0, 0, 1, 2, 2};
+  QGramProfile pa = QGramProfile::Build(a, 2, 3);
+  QGramProfile pb = QGramProfile::Build(b, 2, 3);
+  double ab = QGramProfile::Cosine(pa, pb);
+  EXPECT_DOUBLE_EQ(ab, QGramProfile::Cosine(pb, pa));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(QGramCosineTest, EmptyProfileGivesZero) {
+  QGramProfile empty;
+  Symbols a = {0, 1, 2};
+  QGramProfile pa = QGramProfile::Build(a, 2, 3);
+  EXPECT_DOUBLE_EQ(QGramProfile::Cosine(empty, pa), 0.0);
+}
+
+TEST(QGramClusterTest, RejectsBadOptions) {
+  SequenceDatabase db(Alphabet::Synthetic(2));
+  std::vector<int32_t> assign;
+  QGramClusterOptions o;
+  o.q = 0;
+  EXPECT_TRUE(QGramCluster(db, o, &assign).IsInvalidArgument());
+  o = QGramClusterOptions();
+  o.num_clusters = 0;
+  EXPECT_TRUE(QGramCluster(db, o, &assign).IsInvalidArgument());
+}
+
+TEST(QGramClusterTest, EmptyDatabaseOk) {
+  SequenceDatabase db(Alphabet::Synthetic(2));
+  std::vector<int32_t> assign;
+  QGramClusterOptions o;
+  EXPECT_TRUE(QGramCluster(db, o, &assign).ok());
+  EXPECT_TRUE(assign.empty());
+}
+
+TEST(QGramClusterTest, SeparatesTwoObviousSources) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = 20;
+  opts.alphabet_size = 6;
+  opts.avg_length = 80;
+  opts.outlier_fraction = 0.0;
+  opts.spread = 0.2;
+  opts.seed = 5;
+  SequenceDatabase db = MakeSyntheticDataset(opts);
+
+  QGramClusterOptions o;
+  o.q = 3;
+  o.num_clusters = 2;
+  o.seed = 1;
+  std::vector<int32_t> assign;
+  ASSERT_TRUE(QGramCluster(db, o, &assign).ok());
+  EvaluationSummary eval = Evaluate(db, assign);
+  EXPECT_GT(eval.correct_fraction, 0.8);
+}
+
+TEST(QGramClusterTest, AssignsEverySequence) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 3;
+  opts.sequences_per_cluster = 10;
+  opts.alphabet_size = 5;
+  opts.avg_length = 50;
+  opts.outlier_fraction = 0.0;
+  opts.seed = 6;
+  SequenceDatabase db = MakeSyntheticDataset(opts);
+  QGramClusterOptions o;
+  o.num_clusters = 3;
+  std::vector<int32_t> assign;
+  ASSERT_TRUE(QGramCluster(db, o, &assign).ok());
+  ASSERT_EQ(assign.size(), db.size());
+  for (int32_t a : assign) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(QGramClusterTest, DeterministicGivenSeed) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = 10;
+  opts.alphabet_size = 4;
+  opts.avg_length = 40;
+  opts.seed = 7;
+  SequenceDatabase db = MakeSyntheticDataset(opts);
+  QGramClusterOptions o;
+  o.num_clusters = 2;
+  o.seed = 3;
+  std::vector<int32_t> a1, a2;
+  ASSERT_TRUE(QGramCluster(db, o, &a1).ok());
+  ASSERT_TRUE(QGramCluster(db, o, &a2).ok());
+  EXPECT_EQ(a1, a2);
+}
+
+}  // namespace
+}  // namespace cluseq

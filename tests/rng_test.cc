@@ -1,0 +1,182 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4u);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasZeroMeanUnitVariance) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  const int n = 20000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.015);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalDegenerateWeights) {
+  Rng rng(29);
+  std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(zeros), 2u);  // Documented fallback.
+}
+
+TEST(RngTest, CategoricalSingleEntry) {
+  Rng rng(29);
+  std::vector<double> one = {5.0};
+  EXPECT_EQ(rng.Categorical(one), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(31);
+  for (size_t universe : {10u, 100u, 1000u}) {
+    for (size_t n : {1u, 5u, 9u}) {
+      auto sample = rng.SampleWithoutReplacement(universe, n);
+      ASSERT_EQ(sample.size(), n);
+      std::set<size_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), n);
+      for (size_t v : sample) EXPECT_LT(v, universe);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullUniverse) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  auto over = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(over.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, LengthStaysInBounds) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    size_t len = rng.Length(100, 50, 200);
+    EXPECT_GE(len, 50u);
+    EXPECT_LE(len, 200u);
+  }
+}
+
+TEST(RngTest, LengthDegenerateRange) {
+  Rng rng(47);
+  EXPECT_EQ(rng.Length(100, 10, 10), 10u);
+  EXPECT_EQ(rng.Length(100, 20, 5), 20u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(53);
+  Rng child = a.Fork();
+  // The fork and the parent should not generate the same stream.
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 4u);
+}
+
+TEST(RngTest, SplitMix64Deterministic) {
+  uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cluseq

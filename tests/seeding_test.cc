@@ -1,0 +1,150 @@
+#include "core/seeding.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+PstOptions TestPstOptions() {
+  PstOptions o;
+  o.max_depth = 5;
+  o.significance_threshold = 3;
+  o.smoothing_p_min = 1e-4;
+  return o;
+}
+
+SequenceDatabase TwoSourceDb(size_t per_cluster) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = per_cluster;
+  opts.alphabet_size = 8;
+  opts.avg_length = 80;
+  opts.outlier_fraction = 0.0;
+  opts.seed = 99;
+  return MakeSyntheticDataset(opts);
+}
+
+TEST(SeedingTest, ReturnsRequestedNumberOfDistinctSeeds) {
+  SequenceDatabase db = TwoSourceDb(20);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  Rng rng(1);
+  std::vector<size_t> seeds =
+      SelectSeeds(db, unclustered, 4, 20, {}, bg, TestPstOptions(), 1, &rng);
+  EXPECT_EQ(seeds.size(), 4u);
+  std::set<size_t> distinct(seeds.begin(), seeds.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  for (size_t s : seeds) EXPECT_LT(s, db.size());
+}
+
+TEST(SeedingTest, ZeroSeedsRequested) {
+  SequenceDatabase db = TwoSourceDb(5);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered = {0, 1, 2};
+  Rng rng(2);
+  EXPECT_TRUE(
+      SelectSeeds(db, unclustered, 0, 5, {}, bg, TestPstOptions(), 1, &rng)
+          .empty());
+}
+
+TEST(SeedingTest, EmptyUnclusteredPool) {
+  SequenceDatabase db = TwoSourceDb(5);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  Rng rng(3);
+  EXPECT_TRUE(
+      SelectSeeds(db, {}, 3, 5, {}, bg, TestPstOptions(), 1, &rng).empty());
+}
+
+TEST(SeedingTest, ClampsToAvailableSequences) {
+  SequenceDatabase db = TwoSourceDb(3);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered = {0, 1, 2};
+  Rng rng(4);
+  std::vector<size_t> seeds =
+      SelectSeeds(db, unclustered, 10, 50, {}, bg, TestPstOptions(), 1, &rng);
+  EXPECT_EQ(seeds.size(), 3u);
+}
+
+TEST(SeedingTest, SeedsComeFromUnclusteredPoolOnly) {
+  SequenceDatabase db = TwoSourceDb(20);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered = {1, 3, 5, 7, 9, 11, 13};
+  Rng rng(5);
+  std::vector<size_t> seeds =
+      SelectSeeds(db, unclustered, 3, 7, {}, bg, TestPstOptions(), 1, &rng);
+  for (size_t s : seeds) {
+    EXPECT_TRUE(std::find(unclustered.begin(), unclustered.end(), s) !=
+                unclustered.end());
+  }
+}
+
+TEST(SeedingTest, PrefersSequenceDissimilarToExistingCluster) {
+  // Existing cluster trained on source 0; with the full database as the
+  // sample, the first chosen seed should come from source 1.
+  SequenceDatabase db = TwoSourceDb(15);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+
+  std::vector<Cluster> existing;
+  existing.emplace_back(0, db.alphabet().size(), TestPstOptions());
+  for (size_t i = 0; i < db.size(); ++i) {
+    if (db[i].label() == 0) existing.back().mutable_pst().InsertSequence(db[i]);
+  }
+
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  Rng rng(6);
+  std::vector<size_t> seeds =
+      SelectSeeds(db, unclustered, 1, db.size(), existing, bg,
+                  TestPstOptions(), 1, &rng);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(db[seeds[0]].label(), 1) << "seed should avoid the covered source";
+}
+
+TEST(SeedingTest, GreedySpreadCoversBothSources) {
+  // With no existing clusters and two seeds over the full sample, the two
+  // picks should land in different sources (farthest-first property).
+  SequenceDatabase db = TwoSourceDb(15);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  Rng rng(7);
+  std::vector<size_t> seeds = SelectSeeds(db, unclustered, 2, db.size(), {},
+                                          bg, TestPstOptions(), 1, &rng);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_NE(db[seeds[0]].label(), db[seeds[1]].label());
+}
+
+TEST(SeedingTest, DeterministicGivenSeed) {
+  SequenceDatabase db = TwoSourceDb(10);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  Rng rng1(8), rng2(8);
+  auto s1 = SelectSeeds(db, unclustered, 3, 10, {}, bg, TestPstOptions(), 1,
+                        &rng1);
+  auto s2 = SelectSeeds(db, unclustered, 3, 10, {}, bg, TestPstOptions(), 1,
+                        &rng2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SeedingTest, MultiThreadedMatchesSingleThreaded) {
+  SequenceDatabase db = TwoSourceDb(10);
+  BackgroundModel bg = BackgroundModel::FromDatabase(db);
+  std::vector<size_t> unclustered(db.size());
+  for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;
+  Rng rng1(9), rng2(9);
+  auto s1 = SelectSeeds(db, unclustered, 4, 12, {}, bg, TestPstOptions(), 1,
+                        &rng1);
+  auto s2 = SelectSeeds(db, unclustered, 4, 12, {}, bg, TestPstOptions(), 4,
+                        &rng2);
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cluseq

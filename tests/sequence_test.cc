@@ -1,0 +1,102 @@
+#include "seq/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "seq/sequence_database.h"
+
+namespace cluseq {
+namespace {
+
+TEST(SequenceTest, BasicAccessors) {
+  Sequence s({1, 2, 3}, "id1", 7);
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 2u);
+  EXPECT_EQ(s.id(), "id1");
+  EXPECT_EQ(s.label(), 7);
+}
+
+TEST(SequenceTest, DefaultIsEmptyUnlabeled) {
+  Sequence s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.label(), kNoLabel);
+}
+
+TEST(SequenceTest, SegmentExtraction) {
+  Sequence s({10, 11, 12, 13, 14});
+  EXPECT_EQ(s.Segment(1, 4), (std::vector<SymbolId>{11, 12, 13}));
+  EXPECT_EQ(s.Segment(0, 5), s.symbols());
+  EXPECT_TRUE(s.Segment(3, 3).empty());
+  EXPECT_TRUE(s.Segment(4, 2).empty());
+}
+
+TEST(SequenceTest, SegmentClampsOutOfRange) {
+  Sequence s({1, 2, 3});
+  EXPECT_EQ(s.Segment(1, 100), (std::vector<SymbolId>{2, 3}));
+  EXPECT_TRUE(s.Segment(50, 100).empty());
+}
+
+TEST(SequenceTest, Reversed) {
+  Sequence s({1, 2, 3});
+  EXPECT_EQ(s.Reversed(), (std::vector<SymbolId>{3, 2, 1}));
+  EXPECT_TRUE(Sequence().Reversed().empty());
+}
+
+TEST(SequenceTest, EqualityIsSymbolBased) {
+  EXPECT_EQ(Sequence({1, 2}, "a", 1), Sequence({1, 2}, "b", 2));
+  EXPECT_FALSE(Sequence({1, 2}) == Sequence({2, 1}));
+}
+
+TEST(SequenceDatabaseTest, AddAndIndex) {
+  SequenceDatabase db(Alphabet::FromChars("ab"));
+  size_t i0 = db.Add(Sequence({0, 1}));
+  size_t i1 = db.Add(Sequence({1}));
+  EXPECT_EQ(i0, 0u);
+  EXPECT_EQ(i1, 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[1].length(), 1u);
+}
+
+TEST(SequenceDatabaseTest, AddTextInterns) {
+  SequenceDatabase db;
+  ASSERT_TRUE(db.AddText("abcab", "s0", 3).ok());
+  EXPECT_EQ(db.alphabet().size(), 3u);
+  EXPECT_EQ(db[0].length(), 5u);
+  EXPECT_EQ(db[0].label(), 3);
+  EXPECT_EQ(db[0].id(), "s0");
+}
+
+TEST(SequenceDatabaseTest, TotalsAndAverages) {
+  SequenceDatabase db(Alphabet::FromChars("ab"));
+  db.Add(Sequence({0, 1, 0}));
+  db.Add(Sequence({1}));
+  EXPECT_EQ(db.TotalSymbols(), 4u);
+  EXPECT_DOUBLE_EQ(db.AverageLength(), 2.0);
+}
+
+TEST(SequenceDatabaseTest, EmptyDatabaseStats) {
+  SequenceDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.TotalSymbols(), 0u);
+  EXPECT_DOUBLE_EQ(db.AverageLength(), 0.0);
+  EXPECT_EQ(db.NumLabels(), 0u);
+}
+
+TEST(SequenceDatabaseTest, NumLabelsIgnoresOutliers) {
+  SequenceDatabase db(Alphabet::FromChars("a"));
+  db.Add(Sequence({0}, "x", 4));
+  db.Add(Sequence({0}, "y", kNoLabel));
+  db.Add(Sequence({0}, "z", 2));
+  EXPECT_EQ(db.NumLabels(), 5u);  // max label 4 -> 5 classes.
+}
+
+TEST(SequenceDatabaseTest, Clear) {
+  SequenceDatabase db(Alphabet::FromChars("a"));
+  db.Add(Sequence({0}));
+  db.Clear();
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.alphabet().size(), 1u);  // Alphabet survives.
+}
+
+}  // namespace
+}  // namespace cluseq

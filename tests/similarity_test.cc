@@ -1,0 +1,225 @@
+#include "core/similarity.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+Symbols RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  Symbols text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+PstOptions SmoothedOptions(size_t depth, uint64_t c) {
+  PstOptions o;
+  o.max_depth = depth;
+  o.significance_threshold = c;
+  o.smoothing_p_min = 1e-4;
+  return o;
+}
+
+BackgroundModel UniformBackground(size_t alphabet) {
+  return BackgroundModel::FromCounts(std::vector<uint64_t>(alphabet, 1));
+}
+
+TEST(SimilarityTest, EmptySequenceIsNegInf) {
+  Pst pst(2, SmoothedOptions(4, 1));
+  pst.InsertSequence(Symbols{0, 1, 0, 1});
+  BackgroundModel bg = UniformBackground(2);
+  SimilarityResult r = ComputeSimilarity(pst, bg, Symbols{});
+  EXPECT_TRUE(std::isinf(r.log_sim));
+  EXPECT_LT(r.log_sim, 0.0);
+}
+
+TEST(SimilarityTest, PerfectlyPredictableSequenceScoresHigh) {
+  // Train on a long deterministic pattern; querying the same pattern should
+  // yield log-sim far above 0 (SIM >> 1).
+  Symbols pattern;
+  for (int i = 0; i < 100; ++i) pattern.insert(pattern.end(), {0, 1, 2});
+  Pst pst(3, SmoothedOptions(4, 2));
+  pst.InsertSequence(pattern);
+  BackgroundModel bg = UniformBackground(3);
+  Symbols query;
+  for (int i = 0; i < 10; ++i) query.insert(query.end(), {0, 1, 2});
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  EXPECT_GT(r.log_sim, 5.0);
+}
+
+TEST(SimilarityTest, UnrelatedSequenceScoresLow) {
+  Symbols pattern;
+  for (int i = 0; i < 100; ++i) pattern.insert(pattern.end(), {0, 1, 2});
+  Pst pst(4, SmoothedOptions(4, 2));
+  pst.InsertSequence(pattern);
+  BackgroundModel bg = UniformBackground(4);
+  // Symbol 3 never appears in training.
+  Symbols query(20, 3);
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  // Best segment of an unrelated sequence should not greatly exceed SIM=1
+  // territory; certainly far below the matched case.
+  EXPECT_LT(r.log_sim, 5.0);
+}
+
+TEST(SimilarityTest, BestSegmentBoundsAreValid) {
+  Pst pst(3, SmoothedOptions(4, 1));
+  pst.InsertSequence(RandomText(100, 3, 5));
+  BackgroundModel bg = UniformBackground(3);
+  Symbols query = RandomText(40, 3, 6);
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  EXPECT_LT(r.best_begin, r.best_end);
+  EXPECT_LE(r.best_end, query.size());
+}
+
+TEST(SimilarityTest, SingleSymbolSequence) {
+  Pst pst(2, SmoothedOptions(4, 1));
+  pst.InsertSequence(Symbols{0, 0, 0, 1});
+  BackgroundModel bg = UniformBackground(2);
+  SimilarityResult r = ComputeSimilarity(pst, bg, Symbols{0});
+  // X_1 = P(0)/p(0); P(0) = 3/4 (smoothed slightly), p(0) = 1/2.
+  EXPECT_NEAR(r.log_sim,
+              std::log(pst.ConditionalProbability({}, 0) / 0.5), 1e-9);
+  EXPECT_EQ(r.best_begin, 0u);
+  EXPECT_EQ(r.best_end, 1u);
+}
+
+// The paper's §4.3 recurrence against the explicit max over all segments.
+struct DpParam {
+  size_t alphabet;
+  size_t train_len;
+  size_t query_len;
+  size_t depth;
+  uint64_t c;
+  uint64_t seed;
+};
+
+class SimilarityDpSweep : public ::testing::TestWithParam<DpParam> {};
+
+TEST_P(SimilarityDpSweep, DpMatchesBruteForce) {
+  const DpParam p = GetParam();
+  Pst pst(p.alphabet, SmoothedOptions(p.depth, p.c));
+  pst.InsertSequence(RandomText(p.train_len, p.alphabet, p.seed));
+  BackgroundModel bg = UniformBackground(p.alphabet);
+  for (uint64_t q = 0; q < 5; ++q) {
+    Symbols query = RandomText(p.query_len, p.alphabet, p.seed * 31 + q);
+    SimilarityResult fast = ComputeSimilarity(pst, bg, query);
+    SimilarityResult slow = ComputeSimilarityBruteForce(pst, bg, query);
+    EXPECT_NEAR(fast.log_sim, slow.log_sim, 1e-9);
+    // The maximizing segment must achieve the same value (it may differ in
+    // position on exact ties, so compare values, not indices).
+    double fast_val = 0.0;
+    for (size_t i = fast.best_begin; i < fast.best_end; ++i) {
+      fast_val += pst.LogConditionalProbability(
+                      std::span<const SymbolId>(query).subspan(0, i),
+                      query[i]) -
+                  bg.LogProbability(query[i]);
+    }
+    EXPECT_NEAR(fast_val, slow.log_sim, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimilarityDpSweep,
+    ::testing::Values(DpParam{2, 100, 20, 4, 2, 1},
+                      DpParam{3, 200, 30, 5, 3, 2},
+                      DpParam{4, 150, 25, 3, 2, 3},
+                      DpParam{5, 300, 40, 6, 5, 4},
+                      DpParam{8, 400, 50, 4, 4, 5},
+                      DpParam{2, 50, 60, 8, 1, 6},
+                      DpParam{6, 250, 35, 5, 10, 7}));
+
+// Worked example in the spirit of the paper's Table 1: train a PST with
+// known counts and verify the DP combines X_i multiplicatively and takes
+// the max over segments.
+TEST(SimilarityTest, HandComputedExample) {
+  // Alphabet {a=0, b=1}. Train on "aab aab aab ..." so that
+  // P(a|<empty>)=2/3, P(b|a)=1/2, P(a|aa)=0... Using raw probabilities to
+  // keep the arithmetic exact.
+  PstOptions o;
+  o.max_depth = 2;
+  o.significance_threshold = 1;
+  o.smoothing_p_min = 0.0;
+  Pst pst(2, o);
+  Symbols text;
+  for (int i = 0; i < 10; ++i) text.insert(text.end(), {0, 0, 1});
+  pst.InsertSequence(text);
+  // Background: p(a) = p(b) = 1/2.
+  BackgroundModel bg = UniformBackground(2);
+
+  // Query "ab": X_1 = P(a)/0.5, with P(a) from the root vector.
+  double p_a = pst.ConditionalProbability(Symbols{}, 0);
+  double p_b_after_a = pst.ConditionalProbability(Symbols{0}, 1);
+  Symbols query = {0, 1};
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  double x1 = std::log(p_a / 0.5);
+  double x2 = std::log(p_b_after_a / 0.5);
+  // Best segment is whichever of {s1}, {s2}, {s1 s2} maximizes the sum.
+  double expected = std::max({x1, x2, x1 + x2});
+  EXPECT_NEAR(r.log_sim, expected, 1e-12);
+}
+
+TEST(SimilarityTest, SegmentRestartBehavior) {
+  // Construct a query whose middle is hostile so the best segment is a
+  // suffix: train on all-a, query = b b a a a a.
+  PstOptions o = SmoothedOptions(3, 1);
+  Pst pst(2, o);
+  pst.InsertSequence(Symbols(50, 0));
+  BackgroundModel bg = UniformBackground(2);
+  Symbols query = {1, 1, 0, 0, 0, 0};
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  EXPECT_GE(r.best_begin, 2u);  // Skips the hostile prefix.
+  EXPECT_EQ(r.best_end, 6u);
+  EXPECT_GT(r.log_sim, 0.0);
+}
+
+TEST(SimilarityTest, LongSequenceDoesNotOverflow) {
+  // The paper's raw product would overflow IEEE doubles here; the log-domain
+  // DP must stay finite.
+  Pst pst(2, SmoothedOptions(4, 2));
+  Symbols pattern;
+  for (int i = 0; i < 500; ++i) pattern.insert(pattern.end(), {0, 1});
+  pst.InsertSequence(pattern);
+  BackgroundModel bg = UniformBackground(2);
+  Symbols query;
+  for (int i = 0; i < 5000; ++i) query.insert(query.end(), {0, 1});
+  SimilarityResult r = ComputeSimilarity(pst, bg, query);
+  EXPECT_TRUE(std::isfinite(r.log_sim));
+  EXPECT_GT(r.log_sim, 100.0);  // exp would overflow — that's the point.
+}
+
+TEST(SimilarityTest, ExceedsThresholdHelper) {
+  SimilarityResult r;
+  r.log_sim = 1.0;
+  EXPECT_TRUE(r.Exceeds(0.5));
+  EXPECT_TRUE(r.Exceeds(1.0));
+  EXPECT_FALSE(r.Exceeds(1.5));
+}
+
+TEST(SimilarityTest, TrainedOnClusterBeatsOtherCluster) {
+  // Two distinct sources; similarity of a sequence to its own cluster's PST
+  // should exceed its similarity to the other PST.
+  Symbols a_text, b_text;
+  for (int i = 0; i < 200; ++i) a_text.insert(a_text.end(), {0, 1, 2, 3});
+  for (int i = 0; i < 200; ++i) b_text.insert(b_text.end(), {3, 1, 0, 2});
+  PstOptions o = SmoothedOptions(4, 3);
+  Pst pst_a(4, o), pst_b(4, o);
+  pst_a.InsertSequence(a_text);
+  pst_b.InsertSequence(b_text);
+  BackgroundModel bg = UniformBackground(4);
+
+  Symbols query;
+  for (int i = 0; i < 20; ++i) query.insert(query.end(), {0, 1, 2, 3});
+  double sim_a = ComputeSimilarity(pst_a, bg, query).log_sim;
+  double sim_b = ComputeSimilarity(pst_b, bg, query).log_sim;
+  EXPECT_GT(sim_a, sim_b);
+}
+
+}  // namespace
+}  // namespace cluseq

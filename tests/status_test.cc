@@ -1,0 +1,73 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Corruption("broken");
+  EXPECT_EQ(os.str(), "Corruption: broken");
+}
+
+Status Helper(bool fail) {
+  if (fail) return Status::Internal("inner");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  CLUSEQ_RETURN_NOT_OK(Helper(fail));
+  return Status::NotFound("reached end");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Outer(true).IsInternal());
+  EXPECT_TRUE(Outer(false).IsNotFound());
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  Status c = std::move(a);
+  EXPECT_TRUE(c.IsIOError());
+  EXPECT_EQ(c.message(), "disk");
+}
+
+}  // namespace
+}  // namespace cluseq

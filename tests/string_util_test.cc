@@ -1,0 +1,68 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi\t\r\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(ParseFlagTest, MatchesAndExtracts) {
+  std::string value;
+  EXPECT_TRUE(ParseFlag("--scale=0.5", "scale", &value));
+  EXPECT_EQ(value, "0.5");
+  EXPECT_FALSE(ParseFlag("--scale", "scale", &value));
+  EXPECT_FALSE(ParseFlag("--other=1", "scale", &value));
+  EXPECT_TRUE(ParseFlag("--name=", "name", &value));
+  EXPECT_EQ(value, "");
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(HumanBytes(5 * 1024 * 1024), "5.0 MiB");
+}
+
+}  // namespace
+}  // namespace cluseq

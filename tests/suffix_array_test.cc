@@ -1,0 +1,166 @@
+#include "seq/suffix_array.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pst/pst.h"
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+using Symbols = std::vector<SymbolId>;
+
+Symbols Enc(const std::string& s) {
+  Symbols out;
+  for (char c : s) out.push_back(static_cast<SymbolId>(c - 'a'));
+  return out;
+}
+
+size_t BruteCount(const Symbols& text, const Symbols& seg) {
+  if (seg.empty()) return text.size() + 1;
+  size_t count = 0;
+  for (size_t i = 0; i + seg.size() <= text.size(); ++i) {
+    if (std::equal(seg.begin(), seg.end(), text.begin() + i)) ++count;
+  }
+  return count;
+}
+
+TEST(SuffixArrayTest, EmptyText) {
+  SuffixArray sa(Symbols{});
+  EXPECT_EQ(sa.size(), 0u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("a")), 0u);
+  EXPECT_EQ(sa.LongestRepeat().first, 0u);
+}
+
+TEST(SuffixArrayTest, SuffixesAreSorted) {
+  Symbols text = Enc("banana");
+  SuffixArray sa(text);
+  ASSERT_EQ(sa.size(), 6u);
+  for (size_t i = 1; i < sa.size(); ++i) {
+    Symbols a(text.begin() + sa.suffix(i - 1), text.end());
+    Symbols b(text.begin() + sa.suffix(i), text.end());
+    EXPECT_TRUE(std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                             b.end()))
+        << "position " << i;
+  }
+}
+
+TEST(SuffixArrayTest, BananaCounts) {
+  SuffixArray sa(Enc("banana"));
+  EXPECT_EQ(sa.CountOccurrences(Enc("a")), 3u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("an")), 2u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("ana")), 2u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("banana")), 1u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("nab")), 0u);
+  EXPECT_EQ(sa.CountOccurrences(Enc("x")), 0u);
+}
+
+TEST(SuffixArrayTest, LocateBanana) {
+  SuffixArray sa(Enc("banana"));
+  EXPECT_EQ(sa.Locate(Enc("ana")), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(sa.Locate(Enc("b")), (std::vector<size_t>{0}));
+  EXPECT_TRUE(sa.Locate(Enc("q")).empty());
+}
+
+TEST(SuffixArrayTest, LongestRepeatBanana) {
+  SuffixArray sa(Enc("banana"));
+  auto [len, pos] = sa.LongestRepeat();
+  EXPECT_EQ(len, 3u);  // "ana".
+  // The reported position must actually start an occurrence of a repeated
+  // length-3 segment.
+  Symbols text = Enc("banana");
+  Symbols seg(text.begin() + pos, text.begin() + pos + len);
+  EXPECT_GE(BruteCount(text, seg), 2u);
+}
+
+TEST(SuffixArrayTest, EmptySegmentConvention) {
+  SuffixArray sa(Enc("abc"));
+  EXPECT_EQ(sa.CountOccurrences(Symbols{}), 4u);
+  EXPECT_EQ(sa.Locate(Symbols{}).size(), 4u);
+}
+
+// Property sweep: counts match brute force on random texts.
+struct SaParam {
+  size_t alphabet;
+  size_t length;
+  uint64_t seed;
+};
+class SuffixArraySweep : public ::testing::TestWithParam<SaParam> {};
+
+TEST_P(SuffixArraySweep, CountsMatchBruteForce) {
+  const SaParam p = GetParam();
+  Rng rng(p.seed);
+  Symbols text(p.length);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(p.alphabet));
+  SuffixArray sa(text);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t len = 1 + rng.Uniform(6);
+    Symbols seg(len);
+    // Half the queries are substrings drawn from the text (guaranteed
+    // hits), half random.
+    if (trial % 2 == 0 && text.size() > len) {
+      size_t pos = rng.Uniform(text.size() - len);
+      std::copy(text.begin() + pos, text.begin() + pos + len, seg.begin());
+    } else {
+      for (auto& s : seg) s = static_cast<SymbolId>(rng.Uniform(p.alphabet));
+    }
+    EXPECT_EQ(sa.CountOccurrences(seg), BruteCount(text, seg));
+    auto located = sa.Locate(seg);
+    EXPECT_EQ(located.size(), BruteCount(text, seg));
+    for (size_t pos : located) {
+      ASSERT_LE(pos + seg.size(), text.size());
+      EXPECT_TRUE(std::equal(seg.begin(), seg.end(), text.begin() + pos));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuffixArraySweep,
+    ::testing::Values(SaParam{2, 50, 1}, SaParam{2, 300, 2},
+                      SaParam{4, 200, 3}, SaParam{8, 500, 4},
+                      SaParam{26, 400, 5}, SaParam{3, 1000, 6}));
+
+// The cross-validation the header promises: every PST node's count equals
+// the suffix-array count of occurrences-followed-by-a-symbol, i.e. the
+// occurrences of the label that do not end the text.
+TEST(SuffixArrayTest, CrossValidatesPstCounts) {
+  Rng rng(9);
+  Symbols text(400);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(4));
+  SuffixArray sa(text);
+
+  PstOptions options;
+  options.max_depth = 5;
+  options.significance_threshold = 1;
+  options.smoothing_p_min = 0.0;
+  Pst pst(4, options);
+  pst.InsertSequence(text);
+
+  // Walk every PST node and compare to exact counts.
+  std::vector<PstNodeId> stack = {kPstRoot};
+  size_t checked = 0;
+  while (!stack.empty()) {
+    PstNodeId id = stack.back();
+    stack.pop_back();
+    for (const auto& [sym, child] : pst.Children(id)) stack.push_back(child);
+    if (id == kPstRoot) continue;
+    Symbols label = pst.NodeLabel(id);
+    size_t occurrences = sa.CountOccurrences(label);
+    // The PST counts occurrences followed by a next symbol; an occurrence
+    // ending exactly at the text end is not counted.
+    bool label_at_end =
+        label.size() <= text.size() &&
+        std::equal(label.rbegin(), label.rend(), text.rbegin());
+    EXPECT_EQ(pst.NodeCount(id), occurrences - (label_at_end ? 1 : 0));
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace cluseq

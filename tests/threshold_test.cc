@@ -1,0 +1,181 @@
+#include "core/threshold.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+// Similarity observations with the paper's Figure-3 shape: a large mass
+// whose histogram declines steeply from 0 up to `knee` (linearly decreasing
+// density), then a small, flat mass of matching pairs on [high_lo, high_hi].
+// The valley (sharpest turn) sits near the knee.
+std::vector<double> PaperShapeSims(double knee, double high_lo,
+                                   double high_hi, size_t low_n,
+                                   size_t high_n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sims;
+  sims.reserve(low_n + high_n);
+  for (size_t i = 0; i < low_n; ++i) {
+    // Linearly decreasing density on [0, knee].
+    sims.push_back(knee * (1.0 - std::sqrt(rng.UniformDouble())));
+  }
+  for (size_t i = 0; i < high_n; ++i) {
+    sims.push_back(rng.UniformDouble(high_lo, high_hi));
+  }
+  return sims;
+}
+
+TEST(ThresholdAdjusterTest, NoAdjustmentOnTinySample) {
+  ThresholdAdjuster adj(50);
+  ThresholdUpdate u = adj.Adjust({1.0, 2.0, 3.0}, 0.5);
+  EXPECT_FALSE(u.adjusted);
+  EXPECT_DOUBLE_EQ(u.new_log_t, 0.5);
+}
+
+TEST(ThresholdAdjusterTest, IgnoresNonFiniteValues) {
+  ThresholdAdjuster adj(50);
+  std::vector<double> sims = {-INFINITY, INFINITY, NAN, 1.0, 2.0};
+  ThresholdUpdate u = adj.Adjust(sims, 0.5);
+  EXPECT_FALSE(u.adjusted);  // Only 2 finite values remain.
+}
+
+TEST(ThresholdAdjusterTest, MovesTowardValley) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 1);
+  ThresholdAdjuster adj(100);
+  double t0 = std::log(1.0005);
+  ThresholdUpdate u = adj.Adjust(sims, t0);
+  ASSERT_TRUE(u.adjusted);
+  // The valley estimate lands near the knee, and t moves toward it.
+  EXPECT_GT(u.valley_log_t, 0.7);
+  EXPECT_LT(u.valley_log_t, 4.5);
+  EXPECT_GT(u.new_log_t, t0);
+  EXPECT_LE(u.new_log_t, u.valley_log_t + 1e-9);
+}
+
+TEST(ThresholdAdjusterTest, ConservativePaceIsHalfwayInLogSpace) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 2);
+  ThresholdAdjuster adj(100);
+  double t0 = std::log(2.0);
+  ThresholdUpdate u = adj.Adjust(sims, t0);
+  ASSERT_TRUE(u.adjusted);
+  EXPECT_NEAR(u.new_log_t, (t0 + u.valley_log_t) / 2.0, 1e-9);
+}
+
+TEST(ThresholdAdjusterTest, ConvergesToValleyOverIterations) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 3);
+  ThresholdAdjuster adj(100);
+  double t = std::log(1.05);
+  for (int iter = 0; iter < 30 && !adj.frozen(); ++iter) {
+    ThresholdUpdate u = adj.Adjust(sims, t);
+    if (!u.adjusted) break;
+    t = u.new_log_t;
+  }
+  // t ends in the knee region.
+  EXPECT_GT(t, 0.7);
+  EXPECT_LT(t, 4.5);
+}
+
+TEST(ThresholdAdjusterTest, FreezesWhenCloseEnough) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 4);
+  ThresholdAdjuster probe(100);
+  ThresholdUpdate first = probe.Adjust(sims, std::log(1.05));
+  ASSERT_TRUE(first.adjusted);
+
+  ThresholdAdjuster adj(100);
+  // Start exactly at the valley: freeze immediately.
+  ThresholdUpdate u = adj.Adjust(sims, first.valley_log_t);
+  EXPECT_FALSE(u.adjusted);
+  EXPECT_TRUE(adj.frozen());
+  // And stays frozen forever.
+  ThresholdUpdate again = adj.Adjust(sims, std::log(1.05));
+  EXPECT_FALSE(again.adjusted);
+}
+
+TEST(ThresholdAdjusterTest, FlooredAtMinLogT) {
+  // All mass below log t = 0: any valley estimate is floored to min_log_t.
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 5);
+  for (double& s : sims) s -= 20.0;
+  ThresholdAdjuster adj(100, /*min_log_t=*/0.0);
+  ThresholdUpdate u = adj.Adjust(sims, 0.3);
+  if (u.adjusted) {
+    EXPECT_GE(u.new_log_t, 0.0);
+  }
+  EXPECT_GE(u.valley_log_t, 0.0);
+}
+
+TEST(ThresholdAdjusterTest, DirectionDownward) {
+  // Starting far above the valley: t must decrease toward it.
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 6);
+  ThresholdAdjuster adj(100);
+  double t0 = std::log(1000.0);
+  ThresholdUpdate u = adj.Adjust(sims, t0);
+  ASSERT_TRUE(u.adjusted);
+  EXPECT_LT(u.new_log_t, t0);
+}
+
+// Sweep over starting thresholds: final t approaches the knee regardless of
+// the start (the paper's Table 6 property).
+struct InitTParam {
+  double init_t;
+};
+class InitialThresholdSweep : public ::testing::TestWithParam<InitTParam> {};
+
+TEST_P(InitialThresholdSweep, ConvergesRegardlessOfStart) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.5, 8.0, 8000, 800, 7);
+  ThresholdAdjuster adj(100);
+  double t = std::log(GetParam().init_t);
+  for (int iter = 0; iter < 40 && !adj.frozen(); ++iter) {
+    ThresholdUpdate u = adj.Adjust(sims, t);
+    if (!u.adjusted) break;
+    t = u.new_log_t;
+  }
+  EXPECT_GT(t, 0.6);
+  EXPECT_LT(t, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Starts, InitialThresholdSweep,
+                         ::testing::Values(InitTParam{1.05}, InitTParam{1.5},
+                                           InitTParam{2.0}, InitTParam{3.0},
+                                           InitTParam{20.0}));
+
+}  // namespace
+}  // namespace cluseq
+
+namespace cluseq {
+namespace {
+
+TEST(ThresholdAdjusterTest, UpwardStepIsBounded) {
+  // Valley far above the current t: the move must be capped by max_up_step.
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 8);
+  for (double& s : sims) s += 30.0;  // Shift the whole histogram far up.
+  ThresholdAdjuster adj(100, 0.0, /*max_up_step=*/1.5);
+  ThresholdUpdate u = adj.Adjust(sims, 0.0);
+  ASSERT_TRUE(u.adjusted);
+  EXPECT_LE(u.new_log_t, 1.5 + 1e-9);
+}
+
+TEST(ThresholdAdjusterTest, DownwardStepIsNotBounded) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 9);
+  ThresholdAdjuster adj(100, 0.0, /*max_up_step=*/0.5);
+  double t0 = 50.0;  // Far above everything.
+  ThresholdUpdate u = adj.Adjust(sims, t0);
+  ASSERT_TRUE(u.adjusted);
+  EXPECT_LT(u.new_log_t, t0 - 10.0);  // Halfway down, uncapped.
+}
+
+TEST(ThresholdAdjusterTest, ZeroStepDisablesBound) {
+  std::vector<double> sims = PaperShapeSims(2.0, 4.0, 8.0, 5000, 600, 10);
+  for (double& s : sims) s += 30.0;
+  ThresholdAdjuster adj(100, 0.0, /*max_up_step=*/0.0);
+  ThresholdUpdate u = adj.Adjust(sims, 0.0);
+  ASSERT_TRUE(u.adjusted);
+  EXPECT_GT(u.new_log_t, 10.0);  // Full halfway jump allowed.
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -1,0 +1,277 @@
+// cluseq_cli — command-line front end for the CLUSEQ library.
+//
+// Subcommands:
+//   generate  synthesize a labeled dataset and write it to a file
+//   cluster   cluster a dataset and write per-sequence assignments
+//   classify  score sequences against previously saved cluster PSTs
+//
+// Examples:
+//   cluseq_cli generate --kind=protein --out=prot.fasta --scale=0.05
+//   cluseq_cli cluster --input=prot.fasta --assignments=out.tsv \
+//       --model-dir=models --c=5 --min-members=4
+//   cluseq_cli classify --input=more.fasta --model-dir=models
+//
+// Input format is chosen by extension: .fa/.fasta → FASTA, else TSV
+// ("id<TAB>label<TAB>text"; label -1 = unlabeled).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluseq/cluseq.h"
+
+namespace {
+
+using namespace cluseq;
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsFastaPath(const std::string& path) {
+  return HasSuffix(path, ".fa") || HasSuffix(path, ".fasta");
+}
+
+Status ReadDatabase(const std::string& path, SequenceDatabase* db) {
+  if (IsFastaPath(path)) return ReadFastaFile(path, db);
+  return ReadTsvFile(path, db);
+}
+
+Status WriteDatabase(const SequenceDatabase& db, const std::string& path) {
+  if (IsFastaPath(path)) return WriteFastaFile(db, path);
+  return WriteTsvFile(db, path);
+}
+
+int Fail(const Status& st, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+struct CommonFlags {
+  std::string input;
+  std::string output;
+  std::string assignments;
+  std::string model_dir;
+  std::string kind = "synthetic";
+  double scale = 0.05;
+  uint64_t seed = 42;
+  CluseqOptions options;
+
+  // Returns false (after printing) on an unknown flag.
+  bool Parse(int argc, char** argv) {
+    std::string v;
+    for (int i = 2; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (ParseFlag(arg, "input", &v)) {
+        input = v;
+      } else if (ParseFlag(arg, "out", &v) || ParseFlag(arg, "output", &v)) {
+        output = v;
+      } else if (ParseFlag(arg, "assignments", &v)) {
+        assignments = v;
+      } else if (ParseFlag(arg, "model-dir", &v)) {
+        model_dir = v;
+      } else if (ParseFlag(arg, "kind", &v)) {
+        kind = v;
+      } else if (ParseFlag(arg, "scale", &v)) {
+        scale = std::strtod(v.c_str(), nullptr);
+      } else if (ParseFlag(arg, "seed", &v)) {
+        seed = std::strtoull(v.c_str(), nullptr, 10);
+        options.rng_seed = seed;
+      } else if (ParseFlag(arg, "k", &v)) {
+        options.initial_clusters = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "c", &v)) {
+        options.significance_threshold =
+            std::strtoull(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "t", &v)) {
+        options.similarity_threshold = std::strtod(v.c_str(), nullptr);
+        options.auto_initial_threshold = false;
+      } else if (ParseFlag(arg, "depth", &v)) {
+        options.pst.max_depth = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "min-members", &v)) {
+        options.min_unique_members = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "max-iterations", &v)) {
+        options.max_iterations = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "threads", &v)) {
+        options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "pst-memory", &v)) {
+        options.pst.max_memory_bytes = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (arg == "--verbose") {
+        options.verbose = true;
+        SetLogLevel(LogLevel::kInfo);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+int RunGenerate(const CommonFlags& flags) {
+  if (flags.output.empty()) {
+    std::fprintf(stderr, "generate: --out=<path> is required\n");
+    return 2;
+  }
+  SequenceDatabase db;
+  if (flags.kind == "protein") {
+    ProteinLikeOptions o;
+    o.scale = flags.scale;
+    o.seed = flags.seed;
+    db = MakeProteinLikeDataset(o).db;
+  } else if (flags.kind == "language") {
+    LanguageLikeOptions o;
+    o.sentences_per_language =
+        static_cast<size_t>(600 * flags.scale) + 10;
+    o.noise_sentences = static_cast<size_t>(100 * flags.scale) + 2;
+    o.seed = flags.seed;
+    db = MakeLanguageLikeDataset(o).db;
+  } else if (flags.kind == "synthetic") {
+    SyntheticDatasetOptions o;
+    o.num_clusters = 10;
+    o.sequences_per_cluster =
+        static_cast<size_t>(100 * flags.scale) + 5;
+    o.avg_length = 300;
+    o.seed = flags.seed;
+    db = MakeSyntheticDataset(o);
+  } else {
+    std::fprintf(stderr,
+                 "generate: unknown --kind '%s' "
+                 "(expected synthetic|protein|language)\n",
+                 flags.kind.c_str());
+    return 2;
+  }
+  Status st = WriteDatabase(db, flags.output);
+  if (!st.ok()) return Fail(st, "write");
+  std::printf("wrote %zu sequences (%zu labels) to %s\n", db.size(),
+              db.NumLabels(), flags.output.c_str());
+  return 0;
+}
+
+int RunCluster(CommonFlags& flags) {
+  if (flags.input.empty()) {
+    std::fprintf(stderr, "cluster: --input=<path> is required\n");
+    return 2;
+  }
+  SequenceDatabase db;
+  Status st = ReadDatabase(flags.input, &db);
+  if (!st.ok()) return Fail(st, "read");
+  std::printf("read %zu sequences over %zu symbols\n", db.size(),
+              db.alphabet().size());
+
+  CluseqClusterer clusterer(db, flags.options);
+  ClusteringResult result;
+  st = clusterer.Run(&result);
+  if (!st.ok()) return Fail(st, "cluster");
+  std::printf("clusters: %zu   unclustered: %zu   iterations: %zu   "
+              "final log t: %.3f\n",
+              result.num_clusters(), result.num_unclustered,
+              result.iterations, result.final_log_threshold);
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    std::printf("  cluster %zu: %zu members\n", c,
+                result.clusters[c].size());
+  }
+  if (db.NumLabels() > 0) {
+    EvaluationSummary eval = Evaluate(db, result.best_cluster);
+    std::printf("vs labels: %.1f%% correct, purity %.2f, NMI %.2f\n",
+                eval.correct_fraction * 100.0, eval.purity, eval.nmi);
+  }
+
+  if (!flags.assignments.empty()) {
+    st = WriteAssignmentsFile(result, db, flags.assignments);
+    if (!st.ok()) return Fail(st, "assignments");
+    std::printf("assignments -> %s\n", flags.assignments.c_str());
+  }
+  if (!flags.model_dir.empty()) {
+    for (size_t c = 0; c < clusterer.clusters().size(); ++c) {
+      std::string path =
+          flags.model_dir + "/cluster" + std::to_string(c) + ".pst";
+      st = SavePstToFile(clusterer.clusters()[c].pst(), path);
+      if (!st.ok()) return Fail(st, "save model");
+    }
+    std::printf("models -> %s/cluster*.pst\n", flags.model_dir.c_str());
+  }
+  return 0;
+}
+
+int RunClassify(const CommonFlags& flags) {
+  if (flags.input.empty() || flags.model_dir.empty()) {
+    std::fprintf(stderr,
+                 "classify: --input=<path> and --model-dir=<dir> are "
+                 "required\n");
+    return 2;
+  }
+  SequenceDatabase db;
+  Status st = ReadDatabase(flags.input, &db);
+  if (!st.ok()) return Fail(st, "read");
+
+  std::vector<Pst> models;
+  for (size_t c = 0;; ++c) {
+    std::string path =
+        flags.model_dir + "/cluster" + std::to_string(c) + ".pst";
+    Pst pst(1, PstOptions{});
+    Status load = LoadPstFromFile(path, &pst);
+    if (!load.ok()) break;
+    models.push_back(std::move(pst));
+  }
+  if (models.empty()) {
+    std::fprintf(stderr, "classify: no cluster*.pst models in %s\n",
+                 flags.model_dir.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu models\n", models.size());
+
+  BackgroundModel background = BackgroundModel::FromDatabase(db);
+  for (size_t i = 0; i < db.size(); ++i) {
+    double best = -1e300;
+    size_t best_c = 0;
+    for (size_t c = 0; c < models.size(); ++c) {
+      double s = ComputeSimilarity(models[c], background, db[i]).log_sim;
+      if (s > best) {
+        best = s;
+        best_c = c;
+      }
+    }
+    std::printf("%s\t%zu\t%.4f\n",
+                db[i].id().empty() ? ("seq" + std::to_string(i)).c_str()
+                                   : db[i].id().c_str(),
+                best_c, best);
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: cluseq_cli <generate|cluster|classify> [flags]\n"
+               "  generate --kind=synthetic|protein|language --out=PATH "
+               "[--scale=F] [--seed=N]\n"
+               "  cluster  --input=PATH [--assignments=PATH] "
+               "[--model-dir=DIR]\n"
+               "           [--k=N] [--c=N] [--t=F] [--depth=N] "
+               "[--min-members=N]\n"
+               "           [--max-iterations=N] [--threads=N] "
+               "[--pst-memory=BYTES] [--verbose]\n"
+               "  classify --input=PATH --model-dir=DIR\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string command = argv[1];
+  CommonFlags flags;
+  if (!flags.Parse(argc, argv)) {
+    PrintUsage();
+    return 2;
+  }
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "cluster") return RunCluster(flags);
+  if (command == "classify") return RunClassify(flags);
+  PrintUsage();
+  return 2;
+}
