@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_languages.dir/bench_table4_languages.cc.o"
+  "CMakeFiles/bench_table4_languages.dir/bench_table4_languages.cc.o.d"
+  "bench_table4_languages"
+  "bench_table4_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

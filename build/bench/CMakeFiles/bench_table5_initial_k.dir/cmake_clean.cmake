@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_initial_k.dir/bench_table5_initial_k.cc.o"
+  "CMakeFiles/bench_table5_initial_k.dir/bench_table5_initial_k.cc.o.d"
+  "bench_table5_initial_k"
+  "bench_table5_initial_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_initial_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

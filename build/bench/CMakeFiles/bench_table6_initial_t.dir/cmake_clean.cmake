@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_initial_t.dir/bench_table6_initial_t.cc.o"
+  "CMakeFiles/bench_table6_initial_t.dir/bench_table6_initial_t.cc.o.d"
+  "bench_table6_initial_t"
+  "bench_table6_initial_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_initial_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cluseq.dir/micro_cluseq.cc.o"
+  "CMakeFiles/micro_cluseq.dir/micro_cluseq.cc.o.d"
+  "micro_cluseq"
+  "micro_cluseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cluseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pst.dir/micro_pst.cc.o"
+  "CMakeFiles/micro_pst.dir/micro_pst.cc.o.d"
+  "micro_pst"
+  "micro_pst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

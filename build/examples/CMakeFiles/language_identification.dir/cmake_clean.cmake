@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_identification.dir/language_identification.cpp.o"
+  "CMakeFiles/language_identification.dir/language_identification.cpp.o.d"
+  "language_identification"
+  "language_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_clusterers.cc" "src/CMakeFiles/cluseq.dir/baselines/baseline_clusterers.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/baseline_clusterers.cc.o.d"
+  "/root/repo/src/baselines/block_edit_distance.cc" "src/CMakeFiles/cluseq.dir/baselines/block_edit_distance.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/block_edit_distance.cc.o.d"
+  "/root/repo/src/baselines/edit_distance.cc" "src/CMakeFiles/cluseq.dir/baselines/edit_distance.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/edit_distance.cc.o.d"
+  "/root/repo/src/baselines/hmm.cc" "src/CMakeFiles/cluseq.dir/baselines/hmm.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/hmm.cc.o.d"
+  "/root/repo/src/baselines/kmedoids.cc" "src/CMakeFiles/cluseq.dir/baselines/kmedoids.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/kmedoids.cc.o.d"
+  "/root/repo/src/baselines/qgram.cc" "src/CMakeFiles/cluseq.dir/baselines/qgram.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/baselines/qgram.cc.o.d"
+  "/root/repo/src/core/cluseq.cc" "src/CMakeFiles/cluseq.dir/core/cluseq.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/cluseq.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/cluseq.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/online_scorer.cc" "src/CMakeFiles/cluseq.dir/core/online_scorer.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/online_scorer.cc.o.d"
+  "/root/repo/src/core/seeding.cc" "src/CMakeFiles/cluseq.dir/core/seeding.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/seeding.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/cluseq.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/CMakeFiles/cluseq.dir/core/threshold.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/core/threshold.cc.o.d"
+  "/root/repo/src/eval/contingency.cc" "src/CMakeFiles/cluseq.dir/eval/contingency.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/eval/contingency.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/cluseq.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/cluseq.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/eval/report.cc.o.d"
+  "/root/repo/src/pst/pst.cc" "src/CMakeFiles/cluseq.dir/pst/pst.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/pst/pst.cc.o.d"
+  "/root/repo/src/pst/pst_dot.cc" "src/CMakeFiles/cluseq.dir/pst/pst_dot.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/pst/pst_dot.cc.o.d"
+  "/root/repo/src/pst/pst_serialization.cc" "src/CMakeFiles/cluseq.dir/pst/pst_serialization.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/pst/pst_serialization.cc.o.d"
+  "/root/repo/src/seq/alphabet.cc" "src/CMakeFiles/cluseq.dir/seq/alphabet.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/alphabet.cc.o.d"
+  "/root/repo/src/seq/background_model.cc" "src/CMakeFiles/cluseq.dir/seq/background_model.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/background_model.cc.o.d"
+  "/root/repo/src/seq/io.cc" "src/CMakeFiles/cluseq.dir/seq/io.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/io.cc.o.d"
+  "/root/repo/src/seq/sequence.cc" "src/CMakeFiles/cluseq.dir/seq/sequence.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/sequence.cc.o.d"
+  "/root/repo/src/seq/sequence_database.cc" "src/CMakeFiles/cluseq.dir/seq/sequence_database.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/sequence_database.cc.o.d"
+  "/root/repo/src/seq/suffix_array.cc" "src/CMakeFiles/cluseq.dir/seq/suffix_array.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/seq/suffix_array.cc.o.d"
+  "/root/repo/src/synth/dataset.cc" "src/CMakeFiles/cluseq.dir/synth/dataset.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/synth/dataset.cc.o.d"
+  "/root/repo/src/synth/generator_model.cc" "src/CMakeFiles/cluseq.dir/synth/generator_model.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/synth/generator_model.cc.o.d"
+  "/root/repo/src/synth/language_like.cc" "src/CMakeFiles/cluseq.dir/synth/language_like.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/synth/language_like.cc.o.d"
+  "/root/repo/src/synth/protein_like.cc" "src/CMakeFiles/cluseq.dir/synth/protein_like.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/synth/protein_like.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/cluseq.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/cluseq.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/cluseq.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/cluseq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/cluseq.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/cluseq.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/cluseq.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

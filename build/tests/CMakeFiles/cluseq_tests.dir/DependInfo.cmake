@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alphabet_test.cc" "tests/CMakeFiles/cluseq_tests.dir/alphabet_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/alphabet_test.cc.o.d"
+  "/root/repo/tests/background_model_test.cc" "tests/CMakeFiles/cluseq_tests.dir/background_model_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/background_model_test.cc.o.d"
+  "/root/repo/tests/baseline_clusterers_test.cc" "tests/CMakeFiles/cluseq_tests.dir/baseline_clusterers_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/baseline_clusterers_test.cc.o.d"
+  "/root/repo/tests/block_edit_test.cc" "tests/CMakeFiles/cluseq_tests.dir/block_edit_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/block_edit_test.cc.o.d"
+  "/root/repo/tests/cluseq_test.cc" "tests/CMakeFiles/cluseq_tests.dir/cluseq_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/cluseq_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/cluseq_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/edit_distance_test.cc" "tests/CMakeFiles/cluseq_tests.dir/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/edit_distance_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/cluseq_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/cluseq_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/hmm_test.cc" "tests/CMakeFiles/cluseq_tests.dir/hmm_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/hmm_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/cluseq_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/cluseq_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kmedoids_test.cc" "tests/CMakeFiles/cluseq_tests.dir/kmedoids_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/kmedoids_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/cluseq_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/cluseq_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/online_scorer_test.cc" "tests/CMakeFiles/cluseq_tests.dir/online_scorer_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/online_scorer_test.cc.o.d"
+  "/root/repo/tests/options_behavior_test.cc" "tests/CMakeFiles/cluseq_tests.dir/options_behavior_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/options_behavior_test.cc.o.d"
+  "/root/repo/tests/pst_dot_test.cc" "tests/CMakeFiles/cluseq_tests.dir/pst_dot_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/pst_dot_test.cc.o.d"
+  "/root/repo/tests/pst_merge_test.cc" "tests/CMakeFiles/cluseq_tests.dir/pst_merge_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/pst_merge_test.cc.o.d"
+  "/root/repo/tests/pst_pruning_test.cc" "tests/CMakeFiles/cluseq_tests.dir/pst_pruning_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/pst_pruning_test.cc.o.d"
+  "/root/repo/tests/pst_serialization_test.cc" "tests/CMakeFiles/cluseq_tests.dir/pst_serialization_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/pst_serialization_test.cc.o.d"
+  "/root/repo/tests/pst_test.cc" "tests/CMakeFiles/cluseq_tests.dir/pst_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/pst_test.cc.o.d"
+  "/root/repo/tests/qgram_test.cc" "tests/CMakeFiles/cluseq_tests.dir/qgram_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/qgram_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/cluseq_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/seeding_test.cc" "tests/CMakeFiles/cluseq_tests.dir/seeding_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/seeding_test.cc.o.d"
+  "/root/repo/tests/sequence_test.cc" "tests/CMakeFiles/cluseq_tests.dir/sequence_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/sequence_test.cc.o.d"
+  "/root/repo/tests/serialization_fuzz_test.cc" "tests/CMakeFiles/cluseq_tests.dir/serialization_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/serialization_fuzz_test.cc.o.d"
+  "/root/repo/tests/similarity_test.cc" "tests/CMakeFiles/cluseq_tests.dir/similarity_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/similarity_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/cluseq_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/cluseq_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/suffix_array_test.cc" "tests/CMakeFiles/cluseq_tests.dir/suffix_array_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/suffix_array_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/cluseq_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/thread_pool_test.cc.o.d"
+  "/root/repo/tests/threshold_test.cc" "tests/CMakeFiles/cluseq_tests.dir/threshold_test.cc.o" "gcc" "tests/CMakeFiles/cluseq_tests.dir/threshold_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cluseq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluseq_cli.dir/cluseq_cli.cc.o"
+  "CMakeFiles/cluseq_cli.dir/cluseq_cli.cc.o.d"
+  "cluseq_cli"
+  "cluseq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluseq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
