@@ -11,8 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluseq/cluseq.h"
 
@@ -80,6 +83,26 @@ inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
     std::printf("\n-- csv --\n");
     table.PrintCsv(std::cout);
   }
+}
+
+/// Writes a flat metrics object to BENCH_<name>.json in the working
+/// directory, so successive runs leave a machine-readable trajectory next
+/// to the human-readable tables. Values print with enough digits to
+/// round-trip a double.
+inline bool WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ofstream out("BENCH_" + name + ".json");
+  if (!out) return false;
+  out << "{\n  \"bench\": \"" << name << "\"";
+  for (const auto& [key, value] : metrics) {
+    out << ",\n  \"" << key << "\": ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << buf;
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace cluseq_bench

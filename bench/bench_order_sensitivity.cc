@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
       CluseqOptions options = ScaledCluseqOptions(args.scale);
       options.visit_order = order;
       options.rebuild_each_iteration = rebuild;
+      // Order can only matter through the §4.2 within-scan PST updates; the
+      // default frozen-batch scan is order-independent by construction.
+      options.within_scan_updates = true;
       Stopwatch timer;
       ClusteringResult result;
       Status st = RunCluseq(db, options, &result);

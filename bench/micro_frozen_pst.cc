@@ -1,0 +1,104 @@
+// Frozen-vs-live scoring throughput: the compiled suffix-link automaton
+// against the reference per-position trie walk, across query lengths and
+// tree depths, plus the one-time freeze cost it has to amortize. Emits
+// BENCH_frozen_pst.json so the speedup lands in the benchmark trajectory.
+
+#include "bench/bench_common.h"
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+namespace {
+
+std::vector<SymbolId> RandomText(size_t len, size_t alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SymbolId> text(len);
+  for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+  return text;
+}
+
+// Repeats `fn` until ~0.2s has elapsed; returns seconds per call.
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  size_t reps = 1;
+  for (;;) {
+    Stopwatch timer;
+    for (size_t r = 0; r < reps; ++r) fn();
+    double secs = timer.ElapsedSeconds();
+    if (secs > 0.2) return secs / static_cast<double>(reps);
+    reps = secs <= 0.0 ? reps * 8 : reps * 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Frozen scoring engine",
+              "compiled automaton vs live trie walk (this library)");
+
+  const size_t alphabet = 20;
+  PstOptions options;
+  options.significance_threshold = 4;
+  BackgroundModel background =
+      BackgroundModel::FromCounts(std::vector<uint64_t>(alphabet, 100));
+
+  ReportTable table({"Depth", "Query len", "Live Msym/s", "Frozen Msym/s",
+                     "Speedup", "Freeze (ms)", "States"});
+  std::vector<std::pair<std::string, double>> metrics;
+  double speedup_at_reference = 0.0;
+
+  for (size_t depth : {3, 6, 9}) {
+    options.max_depth = depth;
+    Pst pst(alphabet, options);
+    pst.InsertSequence(RandomText(Scaled(5000, args.scale), alphabet, 11));
+
+    double freeze_secs = TimePerCall(
+        [&] { FrozenPst snapshot(pst, background); (void)snapshot; });
+    FrozenPst frozen(pst, background);
+
+    for (size_t query_len : {200, 4000}) {
+      std::vector<SymbolId> query = RandomText(query_len, alphabet, 13);
+      volatile double sink = 0.0;
+      double live_secs = TimePerCall([&] {
+        sink = ComputeSimilarity(pst, background, query).log_sim;
+      });
+      double frozen_secs = TimePerCall(
+          [&] { sink = ComputeSimilarity(frozen, query).log_sim; });
+      (void)sink;
+
+      const double live_rate =
+          static_cast<double>(query_len) / live_secs / 1e6;
+      const double frozen_rate =
+          static_cast<double>(query_len) / frozen_secs / 1e6;
+      const double speedup = live_secs / frozen_secs;
+      table.AddRow({std::to_string(depth), std::to_string(query_len),
+                    FormatDouble(live_rate, 2), FormatDouble(frozen_rate, 2),
+                    FormatDouble(speedup, 2) + "x",
+                    FormatDouble(freeze_secs * 1e3, 2),
+                    std::to_string(frozen.num_states())});
+
+      const std::string tag =
+          "d" + std::to_string(depth) + "_l" + std::to_string(query_len);
+      metrics.emplace_back("live_msyms_" + tag, live_rate);
+      metrics.emplace_back("frozen_msyms_" + tag, frozen_rate);
+      metrics.emplace_back("speedup_" + tag, speedup);
+      if (depth == 6 && query_len == 4000) speedup_at_reference = speedup;
+    }
+    metrics.emplace_back("freeze_ms_d" + std::to_string(depth),
+                         freeze_secs * 1e3);
+  }
+
+  EmitTable(table, args.csv);
+  metrics.emplace_back("speedup_reference", speedup_at_reference);
+  if (!WriteBenchJson("frozen_pst", metrics)) {
+    std::fprintf(stderr, "failed to write BENCH_frozen_pst.json\n");
+    return 1;
+  }
+  std::printf("\nreference speedup (depth 6, 4000-symbol query): %.2fx\n",
+              speedup_at_reference);
+  std::printf("metrics -> BENCH_frozen_pst.json\n");
+  return 0;
+}

@@ -46,6 +46,26 @@ void BM_SimilarityDp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimilarityDp)->Arg(50)->Arg(200)->Arg(1000)->Arg(4000);
 
+void BM_SimilarityFrozen(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1e-4);
+  FrozenPst frozen(*f.pst, f.background);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSimilarity(frozen, f.query).log_sim);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SimilarityFrozen)->Arg(50)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_FreezePst(benchmark::State& state) {
+  Fixture f(50, 1e-4);
+  for (auto _ : state) {
+    FrozenPst frozen(*f.pst, f.background);
+    benchmark::DoNotOptimize(frozen.num_states());
+  }
+}
+BENCHMARK(BM_FreezePst);
+
 void BM_SimilarityBruteForce(benchmark::State& state) {
   Fixture f(static_cast<size_t>(state.range(0)), 1e-4);
   for (auto _ : state) {

@@ -104,21 +104,26 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
   const size_t sample_size = std::min<size_t>(n, 24);
   if (sample_size < 3) return std::log(options_.similarity_threshold);
   std::vector<size_t> sample = rng_.SampleWithoutReplacement(n, sample_size);
-  std::vector<Pst> psts;
-  psts.reserve(sample_size);
-  for (size_t idx : sample) {
-    psts.emplace_back(db_.alphabet().size(), options_.pst);
-    psts.back().InsertSequence(db_[idx]);
-  }
-  std::vector<double> sims;
-  sims.reserve(sample_size * (sample_size - 1));
-  for (size_t i = 0; i < sample_size; ++i) {
+  // Single-sequence summaries, compiled once each and scored pairwise with
+  // the automaton scan. The live trees are throwaways.
+  std::vector<FrozenPst> frozen(sample_size);
+  ParallelFor(sample_size, options_.num_threads, [&](size_t j) {
+    Pst pst(db_.alphabet().size(), options_.pst);
+    pst.InsertSequence(db_[sample[j]]);
+    frozen[j] = FrozenPst(pst, background_);
+  });
+  std::vector<double> pairwise(sample_size * sample_size, kNegInf);
+  ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
     for (size_t j = 0; j < sample_size; ++j) {
       if (i == j) continue;
-      double s =
-          ComputeSimilarity(psts[j], background_, db_[sample[i]]).log_sim;
-      if (std::isfinite(s)) sims.push_back(s);
+      pairwise[i * sample_size + j] =
+          ComputeSimilarity(frozen[j], db_[sample[i]]).log_sim;
     }
+  });
+  std::vector<double> sims;
+  sims.reserve(sample_size * (sample_size - 1));
+  for (double s : pairwise) {
+    if (std::isfinite(s)) sims.push_back(s);
   }
   if (sims.size() < 8) return std::log(options_.similarity_threshold);
   size_t pos = static_cast<size_t>(options_.auto_threshold_quantile *
@@ -179,15 +184,17 @@ void CluseqClusterer::RebuildClusterPsts() {
   // would contaminate the summary forever. Rebuilding from the current
   // membership keeps the PST an honest summary of exactly its members —
   // each contributing the segment that maximized its similarity under the
-  // outgoing summary — while the within-scan incremental updates of §4.2
-  // (and hence the §6.3 order sensitivity) are untouched.
+  // outgoing summary. Orthogonal to `within_scan_updates`: this runs between
+  // iterations, never inside a scan.
   for (Cluster& cluster : clusters_) {
     const std::vector<size_t>& members = cluster.members();
     if (members.empty()) continue;
+    // One freeze amortizes over every member; the snapshot also spares the
+    // worker threads from contending on the live tree's pointer chasing.
+    const FrozenPst frozen(cluster.pst(), background_);
     std::vector<std::pair<size_t, size_t>> segments(members.size());
     ParallelFor(members.size(), options_.num_threads, [&](size_t i) {
-      SimilarityResult sim =
-          ComputeSimilarity(cluster.pst(), background_, db_[members[i]]);
+      SimilarityResult sim = ComputeSimilarity(frozen, db_[members[i]]);
       segments[i] = {sim.best_begin, sim.best_end};
     });
     cluster.ResetPst();
@@ -200,6 +207,14 @@ void CluseqClusterer::RebuildClusterPsts() {
   }
 }
 
+std::vector<FrozenPst> CluseqClusterer::FreezeClusters() const {
+  std::vector<FrozenPst> frozen(clusters_.size());
+  ParallelFor(clusters_.size(), options_.num_threads, [&](size_t ci) {
+    frozen[ci] = FrozenPst(clusters_[ci].pst(), background_);
+  });
+  return frozen;
+}
+
 void CluseqClusterer::Recluster() {
   const size_t n = db_.size();
   for (Cluster& c : clusters_) c.ClearMembers();
@@ -207,16 +222,50 @@ void CluseqClusterer::Recluster() {
   best_log_sim_.assign(n, kNegInf);
   all_log_sims_.clear();
   all_log_sims_.reserve(n * clusters_.size());
+  const size_t kc = clusters_.size();
 
+  if (!options_.within_scan_updates) {
+    // Batch mode (default): freeze every cluster summary once, fan the
+    // n × kc similarity evaluations out across sequences, then apply joins
+    // and segment absorption sequentially. Scores against a frozen summary
+    // are bit-for-bit those of the live tree, and the deferred apply phase
+    // only bumps commutative counts, so the iteration is independent of
+    // both visit order and thread count.
+    if (kc == 0) return;
+    const std::vector<FrozenPst> frozen = FreezeClusters();
+    std::vector<SimilarityResult> sims(n * kc);
+    ParallelFor(n, options_.num_threads, [&](size_t s) {
+      std::span<const SymbolId> symbols(db_[s].symbols());
+      for (size_t ci = 0; ci < kc; ++ci) {
+        sims[s * kc + ci] = ComputeSimilarity(frozen[ci], symbols);
+      }
+    });
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t ci = 0; ci < kc; ++ci) {
+        const SimilarityResult& sim = sims[s * kc + ci];
+        all_log_sims_.push_back(sim.log_sim);
+        best_log_sim_[s] = std::max(best_log_sim_[s], sim.log_sim);
+        if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
+          clusters_[ci].AddMember(s);
+          joined_[s].push_back({clusters_[ci].id(), sim.log_sim});
+          auto segment = std::span<const SymbolId>(db_[s].symbols())
+                             .subspan(sim.best_begin,
+                                      sim.best_end - sim.best_begin);
+          clusters_[ci].AbsorbSegment(s, segment);
+        }
+      }
+    }
+    return;
+  }
+
+  // §4.2 mode: sequences are visited one at a time and each join updates
+  // the joined cluster's PST mid-scan, which later sequences observe — so
+  // parallelism can only be applied across clusters for one sequence.
   std::vector<size_t> order = VisitOrderIndices();
   std::vector<SimilarityResult> sims;
   for (size_t seq_index : order) {
     const Sequence& seq = db_[seq_index];
-    const size_t kc = clusters_.size();
     sims.assign(kc, SimilarityResult{});
-    // Sequences must be visited sequentially (each join updates the joined
-    // cluster's PST, which later sequences observe — §4.2), so parallelism
-    // is applied across clusters for one sequence.
     size_t threads = kc >= 4 ? options_.num_threads : 1;
     ParallelFor(kc, threads, [&](size_t ci) {
       sims[ci] = ComputeSimilarity(clusters_[ci].pst(), background_, seq);
@@ -341,6 +390,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   background_ = BackgroundModel::FromDatabase(db_);
   rng_ = Rng(options_.rng_seed);
   clusters_.clear();
+  frozen_clusters_.clear();
   next_cluster_id_ = 0;
   log_t_ = options_.auto_initial_threshold
                ? EstimateInitialLogThreshold()
@@ -422,6 +472,8 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   }
   result->best_cluster = prev_best_cluster_;
   result->best_log_sim = best_log_sim_;
+  // Snapshot the final summaries so Classify() runs on compiled automata.
+  frozen_clusters_ = FreezeClusters();
   return Status::OK();
 }
 
@@ -429,9 +481,12 @@ int32_t CluseqClusterer::Classify(const Sequence& seq,
                                   double* log_sim) const {
   double best = kNegInf;
   int32_t best_pos = -1;
+  const bool cached = frozen_clusters_.size() == clusters_.size();
   for (size_t ci = 0; ci < clusters_.size(); ++ci) {
-    double s = ComputeSimilarity(clusters_[ci].pst(), background_, seq)
-                   .log_sim;
+    double s = cached
+                   ? ComputeSimilarity(frozen_clusters_[ci], seq).log_sim
+                   : ComputeSimilarity(clusters_[ci].pst(), background_, seq)
+                         .log_sim;
     if (s > best) {
       best = s;
       best_pos = static_cast<int32_t>(ci);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
 #include "seq/sequence_database.h"
@@ -62,6 +63,19 @@ struct CluseqOptions {
   /// false to reproduce that cumulative behavior (used by the order
   /// sensitivity ablation).
   bool rebuild_each_iteration = true;
+
+  /// The paper's §4.2 scan examines sequences one at a time and feeds each
+  /// join's maximizing segment into the joined cluster's PST *within* the
+  /// scan, so later sequences in the same iteration are scored against
+  /// already-updated summaries — the effect the §6.3 order study measures.
+  /// Default off: each iteration freezes every cluster summary into a
+  /// compiled automaton (FrozenPst), scores all sequences against the
+  /// snapshots in parallel, and applies joins and segment absorption
+  /// afterwards. Scores are bit-for-bit what the live path produces against
+  /// the same summaries, but the iteration becomes order-independent (the
+  /// visit order only matters when this is true) and parallel across
+  /// sequences rather than across clusters.
+  bool within_scan_updates = false;
 
   /// c: significance threshold for PST nodes (paper rule of thumb: >= 30).
   uint64_t significance_threshold = 30;
@@ -152,12 +166,16 @@ class CluseqClusterer {
 
   /// Classifies a new sequence: returns the index of the most similar final
   /// cluster and its log similarity, or -1 when below the final threshold.
+  /// Scores against the frozen snapshots cached by Run(), so repeated calls
+  /// pay no tree-walk cost.
   int32_t Classify(const Sequence& seq, double* log_sim = nullptr) const;
 
  private:
   size_t PlanNewClusters(size_t iteration) const;
   double EstimateInitialLogThreshold();
   void GenerateNewClusters(size_t count);
+  // Compiles every cluster's PST into a scoring snapshot (in parallel).
+  std::vector<FrozenPst> FreezeClusters() const;
   // Rebuilds each cluster's PST from its current members (purification).
   void RebuildClusterPsts();
   // Re-examines every sequence; fills joined_, all_log_sims_.
@@ -173,6 +191,9 @@ class CluseqClusterer {
   BackgroundModel background_;
   Rng rng_;
   std::vector<Cluster> clusters_;
+  // Compiled snapshots of clusters_, refreshed at the end of Run() so
+  // Classify() scans an automaton instead of re-walking the live trees.
+  std::vector<FrozenPst> frozen_clusters_;
   uint32_t next_cluster_id_ = 0;
   double log_t_ = 0.0;
 

@@ -1,6 +1,7 @@
 #include "core/online_scorer.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace cluseq {
 
@@ -8,20 +9,22 @@ OnlineScorer::OnlineScorer(const BackgroundModel& background)
     : background_(background) {}
 
 size_t OnlineScorer::AddModel(const Pst* pst) {
-  models_.push_back(ModelState{pst});
-  // The window must cover the deepest context any model can use; the
-  // prediction node never looks further back (short-memory property).
-  window_capacity_ =
-      std::max(window_capacity_, pst->options().max_depth);
+  return AddModel(std::make_shared<const FrozenPst>(*pst, background_));
+}
+
+size_t OnlineScorer::AddModel(std::shared_ptr<const FrozenPst> model) {
+  ModelState state;
+  state.model = std::move(model);
+  models_.push_back(std::move(state));
   return models_.size() - 1;
 }
 
 void OnlineScorer::Push(SymbolId symbol) {
-  std::span<const SymbolId> context(window_);
-  const double log_bg = background_.LogProbability(symbol);
   for (ModelState& m : models_) {
-    const double x =
-        m.pst->LogConditionalProbability(context, symbol) - log_bg;
+    // log X_i straight from the snapshot: the automaton state already
+    // encodes the relevant context, background ratio included.
+    const double x = m.model->LogRatio(m.state, symbol);
+    m.state = m.model->Step(m.state, symbol);
     if (!m.started || m.y + x < x) {
       m.y = x;  // Restart the running segment at this symbol.
     } else {
@@ -29,10 +32,6 @@ void OnlineScorer::Push(SymbolId symbol) {
     }
     m.started = true;
     m.z = std::max(m.z, m.y);
-  }
-  window_.push_back(symbol);
-  if (window_.size() > window_capacity_) {
-    window_.erase(window_.begin());
   }
   ++position_;
 }
@@ -67,9 +66,9 @@ OnlineScorer::Score OnlineScorer::BestCurrentScore() const {
 }
 
 void OnlineScorer::Reset() {
-  window_.clear();
   position_ = 0;
   for (ModelState& m : models_) {
+    m.state = FrozenPst::kRootState;
     m.y = 0.0;
     m.z = -std::numeric_limits<double>::infinity();
     m.started = false;

@@ -4,8 +4,10 @@
 // model: Y (best segment ending *now*) and Z (best segment so far). That
 // makes it ideal for monitoring unbounded event streams: push one symbol at
 // a time and read, per cluster model, the running log SIM — no need to
-// re-score the whole history. A bounded context window of the last
-// max_depth symbols is all the PST lookup requires (short memory).
+// re-score the whole history. Each model is held as a compiled FrozenPst
+// snapshot, so per-stream state is a single automaton state instead of a
+// context window: Push() is one transition plus one table load per model,
+// with no context re-walk and no per-symbol allocation.
 //
 // Typical use (online anomaly detection over learned behavior clusters):
 //
@@ -22,8 +24,10 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
 
@@ -44,12 +48,20 @@ class OnlineScorer {
   /// `background` must outlive the scorer.
   explicit OnlineScorer(const BackgroundModel& background);
 
-  /// Registers a model; `pst` must outlive the scorer. Returns its index.
+  /// Registers a model by compiling a snapshot of `pst` against the
+  /// scorer's background; later changes to the live tree are not seen.
+  /// Returns the model's index.
   size_t AddModel(const Pst* pst);
+
+  /// Registers an already-compiled snapshot (shared across scorers and
+  /// streams — snapshots are immutable). Must have been compiled against
+  /// the same background distribution this scorer was constructed with.
+  size_t AddModel(std::shared_ptr<const FrozenPst> model);
 
   size_t num_models() const { return models_.size(); }
 
-  /// Consumes one symbol, updating every model's running scores. O(k · L).
+  /// Consumes one symbol, updating every model's running scores. O(k): one
+  /// automaton transition and one table load per model.
   void Push(SymbolId symbol);
 
   /// Symbols consumed since construction or the last Reset().
@@ -65,12 +77,13 @@ class OnlineScorer {
   /// one to monitor for drift/anomaly alerts.
   Score BestCurrentScore() const;
 
-  /// Clears stream state (history and scores), keeping the models.
+  /// Clears stream state (automaton states and scores), keeping the models.
   void Reset();
 
  private:
   struct ModelState {
-    const Pst* pst;
+    std::shared_ptr<const FrozenPst> model;
+    FrozenPst::State state = FrozenPst::kRootState;
     double y = 0.0;  // log of best segment ending at current position.
     double z = -std::numeric_limits<double>::infinity();
     bool started = false;
@@ -78,9 +91,6 @@ class OnlineScorer {
 
   const BackgroundModel& background_;
   std::vector<ModelState> models_;
-  // Ring buffer of the last `max context` symbols, most recent last.
-  std::vector<SymbolId> window_;
-  size_t window_capacity_ = 0;
   size_t position_ = 0;
 };
 

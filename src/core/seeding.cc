@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/similarity.h"
+#include "pst/frozen_pst.h"
 #include "util/thread_pool.h"
 
 namespace cluseq {
@@ -28,12 +29,14 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
   for (size_t i = 0; i < sample_size; ++i) {
     sample_seq[i] = unclustered[sample_positions[i]];
   }
-  std::vector<Pst> sample_psts;
-  sample_psts.reserve(sample_size);
-  for (size_t i = 0; i < sample_size; ++i) {
-    sample_psts.emplace_back(db.alphabet().size(), pst_options);
-    sample_psts.back().InsertSequence(db[sample_seq[i]]);
-  }
+  // Compiled once here, each snapshot is scored against up to
+  // sample_size - 1 peers plus every farthest-first round below.
+  std::vector<FrozenPst> sample_psts(sample_size);
+  ParallelFor(sample_size, num_threads, [&](size_t i) {
+    Pst pst(db.alphabet().size(), pst_options);
+    pst.InsertSequence(db[sample_seq[i]]);
+    sample_psts[i] = FrozenPst(pst, background);
+  });
 
   // Outlier screen: how well is each sample explained by its best peer?
   // Outliers have no similar peers and would otherwise win every
@@ -45,8 +48,7 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
       for (size_t j = 0; j < sample_size; ++j) {
         if (j == i) continue;
         double s =
-            ComputeSimilarity(sample_psts[j], background, db[sample_seq[i]])
-                .log_sim;
+            ComputeSimilarity(sample_psts[j], db[sample_seq[i]]).log_sim;
         peer_best[i] = std::max(peer_best[i], s);
       }
     });
@@ -59,12 +61,14 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
 
   // Highest similarity of each sample to anything already in T.
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<FrozenPst> frozen_existing(existing.size());
+  ParallelFor(existing.size(), num_threads, [&](size_t ci) {
+    frozen_existing[ci] = FrozenPst(existing[ci].pst(), background);
+  });
   std::vector<double> best_sim(sample_size, kNegInf);
   ParallelFor(sample_size, num_threads, [&](size_t i) {
-    for (const Cluster& cluster : existing) {
-      double s =
-          ComputeSimilarity(cluster.pst(), background, db[sample_seq[i]])
-              .log_sim;
+    for (const FrozenPst& cluster : frozen_existing) {
+      double s = ComputeSimilarity(cluster, db[sample_seq[i]]).log_sim;
       best_sim[i] = std::max(best_sim[i], s);
     }
   });
@@ -87,10 +91,10 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
 
     // The chosen seed joins T: refresh the remaining samples' best
     // similarity against its PST.
-    const Pst& pst = sample_psts[pick];
+    const FrozenPst& pst = sample_psts[pick];
     ParallelFor(sample_size, num_threads, [&](size_t i) {
       if (taken[i]) return;
-      double s = ComputeSimilarity(pst, background, db[sample_seq[i]]).log_sim;
+      double s = ComputeSimilarity(pst, db[sample_seq[i]]).log_sim;
       best_sim[i] = std::max(best_sim[i], s);
     });
   }

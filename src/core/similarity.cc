@@ -1,28 +1,30 @@
 #include "core/similarity.h"
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace cluseq {
 
-SimilarityResult ComputeSimilarity(const Pst& pst,
-                                   const BackgroundModel& background,
-                                   std::span<const SymbolId> symbols) {
+namespace {
+
+// The §4.3 single-scan recurrence in log space, shared by the live and
+// frozen engines so the DP itself cannot drift between them:
+//   Y_i = max(Y_{i-1} + X_i, X_i)   (best segment ending at i)
+//   Z_i = max(Z_{i-1}, Y_i)         (best segment ending ≤ i)
+// `ratio(i)` supplies log X_i.
+template <typename RatioFn>
+SimilarityResult SegmentMaxScan(size_t l, RatioFn&& ratio) {
   SimilarityResult result;
-  const size_t l = symbols.size();
   if (l == 0) {
     result.log_sim = -std::numeric_limits<double>::infinity();
     return result;
   }
-
   double y = 0.0;           // log Y_i
   size_t y_begin = 0;       // Start of the segment realizing Y_i.
   double z = -std::numeric_limits<double>::infinity();  // log Z_i
-
   for (size_t i = 0; i < l; ++i) {
-    const double x = pst.LogConditionalProbability(symbols.subspan(0, i),
-                                                   symbols[i]) -
-                     background.LogProbability(symbols[i]);
+    const double x = ratio(i);
     if (i == 0 || y + x < x) {
       y = x;  // Restart: the best segment ending at i is {s_i} alone.
       y_begin = i;
@@ -39,6 +41,33 @@ SimilarityResult ComputeSimilarity(const Pst& pst,
   return result;
 }
 
+}  // namespace
+
+double ContextLogRatio(const Pst& pst, const BackgroundModel& background,
+                       std::span<const SymbolId> symbols, size_t i) {
+  return pst.LogConditionalProbability(symbols.subspan(0, i), symbols[i]) -
+         background.LogProbability(symbols[i]);
+}
+
+SimilarityResult ComputeSimilarity(const Pst& pst,
+                                   const BackgroundModel& background,
+                                   std::span<const SymbolId> symbols) {
+  return SegmentMaxScan(symbols.size(), [&](size_t i) {
+    return ContextLogRatio(pst, background, symbols, i);
+  });
+}
+
+SimilarityResult ComputeSimilarity(const FrozenPst& pst,
+                                   std::span<const SymbolId> symbols) {
+  FrozenPst::State state = FrozenPst::kRootState;
+  return SegmentMaxScan(symbols.size(), [&](size_t i) {
+    const SymbolId s = symbols[i];
+    const double x = pst.LogRatio(state, s);
+    state = pst.Step(state, s);
+    return x;
+  });
+}
+
 SimilarityResult ComputeSimilarityBruteForce(
     const Pst& pst, const BackgroundModel& background,
     std::span<const SymbolId> symbols) {
@@ -52,8 +81,7 @@ SimilarityResult ComputeSimilarityBruteForce(
   // preceding context, regardless of the segment boundary.
   std::vector<double> x(l);
   for (size_t i = 0; i < l; ++i) {
-    x[i] = pst.LogConditionalProbability(symbols.subspan(0, i), symbols[i]) -
-           background.LogProbability(symbols[i]);
+    x[i] = ContextLogRatio(pst, background, symbols, i);
   }
   result.log_sim = -std::numeric_limits<double>::infinity();
   for (size_t j = 0; j < l; ++j) {

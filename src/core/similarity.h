@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <span>
 
+#include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
 #include "seq/sequence.h"
@@ -38,9 +39,17 @@ struct SimilarityResult {
   bool Exceeds(double log_threshold) const { return log_sim >= log_threshold; }
 };
 
+/// log X_i = log [P̂(s_i | s_1…s_{i-1}) / p(s_i)], the per-position term of
+/// the §4.3 recurrences. Shared by the DP, the brute-force reference, and
+/// the threshold estimator so the paths cannot drift apart.
+double ContextLogRatio(const Pst& pst, const BackgroundModel& background,
+                       std::span<const SymbolId> symbols, size_t i);
+
 /// Computes SIM between `symbols` and the cluster summarized by `pst`,
 /// with `background` supplying the memoryless p(s) probabilities.
-/// O(l · L) where L is the PST depth bound.
+/// O(l · L) where L is the PST depth bound: every position re-walks the
+/// trie from the root. Reference path; prefer the FrozenPst overload on
+/// any hot loop.
 SimilarityResult ComputeSimilarity(const Pst& pst,
                                    const BackgroundModel& background,
                                    std::span<const SymbolId> symbols);
@@ -50,6 +59,18 @@ inline SimilarityResult ComputeSimilarity(const Pst& pst,
                                           const Sequence& seq) {
   return ComputeSimilarity(pst, background,
                            std::span<const SymbolId>(seq.symbols()));
+}
+
+/// Same DP over a compiled scoring snapshot: an O(l) automaton scan with
+/// amortized O(1) per symbol (one transition + one table load), no root
+/// walks. The background ratios are baked into the snapshot. Produces
+/// bit-for-bit the results of the live overload on the frozen tree.
+SimilarityResult ComputeSimilarity(const FrozenPst& pst,
+                                   std::span<const SymbolId> symbols);
+
+inline SimilarityResult ComputeSimilarity(const FrozenPst& pst,
+                                          const Sequence& seq) {
+  return ComputeSimilarity(pst, std::span<const SymbolId>(seq.symbols()));
 }
 
 /// Reference O(l^2) implementation that evaluates every segment explicitly.

@@ -12,6 +12,7 @@ namespace cluseq {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'T', '1'};
+constexpr char kFrozenMagic[4] = {'F', 'P', 'T', '1'};
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -149,6 +150,82 @@ class PstSerializer {
     *pst = std::move(loaded);
     return Status::OK();
   }
+
+  static Status SaveFrozen(const FrozenPst& pst, std::ostream& out) {
+    out.write(kFrozenMagic, sizeof(kFrozenMagic));
+    WritePod(out, static_cast<uint64_t>(pst.alphabet_size_));
+    WritePod(out, static_cast<uint64_t>(pst.max_depth_));
+    WritePod(out, static_cast<uint64_t>(pst.depth_.size()));
+    WriteVec(out, pst.depth_);
+    WriteVec(out, pst.next_);
+    WriteVec(out, pst.log_ratio_);
+    if (!out) return Status::IOError("frozen PST write failed");
+    return Status::OK();
+  }
+
+  static Status LoadFrozen(std::istream& in, FrozenPst* pst) {
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kFrozenMagic, sizeof(kFrozenMagic)) != 0) {
+      return Status::Corruption("bad frozen PST magic");
+    }
+    uint64_t alphabet_size = 0, max_depth = 0, num_states = 0;
+    if (!ReadPod(in, &alphabet_size) || !ReadPod(in, &max_depth) ||
+        !ReadPod(in, &num_states)) {
+      return Status::Corruption("truncated frozen PST header");
+    }
+    // Same sanity bounds as the live loader: untrusted sizes must not drive
+    // huge allocations before the stream runs dry.
+    if (num_states == 0 || num_states > (1ULL << 28) || alphabet_size == 0 ||
+        alphabet_size > (1ULL << 24) ||
+        num_states * alphabet_size > (1ULL << 32)) {
+      return Status::Corruption("implausible frozen PST header sizes");
+    }
+    FrozenPst loaded;
+    loaded.alphabet_size_ = static_cast<size_t>(alphabet_size);
+    loaded.max_depth_ = static_cast<size_t>(max_depth);
+    const size_t n = static_cast<size_t>(num_states);
+    const size_t cells = n * loaded.alphabet_size_;
+    if (!ReadVec(in, n, &loaded.depth_) ||
+        !ReadVec(in, cells, &loaded.next_) ||
+        !ReadVec(in, cells, &loaded.log_ratio_)) {
+      return Status::Corruption("truncated frozen PST body");
+    }
+    // Structural validation so a corrupted file cannot make Step() walk out
+    // of the tables: every transition in range, depths within bound and
+    // non-decreasing (the compiler emits states depth-major).
+    if (loaded.depth_[0] != 0) {
+      return Status::Corruption("frozen PST root has nonzero depth");
+    }
+    for (size_t s = 0; s < n; ++s) {
+      if (loaded.depth_[s] > loaded.max_depth_ ||
+          (s > 0 && loaded.depth_[s] < loaded.depth_[s - 1])) {
+        return Status::Corruption("frozen PST depths out of order");
+      }
+    }
+    for (FrozenPst::State t : loaded.next_) {
+      if (t >= n) {
+        return Status::Corruption("frozen PST transition out of range");
+      }
+    }
+    *pst = std::move(loaded);
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  static void WriteVec(std::ostream& out, const std::vector<T>& v) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  static bool ReadVec(std::istream& in, size_t count, std::vector<T>* v) {
+    v->resize(count);
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    return static_cast<bool>(in);
+  }
 };
 
 Status SavePst(const Pst& pst, std::ostream& out) {
@@ -169,6 +246,26 @@ Status LoadPstFromFile(const std::string& path, Pst* pst) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   return LoadPst(in, pst);
+}
+
+Status SaveFrozenPst(const FrozenPst& pst, std::ostream& out) {
+  return PstSerializer::SaveFrozen(pst, out);
+}
+
+Status SaveFrozenPstToFile(const FrozenPst& pst, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveFrozenPst(pst, out);
+}
+
+Status LoadFrozenPst(std::istream& in, FrozenPst* pst) {
+  return PstSerializer::LoadFrozen(in, pst);
+}
+
+Status LoadFrozenPstFromFile(const std::string& path, FrozenPst* pst) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadFrozenPst(in, pst);
 }
 
 }  // namespace cluseq

@@ -1,11 +1,18 @@
-// Binary serialization for trained PSTs.
+// Binary serialization for trained PSTs and compiled scoring snapshots.
 //
-// Format (little-endian):
+// Live-tree format (little-endian):
 //   magic "PST1" | u64 alphabet_size | PstOptions fields | u64 node_count |
 //   per live node (pre-order): u32 parent_index, u32 edge_symbol, u64 count,
 //   u32 #next, (u32 symbol, u64 count)*
 // Node indices in the file are dense pre-order positions, so tombstones in
 // the in-memory arena are compacted away on save.
+//
+// Frozen-snapshot format (little-endian):
+//   magic "FPT1" | u64 alphabet_size | u64 max_depth | u64 num_states |
+//   u32 depth[num_states] | u32 next[num_states × alphabet] |
+//   f64 log_ratio[num_states × alphabet]
+// A snapshot deserializes straight into scoring shape — no recompilation,
+// no background model needed at load time (the ratios are baked in).
 
 #ifndef CLUSEQ_PST_PST_SERIALIZATION_H_
 #define CLUSEQ_PST_PST_SERIALIZATION_H_
@@ -13,6 +20,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "util/status.h"
 
@@ -25,6 +33,14 @@ Status SavePstToFile(const Pst& pst, const std::string& path);
 /// Reads a PST from `in` into `*pst` (replacing its contents).
 Status LoadPst(std::istream& in, Pst* pst);
 Status LoadPstFromFile(const std::string& path, Pst* pst);
+
+/// Writes a compiled scoring snapshot to `out`.
+Status SaveFrozenPst(const FrozenPst& pst, std::ostream& out);
+Status SaveFrozenPstToFile(const FrozenPst& pst, const std::string& path);
+
+/// Reads a snapshot from `in` into `*pst` (replacing its contents).
+Status LoadFrozenPst(std::istream& in, FrozenPst* pst);
+Status LoadFrozenPstFromFile(const std::string& path, FrozenPst* pst);
 
 }  // namespace cluseq
 

@@ -186,12 +186,18 @@ int RunCluster(CommonFlags& flags) {
   }
   if (!flags.model_dir.empty()) {
     for (size_t c = 0; c < clusterer.clusters().size(); ++c) {
-      std::string path =
-          flags.model_dir + "/cluster" + std::to_string(c) + ".pst";
-      st = SavePstToFile(clusterer.clusters()[c].pst(), path);
+      std::string base = flags.model_dir + "/cluster" + std::to_string(c);
+      // The live tree (retrainable) and the compiled snapshot (scoring-only,
+      // training background baked in) side by side; classify prefers the
+      // snapshot.
+      st = SavePstToFile(clusterer.clusters()[c].pst(), base + ".pst");
       if (!st.ok()) return Fail(st, "save model");
+      FrozenPst frozen(clusterer.clusters()[c].pst(), clusterer.background());
+      st = SaveFrozenPstToFile(frozen, base + ".fpst");
+      if (!st.ok()) return Fail(st, "save snapshot");
     }
-    std::printf("models -> %s/cluster*.pst\n", flags.model_dir.c_str());
+    std::printf("models -> %s/cluster*.{pst,fpst}\n",
+                flags.model_dir.c_str());
   }
   return 0;
 }
@@ -207,28 +213,39 @@ int RunClassify(const CommonFlags& flags) {
   Status st = ReadDatabase(flags.input, &db);
   if (!st.ok()) return Fail(st, "read");
 
-  std::vector<Pst> models;
+  // Prefer compiled snapshots (.fpst): they score directly and carry the
+  // training-time background. Fall back to live trees (.pst), frozen here
+  // against the input data's background.
+  std::vector<FrozenPst> models;
   for (size_t c = 0;; ++c) {
-    std::string path =
-        flags.model_dir + "/cluster" + std::to_string(c) + ".pst";
-    Pst pst(1, PstOptions{});
-    Status load = LoadPstFromFile(path, &pst);
+    std::string base = flags.model_dir + "/cluster" + std::to_string(c);
+    FrozenPst frozen;
+    Status load = LoadFrozenPstFromFile(base + ".fpst", &frozen);
     if (!load.ok()) break;
-    models.push_back(std::move(pst));
+    models.push_back(std::move(frozen));
   }
   if (models.empty()) {
-    std::fprintf(stderr, "classify: no cluster*.pst models in %s\n",
+    BackgroundModel background = BackgroundModel::FromDatabase(db);
+    for (size_t c = 0;; ++c) {
+      std::string base = flags.model_dir + "/cluster" + std::to_string(c);
+      Pst pst(1, PstOptions{});
+      Status load = LoadPstFromFile(base + ".pst", &pst);
+      if (!load.ok()) break;
+      models.emplace_back(pst, background);
+    }
+  }
+  if (models.empty()) {
+    std::fprintf(stderr, "classify: no cluster*.{fpst,pst} models in %s\n",
                  flags.model_dir.c_str());
     return 1;
   }
   std::printf("loaded %zu models\n", models.size());
 
-  BackgroundModel background = BackgroundModel::FromDatabase(db);
   for (size_t i = 0; i < db.size(); ++i) {
     double best = -1e300;
     size_t best_c = 0;
     for (size_t c = 0; c < models.size(); ++c) {
-      double s = ComputeSimilarity(models[c], background, db[i]).log_sim;
+      double s = ComputeSimilarity(models[c], db[i]).log_sim;
       if (s > best) {
         best = s;
         best_c = c;
