@@ -30,6 +30,7 @@
 #include "eval/contingency.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "pst/pst_dot.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 #include "core/seeding.h"
@@ -106,20 +107,35 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
   std::vector<size_t> sample = rng_.SampleWithoutReplacement(n, sample_size);
   // Single-sequence summaries, compiled once each and scored pairwise with
   // the automaton scan. The live trees are throwaways.
-  std::vector<FrozenPst> frozen(sample_size);
+  std::vector<std::shared_ptr<const FrozenPst>> frozen(sample_size);
   ParallelFor(sample_size, options_.num_threads, [&](size_t j) {
     Pst pst(db_.alphabet().size(), options_.pst);
     pst.InsertSequence(db_[sample[j]]);
-    frozen[j] = FrozenPst(pst, background_);
+    frozen[j] = std::make_shared<const FrozenPst>(pst, background_);
   });
   std::vector<double> pairwise(sample_size * sample_size, kNegInf);
-  ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
-    for (size_t j = 0; j < sample_size; ++j) {
-      if (i == j) continue;
-      pairwise[i * sample_size + j] =
-          ComputeSimilarity(frozen[j], db_[sample[i]]).log_sim;
-    }
-  });
+  if (options_.batched_scan) {
+    // One interleaved pass per sample sequence scores it against every
+    // other sample's model at once.
+    const FrozenBank sample_bank(frozen);
+    ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
+      std::vector<SimilarityResult> row =
+          sample_bank.ScanAll(std::span<const SymbolId>(
+              db_[sample[i]].symbols()));
+      for (size_t j = 0; j < sample_size; ++j) {
+        if (i == j) continue;
+        pairwise[i * sample_size + j] = row[j].log_sim;
+      }
+    });
+  } else {
+    ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
+      for (size_t j = 0; j < sample_size; ++j) {
+        if (i == j) continue;
+        pairwise[i * sample_size + j] =
+            ComputeSimilarity(*frozen[j], db_[sample[i]]).log_sim;
+      }
+    });
+  }
   std::vector<double> sims;
   sims.reserve(sample_size * (sample_size - 1));
   for (double s : pairwise) {
@@ -138,9 +154,13 @@ void CluseqClusterer::GenerateNewClusters(size_t count) {
   if (count == 0) return;
   size_t sample_size = static_cast<size_t>(
       std::ceil(options_.sample_multiplier * static_cast<double>(count)));
+  // Seeding scores samples against the existing clusters' snapshots, which
+  // also pre-warms them for this iteration's re-cluster scan.
+  RefreshFrozen();
   std::vector<size_t> seeds =
-      SelectSeeds(db_, unclustered_, count, sample_size, clusters_,
-                  background_, options_.pst, options_.num_threads, &rng_);
+      SelectSeeds(db_, unclustered_, count, sample_size, Snapshots(),
+                  background_, options_.pst, options_.num_threads, &rng_,
+                  options_.batched_scan);
   for (size_t seq_index : seeds) {
     clusters_.emplace_back(next_cluster_id_++, db_.alphabet().size(),
                            options_.pst);
@@ -186,33 +206,61 @@ void CluseqClusterer::RebuildClusterPsts() {
   // each contributing the segment that maximized its similarity under the
   // outgoing summary. Orthogonal to `within_scan_updates`: this runs between
   // iterations, never inside a scan.
+  //
+  // Incremental skip: when the recomputed segments are exactly what the
+  // tree already counts, resetting and reinserting them would reproduce the
+  // identical tree (pure counting is commutative across insert order), so
+  // the tree — and its compiled snapshot — is left untouched and the
+  // cluster needs no re-freeze this iteration. A memory budget makes
+  // insertion-order-dependent pruning kick in, so then we always rebuild.
+  const bool can_skip = options_.pst.max_memory_bytes == 0;
   for (Cluster& cluster : clusters_) {
     const std::vector<size_t>& members = cluster.members();
     if (members.empty()) continue;
     // One freeze amortizes over every member; the snapshot also spares the
     // worker threads from contending on the live tree's pointer chasing.
-    const FrozenPst frozen(cluster.pst(), background_);
-    std::vector<std::pair<size_t, size_t>> segments(members.size());
+    if (!cluster.frozen_fresh()) {
+      cluster.SetFrozen(
+          std::make_shared<const FrozenPst>(cluster.pst(), background_));
+      ++refrozen_this_iter_;
+    }
+    const FrozenPst& frozen = *cluster.frozen();
+    std::vector<Cluster::Segment> segments(members.size());
     ParallelFor(members.size(), options_.num_threads, [&](size_t i) {
       SimilarityResult sim = ComputeSimilarity(frozen, db_[members[i]]);
       segments[i] = {sim.best_begin, sim.best_end};
     });
+    if (can_skip && cluster.ContributionsMatch(members, segments)) continue;
     cluster.ResetPst();
     for (size_t i = 0; i < members.size(); ++i) {
-      auto segment = std::span<const SymbolId>(db_[members[i]].symbols())
-                         .subspan(segments[i].first,
-                                  segments[i].second - segments[i].first);
-      cluster.AbsorbSegment(members[i], segment);
+      cluster.AbsorbSegment(
+          members[i], std::span<const SymbolId>(db_[members[i]].symbols()),
+          segments[i].begin, segments[i].end);
     }
   }
 }
 
-std::vector<FrozenPst> CluseqClusterer::FreezeClusters() const {
-  std::vector<FrozenPst> frozen(clusters_.size());
-  ParallelFor(clusters_.size(), options_.num_threads, [&](size_t ci) {
-    frozen[ci] = FrozenPst(clusters_[ci].pst(), background_);
+size_t CluseqClusterer::RefreshFrozen() {
+  std::vector<size_t> stale;
+  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
+    if (!clusters_[ci].frozen_fresh()) stale.push_back(ci);
+  }
+  ParallelFor(stale.size(), options_.num_threads, [&](size_t i) {
+    Cluster& cluster = clusters_[stale[i]];
+    cluster.SetFrozen(
+        std::make_shared<const FrozenPst>(cluster.pst(), background_));
   });
-  return frozen;
+  refrozen_this_iter_ += stale.size();
+  return stale.size();
+}
+
+std::vector<std::shared_ptr<const FrozenPst>> CluseqClusterer::Snapshots()
+    const {
+  std::vector<std::shared_ptr<const FrozenPst>> snapshots(clusters_.size());
+  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
+    snapshots[ci] = clusters_[ci].frozen();
+  }
+  return snapshots;
 }
 
 void CluseqClusterer::Recluster() {
@@ -232,14 +280,29 @@ void CluseqClusterer::Recluster() {
     // only bumps commutative counts, so the iteration is independent of
     // both visit order and thread count.
     if (kc == 0) return;
-    const std::vector<FrozenPst> frozen = FreezeClusters();
+    Stopwatch scan_timer;
+    RefreshFrozen();  // Only dirty clusters are recompiled.
+    const std::vector<std::shared_ptr<const FrozenPst>> snapshots =
+        Snapshots();
     std::vector<SimilarityResult> sims(n * kc);
-    ParallelFor(n, options_.num_threads, [&](size_t s) {
-      std::span<const SymbolId> symbols(db_[s].symbols());
-      for (size_t ci = 0; ci < kc; ++ci) {
-        sims[s * kc + ci] = ComputeSimilarity(frozen[ci], symbols);
-      }
-    });
+    if (options_.batched_scan) {
+      // Pack every snapshot into the scoring arena (untouched models keep
+      // their rows byte-identical) and run one interleaved scan per
+      // sequence instead of kc serial automaton scans.
+      bank_.Assemble(snapshots);
+      ParallelFor(n, options_.num_threads, [&](size_t s) {
+        bank_.ScanAll(std::span<const SymbolId>(db_[s].symbols()),
+                      sims.data() + s * kc);
+      });
+    } else {
+      ParallelFor(n, options_.num_threads, [&](size_t s) {
+        std::span<const SymbolId> symbols(db_[s].symbols());
+        for (size_t ci = 0; ci < kc; ++ci) {
+          sims[s * kc + ci] = ComputeSimilarity(*snapshots[ci], symbols);
+        }
+      });
+    }
+    scan_seconds_this_iter_ += scan_timer.ElapsedSeconds();
     for (size_t s = 0; s < n; ++s) {
       for (size_t ci = 0; ci < kc; ++ci) {
         const SimilarityResult& sim = sims[s * kc + ci];
@@ -248,10 +311,9 @@ void CluseqClusterer::Recluster() {
         if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
           clusters_[ci].AddMember(s);
           joined_[s].push_back({clusters_[ci].id(), sim.log_sim});
-          auto segment = std::span<const SymbolId>(db_[s].symbols())
-                             .subspan(sim.best_begin,
-                                      sim.best_end - sim.best_begin);
-          clusters_[ci].AbsorbSegment(s, segment);
+          clusters_[ci].AbsorbSegment(
+              s, std::span<const SymbolId>(db_[s].symbols()), sim.best_begin,
+              sim.best_end);
         }
       }
     }
@@ -278,10 +340,9 @@ void CluseqClusterer::Recluster() {
       if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
         clusters_[ci].AddMember(seq_index);
         joined_[seq_index].push_back({clusters_[ci].id(), sim.log_sim});
-        auto segment = std::span<const SymbolId>(seq.symbols())
-                           .subspan(sim.best_begin,
-                                    sim.best_end - sim.best_begin);
-        clusters_[ci].AbsorbSegment(seq_index, segment);
+        clusters_[ci].AbsorbSegment(seq_index,
+                                    std::span<const SymbolId>(seq.symbols()),
+                                    sim.best_begin, sim.best_end);
       }
     }
   }
@@ -390,7 +451,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   background_ = BackgroundModel::FromDatabase(db_);
   rng_ = Rng(options_.rng_seed);
   clusters_.clear();
-  frozen_clusters_.clear();
+  bank_ = FrozenBank();
   next_cluster_id_ = 0;
   log_t_ = options_.auto_initial_threshold
                ? EstimateInitialLogThreshold()
@@ -413,6 +474,8 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   while (iteration < options_.max_iterations) {
     ++iteration;
     Stopwatch timer;
+    refrozen_this_iter_ = 0;
+    scan_seconds_this_iter_ = 0.0;
 
     if (options_.rebuild_each_iteration) RebuildClusterPsts();
     const size_t planned = PlanNewClusters(iteration);
@@ -441,13 +504,17 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     stats.unclustered = unclustered_.size();
     stats.log_threshold = log_t_;
     stats.seconds = timer.ElapsedSeconds();
+    stats.refrozen_clusters = refrozen_this_iter_;
+    stats.scan_seconds = scan_seconds_this_iter_;
     result->iteration_stats.push_back(stats);
     if (options_.verbose) {
       CLUSEQ_LOG(kInfo) << "iteration " << iteration << ": +" << generated
                         << " new, -" << consolidated << " consolidated, "
                         << clusters_.size() << " clusters, "
                         << unclustered_.size() << " unclustered, log t = "
-                        << log_t_;
+                        << log_t_ << ", scan " << stats.scan_seconds
+                        << "s, refroze " << stats.refrozen_clusters
+                        << " clusters";
     }
 
     std::vector<uint64_t> fingerprint = MembershipFingerprint();
@@ -472,8 +539,14 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   }
   result->best_cluster = prev_best_cluster_;
   result->best_log_sim = best_log_sim_;
-  // Snapshot the final summaries so Classify() runs on compiled automata.
-  frozen_clusters_ = FreezeClusters();
+  // Snapshot the final summaries so Classify() runs on compiled automata
+  // (one banked interleaved scan when batched_scan is on).
+  RefreshFrozen();
+  if (options_.batched_scan) {
+    bank_.Assemble(Snapshots());
+  } else {
+    bank_ = FrozenBank();
+  }
   return Status::OK();
 }
 
@@ -481,10 +554,23 @@ int32_t CluseqClusterer::Classify(const Sequence& seq,
                                   double* log_sim) const {
   double best = kNegInf;
   int32_t best_pos = -1;
-  const bool cached = frozen_clusters_.size() == clusters_.size();
-  for (size_t ci = 0; ci < clusters_.size(); ++ci) {
-    double s = cached
-                   ? ComputeSimilarity(frozen_clusters_[ci], seq).log_sim
+  const size_t kc = clusters_.size();
+  if (kc > 0 && options_.batched_scan && bank_.num_models() == kc) {
+    const std::vector<SimilarityResult> sims =
+        bank_.ScanAll(std::span<const SymbolId>(seq.symbols()));
+    for (size_t ci = 0; ci < kc; ++ci) {
+      if (sims[ci].log_sim > best) {
+        best = sims[ci].log_sim;
+        best_pos = static_cast<int32_t>(ci);
+      }
+    }
+    if (log_sim != nullptr) *log_sim = best;
+    if (best_pos >= 0 && best < log_t_) best_pos = -1;
+    return best_pos;
+  }
+  for (size_t ci = 0; ci < kc; ++ci) {
+    double s = clusters_[ci].frozen_fresh()
+                   ? ComputeSimilarity(*clusters_[ci].frozen(), seq).log_sim
                    : ComputeSimilarity(clusters_[ci].pst(), background_, seq)
                          .log_sim;
     if (s > best) {

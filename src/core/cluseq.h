@@ -17,9 +17,11 @@
 #define CLUSEQ_CORE_CLUSEQ_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/cluster.h"
+#include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
@@ -77,6 +79,15 @@ struct CluseqOptions {
   /// sequences rather than across clusters.
   bool within_scan_updates = false;
 
+  /// Score each sequence against *all* cluster snapshots in one interleaved
+  /// pass over its symbols (FrozenBank::ScanAll) instead of k serial
+  /// automaton scans. Applies to the batch re-cluster scan, threshold
+  /// estimation, seeding, and Classify(); results are bit-for-bit identical
+  /// either way, so this is purely a performance switch (kept as an option
+  /// for benchmarking and as a fallback). Ignored by the §4.2
+  /// within-scan-updates mode, which must score against live trees.
+  bool batched_scan = true;
+
   /// c: significance threshold for PST nodes (paper rule of thumb: >= 30).
   uint64_t significance_threshold = 30;
 
@@ -125,6 +136,13 @@ struct IterationStats {
   size_t unclustered = 0;
   double log_threshold = 0.0;
   double seconds = 0.0;
+  /// Cluster summaries compiled to snapshots this iteration. Stays 0 on a
+  /// fixed-point iteration (no tree changed), thanks to the dirty-bit
+  /// incremental re-freeze.
+  size_t refrozen_clusters = 0;
+  /// Wall time of the re-cluster similarity scan (scoring only, excluding
+  /// the join/absorb apply phase).
+  double scan_seconds = 0.0;
 };
 
 struct ClusteringResult {
@@ -174,8 +192,13 @@ class CluseqClusterer {
   size_t PlanNewClusters(size_t iteration) const;
   double EstimateInitialLogThreshold();
   void GenerateNewClusters(size_t count);
-  // Compiles every cluster's PST into a scoring snapshot (in parallel).
-  std::vector<FrozenPst> FreezeClusters() const;
+  // Compiles a snapshot for every cluster whose tree changed since its last
+  // freeze (in parallel); untouched clusters keep their cached snapshot.
+  // Returns how many clusters were (re)compiled.
+  size_t RefreshFrozen();
+  // The per-cluster cached snapshots, in cluster order. Call after
+  // RefreshFrozen(); entries are null only for never-frozen clusters.
+  std::vector<std::shared_ptr<const FrozenPst>> Snapshots() const;
   // Rebuilds each cluster's PST from its current members (purification).
   void RebuildClusterPsts();
   // Re-examines every sequence; fills joined_, all_log_sims_.
@@ -191,11 +214,15 @@ class CluseqClusterer {
   BackgroundModel background_;
   Rng rng_;
   std::vector<Cluster> clusters_;
-  // Compiled snapshots of clusters_, refreshed at the end of Run() so
-  // Classify() scans an automaton instead of re-walking the live trees.
-  std::vector<FrozenPst> frozen_clusters_;
+  // All cluster snapshots packed into one scoring arena, re-assembled each
+  // iteration (only dirty models are rewritten) and kept current at the end
+  // of Run() so Classify() is a single interleaved scan.
+  FrozenBank bank_;
   uint32_t next_cluster_id_ = 0;
   double log_t_ = 0.0;
+  // Per-iteration scan diagnostics (reset in Run()'s loop).
+  size_t refrozen_this_iter_ = 0;
+  double scan_seconds_this_iter_ = 0.0;
 
   // Per-sequence (cluster position, log sim, segment) of joined clusters,
   // refreshed every iteration.

@@ -4,10 +4,13 @@
 #define CLUSEQ_CORE_CLUSTER_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
+#include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/sequence.h"
 
@@ -15,6 +18,13 @@ namespace cluseq {
 
 class Cluster {
  public:
+  /// Half-open segment [begin, end) of a member sequence.
+  struct Segment {
+    size_t begin = 0;
+    size_t end = 0;
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
   /// Creates an empty cluster with a fresh PST.
   Cluster(uint32_t id, size_t alphabet_size, const PstOptions& pst_options)
       : id_(id), pst_(alphabet_size, pst_options) {}
@@ -24,25 +34,50 @@ class Cluster {
   void Seed(const Sequence& seq, size_t seq_index) {
     pst_.InsertSequence(seq);
     seed_index_ = static_cast<int64_t>(seq_index);
-    absorbed_.insert(seq_index);
+    contributions_.emplace(seq_index, Segment{0, seq.length()});
+    pst_dirty_ = true;
   }
 
-  /// Inserts the similarity-maximizing segment of a sequence that *becomes*
-  /// a member (paper §4.2 / §4.4: "only the segment that produces the
-  /// highest similarity score is used"). Each sequence contributes its
-  /// segment at most once per cluster: re-inserting on every iteration
-  /// would multiply private context counts by the iteration number, pushing
-  /// memorized single-sequence contexts past the significance threshold c
-  /// and freezing early (possibly wrong) memberships in place.
-  void AbsorbSegment(size_t seq_index, std::span<const SymbolId> segment) {
-    if (absorbed_.insert(seq_index).second) {
-      pst_.InsertSequence(segment);
+  /// Inserts the similarity-maximizing segment [begin, end) of `full` (the
+  /// whole sequence) for a sequence that *becomes* a member (paper §4.2 /
+  /// §4.4: "only the segment that produces the highest similarity score is
+  /// used"). Each sequence contributes its segment at most once per
+  /// cluster: re-inserting on every iteration would multiply private
+  /// context counts by the iteration number, pushing memorized
+  /// single-sequence contexts past the significance threshold c and
+  /// freezing early (possibly wrong) memberships in place.
+  void AbsorbSegment(size_t seq_index, std::span<const SymbolId> full,
+                     size_t begin, size_t end) {
+    if (contributions_.emplace(seq_index, Segment{begin, end}).second) {
+      pst_.InsertSequence(full.subspan(begin, end - begin));
+      pst_dirty_ = true;
     }
+  }
+
+  /// Convenience overload: the span *is* the contributed segment.
+  void AbsorbSegment(size_t seq_index, std::span<const SymbolId> segment) {
+    AbsorbSegment(seq_index, segment, 0, segment.size());
   }
 
   /// Whether the sequence has already contributed to this cluster's PST.
   bool HasAbsorbed(size_t seq_index) const {
-    return absorbed_.contains(seq_index);
+    return contributions_.contains(seq_index);
+  }
+
+  /// True iff the PST currently counts exactly the segments `segments[i]`
+  /// of sequences `members[i]` (parallel arrays) and nothing else — i.e.
+  /// rebuilding the tree from them would re-count the identical multiset of
+  /// insertions. The incremental re-freeze skip hinges on this.
+  bool ContributionsMatch(const std::vector<size_t>& members,
+                          std::span<const Segment> segments) const {
+    if (contributions_.size() != members.size()) return false;
+    for (size_t i = 0; i < members.size(); ++i) {
+      auto it = contributions_.find(members[i]);
+      if (it == contributions_.end() || !(it->second == segments[i])) {
+        return false;
+      }
+    }
+    return true;
   }
 
   /// Drops all statistics so the PST can be rebuilt from the current
@@ -50,12 +85,30 @@ class Cluster {
   /// CluseqClusterer::RebuildClusterPsts).
   void ResetPst() {
     pst_.Clear();
-    absorbed_.clear();
+    contributions_.clear();
+    pst_dirty_ = true;
   }
 
   uint32_t id() const { return id_; }
   const Pst& pst() const { return pst_; }
-  Pst& mutable_pst() { return pst_; }
+  /// Mutable tree access conservatively invalidates the frozen snapshot.
+  Pst& mutable_pst() {
+    pst_dirty_ = true;
+    return pst_;
+  }
+
+  /// Dirty bit: set whenever the live tree may have diverged from the last
+  /// compiled snapshot; cleared by SetFrozen().
+  bool pst_dirty() const { return pst_dirty_; }
+
+  /// The cached compiled snapshot is usable iff it exists and the tree has
+  /// not been touched since it was compiled.
+  bool frozen_fresh() const { return frozen_ != nullptr && !pst_dirty_; }
+  const std::shared_ptr<const FrozenPst>& frozen() const { return frozen_; }
+  void SetFrozen(std::shared_ptr<const FrozenPst> snapshot) {
+    frozen_ = std::move(snapshot);
+    pst_dirty_ = false;
+  }
 
   /// Index of the seed sequence, or -1 when constructed empty.
   int64_t seed_index() const { return seed_index_; }
@@ -72,7 +125,11 @@ class Cluster {
  private:
   uint32_t id_;
   Pst pst_;
-  std::unordered_set<size_t> absorbed_;
+  /// Which segment of each contributing sequence the tree currently counts.
+  std::unordered_map<size_t, Segment> contributions_;
+  /// Compiled snapshot of pst_, valid while !pst_dirty_ (see SetFrozen).
+  std::shared_ptr<const FrozenPst> frozen_;
+  bool pst_dirty_ = true;
   int64_t seed_index_ = -1;
   std::vector<size_t> members_;
 };

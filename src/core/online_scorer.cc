@@ -13,34 +13,37 @@ size_t OnlineScorer::AddModel(const Pst* pst) {
 }
 
 size_t OnlineScorer::AddModel(std::shared_ptr<const FrozenPst> model) {
-  ModelState state;
-  state.model = std::move(model);
-  models_.push_back(std::move(state));
+  models_.push_back(std::move(model));
+  rows_.push_back(0);  // Model-local root row.
+  y_.push_back(0.0);
+  z_.push_back(-std::numeric_limits<double>::infinity());
+  started_.push_back(0);
+  bank_stale_ = true;
   return models_.size() - 1;
 }
 
+void OnlineScorer::EnsureBank() {
+  if (!bank_stale_) return;
+  // Appending models reuses the existing models' rows in place; the live
+  // rows_ offsets are model-local and unaffected either way.
+  bank_.Assemble(models_);
+  bank_stale_ = false;
+}
+
 void OnlineScorer::Push(SymbolId symbol) {
-  for (ModelState& m : models_) {
-    // log X_i straight from the snapshot: the automaton state already
-    // encodes the relevant context, background ratio included.
-    const double x = m.model->LogRatio(m.state, symbol);
-    m.state = m.model->Step(m.state, symbol);
-    if (!m.started || m.y + x < x) {
-      m.y = x;  // Restart the running segment at this symbol.
-    } else {
-      m.y += x;
-    }
-    m.started = true;
-    m.z = std::max(m.z, m.y);
-  }
+  EnsureBank();
+  // One interleaved step over every model: log X_i straight from the
+  // arena (the row already encodes the relevant context, background ratio
+  // included), then the §4.3 restart-or-extend update per model lane.
+  bank_.StepAll(symbol, rows_.data(), y_.data(), z_.data(),
+                started_.data());
   ++position_;
 }
 
 OnlineScorer::Score OnlineScorer::ScoreOf(size_t index) const {
-  const ModelState& m = models_[index];
   Score s;
-  s.log_sim = m.z;
-  s.current_log_sim = m.started ? m.y : 0.0;
+  s.log_sim = z_[index];
+  s.current_log_sim = started_[index] ? y_[index] : 0.0;
   s.model = static_cast<int32_t>(index);
   return s;
 }
@@ -67,12 +70,11 @@ OnlineScorer::Score OnlineScorer::BestCurrentScore() const {
 
 void OnlineScorer::Reset() {
   position_ = 0;
-  for (ModelState& m : models_) {
-    m.state = FrozenPst::kRootState;
-    m.y = 0.0;
-    m.z = -std::numeric_limits<double>::infinity();
-    m.started = false;
-  }
+  std::fill(rows_.begin(), rows_.end(), 0u);
+  std::fill(y_.begin(), y_.end(), 0.0);
+  std::fill(z_.begin(), z_.end(),
+            -std::numeric_limits<double>::infinity());
+  std::fill(started_.begin(), started_.end(), uint8_t{0});
 }
 
 }  // namespace cluseq

@@ -18,15 +18,23 @@
 //     scorer.Push(s);
 //     if (scorer.BestScore().log_sim < alert_threshold) Alert();
 //   }
+//
+// Internally the registered snapshots are packed into a FrozenBank, so one
+// Push() is a single interleaved StepAll over all k models (flat parallel
+// state arrays, one arena) rather than k independent automaton steps. Model
+// row state is bank-local but survives AddModel(): appending a model
+// reassembles the arena without disturbing the earlier models' rows.
 
 #ifndef CLUSEQ_CORE_ONLINE_SCORER_H_
 #define CLUSEQ_CORE_ONLINE_SCORER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <vector>
 
+#include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
@@ -81,16 +89,21 @@ class OnlineScorer {
   void Reset();
 
  private:
-  struct ModelState {
-    std::shared_ptr<const FrozenPst> model;
-    FrozenPst::State state = FrozenPst::kRootState;
-    double y = 0.0;  // log of best segment ending at current position.
-    double z = -std::numeric_limits<double>::infinity();
-    bool started = false;
-  };
+  /// Rebuilds the bank when models were added since the last Push. Cheap
+  /// when nothing changed; an append rewrites only the new models' rows.
+  void EnsureBank();
 
   const BackgroundModel& background_;
-  std::vector<ModelState> models_;
+  std::vector<std::shared_ptr<const FrozenPst>> models_;
+  FrozenBank bank_;
+  bool bank_stale_ = false;
+  // Parallel per-model stream state consumed by FrozenBank::StepAll.
+  // rows_ entries are model-local row offsets (state · alphabet), which is
+  // why they stay valid across bank reassembly.
+  std::vector<uint32_t> rows_;
+  std::vector<double> y_;  // log of best segment ending at current position.
+  std::vector<double> z_;  // running log SIM.
+  std::vector<uint8_t> started_;
   size_t position_ = 0;
 };
 

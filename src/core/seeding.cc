@@ -2,20 +2,21 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "core/similarity.h"
+#include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "util/thread_pool.h"
 
 namespace cluseq {
 
-std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
-                                const std::vector<size_t>& unclustered,
-                                size_t num_seeds, size_t sample_size,
-                                const std::vector<Cluster>& existing,
-                                const BackgroundModel& background,
-                                const PstOptions& pst_options,
-                                size_t num_threads, Rng* rng) {
+std::vector<size_t> SelectSeeds(
+    const SequenceDatabase& db, const std::vector<size_t>& unclustered,
+    size_t num_seeds, size_t sample_size,
+    const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
+    const BackgroundModel& background, const PstOptions& pst_options,
+    size_t num_threads, Rng* rng, bool batched_scan) {
   std::vector<size_t> chosen;
   if (num_seeds == 0 || unclustered.empty()) return chosen;
   num_seeds = std::min(num_seeds, unclustered.size());
@@ -31,11 +32,11 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
   }
   // Compiled once here, each snapshot is scored against up to
   // sample_size - 1 peers plus every farthest-first round below.
-  std::vector<FrozenPst> sample_psts(sample_size);
+  std::vector<std::shared_ptr<const FrozenPst>> sample_psts(sample_size);
   ParallelFor(sample_size, num_threads, [&](size_t i) {
     Pst pst(db.alphabet().size(), pst_options);
     pst.InsertSequence(db[sample_seq[i]]);
-    sample_psts[i] = FrozenPst(pst, background);
+    sample_psts[i] = std::make_shared<const FrozenPst>(pst, background);
   });
 
   // Outlier screen: how well is each sample explained by its best peer?
@@ -44,14 +45,29 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
   std::vector<double> peer_best(sample_size,
                                 -std::numeric_limits<double>::infinity());
   if (sample_size > 2) {
-    ParallelFor(sample_size, num_threads, [&](size_t i) {
-      for (size_t j = 0; j < sample_size; ++j) {
-        if (j == i) continue;
-        double s =
-            ComputeSimilarity(sample_psts[j], db[sample_seq[i]]).log_sim;
-        peer_best[i] = std::max(peer_best[i], s);
-      }
-    });
+    if (batched_scan) {
+      // The full peer matrix needs each sample scored against every other
+      // sample's model: one banked scan per sample replaces sample_size - 1
+      // serial automaton scans of the same symbols.
+      const FrozenBank peer_bank(sample_psts);
+      ParallelFor(sample_size, num_threads, [&](size_t i) {
+        std::vector<SimilarityResult> row = peer_bank.ScanAll(
+            std::span<const SymbolId>(db[sample_seq[i]].symbols()));
+        for (size_t j = 0; j < sample_size; ++j) {
+          if (j == i) continue;
+          peer_best[i] = std::max(peer_best[i], row[j].log_sim);
+        }
+      });
+    } else {
+      ParallelFor(sample_size, num_threads, [&](size_t i) {
+        for (size_t j = 0; j < sample_size; ++j) {
+          if (j == i) continue;
+          double s =
+              ComputeSimilarity(*sample_psts[j], db[sample_seq[i]]).log_sim;
+          peer_best[i] = std::max(peer_best[i], s);
+        }
+      });
+    }
   }
   std::vector<double> sorted_peer = peer_best;
   std::sort(sorted_peer.begin(), sorted_peer.end());
@@ -61,17 +77,26 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
 
   // Highest similarity of each sample to anything already in T.
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<FrozenPst> frozen_existing(existing.size());
-  ParallelFor(existing.size(), num_threads, [&](size_t ci) {
-    frozen_existing[ci] = FrozenPst(existing[ci].pst(), background);
-  });
   std::vector<double> best_sim(sample_size, kNegInf);
-  ParallelFor(sample_size, num_threads, [&](size_t i) {
-    for (const FrozenPst& cluster : frozen_existing) {
-      double s = ComputeSimilarity(cluster, db[sample_seq[i]]).log_sim;
-      best_sim[i] = std::max(best_sim[i], s);
+  if (!existing_models.empty()) {
+    if (batched_scan) {
+      const FrozenBank existing_bank(existing_models);
+      ParallelFor(sample_size, num_threads, [&](size_t i) {
+        std::vector<SimilarityResult> row = existing_bank.ScanAll(
+            std::span<const SymbolId>(db[sample_seq[i]].symbols()));
+        for (const SimilarityResult& sim : row) {
+          best_sim[i] = std::max(best_sim[i], sim.log_sim);
+        }
+      });
+    } else {
+      ParallelFor(sample_size, num_threads, [&](size_t i) {
+        for (const auto& cluster : existing_models) {
+          double s = ComputeSimilarity(*cluster, db[sample_seq[i]]).log_sim;
+          best_sim[i] = std::max(best_sim[i], s);
+        }
+      });
     }
-  });
+  }
 
   std::vector<bool> taken(sample_size, false);
   for (size_t round = 0; round < num_seeds; ++round) {
@@ -90,8 +115,9 @@ std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
     chosen.push_back(sample_seq[pick]);
 
     // The chosen seed joins T: refresh the remaining samples' best
-    // similarity against its PST.
-    const FrozenPst& pst = sample_psts[pick];
+    // similarity against its PST. One model only, so the per-sample
+    // automaton scan is already the right shape.
+    const FrozenPst& pst = *sample_psts[pick];
     ParallelFor(sample_size, num_threads, [&](size_t i) {
       if (taken[i]) return;
       double s = ComputeSimilarity(pst, db[sample_seq[i]]).log_sim;

@@ -20,9 +20,11 @@
 #ifndef CLUSEQ_CORE_SEEDING_H_
 #define CLUSEQ_CORE_SEEDING_H_
 
+#include <memory>
 #include <vector>
 
-#include "core/cluster.h"
+#include "pst/frozen_pst.h"
+#include "pst/pst.h"
 #include "seq/background_model.h"
 #include "seq/sequence_database.h"
 #include "util/rng.h"
@@ -31,16 +33,18 @@ namespace cluseq {
 
 /// Selects up to `num_seeds` sequence indices (drawn from `unclustered`) to
 /// seed new clusters. `sample_size` is the paper's m; it is clamped to the
-/// number of unclustered sequences. `num_threads` parallelizes the
-/// similarity evaluations. Returns fewer than `num_seeds` indices only when
-/// there are not enough unclustered sequences.
-std::vector<size_t> SelectSeeds(const SequenceDatabase& db,
-                                const std::vector<size_t>& unclustered,
-                                size_t num_seeds, size_t sample_size,
-                                const std::vector<Cluster>& existing,
-                                const BackgroundModel& background,
-                                const PstOptions& pst_options,
-                                size_t num_threads, Rng* rng);
+/// number of unclustered sequences. `existing_models` are the compiled
+/// snapshots of the clusters already in T. `num_threads` parallelizes the
+/// similarity evaluations; `batched_scan` scores the sample-vs-sample and
+/// sample-vs-existing matrices with one interleaved FrozenBank pass per
+/// sequence (identical values either way). Returns fewer than `num_seeds`
+/// indices only when there are not enough unclustered sequences.
+std::vector<size_t> SelectSeeds(
+    const SequenceDatabase& db, const std::vector<size_t>& unclustered,
+    size_t num_seeds, size_t sample_size,
+    const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
+    const BackgroundModel& background, const PstOptions& pst_options,
+    size_t num_threads, Rng* rng, bool batched_scan = true);
 
 }  // namespace cluseq
 

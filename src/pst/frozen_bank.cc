@@ -1,0 +1,282 @@
+#include "pst/frozen_bank.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "util/logging.h"
+
+namespace cluseq {
+
+namespace {
+
+/// Arenas at least this large are backed by 2 MiB-aligned storage and
+/// advised as hugepage (the rounding waste is bounded by one page).
+constexpr size_t kHugePageBytes = 2 * 1024 * 1024;
+
+FrozenBank::Entry* AllocateArena(size_t* capacity_entries) {
+  const size_t bytes = *capacity_entries * sizeof(FrozenBank::Entry);
+  if (bytes >= kHugePageBytes) {
+    const size_t rounded =
+        (bytes + kHugePageBytes - 1) / kHugePageBytes * kHugePageBytes;
+    void* huge = std::aligned_alloc(kHugePageBytes, rounded);
+    if (huge != nullptr) {
+#if defined(__linux__)
+      madvise(huge, rounded, MADV_HUGEPAGE);  // Best-effort; ENOSYS is fine.
+#endif
+      *capacity_entries = rounded / sizeof(FrozenBank::Entry);
+      return static_cast<FrozenBank::Entry*>(huge);
+    }
+  }
+  void* plain = std::malloc(bytes);
+  CLUSEQ_CHECK(plain != nullptr || bytes == 0,
+               "FrozenBank arena allocation failed");
+  return static_cast<FrozenBank::Entry*>(plain);
+}
+
+}  // namespace
+
+FrozenBank::EntryArena& FrozenBank::EntryArena::operator=(
+    const EntryArena& other) {
+  if (this != &other) {
+    resize(other.size_);
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(Entry));
+  }
+  return *this;
+}
+
+FrozenBank::EntryArena& FrozenBank::EntryArena::operator=(
+    EntryArena&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    capacity_ = std::exchange(other.capacity_, 0);
+  }
+  return *this;
+}
+
+FrozenBank::EntryArena::~EntryArena() { std::free(data_); }
+
+void FrozenBank::EntryArena::resize(size_t n) {
+  if (n > capacity_) {
+    size_t capacity = n;
+    Entry* fresh = AllocateArena(&capacity);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(Entry));
+    std::free(data_);
+    data_ = fresh;
+    capacity_ = capacity;
+  }
+  size_ = n;
+}
+
+namespace internal {
+
+void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
+                     size_t num_models, const SymbolId* symbols, size_t len,
+                     SimilarityResult* out) {
+  // Per-model DP lanes; the inner loops carry no cross-model dependency, so
+  // the m-iterations pipeline (independent gather chains) even without SIMD.
+  double y[kMaxBlockModels];
+  double z[kMaxBlockModels];
+  uint32_t row[kMaxBlockModels];
+  size_t ybegin[kMaxBlockModels];
+  size_t bbegin[kMaxBlockModels];
+  size_t bend[kMaxBlockModels];
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (size_t m = 0; m < num_models; ++m) {
+    row[m] = bases[m];  // Root state: model-local row 0.
+    z[m] = neg_inf;
+    ybegin[m] = 0;
+    bbegin[m] = 0;
+    bend[m] = 0;
+  }
+
+  // i = 0 peeled: the reference recurrence starts Y at X_0 unconditionally
+  // (and never evaluates Y_{-1} + X_0, which matters for ±inf ratios).
+  {
+    const uint32_t s = symbols[0];
+    for (size_t m = 0; m < num_models; ++m) {
+      const FrozenBank::Entry& e = entries[static_cast<size_t>(row[m]) + s];
+      row[m] = bases[m] + e.next;
+      y[m] = e.ratio;
+      if (y[m] > z[m]) {
+        z[m] = y[m];
+        bend[m] = 1;  // bbegin stays 0.
+      }
+    }
+  }
+  for (size_t i = 1; i < len; ++i) {
+    const uint32_t s = symbols[i];
+    for (size_t m = 0; m < num_models; ++m) {
+      const FrozenBank::Entry& e = entries[static_cast<size_t>(row[m]) + s];
+      const double x = e.ratio;  // log X_i, background baked in.
+      row[m] = bases[m] + e.next;
+      const double extend = y[m] + x;
+      if (extend < x) {
+        y[m] = x;  // Restart: best segment ending at i is {s_i} alone.
+        ybegin[m] = i;
+      } else {
+        y[m] = extend;
+      }
+      if (y[m] > z[m]) {
+        z[m] = y[m];
+        bbegin[m] = ybegin[m];
+        bend[m] = i + 1;
+      }
+    }
+  }
+  for (size_t m = 0; m < num_models; ++m) {
+    out[m].log_sim = z[m];
+    out[m].best_begin = bbegin[m];
+    out[m].best_end = bend[m];
+  }
+}
+
+}  // namespace internal
+
+bool FrozenBank::SimdAvailable() {
+#ifdef CLUSEQ_HAVE_AVX2
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+FrozenBank::AssembleStats FrozenBank::Assemble(
+    std::vector<std::shared_ptr<const FrozenPst>> models) {
+  AssembleStats stats;
+  size_t alphabet = alphabet_size_;
+  for (const auto& model : models) {
+    CLUSEQ_CHECK(model != nullptr && !model->empty(),
+                 "FrozenBank models must be non-empty snapshots");
+    if (alphabet == 0) alphabet = model->alphabet_size();
+    CLUSEQ_CHECK(model->alphabet_size() == alphabet,
+                 "FrozenBank models must share one alphabet_size");
+  }
+
+  // New layout: prefix sums of each model's (states × alphabet) extent.
+  std::vector<size_t> base(models.size());
+  size_t total = 0;
+  for (size_t m = 0; m < models.size(); ++m) {
+    base[m] = total;
+    total += models[m]->num_states() * alphabet;
+  }
+  // The SIMD transition gather addresses entry g at scaled signed 32-bit
+  // index 4·g + 2 (see frozen_bank_avx2.cc), so that — not 2^31 entries —
+  // bounds the arena. Still ~8.6 GiB of packed rows, far beyond any real
+  // bank.
+  CLUSEQ_CHECK(
+      total <= static_cast<size_t>(std::numeric_limits<int32_t>::max() / 4),
+      "FrozenBank arena exceeds the gather-index range");
+
+  // A slot is reusable in place when the same snapshot object sits at the
+  // same offset as in the previous layout — its rows are already correct,
+  // byte for byte. (vector::resize may still relocate the storage; contents
+  // are preserved either way.)
+  std::vector<char> reuse(models.size(), 0);
+  for (size_t m = 0; m < models.size(); ++m) {
+    reuse[m] = alphabet == alphabet_size_ && m < models_.size() &&
+               models_[m] == models[m] && base[m] == base_[m];
+  }
+
+  entries_.resize(total);
+  for (size_t m = 0; m < models.size(); ++m) {
+    if (reuse[m]) {
+      ++stats.models_reused;
+      continue;
+    }
+    ++stats.models_written;
+    const FrozenPst& model = *models[m];
+    const std::span<const double> src_ratio = model.log_ratio_table();
+    const std::span<const FrozenPst::State> src_next =
+        model.transition_table();
+    // Transitions are rebased from state ids to model-local row offsets so
+    // one entry both scores the symbol and names the next row.
+    Entry* dst = entries_.data() + base[m];
+    for (size_t e = 0; e < src_next.size(); ++e) {
+      dst[e] = Entry{src_ratio[e],
+                     src_next[e] * static_cast<uint32_t>(alphabet), 0};
+    }
+  }
+
+  alphabet_size_ = alphabet;
+  models_ = std::move(models);
+  base_ = std::move(base);
+  base32_.resize(base_.size());
+  for (size_t m = 0; m < base_.size(); ++m) {
+    base32_[m] = static_cast<uint32_t>(base_[m]);
+  }
+  return stats;
+}
+
+size_t FrozenBank::BlockModels() const {
+  // Every in-flight model holds one (ratio, next) row pair hot. Budget half
+  // of a typical 512 KiB L2 for a handful of recently-touched rows per
+  // model; depth-major state numbering keeps those rows adjacent.
+  constexpr size_t kCacheBudgetBytes = 256 * 1024;
+  constexpr size_t kAssumedHotRowsPerModel = 8;
+  const size_t row_bytes = alphabet_size_ * sizeof(Entry);
+  const size_t denom = std::max<size_t>(
+      1, row_bytes * kAssumedHotRowsPerModel);
+  return std::clamp<size_t>(kCacheBudgetBytes / denom, 8,
+                            internal::kMaxBlockModels);
+}
+
+void FrozenBank::ScanAll(std::span<const SymbolId> symbols,
+                         SimilarityResult* results) const {
+  const size_t k = num_models();
+  if (symbols.empty()) {
+    for (size_t m = 0; m < k; ++m) {
+      results[m] = SimilarityResult{};
+      results[m].log_sim = -std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+#ifdef CLUSEQ_HAVE_AVX2
+  const bool use_simd = !force_scalar_ && SimdAvailable();
+#else
+  const bool use_simd = false;
+#endif
+  const size_t block = BlockModels();
+  for (size_t m0 = 0; m0 < k; m0 += block) {
+    const size_t mb = std::min(block, k - m0);
+#ifdef CLUSEQ_HAVE_AVX2
+    if (use_simd) {
+      internal::ScanBlockAvx2(entries_.data(), base32_.data() + m0, mb,
+                              symbols.data(), symbols.size(), results + m0);
+      continue;
+    }
+#else
+    (void)use_simd;
+#endif
+    internal::ScanBlockScalar(entries_.data(), base32_.data() + m0, mb,
+                              symbols.data(), symbols.size(), results + m0);
+  }
+}
+
+void FrozenBank::StepAll(SymbolId symbol, uint32_t* rows, double* y,
+                         double* z, uint8_t* started) const {
+  const size_t k = num_models();
+  for (size_t m = 0; m < k; ++m) {
+    const Entry& e = entries_[base_[m] + rows[m] + symbol];
+    const double x = e.ratio;
+    rows[m] = e.next;  // Stays model-local: survives arena re-packs.
+    if (!started[m] || y[m] + x < x) {
+      y[m] = x;
+    } else {
+      y[m] += x;
+    }
+    started[m] = 1;
+    z[m] = std::max(z[m], y[m]);
+  }
+}
+
+}  // namespace cluseq

@@ -1,0 +1,224 @@
+// FrozenBank: k FrozenPst snapshots packed into one arena, scored in one
+// pass.
+//
+// CLUSEQ's dominant cost is the re-cluster scan: every iteration scores
+// every sequence against every cluster (paper §4.2–4.3). A FrozenPst makes
+// one cluster's scan O(1)/symbol, but looping k snapshots serially still
+// reads the symbol stream k times, restarts k cold dependency chains, and
+// re-faults each model's transition rows from scratch. The finite-memory
+// classification literature treats multi-model scoring as k state machines
+// advanced in lockstep over a single stream — which is exactly what this
+// engine compiles:
+//
+//   * The bank packs every model's transition and log-ratio tables into one
+//     arena of 16-byte entries with one entry offset per model. Arena entry
+//     g = base[m] + state·A + s holds both the log-ratio X term and the
+//     *next row offset* (stored model-local as next_state·A so a model's
+//     rows are position-independent bytes) side by side, so one symbol step
+//     touches a single cache line per model instead of one line in each of
+//     two split arrays — the scan is memory-bound once the bank outgrows
+//     L2, and this halves its miss traffic.
+//   * ScanAll runs the §4.3 X/Y/Z recurrences for all k models interleaved:
+//     the symbol stream is read once per model block, and each block's
+//     per-symbol inner loop is a flat gather (x = entries_[row+s].ratio) +
+//     add + two maxes over independent per-model lanes — no cross-model
+//     dependency, so the chains pipeline and the loop vectorizes. An AVX2
+//     path (4 models per vector, compiled under CLUSEQ_HAVE_AVX2 and
+//     dispatched at runtime) sits on top of an always-available scalar
+//     loop; both are bit-for-bit equivalent to per-cluster FrozenPst
+//     scoring (tests/frozen_bank_equivalence_test.cc).
+//   * Models are processed in cache-sized blocks: a block of B models keeps
+//     ~B active (ratio,next) row pairs live between symbol steps, so B is
+//     chosen to fit the hot rows in L1/L2 (see BlockModels).
+//
+// Incremental re-freeze: Assemble() compares each slot's snapshot pointer
+// and arena offset against the previous layout and rewrites only the
+// models that actually changed — an untouched cluster's rows are reused
+// byte-identical in place. Clusterer iterations where few clusters absorbed
+// segments therefore rebuild only those clusters' tables.
+
+#ifndef CLUSEQ_PST_FROZEN_BANK_H_
+#define CLUSEQ_PST_FROZEN_BANK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/similarity.h"
+#include "pst/frozen_pst.h"
+#include "seq/alphabet.h"
+
+namespace cluseq {
+
+class FrozenBank {
+ public:
+  /// One packed arena cell: the log-ratio X term for (state, symbol) and
+  /// the successor state's model-local row offset (next_state · A),
+  /// interleaved so a symbol step reads exactly one cache line. 16 bytes
+  /// keeps entries line-aligned (a 64-byte line holds 4, never straddled);
+  /// `pad` is always zero so rows compare byte-for-byte with memcmp.
+  struct Entry {
+    double ratio;
+    uint32_t next;
+    uint32_t pad;
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  struct AssembleStats {
+    size_t models_written = 0;  ///< Slots whose arena rows were (re)written.
+    size_t models_reused = 0;   ///< Slots left byte-identical in place.
+  };
+
+  /// Empty bank; Assemble() later, or use as a container element.
+  FrozenBank() = default;
+
+  /// Builds the arena from `models`. All snapshots must be non-empty and
+  /// share one alphabet size (checked fatally). Snapshots are shared, not
+  /// copied; they may be reused across banks, scorers and threads.
+  explicit FrozenBank(std::vector<std::shared_ptr<const FrozenPst>> models) {
+    Assemble(std::move(models));
+  }
+
+  /// Re-targets the bank at `models`, rewriting only the slots whose
+  /// snapshot changed: a slot is reused in place when it holds the same
+  /// snapshot object at the same arena offset as before (appending models
+  /// or swapping one dirty cluster leaves every other model's rows
+  /// untouched). Returns how many models were written vs reused.
+  AssembleStats Assemble(std::vector<std::shared_ptr<const FrozenPst>> models);
+
+  size_t num_models() const { return models_.size(); }
+  size_t alphabet_size() const { return alphabet_size_; }
+  bool empty() const { return models_.empty(); }
+  const FrozenPst& model(size_t m) const { return *models_[m]; }
+
+  /// Bytes held by the packed arena plus per-model bookkeeping (the
+  /// snapshots themselves are shared and counted by their owners).
+  size_t ApproxMemoryBytes() const {
+    return entries_.size() * sizeof(Entry) +
+           base_.size() * (sizeof(size_t) + sizeof(uint32_t)) +
+           models_.size() * sizeof(models_[0]);
+  }
+
+  /// Scores `symbols` against every model in one interleaved pass.
+  /// `results` must have room for num_models() entries; results[m] is
+  /// bit-for-bit ComputeSimilarity(model(m), symbols) — same log_sim double,
+  /// same maximizing segment, including the -inf smoothing-off paths.
+  void ScanAll(std::span<const SymbolId> symbols,
+               SimilarityResult* results) const;
+
+  std::vector<SimilarityResult> ScanAll(
+      std::span<const SymbolId> symbols) const {
+    std::vector<SimilarityResult> results(num_models());
+    ScanAll(symbols, results.data());
+    return results;
+  }
+
+  /// Streaming variant for online scoring: advances every model by one
+  /// symbol. The arrays are parallel over models: `rows` holds each model's
+  /// current row offset *local to the model* (state · alphabet_size; start
+  /// streams at 0 — the root row — and keep the values across Assemble
+  /// calls, they survive arena re-packs), `y`/`z` are the §4.3 running
+  /// best-segment terms, `started` distinguishes "no symbol yet" from a
+  /// restart. Bit-for-bit the per-model scalar DP step.
+  void StepAll(SymbolId symbol, uint32_t* rows, double* y, double* z,
+               uint8_t* started) const;
+
+  /// Raw packed rows of model `m` (tests, diagnostics, future snapshot
+  /// serialization). `Entry::next` values are model-local row offsets
+  /// (next_state · alphabet_size), not FrozenPst state ids.
+  std::span<const Entry> Rows(size_t m) const {
+    return std::span<const Entry>(entries_.data() + base_[m],
+                                  ModelEntries(m));
+  }
+
+  /// True when the AVX2 kernels are compiled in and this CPU supports them.
+  static bool SimdAvailable();
+
+  /// Forces the scalar kernels even when SIMD is available (equivalence
+  /// tests, benchmark baselines).
+  void set_force_scalar(bool force) { force_scalar_ = force; }
+  bool force_scalar() const { return force_scalar_; }
+
+ private:
+  /// Contiguous Entry storage: a minimal vector<Entry> (resize preserves
+  /// contents, which the incremental Assemble reuse depends on) whose large
+  /// allocations are 2 MiB-aligned and advised as transparent-hugepage. A
+  /// depth-6 bank of 64 models spans tens of MB and ScanAll's gathers touch
+  /// it near-randomly, so 4 KiB pages thrash the dTLB and the scan pays a
+  /// page walk per miss; 2 MiB pages cover the same arena with a few dozen
+  /// TLB entries. Falls back to plain allocation when THP is unavailable.
+  class EntryArena {
+   public:
+    EntryArena() = default;
+    EntryArena(const EntryArena& other) { *this = other; }
+    EntryArena& operator=(const EntryArena& other);
+    EntryArena(EntryArena&& other) noexcept { *this = std::move(other); }
+    EntryArena& operator=(EntryArena&& other) noexcept;
+    ~EntryArena();
+
+    Entry* data() { return data_; }
+    const Entry* data() const { return data_; }
+    size_t size() const { return size_; }
+    const Entry& operator[](size_t i) const { return data_[i]; }
+    /// Grows or shrinks to `n` entries, preserving the first
+    /// min(n, size()) entries byte-for-byte. New entries are uninitialized:
+    /// Assemble writes every slot it does not reuse.
+    void resize(size_t n);
+
+   private:
+    Entry* data_ = nullptr;
+    size_t size_ = 0;
+    size_t capacity_ = 0;
+  };
+
+  size_t ModelEntries(size_t m) const {
+    return models_[m]->num_states() * alphabet_size_;
+  }
+  /// Models per block: the per-symbol inner loop keeps one active
+  /// (ratio, next) row pair per model between reuses, so the block size is
+  /// chosen to keep a block's hot rows L2-resident.
+  size_t BlockModels() const;
+
+  size_t alphabet_size_ = 0;
+  std::vector<std::shared_ptr<const FrozenPst>> models_;
+  /// Per-model entry offset into the arena (prefix sums of states × A).
+  std::vector<size_t> base_;
+  /// base_ as u32 for the kernels (total entries are checked small enough
+  /// that the SIMD gathers' signed 32-bit *scaled* indices — up to
+  /// 4·entry + 2 for the transition word — cannot overflow).
+  std::vector<uint32_t> base32_;
+  /// Packed rows: entry base[m] + state·A + s scores symbol s in `state`
+  /// and names the successor row (see Entry).
+  EntryArena entries_;
+  bool force_scalar_ = false;
+};
+
+namespace internal {
+
+/// Upper bound on models interleaved per block (bounds the kernels' stack
+/// state arrays).
+inline constexpr size_t kMaxBlockModels = 64;
+
+/// Scalar reference kernel: scores `num_models` (≤ kMaxBlockModels) models
+/// over `symbols` in lockstep. `bases` are the models' arena entry offsets.
+void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
+                     size_t num_models, const SymbolId* symbols, size_t len,
+                     SimilarityResult* out);
+
+#ifdef CLUSEQ_HAVE_AVX2
+/// AVX2 kernel: same contract and bit-identical results, 4 models per
+/// vector lane group, several groups interleaved per symbol (remainder
+/// models fall through to the scalar loop).
+void ScanBlockAvx2(const FrozenBank::Entry* entries, const uint32_t* bases,
+                   size_t num_models, const SymbolId* symbols, size_t len,
+                   SimilarityResult* out);
+#endif  // CLUSEQ_HAVE_AVX2
+
+}  // namespace internal
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_PST_FROZEN_BANK_H_

@@ -52,6 +52,7 @@
 #define CLUSEQ_PST_FROZEN_PST_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pst/pst.h"
@@ -103,12 +104,22 @@ class FrozenPst {
   size_t max_depth() const { return max_depth_; }
   bool empty() const { return depth_.empty(); }
 
-  /// Bytes held by the flat tables (the dominant cost).
+  /// Bytes held by the flat tables (the dominant cost). Reports size(), not
+  /// capacity(): the tables are written once at freeze time and never grow,
+  /// so capacity slack from construction is transient allocator detail, not
+  /// model footprint (capacity() over-reported after vector growth).
   size_t ApproxMemoryBytes() const {
-    return next_.capacity() * sizeof(State) +
-           log_ratio_.capacity() * sizeof(double) +
-           depth_.capacity() * sizeof(uint32_t);
+    return next_.size() * sizeof(State) +
+           log_ratio_.size() * sizeof(double) +
+           depth_.size() * sizeof(uint32_t);
   }
+
+  /// Raw state-major tables — one row of alphabet_size() entries per state.
+  /// Read-only views for engines that repack the model (FrozenBank) or
+  /// serialize it; entry [state * alphabet_size + s] corresponds to
+  /// Step(state, s) / LogRatio(state, s).
+  std::span<const State> transition_table() const { return next_; }
+  std::span<const double> log_ratio_table() const { return log_ratio_; }
 
  private:
   friend class PstSerializer;

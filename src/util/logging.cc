@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace cluseq {
@@ -55,6 +56,14 @@ LogMessage::~LogMessage() {
     line.push_back('\n');
     std::fwrite(line.data(), 1, line.size(), stderr);
   }
+}
+
+void FatalCheckFailure(const char* file, int line, const char* condition,
+                       const char* message) {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s — %s\n",
+               Basename(file), line, condition, message);
+  std::fflush(stderr);
+  std::abort();
 }
 
 }  // namespace internal_logging

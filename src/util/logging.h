@@ -47,6 +47,25 @@ class LogMessage {
   ::cluseq::internal_logging::LogMessage(::cluseq::LogLevel::level,   \
                                          __FILE__, __LINE__)
 
+namespace internal_logging {
+/// Prints the failed condition and message to stderr, then aborts.
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* condition,
+                                    const char* message);
+}  // namespace internal_logging
+
+/// Fatal invariant check, active in every build type (unlike assert, which
+/// RelWithDebInfo/Release compile out via NDEBUG). Use for constructor
+/// preconditions whose violation would otherwise corrupt memory.
+#define CLUSEQ_CHECK(cond, message)                                   \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::cluseq::internal_logging::FatalCheckFailure(__FILE__,         \
+                                                    __LINE__, #cond,  \
+                                                    message);         \
+    }                                                                 \
+  } while (0)
+
 }  // namespace cluseq
 
 #endif  // CLUSEQ_UTIL_LOGGING_H_

@@ -1,0 +1,142 @@
+// The batched (FrozenBank) scan is a pure performance switch: a full
+// clustering run with batched_scan on must produce identical results to the
+// per-cluster serial scan — same clusters, same memberships, same scores,
+// same threshold trajectory — and Classify() must agree on every sequence.
+// Also covers the incremental re-freeze: a converged iteration that absorbs
+// no new segments must recompile zero cluster snapshots.
+
+#include "core/cluseq.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+SequenceDatabase PlantedDb(size_t clusters, size_t per_cluster,
+                           double outliers, uint64_t seed,
+                           double spread = 0.25) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = clusters;
+  opts.sequences_per_cluster = per_cluster;
+  opts.alphabet_size = 8;
+  opts.avg_length = 80;
+  opts.outlier_fraction = outliers;
+  opts.spread = spread;
+  opts.seed = seed;
+  return MakeSyntheticDataset(opts);
+}
+
+CluseqOptions FastOptions() {
+  CluseqOptions o;
+  o.initial_clusters = 2;
+  o.similarity_threshold = 1.05;
+  o.significance_threshold = 4;
+  o.min_unique_members = 3;
+  o.max_iterations = 12;
+  o.pst.max_depth = 5;
+  o.pst.smoothing_p_min = 1e-4;
+  o.rng_seed = 7;
+  return o;
+}
+
+void ExpectIdenticalResults(const ClusteringResult& a,
+                            const ClusteringResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.final_log_threshold, b.final_log_threshold);
+  EXPECT_EQ(a.num_unclustered, b.num_unclustered);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t ci = 0; ci < a.clusters.size(); ++ci) {
+    EXPECT_EQ(a.clusters[ci], b.clusters[ci]) << "cluster " << ci;
+  }
+  EXPECT_EQ(a.best_cluster, b.best_cluster);
+  EXPECT_EQ(a.best_log_sim, b.best_log_sim);
+  ASSERT_EQ(a.iteration_stats.size(), b.iteration_stats.size());
+  for (size_t i = 0; i < a.iteration_stats.size(); ++i) {
+    EXPECT_EQ(a.iteration_stats[i].log_threshold,
+              b.iteration_stats[i].log_threshold);
+    EXPECT_EQ(a.iteration_stats[i].clusters_after,
+              b.iteration_stats[i].clusters_after);
+    EXPECT_EQ(a.iteration_stats[i].unclustered,
+              b.iteration_stats[i].unclustered);
+  }
+}
+
+TEST(BatchedScanTest, OnAndOffProduceIdenticalClusterings) {
+  for (uint64_t seed : {1u, 5u}) {
+    SequenceDatabase db = PlantedDb(3, 15, 0.05, seed);
+    CluseqOptions on = FastOptions();
+    on.batched_scan = true;
+    CluseqOptions off = FastOptions();
+    off.batched_scan = false;
+    ClusteringResult result_on, result_off;
+    ASSERT_TRUE(RunCluseq(db, on, &result_on).ok());
+    ASSERT_TRUE(RunCluseq(db, off, &result_off).ok());
+    ExpectIdenticalResults(result_on, result_off);
+  }
+}
+
+TEST(BatchedScanTest, OnAndOffIdenticalWithPruningAndThreads) {
+  SequenceDatabase db = PlantedDb(2, 12, 0.0, 9);
+  CluseqOptions base = FastOptions();
+  base.pst.max_memory_bytes = 64 * 1024;  // Order-dependent pruning path.
+  base.num_threads = 4;
+  CluseqOptions on = base, off = base;
+  on.batched_scan = true;
+  off.batched_scan = false;
+  ClusteringResult result_on, result_off;
+  ASSERT_TRUE(RunCluseq(db, on, &result_on).ok());
+  ASSERT_TRUE(RunCluseq(db, off, &result_off).ok());
+  ExpectIdenticalResults(result_on, result_off);
+}
+
+TEST(BatchedScanTest, ClassifyAgreesBetweenModes) {
+  SequenceDatabase db = PlantedDb(3, 12, 0.0, 3);
+  CluseqOptions on = FastOptions();
+  on.batched_scan = true;
+  CluseqOptions off = FastOptions();
+  off.batched_scan = false;
+  CluseqClusterer clusterer_on(db, on);
+  CluseqClusterer clusterer_off(db, off);
+  ClusteringResult r_on, r_off;
+  ASSERT_TRUE(clusterer_on.Run(&r_on).ok());
+  ASSERT_TRUE(clusterer_off.Run(&r_off).ok());
+  for (size_t s = 0; s < db.size(); ++s) {
+    double sim_on = 0.0, sim_off = 0.0;
+    const int32_t c_on = clusterer_on.Classify(db[s], &sim_on);
+    const int32_t c_off = clusterer_off.Classify(db[s], &sim_off);
+    EXPECT_EQ(c_on, c_off) << "sequence " << s;
+    EXPECT_EQ(sim_on, sim_off) << "sequence " << s;
+  }
+}
+
+TEST(BatchedScanTest, StableIterationRefreezesZeroClusters) {
+  // Once the clustering stops changing — no membership changes, no newly
+  // absorbed segments, no new seed clusters — the rebuild skip keeps every
+  // tree untouched and the dirty-bit re-freeze recompiles nothing. The
+  // whole pipeline is seeded and single-threaded, so this trajectory is
+  // deterministic: it ends in a run of stable iterations.
+  SequenceDatabase db = PlantedDb(2, 20, 0.0, 11, /*spread=*/0.10);
+  CluseqOptions o = FastOptions();
+  o.max_iterations = 20;
+  ClusteringResult result;
+  ASSERT_TRUE(RunCluseq(db, o, &result).ok());
+  ASSERT_FALSE(result.iteration_stats.empty());
+  const IterationStats& last = result.iteration_stats.back();
+  EXPECT_EQ(last.new_clusters, 0u);
+  EXPECT_EQ(last.refrozen_clusters, 0u)
+      << "an iteration that absorbed nothing must reuse every snapshot";
+  // Earlier iterations did real work: something was frozen at some point,
+  // and the scan time is accounted inside the iteration time.
+  size_t total_refrozen = 0;
+  for (const IterationStats& s : result.iteration_stats) {
+    total_refrozen += s.refrozen_clusters;
+    EXPECT_GE(s.scan_seconds, 0.0);
+    EXPECT_LE(s.scan_seconds, s.seconds);
+  }
+  EXPECT_GT(total_refrozen, 0u);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -90,11 +90,12 @@ TEST(SeedingTest, PrefersSequenceDissimilarToExistingCluster) {
   SequenceDatabase db = TwoSourceDb(15);
   BackgroundModel bg = BackgroundModel::FromDatabase(db);
 
-  std::vector<Cluster> existing;
-  existing.emplace_back(0, db.alphabet().size(), TestPstOptions());
+  Pst source0_pst(db.alphabet().size(), TestPstOptions());
   for (size_t i = 0; i < db.size(); ++i) {
-    if (db[i].label() == 0) existing.back().mutable_pst().InsertSequence(db[i]);
+    if (db[i].label() == 0) source0_pst.InsertSequence(db[i]);
   }
+  std::vector<std::shared_ptr<const FrozenPst>> existing = {
+      std::make_shared<const FrozenPst>(source0_pst, bg)};
 
   std::vector<size_t> unclustered(db.size());
   for (size_t i = 0; i < db.size(); ++i) unclustered[i] = i;

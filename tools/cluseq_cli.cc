@@ -7,7 +7,7 @@
 //
 // Examples:
 //   cluseq_cli generate --kind=protein --out=prot.fasta --scale=0.05
-//   cluseq_cli cluster --input=prot.fasta --assignments=out.tsv \
+//   cluseq_cli cluster --input=prot.fasta --assignments=out.tsv
 //       --model-dir=models --c=5 --min-members=4
 //   cluseq_cli classify --input=more.fasta --model-dir=models
 //
@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluseq/cluseq.h"
@@ -98,6 +100,17 @@ struct CommonFlags {
         options.num_threads = std::strtoul(v.c_str(), nullptr, 10);
       } else if (ParseFlag(arg, "pst-memory", &v)) {
         options.pst.max_memory_bytes = std::strtoul(v.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "batched_scan", &v) ||
+                 ParseFlag(arg, "batched-scan", &v)) {
+        if (v == "on") {
+          options.batched_scan = true;
+        } else if (v == "off") {
+          options.batched_scan = false;
+        } else {
+          std::fprintf(stderr, "--batched_scan takes 'on' or 'off', got %s\n",
+                       v.c_str());
+          return false;
+        }
       } else if (arg == "--verbose") {
         options.verbose = true;
         SetLogLevel(LogLevel::kInfo);
@@ -216,11 +229,11 @@ int RunClassify(const CommonFlags& flags) {
   // Prefer compiled snapshots (.fpst): they score directly and carry the
   // training-time background. Fall back to live trees (.pst), frozen here
   // against the input data's background.
-  std::vector<FrozenPst> models;
+  std::vector<std::shared_ptr<const FrozenPst>> models;
   for (size_t c = 0;; ++c) {
     std::string base = flags.model_dir + "/cluster" + std::to_string(c);
-    FrozenPst frozen;
-    Status load = LoadFrozenPstFromFile(base + ".fpst", &frozen);
+    auto frozen = std::make_shared<FrozenPst>();
+    Status load = LoadFrozenPstFromFile(base + ".fpst", frozen.get());
     if (!load.ok()) break;
     models.push_back(std::move(frozen));
   }
@@ -231,7 +244,7 @@ int RunClassify(const CommonFlags& flags) {
       Pst pst(1, PstOptions{});
       Status load = LoadPstFromFile(base + ".pst", &pst);
       if (!load.ok()) break;
-      models.emplace_back(pst, background);
+      models.push_back(std::make_shared<const FrozenPst>(pst, background));
     }
   }
   if (models.empty()) {
@@ -241,14 +254,36 @@ int RunClassify(const CommonFlags& flags) {
   }
   std::printf("loaded %zu models\n", models.size());
 
+  // One-pass banked scoring when enabled and the models agree on an
+  // alphabet (snapshots from one clustering run always do; the serial loop
+  // stays as the fallback for mixed model directories).
+  bool bankable = flags.options.batched_scan;
+  for (const auto& m : models) {
+    bankable = bankable && !m->empty() &&
+               m->alphabet_size() == models.front()->alphabet_size();
+  }
+  FrozenBank bank;
+  if (bankable) bank.Assemble(models);
+
+  std::vector<SimilarityResult> sims(models.size());
   for (size_t i = 0; i < db.size(); ++i) {
     double best = -1e300;
     size_t best_c = 0;
-    for (size_t c = 0; c < models.size(); ++c) {
-      double s = ComputeSimilarity(models[c], db[i]).log_sim;
-      if (s > best) {
-        best = s;
-        best_c = c;
+    if (bankable) {
+      bank.ScanAll(db[i].symbols(), sims.data());
+      for (size_t c = 0; c < models.size(); ++c) {
+        if (sims[c].log_sim > best) {
+          best = sims[c].log_sim;
+          best_c = c;
+        }
+      }
+    } else {
+      for (size_t c = 0; c < models.size(); ++c) {
+        double s = ComputeSimilarity(*models[c], db[i]).log_sim;
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
       }
     }
     std::printf("%s\t%zu\t%.4f\n",
@@ -269,8 +304,10 @@ void PrintUsage() {
                "           [--k=N] [--c=N] [--t=F] [--depth=N] "
                "[--min-members=N]\n"
                "           [--max-iterations=N] [--threads=N] "
-               "[--pst-memory=BYTES] [--verbose]\n"
-               "  classify --input=PATH --model-dir=DIR\n");
+               "[--pst-memory=BYTES]\n"
+               "           [--batched_scan=on|off] [--verbose]\n"
+               "  classify --input=PATH --model-dir=DIR "
+               "[--batched_scan=on|off]\n");
 }
 
 }  // namespace
