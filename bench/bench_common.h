@@ -87,21 +87,22 @@ inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
 
 /// Writes a flat metrics object to BENCH_<name>.json in the working
 /// directory, so successive runs leave a machine-readable trajectory next
-/// to the human-readable tables. Values print with enough digits to
-/// round-trip a double.
+/// to the human-readable tables. Uses the library's obs::JsonWriter — the
+/// same serializer behind --metrics_json/--trace_json — so escaping and
+/// number formatting (%.17g, enough to round-trip a double) cannot drift
+/// between the bench harnesses and the run reports.
 inline bool WriteBenchJson(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& metrics) {
   std::ofstream out("BENCH_" + name + ".json");
   if (!out) return false;
-  out << "{\n  \"bench\": \"" << name << "\"";
+  cluseq::obs::JsonWriter writer(out);
+  writer.BeginObject();
+  writer.KeyValue("bench", std::string_view(name));
   for (const auto& [key, value] : metrics) {
-    out << ",\n  \"" << key << "\": ";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    out << buf;
+    writer.KeyValue(key, value);
   }
-  out << "\n}\n";
+  writer.EndObject();
   return static_cast<bool>(out);
 }
 

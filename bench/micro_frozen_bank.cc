@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
                      "Assemble (ms)"});
   std::vector<std::pair<std::string, double>> metrics;
   double speedup_at_reference = 0.0;
+  double obs_overhead_pct = 0.0;
 
   for (size_t depth : {3, 6}) {
     options.max_depth = depth;
@@ -141,12 +142,52 @@ int main(int argc, char** argv) {
       metrics.emplace_back("speedup_scalar_" + tag, speedup_scalar);
       metrics.emplace_back("speedup_simd_" + tag, speedup_simd);
       metrics.emplace_back("assemble_ms_" + tag, assemble_secs * 1e3);
-      if (depth == 6 && k == 64) speedup_at_reference = speedup_simd;
+      if (depth == 6 && k == 64) {
+        speedup_at_reference = speedup_simd;
+        // Instrumentation overhead at the reference point: the same scan
+        // with the metrics registry live (the default) vs globally disabled
+        // ("compiled in but unused"). The only difference is ScanAll's
+        // amortized per-call counter updates, so this bounds the obs tax
+        // on the hot path. The two arms are interleaved trial-by-trial so
+        // clock-frequency and cache drift hit both equally instead of
+        // biasing whichever arm runs second.
+        const auto scan_once = [&] {
+          bank.ScanAll(span, results.data());
+          sink = results[0].log_sim;
+        };
+        size_t reps = 1;
+        for (;;) {
+          Stopwatch calibrate;
+          for (size_t r = 0; r < reps; ++r) scan_once();
+          if (calibrate.ElapsedSeconds() > 0.2) break;
+          reps *= 4;
+        }
+        double off_secs = std::numeric_limits<double>::infinity();
+        double on_secs = std::numeric_limits<double>::infinity();
+        for (int trial = 0; trial < 5; ++trial) {
+          obs::SetMetricsEnabled(false);
+          Stopwatch off_timer;
+          for (size_t r = 0; r < reps; ++r) scan_once();
+          off_secs = std::min(
+              off_secs, off_timer.ElapsedSeconds() / static_cast<double>(reps));
+          obs::SetMetricsEnabled(true);
+          Stopwatch on_timer;
+          for (size_t r = 0; r < reps; ++r) scan_once();
+          on_secs = std::min(
+              on_secs, on_timer.ElapsedSeconds() / static_cast<double>(reps));
+        }
+        obs_overhead_pct = (on_secs - off_secs) / off_secs * 100.0;
+        metrics.emplace_back("obs_scan_metrics_off_msyms",
+                             work / off_secs / 1e6);
+        metrics.emplace_back("obs_scan_metrics_on_msyms",
+                             work / on_secs / 1e6);
+      }
     }
   }
 
   EmitTable(table, args.csv);
   metrics.emplace_back("speedup_reference", speedup_at_reference);
+  metrics.emplace_back("obs_overhead_pct", obs_overhead_pct);
   if (!WriteBenchJson("frozen_bank", metrics)) {
     std::fprintf(stderr, "failed to write BENCH_frozen_bank.json\n");
     return 1;
@@ -154,6 +195,9 @@ int main(int argc, char** argv) {
   std::printf("\nreference speedup (depth 6, k=64, %zu-symbol query, "
               "single thread): %.2fx\n",
               query_len, speedup_at_reference);
+  std::printf("metrics-on vs metrics-off scan overhead at reference: "
+              "%+.2f%%\n",
+              obs_overhead_pct);
   std::printf("metrics -> BENCH_frozen_bank.json\n");
   return 0;
 }

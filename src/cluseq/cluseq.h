@@ -30,6 +30,10 @@
 #include "eval/contingency.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"

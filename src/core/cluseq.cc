@@ -9,6 +9,9 @@
 #include "core/seeding.h"
 #include "core/similarity.h"
 #include "core/threshold.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -68,6 +71,8 @@ CluseqClusterer::CluseqClusterer(const SequenceDatabase& db,
   if (options_.num_threads == 0) options_.num_threads = 1;
 }
 
+CluseqClusterer::~CluseqClusterer() = default;
+
 size_t CluseqClusterer::PlanNewClusters(size_t iteration) const {
   size_t planned;
   if (iteration == 1) {
@@ -101,6 +106,10 @@ size_t CluseqClusterer::PlanNewClusters(size_t iteration) const {
 }
 
 double CluseqClusterer::EstimateInitialLogThreshold() {
+  CLUSEQ_TRACE_SPAN("cluseq.estimate_threshold");
+  static obs::Counter& estimates =
+      obs::MetricsRegistry::Get().GetCounter("threshold.initial_estimates");
+  estimates.Increment();
   const size_t n = db_.size();
   const size_t sample_size = std::min<size_t>(n, 24);
   if (sample_size < 3) return std::log(options_.similarity_threshold);
@@ -214,6 +223,7 @@ void CluseqClusterer::RebuildClusterPsts() {
   // cluster needs no re-freeze this iteration. A memory budget makes
   // insertion-order-dependent pruning kick in, so then we always rebuild.
   const bool can_skip = options_.pst.max_memory_bytes == 0;
+  CLUSEQ_TRACE_SPAN("cluseq.rebuild_psts");
   for (Cluster& cluster : clusters_) {
     const std::vector<size_t>& members = cluster.members();
     if (members.empty()) continue;
@@ -280,35 +290,53 @@ void CluseqClusterer::Recluster() {
     // only bumps commutative counts, so the iteration is independent of
     // both visit order and thread count.
     if (kc == 0) return;
-    Stopwatch scan_timer;
-    RefreshFrozen();  // Only dirty clusters are recompiled.
-    const std::vector<std::shared_ptr<const FrozenPst>> snapshots =
-        Snapshots();
     std::vector<SimilarityResult> sims(n * kc);
-    if (options_.batched_scan) {
-      // Pack every snapshot into the scoring arena (untouched models keep
-      // their rows byte-identical) and run one interleaved scan per
-      // sequence instead of kc serial automaton scans.
-      bank_.Assemble(snapshots);
-      ParallelFor(n, options_.num_threads, [&](size_t s) {
-        bank_.ScanAll(std::span<const SymbolId>(db_[s].symbols()),
-                      sims.data() + s * kc);
-      });
-    } else {
-      ParallelFor(n, options_.num_threads, [&](size_t s) {
-        std::span<const SymbolId> symbols(db_[s].symbols());
-        for (size_t ci = 0; ci < kc; ++ci) {
-          sims[s * kc + ci] = ComputeSimilarity(*snapshots[ci], symbols);
-        }
-      });
+    {
+      CLUSEQ_TRACE_SPAN("cluseq.scan");
+      static obs::Counter& scan_symbols_counter =
+          obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
+      static obs::Gauge& scan_rate_gauge = obs::MetricsRegistry::Get().GetGauge(
+          "frozen_bank.scan_symbols_per_sec");
+      const uint64_t scan_symbols_before = scan_symbols_counter.Value();
+      Stopwatch scan_timer;
+      RefreshFrozen();  // Only dirty clusters are recompiled.
+      const std::vector<std::shared_ptr<const FrozenPst>> snapshots =
+          Snapshots();
+      if (options_.batched_scan) {
+        // Pack every snapshot into the scoring arena (untouched models keep
+        // their rows byte-identical) and run one interleaved scan per
+        // sequence instead of kc serial automaton scans.
+        bank_.Assemble(snapshots);
+        ParallelFor(n, options_.num_threads, [&](size_t s) {
+          bank_.ScanAll(std::span<const SymbolId>(db_[s].symbols()),
+                        sims.data() + s * kc);
+        });
+      } else {
+        ParallelFor(n, options_.num_threads, [&](size_t s) {
+          std::span<const SymbolId> symbols(db_[s].symbols());
+          for (size_t ci = 0; ci < kc; ++ci) {
+            sims[s * kc + ci] = ComputeSimilarity(*snapshots[ci], symbols);
+          }
+        });
+      }
+      const double scan_elapsed = scan_timer.ElapsedSeconds();
+      scan_seconds_this_iter_ += scan_elapsed;
+      const uint64_t scanned =
+          scan_symbols_counter.Value() - scan_symbols_before;
+      if (scan_elapsed > 0.0 && scanned > 0) {
+        scan_rate_gauge.Set(static_cast<double>(scanned) / scan_elapsed);
+      }
     }
-    scan_seconds_this_iter_ += scan_timer.ElapsedSeconds();
+    CLUSEQ_TRACE_SPAN("cluseq.join");
+    Stopwatch join_timer;
+    size_t joins = 0;
     for (size_t s = 0; s < n; ++s) {
       for (size_t ci = 0; ci < kc; ++ci) {
         const SimilarityResult& sim = sims[s * kc + ci];
         all_log_sims_.push_back(sim.log_sim);
         best_log_sim_[s] = std::max(best_log_sim_[s], sim.log_sim);
         if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
+          ++joins;
           clusters_[ci].AddMember(s);
           joined_[s].push_back({clusters_[ci].id(), sim.log_sim});
           clusters_[ci].AbsorbSegment(
@@ -317,6 +345,10 @@ void CluseqClusterer::Recluster() {
         }
       }
     }
+    join_seconds_this_iter_ += join_timer.ElapsedSeconds();
+    static obs::Counter& join_counter =
+        obs::MetricsRegistry::Get().GetCounter("cluseq.joins");
+    join_counter.Add(joins);
     return;
   }
 
@@ -442,11 +474,22 @@ std::vector<uint64_t> CluseqClusterer::MembershipFingerprint() const {
 
 Status CluseqClusterer::Run(ClusteringResult* result) {
   CLUSEQ_RETURN_NOT_OK(options_.Validate());
+  CLUSEQ_TRACE_SPAN("cluseq.run");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  report_ = std::make_unique<obs::RunReport>();
+  report_->options = options_;
+  report_->num_sequences = db_.size();
+  report_->alphabet_size = db_.alphabet().size();
+  report_->baseline_metrics = registry.Snapshot();
+  Stopwatch run_timer;
   *result = ClusteringResult{};
   const size_t n = db_.size();
   result->best_cluster.assign(n, -1);
   result->best_log_sim.assign(n, kNegInf);
-  if (n == 0) return Status::OK();
+  if (n == 0) {
+    report_->final_metrics = registry.Snapshot();
+    return Status::OK();
+  }
 
   background_ = BackgroundModel::FromDatabase(db_);
   rng_ = Rng(options_.rng_seed);
@@ -470,27 +513,67 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   std::vector<uint64_t> prev_fingerprint;
   bool have_prev_fingerprint = false;
 
+  static obs::Counter& iteration_counter =
+      registry.GetCounter("cluseq.iterations");
+  static obs::Counter& generated_counter =
+      registry.GetCounter("cluseq.clusters_generated");
+  static obs::Counter& consolidated_counter =
+      registry.GetCounter("cluseq.clusters_consolidated");
+  static obs::Gauge& log_threshold_gauge =
+      registry.GetGauge("cluseq.log_threshold");
+  static obs::Gauge& clusters_gauge = registry.GetGauge("cluseq.clusters");
+  static obs::Gauge& unclustered_gauge =
+      registry.GetGauge("cluseq.unclustered");
+  static const std::vector<double> iteration_bounds =
+      obs::ExponentialBounds(1e-3, 4.0, 12);
+  static obs::Histogram& iteration_seconds_hist = registry.GetHistogram(
+      "cluseq.iteration_seconds", std::span<const double>(iteration_bounds));
+  // Per-iteration pruning is the delta of the cumulative pst.nodes_pruned
+  // counter (per-tree counters reset when trees are rebuilt, the registry
+  // counter never does).
+  obs::Counter& pruned_counter = registry.GetCounter("pst.nodes_pruned");
+  log_threshold_gauge.Set(log_t_);
+
   size_t iteration = 0;
   while (iteration < options_.max_iterations) {
     ++iteration;
+    CLUSEQ_TRACE_SPAN("cluseq.iteration");
     Stopwatch timer;
     refrozen_this_iter_ = 0;
     scan_seconds_this_iter_ = 0.0;
+    join_seconds_this_iter_ = 0.0;
+    const uint64_t pruned_before = pruned_counter.Value();
 
-    if (options_.rebuild_each_iteration) RebuildClusterPsts();
-    const size_t planned = PlanNewClusters(iteration);
-    const size_t before = clusters_.size();
-    GenerateNewClusters(planned);
-    const size_t generated = clusters_.size() - before;
+    Stopwatch seed_timer;
+    size_t generated = 0;
+    {
+      CLUSEQ_TRACE_SPAN("cluseq.seed");
+      if (options_.rebuild_each_iteration) RebuildClusterPsts();
+      const size_t planned = PlanNewClusters(iteration);
+      const size_t before = clusters_.size();
+      GenerateNewClusters(planned);
+      generated = clusters_.size() - before;
+    }
+    const double seed_seconds = seed_timer.ElapsedSeconds();
 
     Recluster();
-    const size_t consolidated = Consolidate();
-    RebuildMembershipViews();
+
+    Stopwatch consolidate_timer;
+    size_t consolidated = 0;
+    {
+      CLUSEQ_TRACE_SPAN("cluseq.consolidate");
+      consolidated = Consolidate();
+      RebuildMembershipViews();
+    }
+    const double consolidate_seconds = consolidate_timer.ElapsedSeconds();
 
     const double log_t_before = log_t_;
-    if (options_.adjust_threshold && !adjuster.frozen()) {
-      ThresholdUpdate update = adjuster.Adjust(all_log_sims_, log_t_);
-      if (update.adjusted) log_t_ = update.new_log_t;
+    {
+      CLUSEQ_TRACE_SPAN("cluseq.adjust_t");
+      if (options_.adjust_threshold && !adjuster.frozen()) {
+        ThresholdUpdate update = adjuster.Adjust(all_log_sims_, log_t_);
+        if (update.adjusted) log_t_ = update.new_log_t;
+      }
     }
     const bool threshold_stable =
         std::abs(log_t_ - log_t_before) <
@@ -506,7 +589,34 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     stats.seconds = timer.ElapsedSeconds();
     stats.refrozen_clusters = refrozen_this_iter_;
     stats.scan_seconds = scan_seconds_this_iter_;
+    stats.seed_seconds = seed_seconds;
+    stats.join_seconds = join_seconds_this_iter_;
+    stats.consolidate_seconds = consolidate_seconds;
+    size_t pst_bytes_total = 0;
+    for (const Cluster& c : clusters_) {
+      stats.pst_nodes_total += c.pst().NumNodes();
+      pst_bytes_total += c.pst().ApproxMemoryBytes();
+    }
+    stats.pst_pruned_total =
+        static_cast<size_t>(pruned_counter.Value() - pruned_before);
+    static obs::Gauge& live_nodes_gauge =
+        registry.GetGauge("pst.live_nodes");
+    static obs::Gauge& approx_bytes_gauge =
+        registry.GetGauge("pst.approx_bytes");
+    live_nodes_gauge.Set(static_cast<double>(stats.pst_nodes_total));
+    approx_bytes_gauge.Set(static_cast<double>(pst_bytes_total));
     result->iteration_stats.push_back(stats);
+
+    iteration_counter.Increment();
+    generated_counter.Add(generated);
+    consolidated_counter.Add(consolidated);
+    log_threshold_gauge.Set(log_t_);
+    clusters_gauge.Set(static_cast<double>(clusters_.size()));
+    unclustered_gauge.Set(static_cast<double>(unclustered_.size()));
+    iteration_seconds_hist.Observe(stats.seconds);
+    report_->iterations.push_back(stats);
+    report_->iteration_metrics.push_back(registry.Snapshot());
+
     if (options_.verbose) {
       CLUSEQ_LOG(kInfo) << "iteration " << iteration << ": +" << generated
                         << " new, -" << consolidated << " consolidated, "
@@ -514,7 +624,12 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
                         << unclustered_.size() << " unclustered, log t = "
                         << log_t_ << ", scan " << stats.scan_seconds
                         << "s, refroze " << stats.refrozen_clusters
-                        << " clusters";
+                        << " clusters, " << stats.pst_nodes_total
+                        << " pst nodes (" << stats.pst_pruned_total
+                        << " pruned), phases seed " << stats.seed_seconds
+                        << "s / join " << stats.join_seconds
+                        << "s / consolidate " << stats.consolidate_seconds
+                        << "s";
     }
 
     std::vector<uint64_t> fingerprint = MembershipFingerprint();
@@ -547,6 +662,13 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   } else {
     bank_ = FrozenBank();
   }
+
+  report_->num_clusters = result->num_clusters();
+  report_->num_unclustered = result->num_unclustered;
+  report_->total_iterations = result->iterations;
+  report_->final_log_threshold = result->final_log_threshold;
+  report_->total_seconds = run_timer.ElapsedSeconds();
+  report_->final_metrics = registry.Snapshot();
   return Status::OK();
 }
 

@@ -31,6 +31,10 @@
 
 namespace cluseq {
 
+namespace obs {
+struct RunReport;  // obs/run_report.h; owned by CluseqClusterer.
+}  // namespace obs
+
 /// Order in which sequences are examined during re-clustering (§6.3).
 enum class VisitOrder {
   kFixed,         ///< By sequence id; identical order every iteration.
@@ -143,6 +147,18 @@ struct IterationStats {
   /// Wall time of the re-cluster similarity scan (scoring only, excluding
   /// the join/absorb apply phase).
   double scan_seconds = 0.0;
+  /// Live PST nodes across all clusters at the end of the iteration.
+  size_t pst_nodes_total = 0;
+  /// Nodes pruned from cluster PSTs during this iteration (all §5.1
+  /// strategies combined; rebuilt trees count their own pruning).
+  size_t pst_pruned_total = 0;
+  /// Wall time of cluster seeding (PST rebuild + new-cluster generation).
+  double seed_seconds = 0.0;
+  /// Wall time of the join/absorb apply phase (0 in §4.2 within-scan mode,
+  /// where joins are applied inside the scan itself).
+  double join_seconds = 0.0;
+  /// Wall time of consolidation + membership view rebuild.
+  double consolidate_seconds = 0.0;
 };
 
 struct ClusteringResult {
@@ -172,10 +188,16 @@ class CluseqClusterer {
  public:
   /// `db` must outlive the clusterer.
   CluseqClusterer(const SequenceDatabase& db, CluseqOptions options);
+  ~CluseqClusterer();  // Out of line: report_ points to an incomplete type.
 
   /// Runs the full iterative algorithm. Idempotent per instance: a second
   /// call restarts from scratch.
   Status Run(ClusteringResult* result);
+
+  /// Machine-readable record of the last Run(): options echo, per-iteration
+  /// stats and metrics snapshots, final metrics. Null before the first run;
+  /// serialize with obs::WriteRunReportJson (the CLI's --metrics_json).
+  const obs::RunReport* report() const { return report_.get(); }
 
   /// Final cluster states (PSTs + members); valid after Run(). Useful for
   /// classifying new sequences against the discovered clusters.
@@ -223,6 +245,8 @@ class CluseqClusterer {
   // Per-iteration scan diagnostics (reset in Run()'s loop).
   size_t refrozen_this_iter_ = 0;
   double scan_seconds_this_iter_ = 0.0;
+  double join_seconds_this_iter_ = 0.0;
+  std::unique_ptr<obs::RunReport> report_;
 
   // Per-sequence (cluster position, log sim, segment) of joined clusters,
   // refreshed every iteration.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace cluseq {
 
 OnlineScorer::OnlineScorer(const BackgroundModel& background)
@@ -28,10 +30,16 @@ void OnlineScorer::EnsureBank() {
   // rows_ offsets are model-local and unaffected either way.
   bank_.Assemble(models_);
   bank_stale_ = false;
+  static obs::Counter& rebuilds =
+      obs::MetricsRegistry::Get().GetCounter("online_scorer.bank_rebuilds");
+  rebuilds.Increment();
 }
 
 void OnlineScorer::Push(SymbolId symbol) {
   EnsureBank();
+  static obs::Counter& push_symbols =
+      obs::MetricsRegistry::Get().GetCounter("online_scorer.push_symbols");
+  push_symbols.Increment();
   // One interleaved step over every model: log X_i straight from the
   // arena (the row already encodes the relevant context, background ratio
   // included), then the §4.3 restart-or-extend update per model lane.

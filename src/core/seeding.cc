@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/similarity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "util/thread_pool.h"
@@ -19,6 +21,7 @@ std::vector<size_t> SelectSeeds(
     size_t num_threads, Rng* rng, bool batched_scan) {
   std::vector<size_t> chosen;
   if (num_seeds == 0 || unclustered.empty()) return chosen;
+  CLUSEQ_TRACE_SPAN("seeding.select_seeds");
   num_seeds = std::min(num_seeds, unclustered.size());
   sample_size = std::min(std::max(sample_size, num_seeds),
                          unclustered.size());
@@ -124,6 +127,12 @@ std::vector<size_t> SelectSeeds(
       best_sim[i] = std::max(best_sim[i], s);
     });
   }
+  static obs::Counter& seeds_selected =
+      obs::MetricsRegistry::Get().GetCounter("seeding.seeds_selected");
+  static obs::Counter& samples_scored =
+      obs::MetricsRegistry::Get().GetCounter("seeding.samples_scored");
+  seeds_selected.Add(chosen.size());
+  samples_scored.Add(sample_size);
   return chosen;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/histogram.h"
 
 namespace cluseq {
@@ -48,6 +49,9 @@ ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
   if (std::abs(valley_log_t - current_log_t) <
       0.01 * std::max(1.0, std::abs(current_log_t))) {
     frozen_ = true;
+    static obs::Counter& freezes =
+        obs::MetricsRegistry::Get().GetCounter("threshold.freezes");
+    freezes.Increment();
     return update;
   }
 
@@ -62,6 +66,9 @@ ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
     stepped = current_log_t + max_up_step_;  // Bounded upward pace.
   }
   update.new_log_t = std::max(stepped, min_log_t_);
+  static obs::Counter& adjustments =
+      obs::MetricsRegistry::Get().GetCounter("threshold.adjustments");
+  adjustments.Increment();
   return update;
 }
 

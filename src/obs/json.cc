@@ -1,0 +1,434 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cluseq {
+namespace obs {
+
+// --- Writer ---------------------------------------------------------------
+
+void JsonWriter::Indent() {
+  out_ << '\n';
+  for (size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  CLUSEQ_CHECK(!done_, "JsonWriter: value after the document completed");
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    CLUSEQ_CHECK(key_pending_, "JsonWriter: object member without Key()");
+    key_pending_ = false;
+    return;
+  }
+  // Array element: comma-separate and place on its own line.
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  Indent();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  CLUSEQ_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+               "JsonWriter: Key() outside an object");
+  CLUSEQ_CHECK(!key_pending_, "JsonWriter: Key() twice without a value");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  Indent();
+  out_ << '"';
+  WriteEscaped(key);
+  out_ << "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  CLUSEQ_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+               "JsonWriter: EndObject() without matching BeginObject()");
+  CLUSEQ_CHECK(!key_pending_, "JsonWriter: EndObject() with a dangling key");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ << '}';
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  CLUSEQ_CHECK(!stack_.empty() && stack_.back() == Frame::kArray,
+               "JsonWriter: EndArray() without matching BeginArray()");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ << ']';
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << '"';
+  WriteEscaped(value);
+  out_ << '"';
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ << "null";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ << buf;
+  }
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  if (stack_.empty()) {
+    out_ << '\n';
+    done_ = true;
+  }
+}
+
+// --- Parser ---------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    CLUSEQ_RETURN_NOT_OK(ParseValue(out, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = true;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out->type = JsonValue::Type::kBool;
+          out->bool_value = false;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out->type = JsonValue::Type::kNull;
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    CLUSEQ_RETURN_NOT_OK(Expect('{'));
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      CLUSEQ_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      CLUSEQ_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      CLUSEQ_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      CLUSEQ_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    CLUSEQ_RETURN_NOT_OK(Expect('['));
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      CLUSEQ_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      CLUSEQ_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    CLUSEQ_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // ASCII-only decode; anything wider is preserved as UTF-8 bytes
+          // by the writer and never escaped, so this path only sees the
+          // control characters the writer itself emits.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            return Error("non-ASCII \\u escape unsupported");
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      return Error("malformed number '" + token + "'");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseJson(std::string_view text, JsonValue* out) {
+  *out = JsonValue{};
+  Parser parser(text);
+  return parser.Parse(out);
+}
+
+Status ParseJsonFile(const std::string& path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJson(buffer.str(), out);
+}
+
+}  // namespace obs
+}  // namespace cluseq

@@ -1,0 +1,137 @@
+// Minimal zero-dependency JSON writer and parser for the observability
+// layer.
+//
+// Every machine-readable artifact this library emits — run reports
+// (`--metrics_json`), Chrome trace files (`--trace_json`), and the bench
+// harnesses' BENCH_*.json — goes through the one JsonWriter here, so key
+// styles and number formatting cannot drift between emitters. The parser is
+// the validating counterpart: tests parse what the writer emitted, and
+// tools can load a run report back without an external JSON dependency.
+//
+// Scope is deliberately small: UTF-8 pass-through (no \uXXXX decoding
+// beyond the escapes the writer itself produces), doubles printed with
+// enough digits to round-trip, and non-finite doubles mapped to null
+// (JSON has no NaN/Infinity and strict parsers reject them).
+
+#ifndef CLUSEQ_OBS_JSON_H_
+#define CLUSEQ_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cluseq {
+namespace obs {
+
+/// Streaming JSON emitter with automatic commas and two-space indentation.
+/// Usage is push-down: Begin/End calls must nest correctly and every object
+/// member must be introduced with Key(). Misuse trips a fatal check rather
+/// than emitting invalid JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Introduces the next member of the enclosing object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Printed with %.17g (round-trips a double); non-finite values emit
+  /// null, since JSON has no representation for them.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key + value in one call.
+  void KeyValue(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KeyValue(std::string_view key, uint64_t value) {
+    Key(key);
+    UInt(value);
+  }
+  void KeyValue(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KeyValue(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KeyValue(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// True once the single top-level value is complete.
+  bool done() const { return done_; }
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+
+  void BeforeValue();
+  void Indent();
+  void WriteEscaped(std::string_view s);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+/// Parsed JSON value (tree form). Object member order is preserved.
+struct JsonValue {
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict recursive-descent parse of one complete JSON document (trailing
+/// whitespace allowed, trailing garbage is an error). Depth is bounded to
+/// keep hostile inputs from overflowing the stack.
+Status ParseJson(std::string_view text, JsonValue* out);
+
+/// Reads and parses a JSON file (convenience for tests and tools).
+Status ParseJsonFile(const std::string& path, JsonValue* out);
+
+}  // namespace obs
+}  // namespace cluseq
+
+#endif  // CLUSEQ_OBS_JSON_H_

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cluseq {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+// --- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  CLUSEQ_CHECK(!bounds_.empty(), "Histogram needs at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CLUSEQ_CHECK(bounds_[i] > bounds_[i - 1],
+                 "Histogram bounds must be strictly increasing");
+  }
+  const size_t buckets = bounds_.size() + 1;
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[internal_metrics::ShardIndex()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  // No atomic<double>::fetch_add pre-C++20-library support everywhere; a
+  // relaxed CAS loop on the shard's private sum is equally cheap here
+  // (histogram observations are phase-granular, not per-symbol).
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + v,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> totals(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < totals.size(); ++b) {
+      totals[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& shard : shards_) {
+    for (size_t b = 0; b < bounds_.size() + 1; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- Snapshot -------------------------------------------------------------
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterRow& row : counters) {
+    if (row.name == name) return row.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name,
+                                   double fallback) const {
+  for (const GaugeRow& row : gauges) {
+    if (row.name == name) return row.value;
+  }
+  return fallback;
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count) {
+  CLUSEQ_CHECK(start > 0.0 && factor > 1.0 && count > 0,
+               "ExponentialBounds needs start > 0, factor > 1, count > 0");
+  std::vector<double> bounds(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds[i] = v;
+    v *= factor;
+  }
+  return bounds;
+}
+
+// --- Registry -------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked on purpose: instruments are referenced from function-local
+  // statics across the whole library and must outlive every user.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLUSEQ_CHECK(gauges_.find(name) == gauges_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric name already registered as a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLUSEQ_CHECK(counters_.find(name) == counters_.end() &&
+                   histograms_.find(name) == histograms_.end(),
+               "metric name already registered as a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLUSEQ_CHECK(counters_.find(name) == counters_.end() &&
+                   gauges_.find(name) == gauges_.end(),
+               "metric name already registered as a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::string(name),
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+  } else {
+    CLUSEQ_CHECK(std::equal(bounds.begin(), bounds.end(),
+                            it->second->bounds().begin(),
+                            it->second->bounds().end()),
+                 "histogram re-registered with different bounds");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.bounds = histogram->bounds();
+    row.counts = histogram->BucketCounts();
+    for (uint64_t c : row.counts) row.total_count += c;
+    row.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(row));
+  }
+  // std::map iteration is already name-sorted; the vectors inherit it.
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetForTest();
+  for (auto& [name, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [name, histogram] : histograms_) histogram->ResetForTest();
+}
+
+}  // namespace obs
+}  // namespace cluseq

@@ -1,0 +1,229 @@
+// Process-wide runtime metrics registry: counters, gauges, and fixed-bucket
+// histograms, cheap enough for the scoring hot paths.
+//
+// Design (DESIGN.md §10):
+//
+//   * Instruments are owned by a global registry and looked up by name
+//     (dotted-path convention, e.g. "frozen_bank.scan_symbols"). Lookup
+//     takes a mutex, so call sites cache the reference in a function-local
+//     static — after the first call the hot path never touches the
+//     registry:
+//
+//       static obs::Counter& symbols =
+//           obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
+//       symbols.Add(len * k);
+//
+//   * Counters and histograms are sharded: each instrument keeps a small
+//     array of cache-line-padded atomic cells, and a thread always writes
+//     the cell picked by its (stable, sequentially assigned) thread index.
+//     An increment is exactly one relaxed fetch_add with no cross-thread
+//     cache-line ping-pong at realistic thread counts; Snapshot() sums the
+//     shards. Values are monotone — there is no "read-modify across shards"
+//     operation to race with.
+//
+//   * Snapshot() deep-copies every instrument's current value into plain
+//     structs, so a snapshot is immutable and isolated: instruments may keep
+//     counting while a snapshot is serialized or compared (snapshots taken
+//     per CLUSEQ iteration feed the RunReport).
+//
+//   * SetMetricsEnabled(false) turns every instrument into a single relaxed
+//     load + branch. The micro benches use it to measure the
+//     instrumentation overhead against "compiled in but unused".
+//
+// All counters are cumulative for the process lifetime. Consumers that want
+// per-run or per-iteration numbers difference two snapshots (see
+// MetricsSnapshot::CounterValue and core/cluseq.cc).
+
+#ifndef CLUSEQ_OBS_METRICS_H_
+#define CLUSEQ_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cluseq {
+namespace obs {
+
+/// Globally enables/disables all instrument writes (reads still work).
+/// Enabled by default; intended for overhead measurement and tests.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Stable, small, sequentially-assigned index of the calling thread
+/// (first caller gets 0). Shared by the metric shards and the trace
+/// recorder's thread ids.
+uint32_t ThreadIndex();
+
+namespace internal_metrics {
+inline constexpr size_t kShards = 16;  // Power of two; see ShardIndex().
+inline size_t ShardIndex() { return ThreadIndex() & (kShards - 1); }
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace internal_metrics
+
+/// Monotone event counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n) {
+    if (!MetricsEnabled()) return;
+    shards_[internal_metrics::ShardIndex()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards (concurrent increments may or may not be seen).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name_;
+  std::array<internal_metrics::ShardCell, internal_metrics::kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bounds[i]
+/// (bounds strictly increasing); one implicit overflow bucket catches the
+/// rest. Observation sums are kept per shard so mean latency is available
+/// without a separate gauge.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Aggregated per-bucket counts (size bounds().size() + 1).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  void ResetForTest();
+
+  struct alignas(64) Shard {
+    // One cell per bucket plus the running sum; sized at construction.
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, internal_metrics::kShards> shards_;
+};
+
+/// Immutable copy of every registered instrument's value at one moment.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+    uint64_t total_count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<CounterRow> counters;      // Sorted by name.
+  std::vector<GaugeRow> gauges;          // Sorted by name.
+  std::vector<HistogramRow> histograms;  // Sorted by name.
+
+  /// Value of the named counter, or 0 when absent (absent == never
+  /// registered == never incremented, so 0 is exact, not a guess).
+  uint64_t CounterValue(std::string_view name) const;
+  /// Value of the named gauge, or fallback when absent.
+  double GaugeValue(std::string_view name, double fallback = 0.0) const;
+};
+
+/// Latency bucket helper: {start, start·factor, …}, `count` bounds.
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count);
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed; instruments referenced
+  /// from function-local statics must stay valid through exit).
+  static MetricsRegistry& Get();
+
+  /// Returns the instrument with this name, creating it on first use.
+  /// References stay valid for the process lifetime. Registering one name
+  /// as two different instrument kinds is a fatal error.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` must be strictly increasing and non-empty; a re-lookup of an
+  /// existing histogram must pass identical bounds.
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument's value (instruments stay registered, cached
+  /// references stay valid). Test isolation only — production code treats
+  /// counters as monotone.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace cluseq
+
+#endif  // CLUSEQ_OBS_METRICS_H_

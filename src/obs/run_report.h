@@ -1,0 +1,78 @@
+// Machine-readable record of one CluseqClusterer::Run.
+//
+// The clusterer fills a RunReport as it goes: an echo of the effective
+// options, the per-iteration IterationStats alongside a metrics-registry
+// snapshot taken at the end of each iteration, the final registry state,
+// and the headline summary numbers. Consumers (cluseq_cli --metrics_json,
+// tests, downstream analysis) serialize it with WriteRunReportJson — one
+// stable JSON schema instead of scraping logs.
+//
+// Registry snapshots are cumulative process-wide values; to get "what did
+// this run do", difference a snapshot against `baseline_metrics` (taken
+// when Run() starts). The serializer emits the raw snapshots so consumers
+// can make either choice.
+
+#ifndef CLUSEQ_OBS_RUN_REPORT_H_
+#define CLUSEQ_OBS_RUN_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/cluseq.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cluseq {
+namespace obs {
+
+struct RunReport {
+  /// Effective options the run executed with.
+  CluseqOptions options;
+
+  /// Input shape.
+  size_t num_sequences = 0;
+  size_t alphabet_size = 0;
+
+  /// One entry per completed iteration, parallel arrays.
+  std::vector<IterationStats> iterations;
+  std::vector<MetricsSnapshot> iteration_metrics;
+
+  /// Registry state when Run() started / returned.
+  MetricsSnapshot baseline_metrics;
+  MetricsSnapshot final_metrics;
+
+  /// Headline summary (mirrors ClusteringResult).
+  size_t num_clusters = 0;
+  size_t num_unclustered = 0;
+  size_t total_iterations = 0;
+  double final_log_threshold = 0.0;
+  double total_seconds = 0.0;
+
+  /// External evaluation, filled by callers that have ground-truth labels
+  /// (the CLI does when the input carries them).
+  bool has_eval = false;
+  double eval_correct_fraction = 0.0;
+  double eval_macro_f1 = 0.0;
+  double eval_purity = 0.0;
+  double eval_nmi = 0.0;
+  size_t eval_found_clusters = 0;
+  size_t eval_unassigned = 0;
+};
+
+/// Serializes one registry snapshot as {"counters": {...}, "gauges": {...},
+/// "histograms": [...]}. Shared by the run report and anything else that
+/// wants a raw snapshot dump.
+void WriteMetricsSnapshotJson(JsonWriter& writer,
+                              const MetricsSnapshot& snapshot);
+
+/// Serializes the full report as a single JSON object.
+void WriteRunReportJson(const RunReport& report, std::ostream& out);
+Status WriteRunReportJsonFile(const RunReport& report,
+                              const std::string& path);
+
+}  // namespace obs
+}  // namespace cluseq
+
+#endif  // CLUSEQ_OBS_RUN_REPORT_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cluseq {
+namespace obs {
+
+// Events land in a per-thread buffer so recording never contends on a
+// global lock. Each buffer carries the generation it was filled under;
+// Start() bumps the generation, which lazily discards stale events the
+// next time their owning thread records (or when Collect() walks the
+// buffer list).
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t generation = 0;
+  uint32_t tid = 0;
+};
+
+namespace {
+
+// Flushes the thread's buffer into the recorder when the thread exits, so
+// short-lived workers (ParallelFor joins its threads per call) do not lose
+// events. The recorder outlives every thread (leaked singleton).
+struct ThreadBufferHandle {
+  TraceRecorder::ThreadBuffer* buffer = nullptr;
+  std::function<void(TraceRecorder::ThreadBuffer*)> on_exit;
+  ~ThreadBufferHandle() {
+    if (buffer && on_exit) on_exit(buffer);
+  }
+};
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Get() {
+  // Leaked on purpose: thread-exit hooks may run arbitrarily late.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::BufferForThisThread() {
+  thread_local ThreadBufferHandle handle;
+  if (handle.buffer == nullptr) {
+    auto* buffer = new ThreadBuffer();
+    buffer->tid = ThreadIndex();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffer->generation = generation_;
+      live_buffers_.push_back(buffer);
+    }
+    handle.buffer = buffer;
+    handle.on_exit = [this](ThreadBuffer* b) {
+      std::lock_guard<std::mutex> lock(mu_);
+      {
+        std::lock_guard<std::mutex> buffer_lock(b->mu);
+        if (b->generation == generation_) {
+          flushed_.insert(flushed_.end(), b->events.begin(), b->events.end());
+        }
+      }
+      std::erase(live_buffers_, b);
+      delete b;
+    };
+  }
+  return *handle.buffer;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  flushed_.clear();
+  // Live buffers are invalidated lazily: their generation no longer
+  // matches, so Record() clears them on next use and Collect() skips them.
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = BufferForThisThread();
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = generation_;
+  }
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.generation != generation) {
+    buffer.events.clear();
+    buffer.generation = generation;
+  }
+  buffer.events.push_back(TraceEvent{name, ts_us, dur_us, buffer.tid});
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events = flushed_;
+  for (ThreadBuffer* buffer : live_buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (buffer->generation == generation_) {
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  return events;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Collect();
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.KeyValue("displayTimeUnit", std::string_view("ms"));
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const TraceEvent& event : events) {
+    writer.BeginObject();
+    writer.KeyValue("name", std::string_view(event.name));
+    writer.KeyValue("cat", std::string_view("cluseq"));
+    writer.KeyValue("ph", std::string_view("X"));
+    writer.KeyValue("ts", event.ts_us);
+    writer.KeyValue("dur", event.dur_us);
+    writer.KeyValue("pid", uint64_t{1});
+    writer.KeyValue("tid", uint64_t{event.tid});
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+}
+
+Status TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  WriteJson(out);
+  out.flush();
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cluseq

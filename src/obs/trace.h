@@ -1,0 +1,122 @@
+// Scoped phase tracing with Chrome/Perfetto trace_event output.
+//
+// CLUSEQ_TRACE_SPAN("cluseq.scan") opens a span that lasts until the end of
+// the enclosing scope; when the global recorder is enabled, the span's
+// begin time and duration are recorded on the calling thread and can be
+// serialized as Chrome trace_event JSON ("X" complete events — one event
+// carries both the begin timestamp and the duration), which loads directly
+// in chrome://tracing and ui.perfetto.dev. When tracing is disabled (the
+// default) a span costs one relaxed atomic load.
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// events store the pointer, not a copy, so recording stays allocation-free
+// apart from buffer growth.
+//
+// Threading: events are appended to per-thread buffers guarded by
+// per-buffer mutexes (uncontended in steady state — only the owning thread
+// appends; the global collector locks each buffer briefly). Buffers of
+// exited threads — e.g. ParallelFor workers, which are joined per call —
+// are flushed into the recorder before the thread dies, so no events are
+// lost.
+
+#ifndef CLUSEQ_OBS_TRACE_H_
+#define CLUSEQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cluseq {
+namespace obs {
+
+/// One completed span: [ts_us, ts_us + dur_us) on thread `tid`, in
+/// microseconds relative to the recorder's epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  struct ThreadBuffer;  // Implementation detail (public for the exit hook).
+
+  static TraceRecorder& Get();
+
+  /// Discards previously recorded events and starts recording.
+  void Start();
+  /// Stops recording; already-recorded events stay collectable.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span (no-op while disabled). Callers normally go
+  /// through CLUSEQ_TRACE_SPAN instead.
+  void Record(const char* name, double ts_us, double dur_us);
+
+  /// Copy of every event recorded since Start(), in no particular order.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Microseconds since the recorder epoch (the clock spans are stamped
+  /// with).
+  double NowMicros() const;
+
+  /// Serializes all collected events as a Chrome trace_event JSON object:
+  /// {"displayTimeUnit": "ms", "traceEvents": [{"ph": "X", ...}, ...]}.
+  void WriteJson(std::ostream& out) const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+  ThreadBuffer& BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // Guards the buffer list and flushed events.
+  std::vector<ThreadBuffer*> live_buffers_;
+  std::vector<TraceEvent> flushed_;
+  uint64_t generation_ = 0;  // Bumped by Start() to invalidate old buffers.
+};
+
+/// RAII span; see CLUSEQ_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), enabled_(TraceRecorder::Get().enabled()) {
+    if (enabled_) start_us_ = TraceRecorder::Get().NowMicros();
+  }
+  ~TraceSpan() {
+    if (enabled_) {
+      TraceRecorder& recorder = TraceRecorder::Get();
+      recorder.Record(name_, start_us_, recorder.NowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool enabled_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace cluseq
+
+#define CLUSEQ_TRACE_CONCAT_INNER(a, b) a##b
+#define CLUSEQ_TRACE_CONCAT(a, b) CLUSEQ_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a scoped trace span named `name` (a string literal).
+#define CLUSEQ_TRACE_SPAN(name)                                        \
+  ::cluseq::obs::TraceSpan CLUSEQ_TRACE_CONCAT(cluseq_trace_span_,     \
+                                               __LINE__)(name)
+
+#endif  // CLUSEQ_OBS_TRACE_H_

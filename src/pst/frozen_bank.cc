@@ -10,6 +10,7 @@
 #include <sys/mman.h>
 #endif
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace cluseq {
@@ -21,6 +22,8 @@ namespace {
 constexpr size_t kHugePageBytes = 2 * 1024 * 1024;
 
 FrozenBank::Entry* AllocateArena(size_t* capacity_entries) {
+  static obs::Gauge& hugepage_gauge =
+      obs::MetricsRegistry::Get().GetGauge("frozen_bank.hugepage_arena");
   const size_t bytes = *capacity_entries * sizeof(FrozenBank::Entry);
   if (bytes >= kHugePageBytes) {
     const size_t rounded =
@@ -31,12 +34,14 @@ FrozenBank::Entry* AllocateArena(size_t* capacity_entries) {
       madvise(huge, rounded, MADV_HUGEPAGE);  // Best-effort; ENOSYS is fine.
 #endif
       *capacity_entries = rounded / sizeof(FrozenBank::Entry);
+      hugepage_gauge.Set(1.0);
       return static_cast<FrozenBank::Entry*>(huge);
     }
   }
   void* plain = std::malloc(bytes);
   CLUSEQ_CHECK(plain != nullptr || bytes == 0,
                "FrozenBank arena allocation failed");
+  hugepage_gauge.Set(0.0);
   return static_cast<FrozenBank::Entry*>(plain);
 }
 
@@ -214,6 +219,19 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
   for (size_t m = 0; m < base_.size(); ++m) {
     base32_[m] = static_cast<uint32_t>(base_[m]);
   }
+
+  static obs::Counter& assembles =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.assembles");
+  static obs::Counter& written =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.models_written");
+  static obs::Counter& reused =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.models_reused");
+  static obs::Gauge& arena_bytes =
+      obs::MetricsRegistry::Get().GetGauge("frozen_bank.arena_bytes");
+  assembles.Increment();
+  written.Add(stats.models_written);
+  reused.Add(stats.models_reused);
+  arena_bytes.Set(static_cast<double>(entries_.size() * sizeof(Entry)));
   return stats;
 }
 
@@ -245,6 +263,16 @@ void FrozenBank::ScanAll(std::span<const SymbolId> symbols,
 #else
   const bool use_simd = false;
 #endif
+  // One shard-striped fetch_add per ScanAll call — amortized over len × k
+  // scored symbols, so the hot inner loops stay untouched.
+  static obs::Counter& scan_symbols =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
+  static obs::Counter& scans_simd =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.scans_simd");
+  static obs::Counter& scans_scalar =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.scans_scalar");
+  scan_symbols.Add(symbols.size() * k);
+  (use_simd ? scans_simd : scans_scalar).Increment();
   const size_t block = BlockModels();
   for (size_t m0 = 0; m0 < k; m0 += block) {
     const size_t mb = std::min(block, k - m0);

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace cluseq {
 
 namespace {
@@ -211,6 +213,13 @@ FrozenPst::FrozenPst(const Pst& pst, const BackgroundModel& background) {
       }
     }
   }
+
+  static obs::Counter& freezes =
+      obs::MetricsRegistry::Get().GetCounter("frozen_pst.freezes");
+  static obs::Counter& states =
+      obs::MetricsRegistry::Get().GetCounter("frozen_pst.states");
+  freezes.Increment();
+  states.Add(n);
 }
 
 }  // namespace cluseq

@@ -5,9 +5,29 @@
 #include <queue>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace cluseq {
 
 namespace {
+
+obs::Counter& PrunedByStrategyCounter(PruneStrategy strategy) {
+  static obs::Counter& smallest = obs::MetricsRegistry::Get().GetCounter(
+      "pst.pruned.smallest_count_first");
+  static obs::Counter& longest = obs::MetricsRegistry::Get().GetCounter(
+      "pst.pruned.longest_label_first");
+  static obs::Counter& expected = obs::MetricsRegistry::Get().GetCounter(
+      "pst.pruned.expected_vector_first");
+  switch (strategy) {
+    case PruneStrategy::kSmallestCountFirst:
+      return smallest;
+    case PruneStrategy::kLongestLabelFirst:
+      return longest;
+    case PruneStrategy::kExpectedVectorFirst:
+      return expected;
+  }
+  return smallest;
+}
 
 // Binary search in a sorted association vector.
 template <typename V>
@@ -79,6 +99,9 @@ PstNodeId Pst::GetOrCreateChild(PstNodeId id, SymbolId symbol) {
   parent.children.insert(insert_at, {symbol, child_id});
   approx_bytes_ += sizeof(Node) + sizeof(std::pair<SymbolId, PstNodeId>);
   ++live_nodes_;
+  static obs::Counter& created =
+      obs::MetricsRegistry::Get().GetCounter("pst.nodes_created");
+  created.Increment();
   return child_id;
 }
 
@@ -99,6 +122,9 @@ void Pst::BumpNext(PstNodeId id, SymbolId s) {
 
 void Pst::InsertSequence(std::span<const SymbolId> symbols) {
   const size_t l = symbols.size();
+  static obs::Counter& insert_symbols =
+      obs::MetricsRegistry::Get().GetCounter("pst.insert_symbols");
+  insert_symbols.Add(l);
   for (size_t i = 0; i < l; ++i) {
     const SymbolId next = symbols[i];
     PstNodeId cur = kPstRoot;
@@ -305,6 +331,7 @@ void Pst::PruneToBudget(size_t target_bytes) {
       heap.emplace(PruneScore(node), id);
     }
   }
+  size_t removed = 0;
   while (approx_bytes_ > goal && !heap.empty()) {
     auto [score, id] = heap.top();
     heap.pop();
@@ -312,10 +339,20 @@ void Pst::PruneToBudget(size_t target_bytes) {
     if (node.dead || !node.children.empty()) continue;  // Stale entry.
     PstNodeId parent = node.parent;
     RemoveLeaf(id);
+    ++removed;
     if (parent != kPstRoot && parent != kNoPstNode &&
         nodes_[parent].children.empty()) {
       heap.emplace(PruneScore(nodes_[parent]), parent);
     }
+  }
+  if (removed > 0) {
+    static obs::Counter& prune_events =
+        obs::MetricsRegistry::Get().GetCounter("pst.prune_events");
+    static obs::Counter& pruned =
+        obs::MetricsRegistry::Get().GetCounter("pst.nodes_pruned");
+    prune_events.Increment();
+    pruned.Add(removed);
+    PrunedByStrategyCounter(options_.prune_strategy).Add(removed);
   }
 }
 

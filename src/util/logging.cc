@@ -1,14 +1,70 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace cluseq {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Small sequential id for the calling thread ("t0" is whichever thread
+/// logged first). Kept local to the logging layer so util stays the bottom
+/// of the dependency stack.
+uint32_t LogThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// ISO-8601 UTC wall time with millisecond resolution, e.g.
+/// "2026-08-07T12:34:56.789Z".
+void FormatTimestamp(char* buf, size_t buf_size) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &ts.tv_sec);
+#else
+  gmtime_r(&ts.tv_sec, &tm);
+#endif
+  std::snprintf(buf, buf_size, "%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000);
+}
+
+/// One write() per log line: interleaved writers can mingle *lines* but
+/// never bytes within a line (POSIX pipe/terminal writes of this size are
+/// atomic in practice), unlike stdio, whose buffer a concurrent fwrite can
+/// split mid-line.
+void WriteWholeLine(const char* data, size_t size) {
+#if defined(_WIN32)
+  std::fwrite(data, 1, size, stderr);
+  std::fflush(stderr);
+#else
+  while (size > 0) {
+    const ssize_t n = ::write(STDERR_FILENO, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // Nowhere left to report the failure.
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+#endif
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,8 +101,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
                g_min_level.load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":"
-            << line << "] ";
+    char timestamp[40];
+    FormatTimestamp(timestamp, sizeof(timestamp));
+    stream_ << "[" << timestamp << " " << LevelName(level_) << " t"
+            << LogThreadIndex() << " " << Basename(file) << ":" << line
+            << "] ";
   }
 }
 
@@ -54,7 +113,7 @@ LogMessage::~LogMessage() {
   if (enabled_) {
     std::string line = stream_.str();
     line.push_back('\n');
-    std::fwrite(line.data(), 1, line.size(), stderr);
+    WriteWholeLine(line.data(), line.size());
   }
 }
 

@@ -1,5 +1,9 @@
 #include "util/logging.h"
 
+#include <algorithm>
+#include <regex>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace cluseq {
@@ -41,6 +45,42 @@ TEST_F(LoggingTest, EnabledMessageStreamsArbitraryTypes) {
   SetLogLevel(LogLevel::kDebug);
   CLUSEQ_LOG(kInfo) << "value=" << 3.5 << " text=" << std::string("x");
   SUCCEED();
+}
+
+TEST_F(LoggingTest, PrefixHasIsoTimestampThreadIdAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();  // Captures fd 2: sees the write().
+  CLUSEQ_LOG(kInfo) << "hello obs";
+  const std::string out = testing::internal::GetCapturedStderr();
+  // [2026-08-07T12:34:56.789Z INFO t3 logging_test.cc:NN] hello obs
+  const std::regex re(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z INFO t\d+ )"
+      R"(logging_test\.cc:\d+\] hello obs\n$)");
+  EXPECT_TRUE(std::regex_match(out, re)) << "unexpected log line: " << out;
+}
+
+TEST_F(LoggingTest, ThreadIdIsStableWithinAThread) {
+  SetLogLevel(LogLevel::kWarning);
+  const std::regex tid_re(R"( (t\d+) )");
+  std::smatch m1, m2;
+  testing::internal::CaptureStderr();
+  CLUSEQ_LOG(kWarning) << "first";
+  std::string first = testing::internal::GetCapturedStderr();
+  testing::internal::CaptureStderr();
+  CLUSEQ_LOG(kWarning) << "second";
+  std::string second = testing::internal::GetCapturedStderr();
+  ASSERT_TRUE(std::regex_search(first, m1, tid_re)) << first;
+  ASSERT_TRUE(std::regex_search(second, m2, tid_re)) << second;
+  EXPECT_EQ(m1[1].str(), m2[1].str());
+}
+
+TEST_F(LoggingTest, EachMessageIsOneLine) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CLUSEQ_LOG(kInfo) << "a";
+  CLUSEQ_LOG(kInfo) << "b";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+std::string WriteSample() {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.KeyValue("name", std::string_view("clu\"seq\n"));
+  writer.KeyValue("count", uint64_t{42});
+  writer.KeyValue("delta", int64_t{-7});
+  writer.KeyValue("ratio", 0.1);
+  writer.KeyValue("flag", true);
+  writer.Key("none");
+  writer.Null();
+  writer.Key("values");
+  writer.BeginArray();
+  writer.Double(1.5);
+  writer.Double(-std::numeric_limits<double>::infinity());
+  writer.UInt(3);
+  writer.EndArray();
+  writer.Key("nested");
+  writer.BeginObject();
+  writer.KeyValue("inner", std::string_view("x"));
+  writer.EndObject();
+  writer.EndObject();
+  return out.str();
+}
+
+TEST(JsonWriterTest, EmitsParseableDocument) {
+  const std::string text = WriteSample();
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(text, &root).ok()) << text;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("name")->string_value, "clu\"seq\n");
+  EXPECT_EQ(root.Find("count")->number, 42.0);
+  EXPECT_EQ(root.Find("delta")->number, -7.0);
+  EXPECT_DOUBLE_EQ(root.Find("ratio")->number, 0.1);
+  EXPECT_TRUE(root.Find("flag")->bool_value);
+  EXPECT_TRUE(root.Find("none")->is_null());
+  ASSERT_TRUE(root.Find("values")->is_array());
+  const auto& values = root.Find("values")->array;
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0].number, 1.5);
+  // Non-finite doubles must degrade to null (JSON has no Infinity).
+  EXPECT_TRUE(values[1].is_null());
+  EXPECT_EQ(values[2].number, 3.0);
+  EXPECT_EQ(root.Find("nested")->Find("inner")->string_value, "x");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsExactly) {
+  const double original = 0.1 + 0.2;  // Not representable prettily.
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.Double(original);
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(out.str(), &v).ok());
+  EXPECT_EQ(v.number, original);  // Bit-exact via %.17g.
+}
+
+TEST(JsonWriterTest, ObjectMemberOrderIsPreserved) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.BeginObject();
+  writer.KeyValue("zebra", uint64_t{1});
+  writer.KeyValue("apple", uint64_t{2});
+  writer.EndObject();
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(out.str(), &root).ok());
+  ASSERT_EQ(root.object.size(), 2u);
+  EXPECT_EQ(root.object[0].first, "zebra");
+  EXPECT_EQ(root.object[1].first, "apple");
+}
+
+TEST(JsonWriterTest, ControlCharactersAreEscaped) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writer.String(std::string_view("a\x01" "b\tc"));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\\u0001"), std::string::npos) << text;
+  EXPECT_NE(text.find("\\t"), std::string::npos) << text;
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(text, &v).ok());
+  EXPECT_EQ(v.string_value, "a\x01" "b\tc");
+}
+
+TEST(JsonWriterTest, DoneAfterSingleTopLevelValue) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  EXPECT_FALSE(writer.done());
+  writer.BeginObject();
+  EXPECT_FALSE(writer.done());
+  writer.EndObject();
+  EXPECT_TRUE(writer.done());
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  JsonValue v;
+  EXPECT_FALSE(ParseJson("", &v).ok());
+  EXPECT_FALSE(ParseJson("{", &v).ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v).ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]", &v).ok());
+  EXPECT_FALSE(ParseJson("nul", &v).ok());
+  EXPECT_FALSE(ParseJson("\"unterminated", &v).ok());
+  EXPECT_FALSE(ParseJson("{} trailing", &v).ok());
+  EXPECT_FALSE(ParseJson("1.2.3", &v).ok());
+}
+
+TEST(JsonParserTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  JsonValue v;
+  EXPECT_FALSE(ParseJson(deep, &v).ok());
+}
+
+TEST(JsonParserTest, ParsesNumbersAndLiterals) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("  -12.5e2  ", &v).ok());
+  EXPECT_EQ(v.number, -1250.0);
+  ASSERT_TRUE(ParseJson("true", &v).ok());
+  EXPECT_TRUE(v.bool_value);
+  ASSERT_TRUE(ParseJson("null", &v).ok());
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonParserTest, FindOnNonObjectReturnsNull) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("[1]", &v).ok());
+  EXPECT_EQ(v.Find("key"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

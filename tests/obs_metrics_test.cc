@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+// The registry is process-global and other suites run in the same binary,
+// so every test uses its own uniquely named instruments and asserts deltas
+// rather than absolute registry contents.
+
+TEST(MetricsCounterTest, MultiThreadAggregation) {
+  Counter& counter =
+      MetricsRegistry::Get().GetCounter("test.counter.multithread");
+  const uint64_t before = counter.Value();
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value() - before,
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MetricsCounterTest, AddAccumulates) {
+  Counter& counter = MetricsRegistry::Get().GetCounter("test.counter.add");
+  const uint64_t before = counter.Value();
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value() - before, 12u);
+}
+
+TEST(MetricsGaugeTest, LastWriteWins) {
+  Gauge& gauge = MetricsRegistry::Get().GetGauge("test.gauge.basic");
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -1.0);
+}
+
+TEST(MetricsHistogramTest, BucketBoundaries) {
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  Histogram& hist = MetricsRegistry::Get().GetHistogram(
+      "test.histogram.bounds", std::span<const double>(bounds));
+  const std::vector<uint64_t> before = hist.BucketCounts();
+  // Bucket semantics: counts[i] tallies v <= bounds[i]; the last bucket is
+  // the overflow. A value exactly on a bound lands in that bound's bucket.
+  hist.Observe(0.5);    // <= 1       -> bucket 0
+  hist.Observe(1.0);    // == bound 0 -> bucket 0
+  hist.Observe(1.001);  //            -> bucket 1
+  hist.Observe(10.0);   // == bound 1 -> bucket 1
+  hist.Observe(99.9);   //            -> bucket 2
+  hist.Observe(100.1);  // overflow   -> bucket 3
+  hist.Observe(1e9);    // overflow   -> bucket 3
+  const std::vector<uint64_t> after = hist.BucketCounts();
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[0] - before[0], 2u);
+  EXPECT_EQ(after[1] - before[1], 2u);
+  EXPECT_EQ(after[2] - before[2], 1u);
+  EXPECT_EQ(after[3] - before[3], 2u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 0.5 + 1.0 + 1.001 + 10.0 + 99.9 + 100.1 + 1e9);
+}
+
+TEST(MetricsHistogramTest, MultiThreadObservations) {
+  const std::vector<double> bounds = {0.5};
+  Histogram& hist = MetricsRegistry::Get().GetHistogram(
+      "test.histogram.multithread", std::span<const double>(bounds));
+  const uint64_t before = hist.TotalCount();
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        hist.Observe(t % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.TotalCount() - before,
+            static_cast<uint64_t>(kThreads) * kObsPerThread);
+}
+
+TEST(MetricsSnapshotTest, SnapshotIsIsolatedFromLaterWrites) {
+  Counter& counter =
+      MetricsRegistry::Get().GetCounter("test.counter.snapshot_isolation");
+  counter.Add(3);
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  const uint64_t frozen = snap.CounterValue("test.counter.snapshot_isolation");
+  counter.Add(100);
+  // The snapshot must not see increments made after it was taken.
+  EXPECT_EQ(snap.CounterValue("test.counter.snapshot_isolation"), frozen);
+  const MetricsSnapshot later = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(later.CounterValue("test.counter.snapshot_isolation"),
+            frozen + 100);
+}
+
+TEST(MetricsSnapshotTest, RowsAreSortedAndLookupsWork) {
+  MetricsRegistry::Get().GetCounter("test.counter.sorted_a").Increment();
+  MetricsRegistry::Get().GetCounter("test.counter.sorted_b").Increment();
+  MetricsRegistry::Get().GetGauge("test.gauge.sorted").Set(2.0);
+  const MetricsSnapshot snap = MetricsRegistry::Get().Snapshot();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  EXPECT_GE(snap.CounterValue("test.counter.sorted_a"), 1u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("test.gauge.sorted"), 2.0);
+  // Absent instruments: counters read 0, gauges read the fallback.
+  EXPECT_EQ(snap.CounterValue("test.counter.never_registered"), 0u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("test.gauge.never_registered", -5.0),
+                   -5.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = MetricsRegistry::Get().GetCounter("test.counter.identity");
+  Counter& b = MetricsRegistry::Get().GetCounter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsEnabledTest, DisabledWritesAreSkipped) {
+  Counter& counter =
+      MetricsRegistry::Get().GetCounter("test.counter.disabled");
+  Gauge& gauge = MetricsRegistry::Get().GetGauge("test.gauge.disabled");
+  const std::vector<double> bounds = {1.0};
+  Histogram& hist = MetricsRegistry::Get().GetHistogram(
+      "test.histogram.disabled", std::span<const double>(bounds));
+  gauge.Set(1.0);
+  const uint64_t counter_before = counter.Value();
+  const uint64_t hist_before = hist.TotalCount();
+  SetMetricsEnabled(false);
+  counter.Add(10);
+  gauge.Set(99.0);
+  hist.Observe(0.5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), counter_before);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.0);
+  EXPECT_EQ(hist.TotalCount(), hist_before);
+  counter.Increment();  // Re-enabled writes land again.
+  EXPECT_EQ(counter.Value(), counter_before + 1);
+}
+
+TEST(MetricsBoundsTest, ExponentialBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = ExponentialBounds(0.001, 4.0, 10);
+  ASSERT_EQ(bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+// The recorder is process-global; each test Start()s it, which discards
+// whatever earlier tests recorded.
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  recorder.Stop();
+  { CLUSEQ_TRACE_SPAN("trace_test.disabled"); }
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(TraceTest, SpanRecordsNameAndDuration) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  {
+    CLUSEQ_TRACE_SPAN("trace_test.outer");
+    CLUSEQ_TRACE_SPAN("trace_test.inner");
+  }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  std::set<std::string> names;
+  for (const TraceEvent& e : events) {
+    names.insert(e.name);
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_GE(e.ts_us, 0.0);
+  }
+  EXPECT_TRUE(names.count("trace_test.outer"));
+  EXPECT_TRUE(names.count("trace_test.inner"));
+}
+
+TEST(TraceTest, StartDiscardsPreviousEvents) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  { CLUSEQ_TRACE_SPAN("trace_test.stale"); }
+  recorder.Start();  // Restart: the stale span must be gone.
+  { CLUSEQ_TRACE_SPAN("trace_test.fresh"); }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "trace_test.fresh");
+}
+
+TEST(TraceTest, WorkerThreadSpansSurviveThreadExit) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { CLUSEQ_TRACE_SPAN("trace_test.worker"); });
+  }
+  for (auto& thread : threads) thread.join();
+  { CLUSEQ_TRACE_SPAN("trace_test.main"); }
+  recorder.Stop();
+  const std::vector<TraceEvent> events = recorder.Collect();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) + 1);
+  std::set<uint32_t> tids;
+  int workers = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "trace_test.worker") {
+      ++workers;
+      tids.insert(e.tid);
+    }
+  }
+  EXPECT_EQ(workers, kThreads);
+  // Each worker thread gets its own tid.
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TraceTest, WriteJsonEmitsWellFormedChromeTrace) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  { CLUSEQ_TRACE_SPAN("trace_test.json_a"); }
+  { CLUSEQ_TRACE_SPAN("trace_test.json_b"); }
+  recorder.Stop();
+
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(out.str(), &root).ok()) << out.str();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("displayTimeUnit")->string_value, "ms");
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_TRUE(event.Find("name")->is_string());
+    EXPECT_EQ(event.Find("cat")->string_value, "cluseq");
+    EXPECT_EQ(event.Find("ph")->string_value, "X");  // Complete events.
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_TRUE(event.Find("dur")->is_number());
+    EXPECT_EQ(event.Find("pid")->number, 1.0);
+    EXPECT_TRUE(event.Find("tid")->is_number());
+  }
+}
+
+TEST(TraceTest, WriteJsonFileRoundTrips) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  { CLUSEQ_TRACE_SPAN("trace_test.file"); }
+  recorder.Stop();
+  const std::string path =
+      testing::TempDir() + "/cluseq_obs_trace_test.json";
+  ASSERT_TRUE(recorder.WriteJsonFile(path).ok());
+  JsonValue root;
+  ASSERT_TRUE(ParseJsonFile(path, &root).ok());
+  ASSERT_TRUE(root.Find("traceEvents")->is_array());
+  EXPECT_EQ(root.Find("traceEvents")->array.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

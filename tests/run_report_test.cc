@@ -1,0 +1,180 @@
+#include "obs/run_report.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cluseq.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "synth/dataset.h"
+
+namespace cluseq {
+namespace {
+
+SequenceDatabase SmallDb() {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 2;
+  opts.sequences_per_cluster = 15;
+  opts.alphabet_size = 8;
+  opts.avg_length = 60;
+  opts.outlier_fraction = 0.0;
+  opts.spread = 0.25;
+  opts.seed = 23;
+  return MakeSyntheticDataset(opts);
+}
+
+CluseqOptions SmallOptions() {
+  CluseqOptions o;
+  o.initial_clusters = 2;
+  o.similarity_threshold = 1.05;
+  o.significance_threshold = 4;
+  o.min_unique_members = 3;
+  o.max_iterations = 6;
+  o.pst.max_depth = 4;
+  o.pst.smoothing_p_min = 1e-4;
+  o.rng_seed = 7;
+  return o;
+}
+
+// The CLI's --metrics_json is exactly WriteRunReportJson over
+// clusterer.report(); round-tripping the report through the JSON layer and
+// matching it against ClusteringResult::iteration_stats covers the same
+// contract without shelling out to the binary.
+TEST(RunReportTest, RoundTripMatchesIterationStats) {
+  SequenceDatabase db = SmallDb();
+  CluseqClusterer clusterer(db, SmallOptions());
+  ClusteringResult result;
+  ASSERT_TRUE(clusterer.Run(&result).ok());
+
+  const obs::RunReport* report = clusterer.report();
+  ASSERT_NE(report, nullptr);
+  ASSERT_EQ(report->iterations.size(), result.iteration_stats.size());
+  ASSERT_GT(result.iteration_stats.size(), 0u);
+
+  std::ostringstream out;
+  obs::WriteRunReportJson(*report, out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok()) << out.str();
+
+  EXPECT_EQ(root.Find("schema")->string_value, "cluseq.run_report.v1");
+  EXPECT_EQ(root.Find("input")->Find("num_sequences")->number,
+            static_cast<double>(db.size()));
+
+  const obs::JsonValue* summary = root.Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("num_clusters")->number,
+            static_cast<double>(result.num_clusters()));
+  EXPECT_EQ(summary->Find("num_unclustered")->number,
+            static_cast<double>(result.num_unclustered));
+  EXPECT_EQ(summary->Find("iterations")->number,
+            static_cast<double>(result.iterations));
+
+  const obs::JsonValue* iterations = root.Find("iterations");
+  ASSERT_NE(iterations, nullptr);
+  ASSERT_TRUE(iterations->is_array());
+  ASSERT_EQ(iterations->array.size(), result.iteration_stats.size());
+  for (size_t i = 0; i < result.iteration_stats.size(); ++i) {
+    const IterationStats& expect = result.iteration_stats[i];
+    const obs::JsonValue* stats = iterations->array[i].Find("stats");
+    ASSERT_NE(stats, nullptr) << "iteration " << i;
+    EXPECT_EQ(stats->Find("iteration")->number,
+              static_cast<double>(expect.iteration));
+    EXPECT_EQ(stats->Find("new_clusters")->number,
+              static_cast<double>(expect.new_clusters));
+    EXPECT_EQ(stats->Find("consolidated")->number,
+              static_cast<double>(expect.consolidated));
+    EXPECT_EQ(stats->Find("clusters_after")->number,
+              static_cast<double>(expect.clusters_after));
+    EXPECT_EQ(stats->Find("unclustered")->number,
+              static_cast<double>(expect.unclustered));
+    EXPECT_DOUBLE_EQ(stats->Find("log_threshold")->number,
+                     expect.log_threshold);
+    EXPECT_DOUBLE_EQ(stats->Find("seconds")->number, expect.seconds);
+    EXPECT_EQ(stats->Find("refrozen_clusters")->number,
+              static_cast<double>(expect.refrozen_clusters));
+    EXPECT_DOUBLE_EQ(stats->Find("scan_seconds")->number,
+                     expect.scan_seconds);
+    EXPECT_EQ(stats->Find("pst_nodes_total")->number,
+              static_cast<double>(expect.pst_nodes_total));
+    EXPECT_EQ(stats->Find("pst_pruned_total")->number,
+              static_cast<double>(expect.pst_pruned_total));
+    EXPECT_DOUBLE_EQ(stats->Find("seed_seconds")->number,
+                     expect.seed_seconds);
+    EXPECT_DOUBLE_EQ(stats->Find("join_seconds")->number,
+                     expect.join_seconds);
+    EXPECT_DOUBLE_EQ(stats->Find("consolidate_seconds")->number,
+                     expect.consolidate_seconds);
+    // Per-iteration metrics snapshot rides along with the stats.
+    const obs::JsonValue* metrics = iterations->array[i].Find("metrics");
+    ASSERT_NE(metrics, nullptr) << "iteration " << i;
+    EXPECT_TRUE(metrics->Find("counters")->is_object());
+  }
+}
+
+TEST(RunReportTest, ReportEchoesOptionsAndMetrics) {
+  SequenceDatabase db = SmallDb();
+  const CluseqOptions options = SmallOptions();
+  CluseqClusterer clusterer(db, options);
+  ClusteringResult result;
+  ASSERT_TRUE(clusterer.Run(&result).ok());
+
+  std::ostringstream out;
+  obs::WriteRunReportJson(*clusterer.report(), out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok());
+
+  const obs::JsonValue* opts = root.Find("options");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_EQ(opts->Find("initial_clusters")->number,
+            static_cast<double>(options.initial_clusters));
+  EXPECT_DOUBLE_EQ(opts->Find("similarity_threshold")->number,
+                   options.similarity_threshold);
+  EXPECT_EQ(opts->Find("pst")->Find("max_depth")->number,
+            static_cast<double>(options.pst.max_depth));
+
+  // The run must have advanced the global registry: the final snapshot's
+  // cluster-iteration counter strictly exceeds the baseline's.
+  const obs::JsonValue* baseline = root.Find("baseline_metrics");
+  const obs::JsonValue* final_metrics = root.Find("final_metrics");
+  ASSERT_NE(baseline, nullptr);
+  ASSERT_NE(final_metrics, nullptr);
+  const obs::JsonValue* before =
+      baseline->Find("counters")->Find("cluseq.iterations");
+  const obs::JsonValue* after =
+      final_metrics->Find("counters")->Find("cluseq.iterations");
+  ASSERT_NE(after, nullptr);
+  const double before_value = before != nullptr ? before->number : 0.0;
+  EXPECT_EQ(after->number - before_value,
+            static_cast<double>(result.iterations));
+
+  // No eval block: the clusterer itself never evaluates; the CLI fills it.
+  EXPECT_EQ(root.Find("eval"), nullptr);
+}
+
+TEST(RunReportTest, EvalBlockSerializesWhenPresent) {
+  obs::RunReport report;
+  report.has_eval = true;
+  report.eval_correct_fraction = 0.9;
+  report.eval_macro_f1 = 0.8;
+  report.eval_purity = 0.95;
+  report.eval_nmi = 0.7;
+  report.eval_found_clusters = 3;
+  report.eval_unassigned = 2;
+  std::ostringstream out;
+  obs::WriteRunReportJson(report, out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok());
+  const obs::JsonValue* eval = root.Find("eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_DOUBLE_EQ(eval->Find("correct_fraction")->number, 0.9);
+  EXPECT_DOUBLE_EQ(eval->Find("macro_f1")->number, 0.8);
+  EXPECT_DOUBLE_EQ(eval->Find("purity")->number, 0.95);
+  EXPECT_DOUBLE_EQ(eval->Find("nmi")->number, 0.7);
+  EXPECT_EQ(eval->Find("found_clusters")->number, 3.0);
+  EXPECT_EQ(eval->Find("unassigned")->number, 2.0);
+}
+
+}  // namespace
+}  // namespace cluseq

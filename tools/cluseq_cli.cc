@@ -57,6 +57,8 @@ struct CommonFlags {
   std::string output;
   std::string assignments;
   std::string model_dir;
+  std::string metrics_json;
+  std::string trace_json;
   std::string kind = "synthetic";
   double scale = 0.05;
   uint64_t seed = 42;
@@ -75,6 +77,12 @@ struct CommonFlags {
         assignments = v;
       } else if (ParseFlag(arg, "model-dir", &v)) {
         model_dir = v;
+      } else if (ParseFlag(arg, "metrics_json", &v) ||
+                 ParseFlag(arg, "metrics-json", &v)) {
+        metrics_json = v;
+      } else if (ParseFlag(arg, "trace_json", &v) ||
+                 ParseFlag(arg, "trace-json", &v)) {
+        trace_json = v;
       } else if (ParseFlag(arg, "kind", &v)) {
         kind = v;
       } else if (ParseFlag(arg, "scale", &v)) {
@@ -174,9 +182,11 @@ int RunCluster(CommonFlags& flags) {
   std::printf("read %zu sequences over %zu symbols\n", db.size(),
               db.alphabet().size());
 
+  if (!flags.trace_json.empty()) obs::TraceRecorder::Get().Start();
   CluseqClusterer clusterer(db, flags.options);
   ClusteringResult result;
   st = clusterer.Run(&result);
+  if (!flags.trace_json.empty()) obs::TraceRecorder::Get().Stop();
   if (!st.ok()) return Fail(st, "cluster");
   std::printf("clusters: %zu   unclustered: %zu   iterations: %zu   "
               "final log t: %.3f\n",
@@ -186,10 +196,34 @@ int RunCluster(CommonFlags& flags) {
     std::printf("  cluster %zu: %zu members\n", c,
                 result.clusters[c].size());
   }
+  bool have_eval = false;
+  EvaluationSummary eval;
   if (db.NumLabels() > 0) {
-    EvaluationSummary eval = Evaluate(db, result.best_cluster);
+    eval = Evaluate(db, result.best_cluster);
+    have_eval = true;
     std::printf("vs labels: %.1f%% correct, purity %.2f, NMI %.2f\n",
                 eval.correct_fraction * 100.0, eval.purity, eval.nmi);
+  }
+
+  if (!flags.metrics_json.empty()) {
+    obs::RunReport report = *clusterer.report();
+    if (have_eval) {
+      report.has_eval = true;
+      report.eval_correct_fraction = eval.correct_fraction;
+      report.eval_macro_f1 = eval.macro.f1;
+      report.eval_purity = eval.purity;
+      report.eval_nmi = eval.nmi;
+      report.eval_found_clusters = eval.num_found_clusters;
+      report.eval_unassigned = eval.num_unassigned;
+    }
+    st = obs::WriteRunReportJsonFile(report, flags.metrics_json);
+    if (!st.ok()) return Fail(st, "metrics_json");
+    std::printf("run report -> %s\n", flags.metrics_json.c_str());
+  }
+  if (!flags.trace_json.empty()) {
+    st = obs::TraceRecorder::Get().WriteJsonFile(flags.trace_json);
+    if (!st.ok()) return Fail(st, "trace_json");
+    std::printf("trace -> %s\n", flags.trace_json.c_str());
   }
 
   if (!flags.assignments.empty()) {
@@ -306,6 +340,7 @@ void PrintUsage() {
                "           [--max-iterations=N] [--threads=N] "
                "[--pst-memory=BYTES]\n"
                "           [--batched_scan=on|off] [--verbose]\n"
+               "           [--metrics_json=PATH] [--trace_json=PATH]\n"
                "  classify --input=PATH --model-dir=DIR "
                "[--batched_scan=on|off]\n");
 }
