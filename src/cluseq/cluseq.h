@@ -34,6 +34,7 @@
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "pst/bank_serialization.h"
 #include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
@@ -49,6 +50,9 @@
 #include "synth/generator_model.h"
 #include "synth/language_like.h"
 #include "synth/protein_like.h"
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
+#include "util/file_io.h"
 #include "util/histogram.h"
 #include "util/logging.h"
 #include "util/rng.h"

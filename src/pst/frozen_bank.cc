@@ -185,12 +185,15 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
   // A slot is reusable in place when the same snapshot object sits at the
   // same offset as in the previous layout — its rows are already correct,
   // byte for byte. (vector::resize may still relocate the storage; contents
-  // are preserved either way.)
+  // are preserved either way.) A mapped bank has no snapshots, so nothing
+  // reuses and the assemble below rebuilds an owned arena.
   std::vector<char> reuse(models.size(), 0);
   for (size_t m = 0; m < models.size(); ++m) {
     reuse[m] = alphabet == alphabet_size_ && m < models_.size() &&
                models_[m] == models[m] && base[m] == base_[m];
   }
+  external_entries_ = nullptr;
+  external_storage_.reset();
 
   entries_.resize(total);
   for (size_t m = 0; m < models.size(); ++m) {
@@ -214,6 +217,10 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
 
   alphabet_size_ = alphabet;
   models_ = std::move(models);
+  states_.resize(models_.size());
+  for (size_t m = 0; m < models_.size(); ++m) {
+    states_[m] = static_cast<uint32_t>(models_[m]->num_states());
+  }
   base_ = std::move(base);
   base32_.resize(base_.size());
   for (size_t m = 0; m < base_.size(); ++m) {
@@ -278,14 +285,14 @@ void FrozenBank::ScanAll(std::span<const SymbolId> symbols,
     const size_t mb = std::min(block, k - m0);
 #ifdef CLUSEQ_HAVE_AVX2
     if (use_simd) {
-      internal::ScanBlockAvx2(entries_.data(), base32_.data() + m0, mb,
+      internal::ScanBlockAvx2(scan_data(), base32_.data() + m0, mb,
                               symbols.data(), symbols.size(), results + m0);
       continue;
     }
 #else
     (void)use_simd;
 #endif
-    internal::ScanBlockScalar(entries_.data(), base32_.data() + m0, mb,
+    internal::ScanBlockScalar(scan_data(), base32_.data() + m0, mb,
                               symbols.data(), symbols.size(), results + m0);
   }
 }
@@ -293,8 +300,9 @@ void FrozenBank::ScanAll(std::span<const SymbolId> symbols,
 void FrozenBank::StepAll(SymbolId symbol, uint32_t* rows, double* y,
                          double* z, uint8_t* started) const {
   const size_t k = num_models();
+  const Entry* entries = scan_data();
   for (size_t m = 0; m < k; ++m) {
-    const Entry& e = entries_[base_[m] + rows[m] + symbol];
+    const Entry& e = entries[base_[m] + rows[m] + symbol];
     const double x = e.ratio;
     rows[m] = e.next;  // Stays model-local: survives arena re-packs.
     if (!started[m] || y[m] + x < x) {

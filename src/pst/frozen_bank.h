@@ -36,6 +36,15 @@
 // models that actually changed — an untouched cluster's rows are reused
 // byte-identical in place. Clusterer iterations where few clusters absorbed
 // segments therefore rebuild only those clusters' tables.
+//
+// Banks come into existence two ways: *assembled* from live FrozenPst
+// snapshots (above), or *mapped* from a `.fbank` file
+// (pst/bank_serialization.h) — the arena's 16-byte entries are
+// position-independent bytes, so a validated file section can back
+// ScanAll/StepAll directly from a read-only mmap with zero copying and
+// page-cache sharing across worker processes. A mapped bank has no
+// snapshot objects: model(m) is unavailable, and a later Assemble() call
+// simply rebuilds an owned arena from scratch.
 
 #ifndef CLUSEQ_PST_FROZEN_BANK_H_
 #define CLUSEQ_PST_FROZEN_BANK_H_
@@ -89,16 +98,26 @@ class FrozenBank {
   /// untouched). Returns how many models were written vs reused.
   AssembleStats Assemble(std::vector<std::shared_ptr<const FrozenPst>> models);
 
-  size_t num_models() const { return models_.size(); }
+  size_t num_models() const { return base_.size(); }
   size_t alphabet_size() const { return alphabet_size_; }
-  bool empty() const { return models_.empty(); }
+  bool empty() const { return base_.empty(); }
+  /// Source snapshot of model `m`. Assembled banks only — a bank mapped
+  /// from a .fbank file carries packed rows but no snapshot objects
+  /// (has_snapshots() is false there).
   const FrozenPst& model(size_t m) const { return *models_[m]; }
+  bool has_snapshots() const { return !models_.empty(); }
+  /// Automaton states of model `m` (valid for assembled and mapped banks).
+  size_t model_states(size_t m) const { return states_[m]; }
+  /// True when the packed rows are served from an external mapping
+  /// (a loaded .fbank) rather than the bank's own arena.
+  bool mapped() const { return external_entries_ != nullptr; }
 
   /// Bytes held by the packed arena plus per-model bookkeeping (the
-  /// snapshots themselves are shared and counted by their owners).
+  /// snapshots themselves are shared and counted by their owners; a
+  /// mapped bank's rows live in the file mapping and count as zero here).
   size_t ApproxMemoryBytes() const {
     return entries_.size() * sizeof(Entry) +
-           base_.size() * (sizeof(size_t) + sizeof(uint32_t)) +
+           base_.size() * (sizeof(size_t) + 2 * sizeof(uint32_t)) +
            models_.size() * sizeof(models_[0]);
   }
 
@@ -126,12 +145,11 @@ class FrozenBank {
   void StepAll(SymbolId symbol, uint32_t* rows, double* y, double* z,
                uint8_t* started) const;
 
-  /// Raw packed rows of model `m` (tests, diagnostics, future snapshot
+  /// Raw packed rows of model `m` (tests, diagnostics, .fbank
   /// serialization). `Entry::next` values are model-local row offsets
   /// (next_state · alphabet_size), not FrozenPst state ids.
   std::span<const Entry> Rows(size_t m) const {
-    return std::span<const Entry>(entries_.data() + base_[m],
-                                  ModelEntries(m));
+    return std::span<const Entry>(scan_data() + base_[m], ModelEntries(m));
   }
 
   /// True when the AVX2 kernels are compiled in and this CPU supports them.
@@ -174,8 +192,15 @@ class FrozenBank {
     size_t capacity_ = 0;
   };
 
+  friend class BankSerializer;  // .fbank save/load (pst/bank_serialization).
+
   size_t ModelEntries(size_t m) const {
-    return models_[m]->num_states() * alphabet_size_;
+    return static_cast<size_t>(states_[m]) * alphabet_size_;
+  }
+  /// Packed rows to scan: the owned arena, or the external (mmap) view
+  /// installed by the .fbank loader.
+  const Entry* scan_data() const {
+    return external_entries_ != nullptr ? external_entries_ : entries_.data();
   }
   /// Models per block: the per-symbol inner loop keeps one active
   /// (ratio, next) row pair per model between reuses, so the block size is
@@ -183,7 +208,11 @@ class FrozenBank {
   size_t BlockModels() const;
 
   size_t alphabet_size_ = 0;
+  /// Source snapshots (assembled banks; empty for mapped banks).
   std::vector<std::shared_ptr<const FrozenPst>> models_;
+  /// Per-model automaton state counts — the layout ground truth shared by
+  /// assembled and mapped banks (mapped banks have no snapshots to ask).
+  std::vector<uint32_t> states_;
   /// Per-model entry offset into the arena (prefix sums of states × A).
   std::vector<size_t> base_;
   /// base_ as u32 for the kernels (total entries are checked small enough
@@ -191,8 +220,12 @@ class FrozenBank {
   /// 4·entry + 2 for the transition word — cannot overflow).
   std::vector<uint32_t> base32_;
   /// Packed rows: entry base[m] + state·A + s scores symbol s in `state`
-  /// and names the successor row (see Entry).
+  /// and names the successor row (see Entry). Empty in mapped mode.
   EntryArena entries_;
+  /// Mapped mode: validated rows served from `external_storage_` (the
+  /// .fbank mapping or buffer the loader keeps alive).
+  const Entry* external_entries_ = nullptr;
+  std::shared_ptr<const void> external_storage_;
   bool force_scalar_ = false;
 };
 

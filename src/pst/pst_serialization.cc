@@ -1,18 +1,30 @@
 #include "pst/pst_serialization.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
-#include <fstream>
 #include <istream>
+#include <iterator>
+#include <limits>
 #include <ostream>
+#include <sstream>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "util/crc32c.h"
+#include "util/file_io.h"
+#include "util/stopwatch.h"
 
 namespace cluseq {
 
 namespace {
 
-constexpr char kMagic[4] = {'P', 'S', 'T', '1'};
-constexpr char kFrozenMagic[4] = {'F', 'P', 'T', '1'};
+constexpr char kMagic[4] = {'P', 'S', 'T', '2'};
+constexpr char kFrozenMagic[4] = {'F', 'P', 'T', '2'};
+
+// Every serialized blob ends in a CRC32C of all preceding bytes; nothing
+// after the magic is parsed before the checksum verifies.
+constexpr size_t kChecksumBytes = sizeof(uint32_t);
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -25,19 +37,82 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+/// Appends the payload's CRC32C and hands the whole blob to `out`.
+Status SealAndEmit(const std::string& payload, std::ostream& out,
+                   const char* what) {
+  uint32_t crc = Crc32c(payload);
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out) {
+    return Status::IOError(std::string(what) + " write failed");
+  }
+  return Status::OK();
+}
+
+/// Splits `blob` into payload + trailing CRC and verifies the checksum.
+Status VerifyChecksum(const std::string& blob, const char* what,
+                      std::string_view* payload) {
+  if (blob.size() < sizeof(kMagic) + kChecksumBytes) {
+    return Status::Corruption(std::string(what) + " blob too short");
+  }
+  const size_t payload_size = blob.size() - kChecksumBytes;
+  uint32_t stored = 0;
+  std::memcpy(&stored, blob.data() + payload_size, kChecksumBytes);
+  if (Crc32c(blob.data(), payload_size) != stored) {
+    return Status::Corruption(std::string(what) + " checksum mismatch");
+  }
+  *payload = std::string_view(blob.data(), payload_size);
+  return Status::OK();
+}
+
+std::string Slurp(std::istream& in) {
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// --- persistence metrics (names shared with bank_serialization.cc) -------
+
+void RecordBytesWritten(size_t n) {
+  static obs::Counter& bytes =
+      obs::MetricsRegistry::Get().GetCounter("persistence.bytes_written");
+  bytes.Add(n);
+}
+
+void RecordLoad(double seconds, size_t bytes_read) {
+  static obs::Histogram& load_seconds =
+      obs::MetricsRegistry::Get().GetHistogram(
+          "persistence.load_seconds", obs::ExponentialBounds(1e-5, 4.0, 12));
+  static obs::Counter& bytes =
+      obs::MetricsRegistry::Get().GetCounter("persistence.bytes_read");
+  load_seconds.Observe(seconds);
+  bytes.Add(bytes_read);
+}
+
+/// Funnels every load result through the corruption counter, so all
+/// callers (CLI, tests, future servers) observe rejected files uniformly.
+Status TrackCorruption(Status st) {
+  if (st.IsCorruption()) {
+    static obs::Counter& corrupt = obs::MetricsRegistry::Get().GetCounter(
+        "persistence.corruption_detected");
+    corrupt.Increment();
+  }
+  return st;
+}
+
 }  // namespace
 
 // Accesses Pst internals on behalf of the save/load free functions.
 class PstSerializer {
  public:
   static Status Save(const Pst& pst, std::ostream& out) {
-    out.write(kMagic, sizeof(kMagic));
-    WritePod(out, static_cast<uint64_t>(pst.alphabet_size_));
-    WritePod(out, static_cast<uint64_t>(pst.options_.max_depth));
-    WritePod(out, pst.options_.significance_threshold);
-    WritePod(out, static_cast<uint64_t>(pst.options_.max_memory_bytes));
-    WritePod(out, static_cast<uint32_t>(pst.options_.prune_strategy));
-    WritePod(out, pst.options_.smoothing_p_min);
+    std::ostringstream buffer;
+    buffer.write(kMagic, sizeof(kMagic));
+    WritePod(buffer, static_cast<uint64_t>(pst.alphabet_size_));
+    WritePod(buffer, static_cast<uint64_t>(pst.options_.max_depth));
+    WritePod(buffer, pst.options_.significance_threshold);
+    WritePod(buffer, static_cast<uint64_t>(pst.options_.max_memory_bytes));
+    WritePod(buffer, static_cast<uint32_t>(pst.options_.prune_strategy));
+    WritePod(buffer, pst.options_.smoothing_p_min);
 
     // Dense pre-order numbering of live nodes.
     std::vector<PstNodeId> order;
@@ -54,26 +129,26 @@ class PstSerializer {
         stack.push_back(it->second);
       }
     }
-    WritePod(out, static_cast<uint64_t>(order.size()));
+    WritePod(buffer, static_cast<uint64_t>(order.size()));
     for (PstNodeId id : order) {
       const auto& node = pst.nodes_[id];
       uint32_t parent =
           node.parent == kNoPstNode ? static_cast<uint32_t>(-1)
                                     : dense[node.parent];
-      WritePod(out, parent);
-      WritePod(out, node.edge_symbol);
-      WritePod(out, node.count);
-      WritePod(out, static_cast<uint32_t>(node.next.size()));
+      WritePod(buffer, parent);
+      WritePod(buffer, node.edge_symbol);
+      WritePod(buffer, node.count);
+      WritePod(buffer, static_cast<uint32_t>(node.next.size()));
       for (const auto& [sym, cnt] : node.next) {
-        WritePod(out, sym);
-        WritePod(out, cnt);
+        WritePod(buffer, sym);
+        WritePod(buffer, cnt);
       }
     }
-    if (!out) return Status::IOError("PST write failed");
-    return Status::OK();
+    return SealAndEmit(buffer.str(), out, "PST");
   }
 
-  static Status Load(std::istream& in, Pst* pst) {
+  static Status Load(std::string_view payload, Pst* pst) {
+    std::istringstream in{std::string(payload)};
     char magic[4];
     in.read(magic, sizeof(magic));
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -93,16 +168,27 @@ class PstSerializer {
     options.max_memory_bytes = static_cast<size_t>(max_mem);
     options.prune_strategy = static_cast<PruneStrategy>(strategy);
     options.smoothing_p_min = p_min;
-    CLUSEQ_RETURN_NOT_OK(options.Validate());
+    Status options_status = options.Validate();
+    if (!options_status.ok()) {
+      return Status::Corruption("PST header options invalid: " +
+                                options_status.message());
+    }
 
     uint64_t node_count = 0;
     if (!ReadPod(in, &node_count) || node_count == 0) {
       return Status::Corruption("truncated or empty PST body");
     }
-    // Sanity bounds on untrusted sizes: a corrupted count must not drive a
-    // multi-gigabyte allocation before the stream runs dry.
+    // Sanity caps on untrusted sizes, checked before any allocation: a
+    // hostile count must not drive a multi-gigabyte resize. Each node
+    // occupies at least 20 bytes (parent, edge, count, #next), so the
+    // remaining payload exactly bounds the plausible node count.
     constexpr uint64_t kMaxNodes = 1ULL << 28;
-    if (node_count > kMaxNodes || alphabet_size > (1ULL << 24)) {
+    constexpr uint64_t kMinNodeBytes = 4 + 4 + 8 + 4;
+    const uint64_t body_bytes =
+        payload.size() - std::min<size_t>(payload.size(),
+                                          static_cast<size_t>(in.tellg()));
+    if (node_count > kMaxNodes || alphabet_size > (1ULL << 24) ||
+        node_count > body_bytes / kMinNodeBytes) {
       return Status::Corruption("implausible PST header sizes");
     }
 
@@ -141,6 +227,9 @@ class PstSerializer {
       }
       loaded.approx_bytes_ += loaded.NodeBytes(node);
     }
+    if (in.peek() != std::istringstream::traits_type::eof()) {
+      return Status::Corruption("trailing bytes after PST body");
+    }
     // Children arrive in pre-order, not symbol order; restore the invariant.
     for (auto& node : loaded.nodes_) {
       std::sort(node.children.begin(), node.children.end());
@@ -152,18 +241,19 @@ class PstSerializer {
   }
 
   static Status SaveFrozen(const FrozenPst& pst, std::ostream& out) {
-    out.write(kFrozenMagic, sizeof(kFrozenMagic));
-    WritePod(out, static_cast<uint64_t>(pst.alphabet_size_));
-    WritePod(out, static_cast<uint64_t>(pst.max_depth_));
-    WritePod(out, static_cast<uint64_t>(pst.depth_.size()));
-    WriteVec(out, pst.depth_);
-    WriteVec(out, pst.next_);
-    WriteVec(out, pst.log_ratio_);
-    if (!out) return Status::IOError("frozen PST write failed");
-    return Status::OK();
+    std::ostringstream buffer;
+    buffer.write(kFrozenMagic, sizeof(kFrozenMagic));
+    WritePod(buffer, static_cast<uint64_t>(pst.alphabet_size_));
+    WritePod(buffer, static_cast<uint64_t>(pst.max_depth_));
+    WritePod(buffer, static_cast<uint64_t>(pst.depth_.size()));
+    WriteVec(buffer, pst.depth_);
+    WriteVec(buffer, pst.next_);
+    WriteVec(buffer, pst.log_ratio_);
+    return SealAndEmit(buffer.str(), out, "frozen PST");
   }
 
-  static Status LoadFrozen(std::istream& in, FrozenPst* pst) {
+  static Status LoadFrozen(std::string_view payload, FrozenPst* pst) {
+    std::istringstream in{std::string(payload)};
     char magic[4];
     in.read(magic, sizeof(magic));
     if (!in || std::memcmp(magic, kFrozenMagic, sizeof(kFrozenMagic)) != 0) {
@@ -174,18 +264,26 @@ class PstSerializer {
         !ReadPod(in, &num_states)) {
       return Status::Corruption("truncated frozen PST header");
     }
-    // Same sanity bounds as the live loader: untrusted sizes must not drive
-    // huge allocations before the stream runs dry.
+    // Sanity caps before any allocation, then an exact size equation: the
+    // payload length is fully determined by the header, so any mismatch —
+    // truncation or padding — is corruption even with a fixed-up CRC.
     if (num_states == 0 || num_states > (1ULL << 28) || alphabet_size == 0 ||
         alphabet_size > (1ULL << 24) ||
-        num_states * alphabet_size > (1ULL << 32)) {
+        num_states * alphabet_size > (1ULL << 32) ||
+        max_depth > (1ULL << 32)) {
       return Status::Corruption("implausible frozen PST header sizes");
+    }
+    const size_t n = static_cast<size_t>(num_states);
+    const size_t cells = n * static_cast<size_t>(alphabet_size);
+    const size_t expected = sizeof(kFrozenMagic) + 3 * sizeof(uint64_t) +
+                            n * sizeof(uint32_t) +
+                            cells * (sizeof(FrozenPst::State) + sizeof(double));
+    if (payload.size() != expected) {
+      return Status::Corruption("frozen PST size mismatch");
     }
     FrozenPst loaded;
     loaded.alphabet_size_ = static_cast<size_t>(alphabet_size);
     loaded.max_depth_ = static_cast<size_t>(max_depth);
-    const size_t n = static_cast<size_t>(num_states);
-    const size_t cells = n * loaded.alphabet_size_;
     if (!ReadVec(in, n, &loaded.depth_) ||
         !ReadVec(in, cells, &loaded.next_) ||
         !ReadVec(in, cells, &loaded.log_ratio_)) {
@@ -206,6 +304,13 @@ class PstSerializer {
     for (FrozenPst::State t : loaded.next_) {
       if (t >= n) {
         return Status::Corruption("frozen PST transition out of range");
+      }
+    }
+    // Log ratios feed the scan DP unchecked, so NaN and +inf must never
+    // get in (-inf is legitimate: smoothing-off zero-probability rows).
+    for (double r : loaded.log_ratio_) {
+      if (std::isnan(r) || r == std::numeric_limits<double>::infinity()) {
+        return Status::Corruption("frozen PST log-ratio is NaN or +inf");
       }
     }
     *pst = std::move(loaded);
@@ -233,19 +338,30 @@ Status SavePst(const Pst& pst, std::ostream& out) {
 }
 
 Status SavePstToFile(const Pst& pst, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
-  return SavePst(pst, out);
+  std::ostringstream buffer;
+  CLUSEQ_RETURN_NOT_OK(SavePst(pst, buffer));
+  std::string blob = buffer.str();
+  CLUSEQ_RETURN_NOT_OK(WriteFileAtomic(path, blob));
+  RecordBytesWritten(blob.size());
+  return Status::OK();
 }
 
 Status LoadPst(std::istream& in, Pst* pst) {
-  return PstSerializer::Load(in, pst);
+  std::string blob = Slurp(in);
+  std::string_view payload;
+  CLUSEQ_RETURN_NOT_OK(TrackCorruption(VerifyChecksum(blob, "PST", &payload)));
+  return TrackCorruption(PstSerializer::Load(payload, pst));
 }
 
 Status LoadPstFromFile(const std::string& path, Pst* pst) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  return LoadPst(in, pst);
+  Stopwatch timer;
+  std::string blob;
+  CLUSEQ_RETURN_NOT_OK(ReadFileToString(path, &blob));
+  std::string_view payload;
+  CLUSEQ_RETURN_NOT_OK(TrackCorruption(VerifyChecksum(blob, "PST", &payload)));
+  CLUSEQ_RETURN_NOT_OK(TrackCorruption(PstSerializer::Load(payload, pst)));
+  RecordLoad(timer.ElapsedSeconds(), blob.size());
+  return Status::OK();
 }
 
 Status SaveFrozenPst(const FrozenPst& pst, std::ostream& out) {
@@ -253,19 +369,32 @@ Status SaveFrozenPst(const FrozenPst& pst, std::ostream& out) {
 }
 
 Status SaveFrozenPstToFile(const FrozenPst& pst, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
-  return SaveFrozenPst(pst, out);
+  std::ostringstream buffer;
+  CLUSEQ_RETURN_NOT_OK(SaveFrozenPst(pst, buffer));
+  std::string blob = buffer.str();
+  CLUSEQ_RETURN_NOT_OK(WriteFileAtomic(path, blob));
+  RecordBytesWritten(blob.size());
+  return Status::OK();
 }
 
 Status LoadFrozenPst(std::istream& in, FrozenPst* pst) {
-  return PstSerializer::LoadFrozen(in, pst);
+  std::string blob = Slurp(in);
+  std::string_view payload;
+  CLUSEQ_RETURN_NOT_OK(
+      TrackCorruption(VerifyChecksum(blob, "frozen PST", &payload)));
+  return TrackCorruption(PstSerializer::LoadFrozen(payload, pst));
 }
 
 Status LoadFrozenPstFromFile(const std::string& path, FrozenPst* pst) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  return LoadFrozenPst(in, pst);
+  Stopwatch timer;
+  std::string blob;
+  CLUSEQ_RETURN_NOT_OK(ReadFileToString(path, &blob));
+  std::string_view payload;
+  CLUSEQ_RETURN_NOT_OK(
+      TrackCorruption(VerifyChecksum(blob, "frozen PST", &payload)));
+  CLUSEQ_RETURN_NOT_OK(TrackCorruption(PstSerializer::LoadFrozen(payload, pst)));
+  RecordLoad(timer.ElapsedSeconds(), blob.size());
+  return Status::OK();
 }
 
 }  // namespace cluseq

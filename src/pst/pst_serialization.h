@@ -1,18 +1,28 @@
 // Binary serialization for trained PSTs and compiled scoring snapshots.
 //
 // Live-tree format (little-endian):
-//   magic "PST1" | u64 alphabet_size | PstOptions fields | u64 node_count |
+//   magic "PST2" | u64 alphabet_size | PstOptions fields | u64 node_count |
 //   per live node (pre-order): u32 parent_index, u32 edge_symbol, u64 count,
-//   u32 #next, (u32 symbol, u64 count)*
+//   u32 #next, (u32 symbol, u64 count)* | u32 crc32c of all prior bytes
 // Node indices in the file are dense pre-order positions, so tombstones in
 // the in-memory arena are compacted away on save.
 //
 // Frozen-snapshot format (little-endian):
-//   magic "FPT1" | u64 alphabet_size | u64 max_depth | u64 num_states |
+//   magic "FPT2" | u64 alphabet_size | u64 max_depth | u64 num_states |
 //   u32 depth[num_states] | u32 next[num_states × alphabet] |
-//   f64 log_ratio[num_states × alphabet]
+//   f64 log_ratio[num_states × alphabet] | u32 crc32c of all prior bytes
 // A snapshot deserializes straight into scoring shape — no recompilation,
 // no background model needed at load time (the ratios are baked in).
+//
+// Durability and validation (DESIGN.md §11): both formats end in a CRC32C
+// of every preceding byte, verified before any field is parsed, so bit rot
+// and truncation are rejected up front; the structural checks behind the
+// checksum (size caps, exact body length, transition ranges, finite log
+// ratios) then hold even against an adversary who fixes up the CRC. The
+// *ToFile writers go through util/file_io.h's WriteFileAtomic, so a crash
+// mid-save never leaves a partial file at the final path. Loads that fail
+// these checks return Status::Corruption and bump the
+// persistence.corruption_detected counter.
 
 #ifndef CLUSEQ_PST_PST_SERIALIZATION_H_
 #define CLUSEQ_PST_PST_SERIALIZATION_H_

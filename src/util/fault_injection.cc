@@ -1,0 +1,72 @@
+#include "util/fault_injection.h"
+
+#include <cerrno>
+
+namespace cluseq {
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = new FaultInjector();  // Leaked singleton.
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  bytes_through_ = 0;
+  eintr_left_ = plan.transient_eintr_writes;
+  counters_ = Counters{};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+int FaultInjector::OnWrite(const char** data, size_t* count,
+                           std::string* scratch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.writes;
+  if (eintr_left_ > 0) {
+    --eintr_left_;
+    return EINTR;
+  }
+  if (bytes_through_ >= plan_.write_limit) return plan_.write_errno;
+  // Torn write: only the bytes below the limit reach the file; the caller
+  // sees a short write, retries the tail, and then hits the error above.
+  if (bytes_through_ + *count > plan_.write_limit) {
+    *count = plan_.write_limit - bytes_through_;
+  }
+  // In-flight bit rot: corrupt one byte of this write's span.
+  if (plan_.flip_offset >= bytes_through_ &&
+      plan_.flip_offset < bytes_through_ + *count) {
+    scratch->assign(*data, *count);
+    (*scratch)[plan_.flip_offset - bytes_through_] ^=
+        static_cast<char>(plan_.flip_mask);
+    *data = scratch->data();
+  }
+  bytes_through_ += *count;
+  counters_.bytes_written += *count;
+  return 0;
+}
+
+int FaultInjector::OnFsync(bool is_directory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.fsyncs;
+  if (is_directory ? plan_.fail_fsync_dir : plan_.fail_fsync_file) {
+    return EIO;
+  }
+  return 0;
+}
+
+int FaultInjector::OnRename() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.renames;
+  return plan_.fail_rename ? EIO : 0;
+}
+
+}  // namespace cluseq

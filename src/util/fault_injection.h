@@ -1,0 +1,104 @@
+// Test-only fault injection for the durable IO layer (util/file_io.h).
+//
+// The atomic-write protocol's whole job is to survive the failures that
+// never happen on a healthy dev box: torn writes from a crash or full
+// disk, fsyncs that fail, bytes that rot between buffer and platter,
+// EINTR storms. This harness lets tests script exactly those failures at
+// the write()/fsync()/rename() seam that WriteFileAtomic runs on, then
+// assert the protocol's guarantee: a failed save never leaves a
+// partially-visible file at the final path.
+//
+// Usage (tests only; production code never arms a plan):
+//
+//   FaultPlan plan;
+//   plan.write_limit = 100;              // torn write after 100 bytes
+//   ScopedFaultPlan guard(plan);
+//   Status st = WriteFileAtomic(path, payload);   // must fail cleanly
+//
+// When no plan is armed the hooks cost one relaxed atomic load per IO
+// call — negligible next to the syscall they wrap.
+
+#ifndef CLUSEQ_UTIL_FAULT_INJECTION_H_
+#define CLUSEQ_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+
+namespace cluseq {
+
+struct FaultPlan {
+  /// Total payload bytes allowed to reach files: the write that crosses
+  /// the limit is cut short (a torn write, as a crash or ENOSPC would
+  /// leave it) and every later write fails with `write_errno`.
+  size_t write_limit = std::numeric_limits<size_t>::max();
+  /// errno for writes rejected past `write_limit`.
+  int write_errno = 5;  // EIO
+  /// The first N writes fail with EINTR before touching the file;
+  /// exercises the bounded-retry loop.
+  int transient_eintr_writes = 0;
+  bool fail_fsync_file = false;  ///< fsync of a regular file fails (EIO).
+  bool fail_fsync_dir = false;   ///< fsync of a directory fd fails (EIO).
+  bool fail_rename = false;      ///< rename to the final path fails (EIO).
+  /// Flip `flip_mask` into the byte at logical offset `flip_offset` of
+  /// the written stream (counted across all writes of one armed plan):
+  /// bit rot between the write buffer and the medium.
+  size_t flip_offset = std::numeric_limits<size_t>::max();
+  uint8_t flip_mask = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector consulted by util/file_io.cc.
+  static FaultInjector& Get();
+
+  /// Installs `plan` and zeroes the counters. Not thread-safe against
+  /// concurrent IO — tests arm/disarm around single-threaded calls.
+  void Arm(const FaultPlan& plan);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  struct Counters {
+    size_t writes = 0;        ///< write() attempts observed (incl. failed).
+    size_t bytes_written = 0; ///< Bytes actually allowed through.
+    size_t fsyncs = 0;
+    size_t renames = 0;
+  };
+  Counters counters() const;
+
+  /// Hooks for file_io.cc. Each returns 0 to proceed or an errno to fail
+  /// the call without touching the file. OnWrite may shorten `*count`
+  /// (torn write) or redirect `*data` to `*scratch` with a flipped byte.
+  int OnWrite(const char** data, size_t* count, std::string* scratch);
+  int OnFsync(bool is_directory);
+  int OnRename();
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  size_t bytes_through_ = 0;  ///< Logical write offset under the armed plan.
+  int eintr_left_ = 0;
+  Counters counters_;
+};
+
+/// RAII arm/disarm for tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::Get().Arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::Get().Disarm(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,251 @@
+#include "util/file_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/string_util.h"
+
+namespace cluseq {
+
+namespace {
+
+/// Bound on EINTR retries per syscall: a signal storm must degrade into a
+/// clean IOError, never an unbounded spin.
+constexpr int kMaxEintrRetries = 100;
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::IOError(
+      StringPrintf("%s %s: %s", op, path.c_str(), std::strerror(err)));
+}
+
+/// Directory that contains `path` ("." when the path has no slash).
+std::string ParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  for (int attempt = 0; attempt <= kMaxEintrRetries; ++attempt) {
+    int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+  return -1;
+}
+
+/// write() with fault injection, short-write continuation, and bounded
+/// EINTR retry. Returns 0 or an errno.
+int WriteAll(int fd, const char* data, size_t count) {
+  FaultInjector& injector = FaultInjector::Get();
+  std::string scratch;
+  int retries = 0;
+  while (count > 0) {
+    const char* chunk = data;
+    size_t chunk_len = count;
+    if (injector.armed()) {
+      int err = injector.OnWrite(&chunk, &chunk_len, &scratch);
+      if (err == EINTR && retries++ <= kMaxEintrRetries) continue;
+      if (err != 0) return err;
+      if (chunk_len == 0) continue;  // Next call reports the errno.
+    }
+    ssize_t n = ::write(fd, chunk, chunk_len);
+    if (n < 0) {
+      if (errno == EINTR && retries++ <= kMaxEintrRetries) continue;
+      return errno;
+    }
+    // A short write (injected or ENOSPC-adjacent) just advances and
+    // retries the tail.
+    data += n;
+    count -= static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+int FsyncRetry(int fd, bool is_directory) {
+  FaultInjector& injector = FaultInjector::Get();
+  if (injector.armed()) {
+    int err = injector.OnFsync(is_directory);
+    if (err != 0) return err;
+  }
+  for (int attempt = 0; attempt <= kMaxEintrRetries; ++attempt) {
+    if (::fsync(fd) == 0) return 0;
+    if (errno != EINTR) return errno;
+  }
+  return EINTR;
+}
+
+int RenameWithInjection(const char* from, const char* to) {
+  FaultInjector& injector = FaultInjector::Get();
+  if (injector.armed()) {
+    int err = injector.OnRename();
+    if (err != 0) return err;
+  }
+  return ::rename(from, to) == 0 ? 0 : errno;
+}
+
+int CloseRetry(int fd) {
+  // POSIX leaves the fd state unspecified after EINTR; Linux closes it, so
+  // a retry would race other threads' fds. One shot.
+  return ::close(fd) == 0 ? 0 : errno;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // Temp file lives next to the final path: rename across filesystems is
+  // not atomic (EXDEV), same-directory rename always is.
+  std::string temp = path + ".tmp.XXXXXX";
+  int fd = ::mkstemp(temp.data());
+  if (fd < 0) return ErrnoStatus("create temp for", path, errno);
+
+  int err = WriteAll(fd, contents.data(), contents.size());
+  if (err == 0) err = FsyncRetry(fd, /*is_directory=*/false);
+  int close_err = CloseRetry(fd);
+  if (err == 0) err = close_err;
+  if (err != 0) {
+    ::unlink(temp.c_str());
+    return ErrnoStatus("write", temp, err);
+  }
+
+  err = RenameWithInjection(temp.c_str(), path.c_str());
+  if (err != 0) {
+    ::unlink(temp.c_str());
+    return ErrnoStatus("rename to", path, err);
+  }
+
+  // Make the rename itself durable. Past this point the final file is
+  // complete either way; a dir-fsync failure only leaves the *rename's*
+  // durability in doubt, which the caller must still hear about.
+  std::string dir = ParentDirectory(path);
+  int dir_fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return ErrnoStatus("open directory", dir, errno);
+  err = FsyncRetry(dir_fd, /*is_directory=*/true);
+  CloseRetry(dir_fd);
+  if (err != 0) return ErrnoStatus("fsync directory", dir, err);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  int fd = OpenRetry(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    CloseRetry(fd);
+    return ErrnoStatus("stat", path, err);
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(st.st_size));
+  char buf[1 << 16];
+  int retries = 0;
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR && retries++ <= kMaxEintrRetries) continue;
+      int err = errno;
+      CloseRetry(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  CloseRetry(fd);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool DirectoryExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // Create each component in turn; EEXIST at any step is fine as long as
+  // the final path ends up a directory.
+  for (size_t pos = 0; pos != std::string::npos;) {
+    pos = path.find('/', pos + 1);
+    std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || prefix == "." || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", prefix, errno);
+    }
+  }
+  if (!DirectoryExists(path)) {
+    return Status::IOError(path + " exists and is not a directory");
+  }
+  return Status::OK();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    is_mmap_ = std::exchange(other.is_mmap_, false);
+    buffer_ = std::move(other.buffer_);
+    if (!is_mmap_ && data_ != nullptr) data_ = buffer_.data();
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+  if (is_mmap_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  is_mmap_ = false;
+  buffer_.clear();
+}
+
+Status MappedFile::Open(const std::string& path, MappedFile* out,
+                        bool prefer_mmap) {
+  out->Reset();
+  if (prefer_mmap) {
+    int fd = OpenRetry(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      CloseRetry(fd);
+      return ErrnoStatus("stat", path, err);
+    }
+    if (st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                         MAP_SHARED, fd, 0);
+      CloseRetry(fd);  // The mapping outlives the fd.
+      if (map != MAP_FAILED) {
+        out->data_ = static_cast<const char*>(map);
+        out->size_ = static_cast<size_t>(st.st_size);
+        out->is_mmap_ = true;
+        return Status::OK();
+      }
+      // mmap failed (e.g. filesystem without mmap support): fall through
+      // to the buffered path below.
+    } else {
+      CloseRetry(fd);
+      return Status::OK();  // Empty file: size() == 0, is_mmap() == false.
+    }
+  }
+  CLUSEQ_RETURN_NOT_OK(ReadFileToString(path, &out->buffer_));
+  out->data_ = out->buffer_.data();
+  out->size_ = out->buffer_.size();
+  out->is_mmap_ = false;
+  return Status::OK();
+}
+
+}  // namespace cluseq

@@ -1,0 +1,85 @@
+// Durable file IO: crash-safe atomic writes and mmap-able reads.
+//
+// WriteFileAtomic implements the classic durable-rename protocol:
+//
+//   1. create a unique temp file *in the target directory* (same
+//      filesystem, so the rename below is atomic),
+//   2. write the full payload, retrying short writes and EINTR a bounded
+//      number of times,
+//   3. fsync the temp file (contents durable before they are visible),
+//   4. rename(temp, final) — the atomic commit point,
+//   5. fsync the parent directory (the rename itself durable).
+//
+// Any failure before the rename unlinks the temp file and leaves the
+// final path untouched, so a reader — or a crashed writer's successor —
+// never observes a partially written file. A failure *after* the rename
+// (directory fsync) is reported as an error, but the file at the final
+// path is by then complete and self-consistent; only the durability of
+// the rename is in doubt.
+//
+// MappedFile serves read-only bytes via mmap when possible (sharded
+// workers loading one .fbank then share page-cache pages instead of each
+// holding a private copy) and falls back to a buffered read when mmap is
+// unavailable. All entry points are seams for util/fault_injection.h.
+
+#ifndef CLUSEQ_UTIL_FILE_IO_H_
+#define CLUSEQ_UTIL_FILE_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Atomically replaces `path` with `contents` (see protocol above).
+/// On error the previous file at `path`, if any, is intact.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads the whole file into `*out` (replacing its contents).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+bool FileExists(const std::string& path);
+bool DirectoryExists(const std::string& path);
+
+/// Creates `path` and any missing parents (mkdir -p semantics); OK when
+/// the directory already exists.
+Status EnsureDirectory(const std::string& path);
+
+/// Read-only view of a file, mmap-backed when possible.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens `path`. With `prefer_mmap` the bytes are served from a shared
+  /// read-only mapping; on mmap failure (or prefer_mmap == false) they
+  /// are read into an owned buffer instead. Empty files open with
+  /// size() == 0 and is_mmap() == false.
+  static Status Open(const std::string& path, MappedFile* out,
+                     bool prefer_mmap = true);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+  /// True when data() points into a shared mmap (not the owned buffer).
+  bool is_mmap() const { return is_mmap_; }
+
+  void Reset();
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_mmap_ = false;
+  std::string buffer_;  ///< Owns the bytes on the buffered-read path.
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_FILE_IO_H_

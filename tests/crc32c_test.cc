@@ -1,0 +1,61 @@
+// CRC32C against the RFC 3720 reference vectors, plus the streaming
+// composition law Crc32cExtend(Crc32c(a), b) == Crc32c(a + b) that the
+// serialization layers rely on.
+
+#include "util/crc32c.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cluseq {
+namespace {
+
+TEST(Crc32cTest, Rfc3720Vectors) {
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposesWithOneShot) {
+  Rng rng(20260807);
+  std::string data(257, '\0');  // Odd length: exercises the tail loop.
+  for (auto& c : data) c = static_cast<char>(rng.Uniform(256));
+  const uint32_t whole = Crc32c(data);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                       size_t{255}, data.size()}) {
+    const uint32_t head = Crc32c(data.data(), split);
+    EXPECT_EQ(Crc32cExtend(head, data.data() + split, data.size() - split),
+              whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, ByteAtATimeMatchesOneShot) {
+  const std::string data = "CLUSEQ frozen bank";
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32cExtend(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32c(data));
+}
+
+TEST(Crc32cTest, EveryBitFlipChangesTheSum) {
+  const std::string data = "0123456789abcdef";
+  const uint32_t clean = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluseq

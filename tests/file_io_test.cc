@@ -1,0 +1,231 @@
+// Durable IO layer: WriteFileAtomic's crash-safety contract (a failed
+// save never leaves a partial or temp file at/next to the final path, and
+// never damages a pre-existing file), MappedFile's mmap/buffered parity,
+// and the fault-injection harness that scripts torn writes, EINTR storms,
+// failed fsyncs and failed renames at the syscall seam.
+
+#include "util/file_io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/fault_injection.h"
+
+namespace cluseq {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl = ::testing::TempDir() + "cluseq_file_io_XXXXXX";
+    char* made = ::mkdtemp(tmpl.data());
+    ASSERT_NE(made, nullptr);
+    dir_ = made;
+  }
+  void TearDown() override {
+    FaultInjector::Get().Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// Files currently in the test directory (names only).
+  std::vector<std::string> Listing() const {
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FileIoTest, AtomicWriteRoundTrips) {
+  const std::string path = Path("blob");
+  const std::string payload(100000, 'x');
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  EXPECT_TRUE(FileExists(path));
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, payload);
+  EXPECT_EQ(Listing().size(), 1u) << "no temp files may survive a save";
+}
+
+TEST_F(FileIoTest, AtomicWriteReplacesExisting) {
+  const std::string path = Path("blob");
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "new");
+}
+
+TEST_F(FileIoTest, MissingFileIsIOError) {
+  std::string out;
+  EXPECT_TRUE(ReadFileToString(Path("absent"), &out).IsIOError());
+  EXPECT_FALSE(FileExists(Path("absent")));
+}
+
+TEST_F(FileIoTest, EnsureDirectoryCreatesNestedPath) {
+  const std::string nested = Path("a/b/c");
+  ASSERT_TRUE(EnsureDirectory(nested).ok());
+  EXPECT_TRUE(DirectoryExists(nested));
+  // Idempotent.
+  EXPECT_TRUE(EnsureDirectory(nested).ok());
+  // A regular file in the way is an error, not a silent success.
+  ASSERT_TRUE(WriteFileAtomic(Path("a/b/c/f"), "x").ok());
+  EXPECT_FALSE(EnsureDirectory(Path("a/b/c/f")).ok());
+}
+
+TEST_F(FileIoTest, MappedFileServesMmapAndBufferedIdentically) {
+  const std::string path = Path("blob");
+  std::string payload;
+  for (int i = 0; i < 10000; ++i) payload += static_cast<char>(i * 37);
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+
+  MappedFile mapped;
+  ASSERT_TRUE(MappedFile::Open(path, &mapped).ok());
+  EXPECT_TRUE(mapped.is_mmap());
+  EXPECT_EQ(mapped.view(), payload);
+
+  MappedFile buffered;
+  ASSERT_TRUE(
+      MappedFile::Open(path, &buffered, /*prefer_mmap=*/false).ok());
+  EXPECT_FALSE(buffered.is_mmap());
+  EXPECT_EQ(buffered.view(), payload);
+
+  // Buffered views survive a move (data() must track the moved buffer).
+  MappedFile moved(std::move(buffered));
+  EXPECT_EQ(moved.view(), payload);
+}
+
+TEST_F(FileIoTest, MappedFileEmptyAndMissing) {
+  const std::string path = Path("empty");
+  ASSERT_TRUE(WriteFileAtomic(path, "").ok());
+  MappedFile file;
+  ASSERT_TRUE(MappedFile::Open(path, &file).ok());
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_FALSE(file.is_mmap());
+  EXPECT_TRUE(MappedFile::Open(Path("absent"), &file).IsIOError());
+}
+
+// --- fault injection -----------------------------------------------------
+
+TEST_F(FileIoTest, TransientEintrWritesAreRetried) {
+  FaultPlan plan;
+  plan.transient_eintr_writes = 3;
+  ScopedFaultPlan guard(plan);
+  const std::string path = Path("blob");
+  ASSERT_TRUE(WriteFileAtomic(path, "payload").ok());
+  FaultInjector::Get().Disarm();
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "payload");
+}
+
+TEST_F(FileIoTest, TornWriteNeverLeavesAVisibleFile) {
+  const std::string path = Path("blob");
+  const std::string payload(4096, 'y');
+  FaultPlan plan;
+  plan.write_limit = 1000;  // Torn mid-payload, then EIO.
+  {
+    ScopedFaultPlan guard(plan);
+    EXPECT_TRUE(WriteFileAtomic(path, payload).IsIOError());
+  }
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(Listing().empty()) << "failed save must clean up its temp";
+}
+
+TEST_F(FileIoTest, FailedFsyncAbortsBeforeRename) {
+  const std::string path = Path("blob");
+  FaultPlan plan;
+  plan.fail_fsync_file = true;
+  {
+    ScopedFaultPlan guard(plan);
+    EXPECT_TRUE(WriteFileAtomic(path, "payload").IsIOError());
+  }
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(Listing().empty());
+}
+
+TEST_F(FileIoTest, FailedRenameLeavesOldFileIntact) {
+  const std::string path = Path("blob");
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  FaultPlan plan;
+  plan.fail_rename = true;
+  {
+    ScopedFaultPlan guard(plan);
+    EXPECT_TRUE(WriteFileAtomic(path, "new contents").IsIOError());
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "old contents") << "failed replace must not damage "
+                                     "the previous file";
+  EXPECT_EQ(Listing().size(), 1u);
+}
+
+TEST_F(FileIoTest, FailedDirFsyncReportsButFileIsComplete) {
+  // Past the rename the file is whole; only the rename's durability is in
+  // doubt, which the caller must still hear about.
+  const std::string path = Path("blob");
+  FaultPlan plan;
+  plan.fail_fsync_dir = true;
+  {
+    ScopedFaultPlan guard(plan);
+    EXPECT_TRUE(WriteFileAtomic(path, "payload").IsIOError());
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "payload");
+}
+
+TEST_F(FileIoTest, BitFlipInFlightCorruptsExactlyOneByte) {
+  const std::string path = Path("blob");
+  const std::string payload(300, 'z');
+  FaultPlan plan;
+  plan.flip_offset = 123;
+  plan.flip_mask = 0x40;
+  {
+    ScopedFaultPlan guard(plan);
+    ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  ASSERT_EQ(back.size(), payload.size());
+  EXPECT_EQ(back[123], static_cast<char>('z' ^ 0x40));
+  back[123] = 'z';
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(FileIoTest, KillMidSaveAtEveryWriteOffset) {
+  // Simulated kill -9 sweep: cut the write stream at every offset of a
+  // small payload (then fail all further IO). However early or late the
+  // "crash", the final path must hold either nothing or, once a first
+  // save landed, the previous complete payload.
+  const std::string path = Path("blob");
+  const std::string first(257, 'a');
+  ASSERT_TRUE(WriteFileAtomic(path, first).ok());
+  const std::string second(257, 'b');
+  for (size_t cut = 0; cut < second.size(); ++cut) {
+    FaultPlan plan;
+    plan.write_limit = cut;
+    ScopedFaultPlan guard(plan);
+    EXPECT_TRUE(WriteFileAtomic(path, second).IsIOError()) << "cut " << cut;
+    FaultInjector::Get().Disarm();
+    std::string back;
+    ASSERT_TRUE(ReadFileToString(path, &back).ok());
+    EXPECT_EQ(back, first) << "cut " << cut;
+  }
+  EXPECT_EQ(Listing().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -62,6 +62,7 @@ struct CommonFlags {
   std::string kind = "synthetic";
   double scale = 0.05;
   uint64_t seed = 42;
+  bool strict = false;
   CluseqOptions options;
 
   // Returns false (after printing) on an unknown flag.
@@ -119,6 +120,8 @@ struct CommonFlags {
                        v.c_str());
           return false;
         }
+      } else if (arg == "--strict") {
+        strict = true;
       } else if (arg == "--verbose") {
         options.verbose = true;
         SetLogLevel(LogLevel::kInfo);
@@ -232,6 +235,9 @@ int RunCluster(CommonFlags& flags) {
     std::printf("assignments -> %s\n", flags.assignments.c_str());
   }
   if (!flags.model_dir.empty()) {
+    st = EnsureDirectory(flags.model_dir);
+    if (!st.ok()) return Fail(st, "model-dir");
+    std::vector<std::shared_ptr<const FrozenPst>> snapshots;
     for (size_t c = 0; c < clusterer.clusters().size(); ++c) {
       std::string base = flags.model_dir + "/cluster" + std::to_string(c);
       // The live tree (retrainable) and the compiled snapshot (scoring-only,
@@ -239,12 +245,26 @@ int RunCluster(CommonFlags& flags) {
       // snapshot.
       st = SavePstToFile(clusterer.clusters()[c].pst(), base + ".pst");
       if (!st.ok()) return Fail(st, "save model");
-      FrozenPst frozen(clusterer.clusters()[c].pst(), clusterer.background());
-      st = SaveFrozenPstToFile(frozen, base + ".fpst");
+      auto frozen = std::make_shared<FrozenPst>(clusterer.clusters()[c].pst(),
+                                                clusterer.background());
+      st = SaveFrozenPstToFile(*frozen, base + ".fpst");
       if (!st.ok()) return Fail(st, "save snapshot");
+      snapshots.push_back(std::move(frozen));
     }
     std::printf("models -> %s/cluster*.{pst,fpst}\n",
                 flags.model_dir.c_str());
+    bool bankable = !snapshots.empty();
+    for (const auto& m : snapshots) {
+      bankable = bankable && !m->empty() &&
+                 m->alphabet_size() == snapshots.front()->alphabet_size();
+    }
+    if (bankable) {
+      // One mmap-able .fbank bundling every snapshot; classify prefers it.
+      FrozenBank bank(std::move(snapshots));
+      st = SaveFrozenBankToFile(bank, flags.model_dir + "/bank.fbank");
+      if (!st.ok()) return Fail(st, "save bank");
+      std::printf("bank -> %s/bank.fbank\n", flags.model_dir.c_str());
+    }
   }
   return 0;
 }
@@ -260,59 +280,114 @@ int RunClassify(const CommonFlags& flags) {
   Status st = ReadDatabase(flags.input, &db);
   if (!st.ok()) return Fail(st, "read");
 
-  // Prefer compiled snapshots (.fpst): they score directly and carry the
-  // training-time background. Fall back to live trees (.pst), frozen here
-  // against the input data's background.
-  std::vector<std::shared_ptr<const FrozenPst>> models;
-  for (size_t c = 0;; ++c) {
-    std::string base = flags.model_dir + "/cluster" + std::to_string(c);
-    auto frozen = std::make_shared<FrozenPst>();
-    Status load = LoadFrozenPstFromFile(base + ".fpst", frozen.get());
-    if (!load.ok()) break;
-    models.push_back(std::move(frozen));
+  if (!DirectoryExists(flags.model_dir)) {
+    return Fail(Status::NotFound("model directory does not exist: " +
+                                 flags.model_dir),
+                "classify");
   }
-  if (models.empty()) {
-    BackgroundModel background = BackgroundModel::FromDatabase(db);
-    for (size_t c = 0;; ++c) {
-      std::string base = flags.model_dir + "/cluster" + std::to_string(c);
-      Pst pst(1, PstOptions{});
-      Status load = LoadPstFromFile(base + ".pst", &pst);
-      if (!load.ok()) break;
-      models.push_back(std::make_shared<const FrozenPst>(pst, background));
+
+  // Degradation chain: prefer the single .fbank snapshot set (mmap-shared,
+  // one checksummed load), then compiled snapshots (.fpst — score directly,
+  // training background baked in), then live trees (.pst, frozen here
+  // against the input data's background). A corrupt file fails the whole
+  // command under --strict; otherwise it is skipped with a warning (the
+  // loaders bump persistence.corruption_detected) and the next source in
+  // the chain covers for it.
+  size_t skipped = 0;
+  FrozenBank bank;
+  bool use_bank = false;
+  const std::string bank_path = flags.model_dir + "/bank.fbank";
+  if (flags.options.batched_scan && FileExists(bank_path)) {
+    FbankLoadInfo info;
+    Status load = LoadFrozenBankFromFile(bank_path, &bank, {}, &info);
+    if (load.ok()) {
+      use_bank = true;
+      std::printf("loaded %zu models from %s (%s)\n", bank.num_models(),
+                  bank_path.c_str(), info.mmap ? "mmap" : "buffered");
+    } else {
+      if (flags.strict) return Fail(load, "load bank");
+      std::fprintf(stderr,
+                   "warning: skipping %s (%s); falling back to per-cluster "
+                   "models\n",
+                   bank_path.c_str(), load.ToString().c_str());
+      ++skipped;
     }
   }
-  if (models.empty()) {
-    std::fprintf(stderr, "classify: no cluster*.{fpst,pst} models in %s\n",
-                 flags.model_dir.c_str());
-    return 1;
+
+  std::vector<std::shared_ptr<const FrozenPst>> models;
+  if (!use_bank) {
+    for (size_t c = 0;; ++c) {
+      std::string path =
+          flags.model_dir + "/cluster" + std::to_string(c) + ".fpst";
+      if (!FileExists(path)) break;
+      auto frozen = std::make_shared<FrozenPst>();
+      Status load = LoadFrozenPstFromFile(path, frozen.get());
+      if (!load.ok()) {
+        if (flags.strict) return Fail(load, "load snapshot");
+        std::fprintf(stderr, "warning: skipping %s (%s)\n", path.c_str(),
+                     load.ToString().c_str());
+        ++skipped;
+        continue;
+      }
+      models.push_back(std::move(frozen));
+    }
+    if (models.empty()) {
+      BackgroundModel background = BackgroundModel::FromDatabase(db);
+      for (size_t c = 0;; ++c) {
+        std::string path =
+            flags.model_dir + "/cluster" + std::to_string(c) + ".pst";
+        if (!FileExists(path)) break;
+        Pst pst(1, PstOptions{});
+        Status load = LoadPstFromFile(path, &pst);
+        if (!load.ok()) {
+          if (flags.strict) return Fail(load, "load model");
+          std::fprintf(stderr, "warning: skipping %s (%s)\n", path.c_str(),
+                       load.ToString().c_str());
+          ++skipped;
+          continue;
+        }
+        models.push_back(std::make_shared<const FrozenPst>(pst, background));
+      }
+    }
+    if (models.empty()) {
+      return Fail(Status::NotFound(StringPrintf(
+                      "no loadable cluster models in %s "
+                      "(%zu skipped as corrupt or unreadable)",
+                      flags.model_dir.c_str(), skipped)),
+                  "classify");
+    }
+    std::printf("loaded %zu models\n", models.size());
   }
-  std::printf("loaded %zu models\n", models.size());
 
   // One-pass banked scoring when enabled and the models agree on an
   // alphabet (snapshots from one clustering run always do; the serial loop
-  // stays as the fallback for mixed model directories).
-  bool bankable = flags.options.batched_scan;
-  for (const auto& m : models) {
-    bankable = bankable && !m->empty() &&
-               m->alphabet_size() == models.front()->alphabet_size();
+  // stays as the fallback for mixed model directories). A bank mapped from
+  // .fbank is scored as-is.
+  bool bankable = use_bank;
+  if (!use_bank && flags.options.batched_scan) {
+    bankable = true;
+    for (const auto& m : models) {
+      bankable = bankable && !m->empty() &&
+                 m->alphabet_size() == models.front()->alphabet_size();
+    }
+    if (bankable) bank.Assemble(models);
   }
-  FrozenBank bank;
-  if (bankable) bank.Assemble(models);
 
-  std::vector<SimilarityResult> sims(models.size());
+  const size_t num_models = use_bank ? bank.num_models() : models.size();
+  std::vector<SimilarityResult> sims(num_models);
   for (size_t i = 0; i < db.size(); ++i) {
     double best = -1e300;
     size_t best_c = 0;
     if (bankable) {
       bank.ScanAll(db[i].symbols(), sims.data());
-      for (size_t c = 0; c < models.size(); ++c) {
+      for (size_t c = 0; c < num_models; ++c) {
         if (sims[c].log_sim > best) {
           best = sims[c].log_sim;
           best_c = c;
         }
       }
     } else {
-      for (size_t c = 0; c < models.size(); ++c) {
+      for (size_t c = 0; c < num_models; ++c) {
         double s = ComputeSimilarity(*models[c], db[i]).log_sim;
         if (s > best) {
           best = s;
@@ -342,7 +417,9 @@ void PrintUsage() {
                "           [--batched_scan=on|off] [--verbose]\n"
                "           [--metrics_json=PATH] [--trace_json=PATH]\n"
                "  classify --input=PATH --model-dir=DIR "
-               "[--batched_scan=on|off]\n");
+               "[--batched_scan=on|off] [--strict]\n"
+               "           (--strict: fail on any corrupt model file "
+               "instead of skipping it)\n");
 }
 
 }  // namespace
