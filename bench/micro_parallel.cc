@@ -1,0 +1,170 @@
+// micro_parallel — thread-scaling sweep of the full CLUSEQ iteration on the
+// persistent work-stealing pool (DESIGN.md §12).
+//
+// Reference workload: a length-skewed database (a bulk of short sequences
+// plus a heavy tail ~12x longer, the shape that starves static chunking),
+// k = 64 initial clusters, depth-6 PSTs. For each thread count in
+// {1, 2, 4, 8} the harness runs the identical clustering and reports the
+// end-to-end time with the per-phase breakdown (scan / seed+rebuild+
+// refreeze / join / consolidate) summed over iterations, then asserts the
+// clusterings are bit-for-bit identical across thread counts.
+//
+// Results land in BENCH_parallel_scan.json. `hardware_threads` is recorded
+// so a sweep run on a small machine is read for what it is: thread counts
+// past the core count measure scheduling overhead, not speedup.
+//
+// Usage: micro_parallel [--scale=F] [--seed=N] [--csv]
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluseq/cluseq.h"
+
+namespace {
+
+using namespace cluseq;
+
+SequenceDatabase SkewedDatabase(double scale, uint64_t seed) {
+  // Bulk: many short sequences.
+  SyntheticDatasetOptions bulk;
+  bulk.num_clusters = 16;
+  bulk.sequences_per_cluster = cluseq_bench::Scaled(30, scale);
+  bulk.alphabet_size = 12;
+  bulk.avg_length = 120;
+  bulk.min_length = 40;
+  bulk.max_length = 300;
+  bulk.outlier_fraction = 0.05;
+  bulk.seed = seed;
+  SequenceDatabase db = MakeSyntheticDataset(bulk);
+
+  // Tail: a few sequences ~12x longer. Static contiguous chunking parks
+  // every worker behind whichever chunk drew these; the weighted scheduler
+  // isolates them.
+  SyntheticDatasetOptions tail;
+  tail.num_clusters = 4;
+  tail.sequences_per_cluster = cluseq_bench::Scaled(8, scale);
+  tail.alphabet_size = 12;
+  tail.avg_length = 1500;
+  tail.min_length = 900;
+  tail.max_length = 2400;
+  tail.outlier_fraction = 0.0;
+  tail.seed = seed + 1;
+  SequenceDatabase tail_db = MakeSyntheticDataset(tail);
+  for (size_t i = 0; i < tail_db.size(); ++i) {
+    db.Add(tail_db[i]);
+  }
+  return db;
+}
+
+struct SweepPoint {
+  size_t threads = 0;
+  double total_seconds = 0.0;
+  double scan_seconds = 0.0;
+  double seed_seconds = 0.0;  // Seeding + PST rebuild + re-freeze.
+  double join_seconds = 0.0;
+  double consolidate_seconds = 0.0;
+  size_t iterations = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cluseq_bench::BenchArgs args = cluseq_bench::ParseBenchArgs(argc, argv);
+  cluseq_bench::PrintHeader(
+      "micro_parallel — persistent-pool thread scaling",
+      "scheduler perf target (not a paper table); length-skewed db, k=64, "
+      "depth 6");
+
+  SequenceDatabase db = SkewedDatabase(args.scale, args.seed);
+  uint64_t total_symbols = 0;
+  for (size_t i = 0; i < db.size(); ++i) total_symbols += db[i].length();
+  std::printf("database: %zu sequences, %llu symbols, hardware threads %zu\n\n",
+              db.size(), static_cast<unsigned long long>(total_symbols),
+              HardwareThreads());
+
+  CluseqOptions options;
+  options.initial_clusters = 64;
+  options.similarity_threshold = 1.05;
+  options.significance_threshold = 5;
+  options.min_unique_members = 4;
+  options.pst.max_depth = 6;
+  options.max_iterations = 4;
+  options.rng_seed = args.seed;
+
+  const std::vector<size_t> sweep = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  ClusteringResult reference;
+  for (size_t threads : sweep) {
+    options.num_threads = threads;
+    ClusteringResult result;
+    Stopwatch timer;
+    Status st = RunCluseq(db, options, &result);
+    SweepPoint point;
+    point.threads = threads;
+    point.total_seconds = timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "run failed at %zu threads: %s\n", threads,
+                   st.ToString().c_str());
+      return 1;
+    }
+    for (const IterationStats& it : result.iteration_stats) {
+      point.scan_seconds += it.scan_seconds;
+      point.seed_seconds += it.seed_seconds;
+      point.join_seconds += it.join_seconds;
+      point.consolidate_seconds += it.consolidate_seconds;
+    }
+    point.iterations = result.iterations;
+    points.push_back(point);
+
+    if (threads == sweep.front()) {
+      reference = result;
+    } else if (result.clusters != reference.clusters ||
+               result.best_cluster != reference.best_cluster ||
+               result.best_log_sim != reference.best_log_sim) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: clustering at %zu threads "
+                   "differs from 1 thread\n",
+                   threads);
+      return 1;
+    }
+  }
+
+  std::printf("%8s %10s %10s %10s %10s %12s %9s\n", "threads", "total_s",
+              "scan_s", "seed_s", "join_s", "consol_s", "speedup");
+  const double base = points.front().total_seconds;
+  for (const SweepPoint& p : points) {
+    std::printf("%8zu %10.3f %10.3f %10.3f %10.3f %12.3f %8.2fx\n", p.threads,
+                p.total_seconds, p.scan_seconds, p.seed_seconds,
+                p.join_seconds, p.consolidate_seconds,
+                base / p.total_seconds);
+  }
+  std::printf("\nclusterings identical across all thread counts: yes\n");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("scale", args.scale);
+  metrics.emplace_back("hardware_threads",
+                       static_cast<double>(HardwareThreads()));
+  metrics.emplace_back("num_sequences", static_cast<double>(db.size()));
+  metrics.emplace_back("total_symbols", static_cast<double>(total_symbols));
+  for (const SweepPoint& p : points) {
+    const std::string prefix = "threads_" + std::to_string(p.threads) + "_";
+    metrics.emplace_back(prefix + "total_seconds", p.total_seconds);
+    metrics.emplace_back(prefix + "scan_seconds", p.scan_seconds);
+    metrics.emplace_back(prefix + "seed_seconds", p.seed_seconds);
+    metrics.emplace_back(prefix + "join_seconds", p.join_seconds);
+    metrics.emplace_back(prefix + "consolidate_seconds",
+                         p.consolidate_seconds);
+    metrics.emplace_back(prefix + "speedup_vs_1", base / p.total_seconds);
+  }
+  metrics.emplace_back("speedup_8_over_1",
+                       base / points.back().total_seconds);
+  if (!cluseq_bench::WriteBenchJson("parallel_scan", metrics)) {
+    std::fprintf(stderr, "failed to write BENCH_parallel_scan.json\n");
+    return 1;
+  }
+  std::printf("metrics -> BENCH_parallel_scan.json\n");
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include "eval/report.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "pst/bank_serialization.h"

@@ -68,7 +68,9 @@ CluseqClusterer::CluseqClusterer(const SequenceDatabase& db,
     : db_(db), options_(options), rng_(options.rng_seed) {
   // Single source of truth for c.
   options_.pst.significance_threshold = options_.significance_threshold;
-  if (options_.num_threads == 0) options_.num_threads = 1;
+  // 0 = auto-detect: resolve once here so every phase (and the RunReport
+  // echo) sees the effective width.
+  options_.num_threads = ResolveThreads(options_.num_threads);
 }
 
 CluseqClusterer::~CluseqClusterer() = default;
@@ -123,11 +125,15 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
     frozen[j] = std::make_shared<const FrozenPst>(pst, background_);
   });
   std::vector<double> pairwise(sample_size * sample_size, kNegInf);
+  const auto sample_cost = [&](size_t i) -> uint64_t {
+    return db_[sample[i]].length();
+  };
   if (options_.batched_scan) {
     // One interleaved pass per sample sequence scores it against every
     // other sample's model at once.
     const FrozenBank sample_bank(frozen);
-    ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
+    ParallelForWeighted(sample_size, options_.num_threads, sample_cost,
+                        [&](size_t i) {
       std::vector<SimilarityResult> row =
           sample_bank.ScanAll(std::span<const SymbolId>(
               db_[sample[i]].symbols()));
@@ -137,7 +143,8 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
       }
     });
   } else {
-    ParallelFor(sample_size, options_.num_threads, [&](size_t i) {
+    ParallelForWeighted(sample_size, options_.num_threads, sample_cost,
+                        [&](size_t i) {
       for (size_t j = 0; j < sample_size; ++j) {
         if (i == j) continue;
         pairwise[i * sample_size + j] =
@@ -224,30 +231,63 @@ void CluseqClusterer::RebuildClusterPsts() {
   // insertion-order-dependent pruning kick in, so then we always rebuild.
   const bool can_skip = options_.pst.max_memory_bytes == 0;
   CLUSEQ_TRACE_SPAN("cluseq.rebuild_psts");
-  for (Cluster& cluster : clusters_) {
-    const std::vector<size_t>& members = cluster.members();
-    if (members.empty()) continue;
-    // One freeze amortizes over every member; the snapshot also spares the
-    // worker threads from contending on the live tree's pointer chasing.
-    if (!cluster.frozen_fresh()) {
-      cluster.SetFrozen(
-          std::make_shared<const FrozenPst>(cluster.pst(), background_));
-      ++refrozen_this_iter_;
-    }
-    const FrozenPst& frozen = *cluster.frozen();
-    std::vector<Cluster::Segment> segments(members.size());
-    ParallelFor(members.size(), options_.num_threads, [&](size_t i) {
-      SimilarityResult sim = ComputeSimilarity(frozen, db_[members[i]]);
-      segments[i] = {sim.best_begin, sim.best_end};
-    });
-    if (can_skip && cluster.ContributionsMatch(members, segments)) continue;
-    cluster.ResetPst();
-    for (size_t i = 0; i < members.size(); ++i) {
-      cluster.AbsorbSegment(
-          members[i], std::span<const SymbolId>(db_[members[i]].symbols()),
-          segments[i].begin, segments[i].end);
+  // Freeze every stale summary up front (independent per-cluster tasks);
+  // the segment recomputation below reads only compiled snapshots, which
+  // also spares the workers from contending on live-tree pointer chasing.
+  // A stale empty cluster frozen here would have been frozen later in the
+  // same iteration anyway, so the re-freeze totals are unchanged.
+  RefreshFrozen();
+  const size_t kc = clusters_.size();
+  // Flatten (cluster, member) pairs so one cost-weighted pass balances the
+  // whole rebuild at once; fanning out per cluster would serialize on small
+  // clusters while one big cluster hogs a worker.
+  struct Item {
+    uint32_t cluster;
+    uint32_t member;
+  };
+  std::vector<Item> items;
+  std::vector<std::vector<Cluster::Segment>> segments(kc);
+  for (size_t ci = 0; ci < kc; ++ci) {
+    const size_t count = clusters_[ci].members().size();
+    segments[ci].resize(count);
+    for (size_t mi = 0; mi < count; ++mi) {
+      items.push_back({static_cast<uint32_t>(ci), static_cast<uint32_t>(mi)});
     }
   }
+  ParallelForWeighted(
+      items.size(), options_.num_threads,
+      [&](size_t i) -> uint64_t {
+        const Item& it = items[i];
+        return db_[clusters_[it.cluster].members()[it.member]].length();
+      },
+      [&](size_t i) {
+        const Item& it = items[i];
+        const Cluster& cluster = clusters_[it.cluster];
+        const size_t s = cluster.members()[it.member];
+        SimilarityResult sim = ComputeSimilarity(*cluster.frozen(), db_[s]);
+        segments[it.cluster][it.member] = {sim.best_begin, sim.best_end};
+      });
+  // Clusters are disjoint state and each is rebuilt by exactly one task in
+  // member order, so insertion-order-dependent pruning under a memory
+  // budget reproduces the serial rebuild bit-for-bit.
+  ParallelForWeighted(
+      kc, options_.num_threads,
+      [&](size_t ci) -> uint64_t { return clusters_[ci].size(); },
+      [&](size_t ci) {
+        Cluster& cluster = clusters_[ci];
+        const std::vector<size_t>& members = cluster.members();
+        if (members.empty()) return;
+        if (can_skip && cluster.ContributionsMatch(members, segments[ci])) {
+          return;
+        }
+        cluster.ResetPst();
+        for (size_t i = 0; i < members.size(); ++i) {
+          cluster.AbsorbSegment(
+              members[i],
+              std::span<const SymbolId>(db_[members[i]].symbols()),
+              segments[ci][i].begin, segments[ci][i].end);
+        }
+      });
 }
 
 size_t CluseqClusterer::RefreshFrozen() {
@@ -255,11 +295,16 @@ size_t CluseqClusterer::RefreshFrozen() {
   for (size_t ci = 0; ci < clusters_.size(); ++ci) {
     if (!clusters_[ci].frozen_fresh()) stale.push_back(ci);
   }
-  ParallelFor(stale.size(), options_.num_threads, [&](size_t i) {
-    Cluster& cluster = clusters_[stale[i]];
-    cluster.SetFrozen(
-        std::make_shared<const FrozenPst>(cluster.pst(), background_));
-  });
+  // Freeze cost scales with tree size, and cluster sizes are skewed —
+  // weight by node count so one giant cluster does not serialize the tail.
+  ParallelForWeighted(
+      stale.size(), options_.num_threads,
+      [&](size_t i) -> uint64_t { return clusters_[stale[i]].pst().NumNodes(); },
+      [&](size_t i) {
+        Cluster& cluster = clusters_[stale[i]];
+        cluster.SetFrozen(
+            std::make_shared<const FrozenPst>(cluster.pst(), background_));
+      });
   refrozen_this_iter_ += stale.size();
   return stale.size();
 }
@@ -302,17 +347,22 @@ void CluseqClusterer::Recluster() {
       RefreshFrozen();  // Only dirty clusters are recompiled.
       const std::vector<std::shared_ptr<const FrozenPst>> snapshots =
           Snapshots();
+      // Scan cost is linear in sequence length; weighted chunking keeps a
+      // length-skewed database from parking workers behind one straggler.
+      const auto scan_cost = [this](size_t s) -> uint64_t {
+        return db_[s].length();
+      };
       if (options_.batched_scan) {
         // Pack every snapshot into the scoring arena (untouched models keep
         // their rows byte-identical) and run one interleaved scan per
         // sequence instead of kc serial automaton scans.
         bank_.Assemble(snapshots);
-        ParallelFor(n, options_.num_threads, [&](size_t s) {
+        ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
           bank_.ScanAll(std::span<const SymbolId>(db_[s].symbols()),
                         sims.data() + s * kc);
         });
       } else {
-        ParallelFor(n, options_.num_threads, [&](size_t s) {
+        ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
           std::span<const SymbolId> symbols(db_[s].symbols());
           for (size_t ci = 0; ci < kc; ++ci) {
             sims[s * kc + ci] = ComputeSimilarity(*snapshots[ci], symbols);
@@ -329,22 +379,41 @@ void CluseqClusterer::Recluster() {
     }
     CLUSEQ_TRACE_SPAN("cluseq.join");
     Stopwatch join_timer;
-    size_t joins = 0;
-    for (size_t s = 0; s < n; ++s) {
+    // Deferred apply, parallel in two passes. Pass 1 is per-sequence: every
+    // written slot (the all_log_sims_ position, best_log_sim_[s],
+    // joined_[s]) is owned by exactly one task, and joined_[s] is built in
+    // ascending ci — the order the serial sweep produced. Pass 2 is
+    // cluster-sharded: each task owns a disjoint cluster and applies its
+    // joins in ascending s, reproducing exactly that cluster's subsequence
+    // of the serial sweep, so member order and PST insertion order (which
+    // pruning under a memory budget depends on) are thread-count-invariant.
+    all_log_sims_.resize(n * kc);
+    ParallelFor(n, options_.num_threads, [&](size_t s) {
       for (size_t ci = 0; ci < kc; ++ci) {
         const SimilarityResult& sim = sims[s * kc + ci];
-        all_log_sims_.push_back(sim.log_sim);
+        all_log_sims_[s * kc + ci] = sim.log_sim;
         best_log_sim_[s] = std::max(best_log_sim_[s], sim.log_sim);
         if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
-          ++joins;
-          clusters_[ci].AddMember(s);
           joined_[s].push_back({clusters_[ci].id(), sim.log_sim});
-          clusters_[ci].AbsorbSegment(
-              s, std::span<const SymbolId>(db_[s].symbols()), sim.best_begin,
-              sim.best_end);
         }
       }
-    }
+    });
+    std::vector<size_t> joins_per_cluster(kc, 0);
+    ParallelFor(kc, options_.num_threads, [&](size_t ci) {
+      Cluster& cluster = clusters_[ci];
+      for (size_t s = 0; s < n; ++s) {
+        const SimilarityResult& sim = sims[s * kc + ci];
+        if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
+          ++joins_per_cluster[ci];
+          cluster.AddMember(s);
+          cluster.AbsorbSegment(s,
+                                std::span<const SymbolId>(db_[s].symbols()),
+                                sim.best_begin, sim.best_end);
+        }
+      }
+    });
+    size_t joins = 0;
+    for (size_t c : joins_per_cluster) joins += c;
     join_seconds_this_iter_ += join_timer.ElapsedSeconds();
     static obs::Counter& join_counter =
         obs::MetricsRegistry::Get().GetCounter("cluseq.joins");
@@ -480,6 +549,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   report_->options = options_;
   report_->num_sequences = db_.size();
   report_->alphabet_size = db_.alphabet().size();
+  report_->effective_threads = options_.num_threads;
   report_->baseline_metrics = registry.Snapshot();
   Stopwatch run_timer;
   *result = ClusteringResult{};

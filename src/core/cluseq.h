@@ -114,7 +114,11 @@ struct CluseqOptions {
 
   VisitOrder visit_order = VisitOrder::kFixed;
 
-  /// Threads used for per-sequence similarity evaluation and seeding.
+  /// Threads used across the iteration: scan, seeding, re-freeze, PST
+  /// rebuild, and the batch join/absorb phase. 0 = auto-detect
+  /// (HardwareThreads()); resolved once at construction, so the RunReport
+  /// echoes the effective width. Clusterings are bit-for-bit identical
+  /// across thread counts.
   size_t num_threads = 1;
 
   /// Seed for all randomized steps (sampling, random visit order).

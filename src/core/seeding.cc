@@ -47,13 +47,19 @@ std::vector<size_t> SelectSeeds(
   // farthest-first round.
   std::vector<double> peer_best(sample_size,
                                 -std::numeric_limits<double>::infinity());
+  // Each sample's scan cost is linear in its own length; weight the sample
+  // loops by it so length-skewed databases stay balanced.
+  const auto sample_cost = [&](size_t i) -> uint64_t {
+    return db[sample_seq[i]].length();
+  };
   if (sample_size > 2) {
     if (batched_scan) {
       // The full peer matrix needs each sample scored against every other
       // sample's model: one banked scan per sample replaces sample_size - 1
       // serial automaton scans of the same symbols.
       const FrozenBank peer_bank(sample_psts);
-      ParallelFor(sample_size, num_threads, [&](size_t i) {
+      ParallelForWeighted(sample_size, num_threads, sample_cost,
+                          [&](size_t i) {
         std::vector<SimilarityResult> row = peer_bank.ScanAll(
             std::span<const SymbolId>(db[sample_seq[i]].symbols()));
         for (size_t j = 0; j < sample_size; ++j) {
@@ -62,7 +68,8 @@ std::vector<size_t> SelectSeeds(
         }
       });
     } else {
-      ParallelFor(sample_size, num_threads, [&](size_t i) {
+      ParallelForWeighted(sample_size, num_threads, sample_cost,
+                          [&](size_t i) {
         for (size_t j = 0; j < sample_size; ++j) {
           if (j == i) continue;
           double s =
@@ -84,7 +91,8 @@ std::vector<size_t> SelectSeeds(
   if (!existing_models.empty()) {
     if (batched_scan) {
       const FrozenBank existing_bank(existing_models);
-      ParallelFor(sample_size, num_threads, [&](size_t i) {
+      ParallelForWeighted(sample_size, num_threads, sample_cost,
+                          [&](size_t i) {
         std::vector<SimilarityResult> row = existing_bank.ScanAll(
             std::span<const SymbolId>(db[sample_seq[i]].symbols()));
         for (const SimilarityResult& sim : row) {
@@ -92,7 +100,8 @@ std::vector<size_t> SelectSeeds(
         }
       });
     } else {
-      ParallelFor(sample_size, num_threads, [&](size_t i) {
+      ParallelForWeighted(sample_size, num_threads, sample_cost,
+                          [&](size_t i) {
         for (const auto& cluster : existing_models) {
           double s = ComputeSimilarity(*cluster, db[sample_seq[i]]).log_sim;
           best_sim[i] = std::max(best_sim[i], s);
@@ -121,7 +130,7 @@ std::vector<size_t> SelectSeeds(
     // similarity against its PST. One model only, so the per-sample
     // automaton scan is already the right shape.
     const FrozenPst& pst = *sample_psts[pick];
-    ParallelFor(sample_size, num_threads, [&](size_t i) {
+    ParallelForWeighted(sample_size, num_threads, sample_cost, [&](size_t i) {
       if (taken[i]) return;
       double s = ComputeSimilarity(pst, db[sample_seq[i]]).log_sim;
       best_sim[i] = std::max(best_sim[i], s);

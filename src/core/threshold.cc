@@ -29,10 +29,20 @@ ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
   if (finite_sims.size() < 8) return update;
   // Clamp the histogram domain to the inner [1%, 99%] quantiles: a handful
   // of extreme self-similarities would otherwise stretch the domain and
-  // squeeze the informative region into a few buckets.
-  std::sort(finite_sims.begin(), finite_sims.end());
-  double lo = finite_sims[finite_sims.size() / 100];
-  double hi = finite_sims[finite_sims.size() - 1 - finite_sims.size() / 100];
+  // squeeze the informative region into a few buckets. Two nth_element
+  // selections (the second over the suffix the first already partitioned
+  // above lo) give exactly the order statistics a full sort would, in O(n)
+  // — this runs once per iteration over n·k scores.
+  const size_t lo_pos = finite_sims.size() / 100;
+  const size_t hi_pos = finite_sims.size() - 1 - finite_sims.size() / 100;
+  std::nth_element(finite_sims.begin(),
+                   finite_sims.begin() + static_cast<long>(lo_pos),
+                   finite_sims.end());
+  const double lo = finite_sims[lo_pos];
+  std::nth_element(finite_sims.begin() + static_cast<long>(lo_pos),
+                   finite_sims.begin() + static_cast<long>(hi_pos),
+                   finite_sims.end());
+  const double hi = finite_sims[hi_pos];
   if (!(hi > lo)) return update;
 
   Histogram hist(lo, hi, buckets_);

@@ -1,0 +1,108 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/file_io.h"
+
+namespace cluseq {
+namespace obs {
+
+namespace {
+
+// Shortest round-trip decimal for a double, with the spec's spellings for
+// the non-finite values.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    // Integral values print without an exponent ("10", not "1e+01").
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim precision digits that don't change the value on re-parse.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+std::string FormatValue(uint64_t v) { return std::to_string(v); }
+
+bool ValidNameByte(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (ValidNameByte(c, /*first=*/out.empty())) {
+      out.push_back(c);
+    } else if (out.empty() && std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void RenderPrometheusText(const MetricsSnapshot& snapshot, std::ostream& out) {
+  for (const MetricsSnapshot::CounterRow& row : snapshot.counters) {
+    const std::string name = PrometheusMetricName(row.name) + "_total";
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << FormatValue(row.value) << '\n';
+  }
+  for (const MetricsSnapshot::GaugeRow& row : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(row.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << FormatValue(row.value) << '\n';
+  }
+  for (const MetricsSnapshot::HistogramRow& row : snapshot.histograms) {
+    const std::string name = PrometheusMetricName(row.name);
+    out << "# TYPE " << name << " histogram\n";
+    // Registry buckets are per-bucket counts with "v <= bounds[i]"
+    // semantics, which matches Prometheus `le` after a cumulative sum.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < row.bounds.size(); ++i) {
+      if (i < row.counts.size()) cumulative += row.counts[i];
+      out << name << "_bucket{le=\"" << FormatValue(row.bounds[i]) << "\"} "
+          << FormatValue(cumulative) << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << FormatValue(row.total_count)
+        << '\n';
+    out << name << "_sum " << FormatValue(row.sum) << '\n';
+    out << name << "_count " << FormatValue(row.total_count) << '\n';
+  }
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  RenderPrometheusText(snapshot, out);
+  return out.str();
+}
+
+Status WritePrometheusTextFile(const MetricsSnapshot& snapshot,
+                               const std::string& path) {
+  return WriteFileAtomic(path, RenderPrometheusText(snapshot));
+}
+
+}  // namespace obs
+}  // namespace cluseq

@@ -1,0 +1,54 @@
+// Prometheus text exposition (format 0.0.4) over a MetricsSnapshot.
+//
+// The registry already snapshots to JSON for run reports; serving wants the
+// same numbers in the format every scraper speaks. The renderer is a pure
+// function of an immutable snapshot, so it can run off the hot path (dump a
+// file the node exporter's textfile collector picks up, or back a /metrics
+// handler once an HTTP front end exists).
+//
+// Mapping:
+//   * Names: Prometheus allows [a-zA-Z_:][a-zA-Z0-9_:]*, our dotted paths
+//     don't — every invalid byte ('.' included) becomes '_', and a leading
+//     digit gets a '_' prefix.
+//   * Counters are rendered as `<name>_total` per convention; gauges keep
+//     their name.
+//   * Histograms emit cumulative `<name>_bucket{le="..."}` rows (the
+//     registry's per-bucket counts are summed up to each bound), the
+//     mandatory `le="+Inf"` row equal to `_count`, then `_sum` and
+//     `_count`.
+//   * Non-finite gauge/sum values render as "+Inf"/"-Inf"/"NaN" per the
+//     format spec.
+// Rows come out in snapshot order (sorted by name within each kind), so
+// output is deterministic for a given snapshot.
+
+#ifndef CLUSEQ_OBS_PROMETHEUS_H_
+#define CLUSEQ_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cluseq {
+namespace obs {
+
+/// Renders `snapshot` in Prometheus text exposition format 0.0.4.
+void RenderPrometheusText(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Convenience overload returning the rendered text.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Renders and writes atomically (temp file + rename), the contract the
+/// node exporter textfile collector expects.
+Status WritePrometheusTextFile(const MetricsSnapshot& snapshot,
+                               const std::string& path);
+
+/// Sanitized Prometheus metric name for one of our dotted instrument names
+/// (exposed for tests).
+std::string PrometheusMetricName(std::string_view name);
+
+}  // namespace obs
+}  // namespace cluseq
+
+#endif  // CLUSEQ_OBS_PROMETHEUS_H_

@@ -144,6 +144,7 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.KeyValue("iterations", uint64_t{report.total_iterations});
   writer.KeyValue("final_log_threshold", report.final_log_threshold);
   writer.KeyValue("total_seconds", report.total_seconds);
+  writer.KeyValue("effective_threads", uint64_t{report.effective_threads});
   writer.EndObject();
 
   writer.Key("iterations");

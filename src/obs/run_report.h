@@ -35,6 +35,10 @@ struct RunReport {
   size_t num_sequences = 0;
   size_t alphabet_size = 0;
 
+  /// Thread count the run actually used: `options.num_threads` after the
+  /// 0 = auto-detect resolution to HardwareThreads().
+  size_t effective_threads = 0;
+
   /// One entry per completed iteration, parallel arrays.
   std::vector<IterationStats> iterations;
   std::vector<MetricsSnapshot> iteration_metrics;

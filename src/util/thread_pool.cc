@@ -1,14 +1,48 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace cluseq {
 
+namespace {
+
+// Set for the lifetime of every pool worker thread (any pool instance);
+// nested ParallelFor calls check it to degrade to inline execution instead
+// of blocking a worker on work that may be queued behind it.
+thread_local bool t_on_pool_worker = false;
+
+obs::Counter& TasksExecutedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("thread_pool.tasks_executed");
+  return c;
+}
+
+obs::Counter& StealsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("thread_pool.steals");
+  return c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Get().GetGauge("thread_pool.queue_depth");
+  return g;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
-  size_t n = std::max<size_t>(num_threads, 1);
+  const size_t n = std::max<size_t>(num_threads, 1);
+  queues_.resize(n);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -26,65 +60,276 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    queues_[next_queue_++ % queues_.size()].tasks.push_back(std::move(task));
+    ++pending_;
+    QueueDepthGauge().Set(static_cast<double>(pending_));
   }
   task_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return pending_ == 0 && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::PopTask(size_t worker_index, std::function<void()>* task) {
+  WorkerQueue& own = queues_[worker_index];
+  if (!own.tasks.empty()) {
+    *task = std::move(own.tasks.front());
+    own.tasks.pop_front();
+    return true;
+  }
+  // Steal from the back of the first non-empty sibling: the task the victim
+  // would reach last, so the steal disturbs its locality least.
+  const size_t k = queues_.size();
+  for (size_t d = 1; d < k; ++d) {
+    WorkerQueue& victim = queues_[(worker_index + d) % k];
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      StealsCounter().Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
+          lock, [this] { return shutting_down_ || pending_ > 0; });
+      if (!PopTask(worker_index, &task)) {
         if (shutting_down_) return;
         continue;
       }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      --pending_;
       ++in_flight_;
+      QueueDepthGauge().Set(static_cast<double>(pending_));
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    TasksExecutedCounter().Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (pending_ == 0 && in_flight_ == 0) all_done_.notify_all();
     }
   }
 }
 
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: started on first use, joined at process exit.
+  // Sized to the hardware — per-call parallelism is capped by the caller's
+  // num_threads, not by shrinking the pool.
+  static ThreadPool pool(HardwareThreads());
+  static bool workers_gauge_set = [] {
+    obs::MetricsRegistry::Get()
+        .GetGauge("thread_pool.workers")
+        .Set(static_cast<double>(pool.num_threads()));
+    return true;
+  }();
+  (void)workers_gauge_set;
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
+namespace {
+
+// Shared state of one pool-backed parallel loop. Lives on the caller's
+// stack: the caller blocks until every helper finished, so references stay
+// valid for the helpers' full lifetime.
+struct LoopState {
+  std::atomic<size_t> cursor{0};  // Next chunk (weighted) or index (plain).
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::atomic<uint64_t> busy_nanos{0};
+
+  void Capture() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!error) error = std::current_exception();
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+// Runs `runner` on `workers` threads: workers-1 pool tasks plus the calling
+// thread, then blocks until all have finished and rethrows the loop's first
+// exception. Records per-call busy-fraction into the utilization histogram.
+void RunOnPool(size_t workers, LoopState& state,
+               const std::function<void()>& runner) {
+  static const std::vector<double> utilization_bounds = {
+      0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  static obs::Histogram& utilization_hist =
+      obs::MetricsRegistry::Get().GetHistogram(
+          "thread_pool.parallel_utilization",
+          std::span<const double>(utilization_bounds));
+
+  const auto timed_runner = [&state, &runner] {
+    const auto start = std::chrono::steady_clock::now();
+    runner();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    state.busy_nanos.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+  };
+
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  } sync;
+  sync.remaining = workers - 1;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ThreadPool& pool = ThreadPool::Global();
+  for (size_t h = 0; h + 1 < workers; ++h) {
+    pool.Submit([&sync, &timed_runner] {
+      timed_runner();  // Never throws: `runner` captures into LoopState.
+      std::lock_guard<std::mutex> lock(sync.mu);
+      if (--sync.remaining == 0) sync.cv.notify_all();
+    });
+  }
+  timed_runner();
+  {
+    std::unique_lock<std::mutex> lock(sync.mu);
+    sync.cv.wait(lock, [&sync] { return sync.remaining == 0; });
+  }
+
+  const double wall_nanos = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  if (wall_nanos > 0.0) {
+    utilization_hist.Observe(
+        static_cast<double>(state.busy_nanos.load(std::memory_order_relaxed)) /
+        (wall_nanos * static_cast<double>(workers)));
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state.error_mu);
+    error = std::exchange(state.error, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  size_t workers = std::min(std::max<size_t>(num_threads, 1), n);
-  if (workers == 1) {
+  const size_t workers = std::min(ResolveThreads(num_threads), n);
+  if (workers <= 1 || ThreadPool::OnWorkerThread()) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    threads.emplace_back([begin, end, &body] {
-      for (size_t i = begin; i < end; ++i) body(i);
-    });
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Get().GetCounter("thread_pool.parallel_for_calls");
+  calls.Increment();
+
+  // Dynamic chunking: ~8 chunks per worker bounds both the scheduling
+  // overhead (8·workers fetch_adds) and the worst idle tail (one chunk).
+  const size_t chunk = std::max<size_t>(1, n / (workers * 8));
+  LoopState state;
+  RunOnPool(workers, state, [&state, &body, n, chunk] {
+    try {
+      for (;;) {
+        if (state.failed.load(std::memory_order_relaxed)) return;
+        const size_t begin =
+            state.cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const size_t end = std::min(begin + chunk, n);
+        for (size_t i = begin; i < end; ++i) body(i);
+      }
+    } catch (...) {
+      state.Capture();
+    }
+  });
+}
+
+void ParallelForWeighted(size_t n, size_t num_threads,
+                         const std::function<uint64_t(size_t)>& cost,
+                         const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t workers = std::min(ResolveThreads(num_threads), n);
+  if (workers <= 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
   }
-  for (auto& t : threads) t.join();
+
+  // Pre-cut the range into contiguous chunks of roughly equal total cost.
+  // Every index contributes at least 1 so zero-cost runs still split, and a
+  // single index heavier than the target closes its chunk immediately —
+  // stragglers get a chunk of their own instead of dragging neighbors.
+  uint64_t total = 0;
+  std::vector<uint64_t> costs(n);
+  for (size_t i = 0; i < n; ++i) {
+    costs[i] = cost(i) + 1;
+    total += costs[i];
+  }
+  const uint64_t target = std::max<uint64_t>(1, total / (workers * 8));
+  std::vector<size_t> chunk_end;
+  chunk_end.reserve(std::min<size_t>(n, workers * 8 + 1));
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += costs[i];
+    if (acc >= target) {
+      chunk_end.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  if (chunk_end.empty() || chunk_end.back() != n) chunk_end.push_back(n);
+
+  if (chunk_end.size() <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  static obs::Counter& calls =
+      obs::MetricsRegistry::Get().GetCounter("thread_pool.parallel_for_calls");
+  static obs::Counter& weighted_calls =
+      obs::MetricsRegistry::Get().GetCounter("thread_pool.weighted_calls");
+  calls.Increment();
+  weighted_calls.Increment();
+
+  LoopState state;
+  const size_t num_chunks = chunk_end.size();
+  RunOnPool(workers, state, [&state, &body, &chunk_end, num_chunks] {
+    try {
+      for (;;) {
+        if (state.failed.load(std::memory_order_relaxed)) return;
+        const size_t c = state.cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) return;
+        const size_t begin = c == 0 ? 0 : chunk_end[c - 1];
+        const size_t end = chunk_end[c];
+        for (size_t i = begin; i < end; ++i) body(i);
+      }
+    } catch (...) {
+      state.Capture();
+    }
+  });
 }
 
 size_t HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveThreads(size_t requested) {
+  return requested == 0 ? HardwareThreads() : requested;
 }
 
 }  // namespace cluseq

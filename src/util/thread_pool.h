@@ -1,23 +1,75 @@
-// Minimal fixed-size thread pool and a blocking ParallelFor helper.
+// Persistent work-stealing worker pool and the dynamic ParallelFor family.
 //
-// CLUSEQ's re-clustering step evaluates every sequence against every cluster
-// independently, which parallelizes trivially; ParallelFor partitions the
-// index range into contiguous chunks, one per worker.
+// CLUSEQ's iteration is many-short-tasks shaped: per-sequence scans, per-
+// cluster re-freezes and rebuilds, per-cluster join shards. The first
+// implementation spawned and joined fresh std::threads on every ParallelFor
+// call with static contiguous chunking, which (a) pays thread start/join
+// latency per call — the scan alone makes one call per iteration, seeding
+// and threshold estimation several more — and (b) leaves workers idle
+// behind a straggler chunk whenever per-index cost is skewed (sequence
+// databases are length-skewed in practice). This module replaces both:
+//
+//   * One process-wide pool (ThreadPool::Global()) starts HardwareThreads()
+//     workers once and keeps them parked on a condition variable between
+//     calls. Each worker owns a deque; Submit() distributes round-robin,
+//     a worker pops its own queue front-first and, when empty, *steals*
+//     from the back of a sibling's queue (classic help-first stealing:
+//     own-queue FIFO preserves submission locality, victim-back stealing
+//     takes the work least likely to be cache-hot for the victim).
+//   * ParallelFor runs on the pool with an atomic-cursor dynamic chunking
+//     scheduler: the index range is consumed in chunks of ~n/(workers·8)
+//     grabbed by whoever is free, so a slow chunk delays only its own
+//     worker. The calling thread participates (it is one of the `workers`),
+//     so a ParallelFor never waits on a fully-busy pool to make progress.
+//   * ParallelForWeighted takes a per-index cost function and pre-cuts the
+//     range into contiguous chunks of roughly equal *total cost* (a heavy
+//     index gets a chunk of its own), served through the same dynamic
+//     cursor. Scan-type loops pass sequence length so a length-skewed
+//     database keeps every worker busy to the end.
+//
+// Exceptions: a ParallelFor/ParallelForWeighted body that throws no longer
+// std::terminate()s inside a worker — the first exception is captured,
+// remaining chunks are abandoned (iterations may be left unvisited), and
+// the exception is rethrown on the calling thread. Tasks given to Submit()
+// capture the same way; Wait() rethrows the first stored error.
+//
+// Nested calls are safe: a ParallelFor issued from inside a pool task runs
+// inline on that worker (never blocks a worker on the pool, so the pool
+// cannot deadlock on itself).
+//
+// Determinism: the scheduler decides only *who* executes an index, never
+// how results are combined. Every CLUSEQ phase built on it writes to
+// position-addressed slots or cluster-disjoint state, so clusterings are
+// bit-for-bit identical across thread counts (tests/
+// parallel_determinism_test.cc).
+//
+// Observability (metrics registry, DESIGN.md §10/§12):
+//   thread_pool.workers              gauge     Global() pool size
+//   thread_pool.tasks_executed       counter   pool tasks run to completion
+//   thread_pool.steals               counter   tasks taken from a sibling
+//   thread_pool.queue_depth          gauge     queued-not-started tasks
+//   thread_pool.parallel_for_calls   counter   pool-backed ParallelFor calls
+//   thread_pool.weighted_calls       counter   ...of which cost-weighted
+//   thread_pool.parallel_utilization histogram busy-time fraction per call
 
 #ifndef CLUSEQ_UTIL_THREAD_POOL_H_
 #define CLUSEQ_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace cluseq {
 
-/// Fixed-size pool of worker threads executing queued tasks FIFO.
+/// Fixed-size pool of persistent workers with per-worker queues and work
+/// stealing. Construct directly for an isolated pool (tests); production
+/// call sites share ThreadPool::Global() through ParallelFor.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1; 0 is coerced to 1).
@@ -29,35 +81,74 @@ class ThreadPool {
   /// Drains outstanding tasks and joins all workers.
   ~ThreadPool();
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. A task that throws has its
+  /// first exception stored and rethrown by the next Wait().
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised since the previous Wait() (if any).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// The process-wide persistent pool: HardwareThreads() workers, started
+  /// on first use and kept alive for the process lifetime. ParallelFor
+  /// callers cap their own parallelism via `num_threads`; the pool itself
+  /// is always full-width so concurrent callers can overlap.
+  static ThreadPool& Global();
+
+  /// True when the calling thread is a worker of any ThreadPool. Nested
+  /// ParallelFor calls use this to degrade to inline execution.
+  static bool OnWorkerThread();
+
  private:
-  void WorkerLoop();
+  struct WorkerQueue {
+    std::deque<std::function<void()>> tasks;  // Guarded by ThreadPool::mu_.
+  };
+
+  void WorkerLoop(size_t worker_index);
+  // Pops own-queue front, else steals a victim's back. Caller holds mu_.
+  bool PopTask(size_t worker_index, std::function<void()>* task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::vector<WorkerQueue> queues_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
+  uint64_t next_queue_ = 0;         // Round-robin Submit target; under mu_.
+  size_t pending_ = 0;              // Queued, not yet started; under mu_.
+  size_t in_flight_ = 0;            // Started, not yet finished; under mu_.
+  std::exception_ptr first_error_;  // First Submit-task failure; under mu_.
   bool shutting_down_ = false;
 };
 
-/// Runs body(i) for i in [0, n), split into contiguous chunks across
-/// `num_threads` threads. With num_threads <= 1 (or n small) runs inline.
-/// Blocks until all iterations complete. `body` must be thread-safe across
-/// distinct indices.
+/// Runs body(i) for i in [0, n) on the global pool with dynamic chunking;
+/// the calling thread participates. At most `num_threads` threads touch the
+/// range (0 = auto-detect HardwareThreads()); with an effective width of 1,
+/// or when called from inside a pool worker (nested), runs inline in index
+/// order. Blocks until all iterations complete; if any body invocation
+/// throws, the first exception is rethrown here (remaining indices may be
+/// skipped). `body` must be thread-safe across distinct indices.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& body);
 
+/// ParallelFor with cost-aware chunking: `cost(i)` estimates the relative
+/// expense of index i (e.g. sequence length for a scan). The range is cut
+/// into contiguous chunks of roughly equal total cost — expensive indices
+/// get small chunks, so a length-skewed workload stays balanced — and the
+/// chunks are served dynamically. Same execution, blocking, nesting, and
+/// exception contract as ParallelFor; `cost` is called once per index on
+/// the calling thread before any body runs.
+void ParallelForWeighted(size_t n, size_t num_threads,
+                         const std::function<uint64_t(size_t)>& cost,
+                         const std::function<void(size_t)>& body);
+
 /// Number of hardware threads, at least 1.
 size_t HardwareThreads();
+
+/// Effective thread count for a user-facing setting: 0 = auto-detect
+/// (HardwareThreads()), anything else passes through.
+size_t ResolveThreads(size_t requested);
 
 }  // namespace cluseq
 

@@ -1,0 +1,93 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/file_io.h"
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+TEST(PrometheusNameTest, SanitizesDottedPaths) {
+  EXPECT_EQ(PrometheusMetricName("frozen_bank.scan_symbols"),
+            "frozen_bank_scan_symbols");
+  EXPECT_EQ(PrometheusMetricName("thread_pool.steals"), "thread_pool_steals");
+  EXPECT_EQ(PrometheusMetricName("a-b c"), "a_b_c");
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusMetricName("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(PrometheusRenderTest, CountersAndGauges) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"cluseq.joins", 42});
+  snapshot.gauges.push_back({"cluseq.log_threshold", 1.5});
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE cluseq_joins_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cluseq_joins_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cluseq_log_threshold gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cluseq_log_threshold 1.5\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, NonFiniteGaugeValues) {
+  MetricsSnapshot snapshot;
+  snapshot.gauges.push_back({"g.pos", std::numeric_limits<double>::infinity()});
+  snapshot.gauges.push_back(
+      {"g.neg", -std::numeric_limits<double>::infinity()});
+  snapshot.gauges.push_back({"g.nan", std::nan("")});
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("g_pos +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("g_neg -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulative) {
+  MetricsSnapshot snapshot;
+  MetricsSnapshot::HistogramRow row;
+  row.name = "scan.latency";
+  row.bounds = {0.1, 1.0, 10.0};
+  row.counts = {3, 2, 0, 5};  // Per-bucket; last is overflow (> 10.0).
+  row.total_count = 10;
+  row.sum = 55.5;
+  snapshot.histograms.push_back(row);
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE scan_latency histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("scan_latency_bucket{le=\"0.1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scan_latency_bucket{le=\"1\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("scan_latency_bucket{le=\"10\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scan_latency_bucket{le=\"+Inf\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scan_latency_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("scan_latency_count 10\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, LiveRegistrySnapshotRenders) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("prom_test.counter").Add(7);
+  registry.GetGauge("prom_test.gauge").Set(2.25);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("prom_test_counter_total"), std::string::npos);
+  EXPECT_NE(text.find("prom_test_gauge 2.25\n"), std::string::npos);
+}
+
+TEST(PrometheusRenderTest, WritesFileAtomically) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"file.test", 1});
+  const std::string path =
+      ::testing::TempDir() + "/prom_render_test.prom";
+  ASSERT_TRUE(WritePrometheusTextFile(snapshot, path).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, RenderPrometheusText(snapshot));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

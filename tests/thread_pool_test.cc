@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -83,8 +85,150 @@ TEST(ParallelForTest, SumMatchesSequential) {
   EXPECT_EQ(total, expected);
 }
 
+TEST(ThreadPoolTest, SubmitExceptionRethrownByWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed: the pool stays usable and a clean Wait follows.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsPersistentAndHardwareSized) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), HardwareThreads());
+}
+
+TEST(ThreadPoolTest, WorkStealingDrainsUnevenQueues) {
+  // Round-robin placement puts tasks on every queue; a single long-running
+  // task on one worker forces siblings to steal the rest. All tasks must
+  // complete either way.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelForTest, BodyExceptionRethrownOnCaller) {
+  const size_t n = 1000;
+  std::atomic<size_t> visited{0};
+  try {
+    ParallelFor(n, 4, [&](size_t i) {
+      if (i == 17) throw std::runtime_error("body boom");
+      visited.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "body boom");
+  }
+  // Remaining chunks may be abandoned, but nothing runs after the loop
+  // returns and the pool is still usable.
+  EXPECT_LE(visited.load(), n - 1);
+  std::atomic<size_t> after{0};
+  ParallelFor(100, 4, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(ParallelForTest, NestedCallOnWorkerRunsInline) {
+  // A ParallelFor issued from inside a pool task must not block the worker
+  // on the pool (deadlock) — it degrades to inline, so the inner loop runs
+  // single-threaded in index order on that worker.
+  ThreadPool pool(2);
+  std::atomic<int> tasks_done{0};
+  std::atomic<bool> inner_ordered{true};
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&tasks_done, &inner_ordered] {
+      EXPECT_TRUE(ThreadPool::OnWorkerThread());
+      std::vector<int> order;
+      ParallelFor(5, 4,
+                  [&](size_t j) { order.push_back(static_cast<int>(j)); });
+      if (order != std::vector<int>{0, 1, 2, 3, 4}) inner_ordered = false;
+      tasks_done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(tasks_done.load(), 8);
+  EXPECT_TRUE(inner_ordered.load());
+}
+
+TEST(ParallelForTest, NestedCallFromLoopBodyCompletes) {
+  // Nesting through a ParallelFor body (caller thread or pool worker) must
+  // not deadlock, and every inner index runs exactly once.
+  const size_t outer = 6, inner = 40;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  ParallelFor(outer, 4, [&](size_t i) {
+    ParallelFor(inner, 4,
+                [&](size_t j) { hits[i * inner + j].fetch_add(1); });
+  });
+  for (size_t i = 0; i < outer * inner; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ParallelForWeightedTest, CoversEveryIndexOnce) {
+  const size_t n = 501;
+  std::vector<std::atomic<int>> hits(n);
+  // Heavily skewed costs: index 0 dwarfs everything else.
+  ParallelForWeighted(
+      n, 4, [](size_t i) -> uint64_t { return i == 0 ? 1'000'000 : i; },
+      [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForWeightedTest, ZeroCostsStillCovered) {
+  const size_t n = 64;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelForWeighted(
+      n, 3, [](size_t) -> uint64_t { return 0; },
+      [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForWeightedTest, InlineWhenSingleThread) {
+  std::vector<int> order;
+  ParallelForWeighted(
+      5, 1, [](size_t) -> uint64_t { return 7; },
+      [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForWeightedTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelForWeighted(
+      0, 4, [](size_t) -> uint64_t { return 1; },
+      [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForWeightedTest, ExceptionRethrownOnCaller) {
+  EXPECT_THROW(ParallelForWeighted(
+                   256, 4, [](size_t) -> uint64_t { return 1; },
+                   [&](size_t i) {
+                     if (i == 100) throw std::string("weighted boom");
+                   }),
+               std::string);
+}
+
 TEST(HardwareThreadsTest, AtLeastOne) {
   EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(ResolveThreadsTest, ZeroAutoDetectsHardware) {
+  EXPECT_EQ(ResolveThreads(0), HardwareThreads());
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(7), 7u);
 }
 
 }  // namespace

@@ -52,12 +52,24 @@ int Fail(const Status& st, const char* what) {
   return 1;
 }
 
+// Dumps the current registry state in Prometheus text format when the flag
+// was given. Returns 0, or Fail()'s exit code on a write error.
+int MaybeWritePrometheus(const std::string& path) {
+  if (path.empty()) return 0;
+  Status st = obs::WritePrometheusTextFile(
+      obs::MetricsRegistry::Get().Snapshot(), path);
+  if (!st.ok()) return Fail(st, "metrics_prom");
+  std::printf("prometheus metrics -> %s\n", path.c_str());
+  return 0;
+}
+
 struct CommonFlags {
   std::string input;
   std::string output;
   std::string assignments;
   std::string model_dir;
   std::string metrics_json;
+  std::string metrics_prom;
   std::string trace_json;
   std::string kind = "synthetic";
   double scale = 0.05;
@@ -81,6 +93,9 @@ struct CommonFlags {
       } else if (ParseFlag(arg, "metrics_json", &v) ||
                  ParseFlag(arg, "metrics-json", &v)) {
         metrics_json = v;
+      } else if (ParseFlag(arg, "metrics_prom", &v) ||
+                 ParseFlag(arg, "metrics-prom", &v)) {
+        metrics_prom = v;
       } else if (ParseFlag(arg, "trace_json", &v) ||
                  ParseFlag(arg, "trace-json", &v)) {
         trace_json = v;
@@ -223,6 +238,7 @@ int RunCluster(CommonFlags& flags) {
     if (!st.ok()) return Fail(st, "metrics_json");
     std::printf("run report -> %s\n", flags.metrics_json.c_str());
   }
+  if (int rc = MaybeWritePrometheus(flags.metrics_prom); rc != 0) return rc;
   if (!flags.trace_json.empty()) {
     st = obs::TraceRecorder::Get().WriteJsonFile(flags.trace_json);
     if (!st.ok()) return Fail(st, "trace_json");
@@ -374,33 +390,44 @@ int RunClassify(const CommonFlags& flags) {
   }
 
   const size_t num_models = use_bank ? bank.num_models() : models.size();
-  std::vector<SimilarityResult> sims(num_models);
+  // Score in parallel (each sequence writes only its own slot, so output is
+  // identical at any thread count), then print serially in input order.
+  std::vector<double> best_sim(db.size(), -1e300);
+  std::vector<size_t> best_model(db.size(), 0);
+  ParallelForWeighted(
+      db.size(), flags.options.num_threads,
+      [&](size_t i) -> uint64_t { return db[i].length(); },
+      [&](size_t i) {
+        double best = -1e300;
+        size_t best_c = 0;
+        if (bankable) {
+          std::vector<SimilarityResult> sims(num_models);
+          bank.ScanAll(db[i].symbols(), sims.data());
+          for (size_t c = 0; c < num_models; ++c) {
+            if (sims[c].log_sim > best) {
+              best = sims[c].log_sim;
+              best_c = c;
+            }
+          }
+        } else {
+          for (size_t c = 0; c < num_models; ++c) {
+            double s = ComputeSimilarity(*models[c], db[i]).log_sim;
+            if (s > best) {
+              best = s;
+              best_c = c;
+            }
+          }
+        }
+        best_sim[i] = best;
+        best_model[i] = best_c;
+      });
   for (size_t i = 0; i < db.size(); ++i) {
-    double best = -1e300;
-    size_t best_c = 0;
-    if (bankable) {
-      bank.ScanAll(db[i].symbols(), sims.data());
-      for (size_t c = 0; c < num_models; ++c) {
-        if (sims[c].log_sim > best) {
-          best = sims[c].log_sim;
-          best_c = c;
-        }
-      }
-    } else {
-      for (size_t c = 0; c < num_models; ++c) {
-        double s = ComputeSimilarity(*models[c], db[i]).log_sim;
-        if (s > best) {
-          best = s;
-          best_c = c;
-        }
-      }
-    }
     std::printf("%s\t%zu\t%.4f\n",
                 db[i].id().empty() ? ("seq" + std::to_string(i)).c_str()
                                    : db[i].id().c_str(),
-                best_c, best);
+                best_model[i], best_sim[i]);
   }
-  return 0;
+  return MaybeWritePrometheus(flags.metrics_prom);
 }
 
 void PrintUsage() {
@@ -415,11 +442,14 @@ void PrintUsage() {
                "           [--max-iterations=N] [--threads=N] "
                "[--pst-memory=BYTES]\n"
                "           [--batched_scan=on|off] [--verbose]\n"
-               "           [--metrics_json=PATH] [--trace_json=PATH]\n"
+               "           [--metrics_json=PATH] [--metrics_prom=PATH] "
+               "[--trace_json=PATH]\n"
                "  classify --input=PATH --model-dir=DIR "
                "[--batched_scan=on|off] [--strict]\n"
+               "           [--threads=N] [--metrics_prom=PATH]\n"
                "           (--strict: fail on any corrupt model file "
-               "instead of skipping it)\n");
+               "instead of skipping it)\n"
+               "  --threads=0 auto-detects the hardware thread count\n");
 }
 
 }  // namespace
