@@ -1,0 +1,207 @@
+// The .sqdb store against re-parsing text: import throughput (FASTA ->
+// .sqdb), cold-load cost (mmap open + full scan vs FASTA re-parse + full
+// scan), and the resident-memory story (getrusage RSS delta for each path:
+// the mmap load keeps the corpus out of the heap; the parse path holds it
+// all). Emits BENCH_seqdb.json so the ratios land in the benchmark
+// trajectory.
+
+#include "bench/bench_common.h"
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+namespace {
+
+long MaxRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// Touch every record through the SequenceStore interface the way a
+// clustering pass would; the checksum keeps the loop honest.
+uint64_t ScanStore(const SequenceStore& store) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < store.size(); ++i) {
+    for (SymbolId s : store.Symbols(i)) sum += s;
+  }
+  return sum;
+}
+
+struct PhaseResult {
+  double secs = 0.0;
+  long rss_delta_kb = 0;
+  uint64_t sum = 0;
+  bool ok = false;
+};
+
+// Runs `fn` in a forked child so its ru_maxrss high-water mark is its own:
+// measured in-process, any phase after the first heavy one reads a delta of
+// ~0 because the mark only ever goes up.
+PhaseResult MeasureInChild(const std::function<uint64_t()>& fn) {
+  PhaseResult result;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return result;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    PhaseResult r;
+    const long before_kb = MaxRssKb();
+    Stopwatch timer;
+    r.sum = fn();
+    r.secs = timer.ElapsedSeconds();
+    r.rss_delta_kb = MaxRssKb() - before_kb;
+    r.ok = true;
+    ssize_t ignored = write(fds[1], &r, sizeof(r));
+    (void)ignored;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  if (read(fds[0], &result, sizeof(result)) != sizeof(result)) {
+    result.ok = false;
+  }
+  close(fds[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) result.ok = false;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Indexed sequence store",
+              ".sqdb import/cold-load vs FASTA re-parse (this library)");
+
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/cluseq_micro_seqdb";
+  std::filesystem::create_directories(dir);
+  const std::string fasta_path = dir + "/corpus.fasta";
+  const std::string sqdb_path = dir + "/corpus.sqdb";
+
+  // Every heavy phase runs in its own forked child: the corpus must never
+  // touch the parent's heap, or later children inherit the warmed (already
+  // resident) pages and their RSS deltas read near zero.
+  ProteinLikeOptions synth;
+  synth.scale = 0.4 * args.scale;
+  synth.seed = args.seed;
+  PhaseResult setup = MeasureInChild([&]() -> uint64_t {
+    SequenceDatabase db = MakeProteinLikeDataset(synth).db;
+    if (!WriteFastaFile(db, fasta_path).ok()) _exit(1);
+    return db.size();
+  });
+  if (!setup.ok) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  // --- import throughput -------------------------------------------------
+  PhaseResult import = MeasureInChild([&]() -> uint64_t {
+    SequenceDatabase db;
+    if (!ReadFastaFile(fasta_path, &db).ok()) _exit(1);
+    if (!WriteSeqDb(db, sqdb_path).ok()) _exit(1);
+    return db.TotalSymbols();
+  });
+  if (!import.ok) {
+    std::fprintf(stderr, "import failed\n");
+    return 1;
+  }
+  const double import_secs = import.secs;
+  const uint64_t sqdb_bytes =
+      std::filesystem::file_size(sqdb_path) +
+      std::filesystem::file_size(SeqDbIndexPath(sqdb_path));
+  const double import_mb = static_cast<double>(sqdb_bytes) / 1e6;
+  std::printf("corpus: %llu records, %llu symbols, %llu FASTA bytes, "
+              "%llu .sqdb bytes\n\n",
+              static_cast<unsigned long long>(setup.sum),
+              static_cast<unsigned long long>(import.sum),
+              static_cast<unsigned long long>(
+                  std::filesystem::file_size(fasta_path)),
+              static_cast<unsigned long long>(sqdb_bytes));
+  std::printf("import (parse + write):  %7.1f ms   %6.1f MB/s\n",
+              import_secs * 1e3, import_mb / import_secs);
+
+  // --- cold load: FASTA re-parse vs .sqdb open ---------------------------
+  bool used_mmap = false;
+  PhaseResult sqdb = MeasureInChild([&]() -> uint64_t {
+    SeqDbReader reader;
+    Status open = SeqDbReader::Open(sqdb_path, &reader);
+    if (!open.ok()) _exit(1);
+    return ScanStore(reader);
+  });
+  {
+    // Record the mmap/buffered mode from the parent (the child only
+    // returns the PhaseResult struct).
+    SeqDbReader reader;
+    if (SeqDbReader::Open(sqdb_path, &reader).ok()) {
+      used_mmap = reader.is_mmap();
+    }
+  }
+  PhaseResult parse = MeasureInChild([&]() -> uint64_t {
+    SequenceDatabase db;
+    Status read = ReadFastaFile(fasta_path, &db);
+    if (!read.ok()) _exit(1);
+    return ScanStore(db);
+  });
+  if (!sqdb.ok || !parse.ok) {
+    std::fprintf(stderr, "cold-load measurement failed\n");
+    return 1;
+  }
+  if (sqdb.sum != parse.sum) {
+    std::fprintf(stderr, "stores disagree: %llu vs %llu\n",
+                 static_cast<unsigned long long>(sqdb.sum),
+                 static_cast<unsigned long long>(parse.sum));
+    return 1;
+  }
+  const double sqdb_secs = sqdb.secs;
+  const double parse_secs = parse.secs;
+  const long sqdb_rss_kb = sqdb.rss_delta_kb;
+  const long parse_rss_kb = parse.rss_delta_kb;
+
+  std::printf("cold load + full scan (each in a fresh process):\n");
+  std::printf("  .sqdb (%s):  %7.1f ms   rss-delta %6ld KB\n",
+              used_mmap ? "mmap" : "buffered", sqdb_secs * 1e3, sqdb_rss_kb);
+  std::printf("  FASTA re-parse:    %7.1f ms   rss-delta %6ld KB\n",
+              parse_secs * 1e3, parse_rss_kb);
+  std::printf("  load speedup: %.1fx   rss ratio: %.2fx\n\n",
+              parse_secs / sqdb_secs,
+              sqdb_rss_kb > 0 ? static_cast<double>(parse_rss_kb) /
+                                    static_cast<double>(sqdb_rss_kb)
+                              : 0.0);
+
+  WriteBenchJson(
+      "seqdb",
+      {{"records", static_cast<double>(setup.sum)},
+       {"total_symbols", static_cast<double>(import.sum)},
+       {"sqdb_bytes", static_cast<double>(sqdb_bytes)},
+       {"import_seconds", import_secs},
+       {"import_mb_per_s", import_mb / import_secs},
+       {"sqdb_load_scan_seconds", sqdb_secs},
+       {"fasta_load_scan_seconds", parse_secs},
+       {"load_speedup", parse_secs / sqdb_secs},
+       {"sqdb_rss_delta_kb", static_cast<double>(sqdb_rss_kb)},
+       {"fasta_rss_delta_kb", static_cast<double>(parse_rss_kb)},
+       {"mmap", used_mmap ? 1.0 : 0.0}});
+  std::printf("json -> BENCH_seqdb.json\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -7,7 +7,7 @@
 
 namespace cluseq {
 
-Status EditDistanceCluster(const SequenceDatabase& db,
+Status EditDistanceCluster(const SequenceStore& db,
                            const DistanceClusterOptions& options,
                            std::vector<int32_t>* assignment) {
   KMedoidsOptions km;
@@ -16,14 +16,14 @@ Status EditDistanceCluster(const SequenceDatabase& db,
   km.seed = options.seed;
   KMedoidsResult result;
   auto distance = [&db](size_t a, size_t b) {
-    return static_cast<double>(EditDistance(db[a], db[b]));
+    return static_cast<double>(EditDistance(db.Symbols(a), db.Symbols(b)));
   };
   CLUSEQ_RETURN_NOT_OK(KMedoids(db.size(), distance, km, &result));
   *assignment = std::move(result.assignment);
   return Status::OK();
 }
 
-Status BlockEditCluster(const SequenceDatabase& db,
+Status BlockEditCluster(const SequenceStore& db,
                         const DistanceClusterOptions& options,
                         const BlockEditOptions& block_options,
                         std::vector<int32_t>* assignment) {
@@ -33,7 +33,8 @@ Status BlockEditCluster(const SequenceDatabase& db,
   km.seed = options.seed;
   KMedoidsResult result;
   auto distance = [&db, &block_options](size_t a, size_t b) {
-    return BlockEditDistance(db[a], db[b], block_options).distance;
+    return BlockEditDistance(db.Symbols(a), db.Symbols(b), block_options)
+        .distance;
   };
   CLUSEQ_RETURN_NOT_OK(KMedoids(db.size(), distance, km, &result));
   *assignment = std::move(result.assignment);

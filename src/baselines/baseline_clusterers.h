@@ -13,7 +13,7 @@
 #include "baselines/block_edit_distance.h"
 #include "baselines/hmm.h"
 #include "baselines/qgram.h"
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "util/status.h"
 
 namespace cluseq {
@@ -25,12 +25,12 @@ struct DistanceClusterOptions {
 };
 
 /// k-medoids over plain edit distance (the ED baseline).
-Status EditDistanceCluster(const SequenceDatabase& db,
+Status EditDistanceCluster(const SequenceStore& db,
                            const DistanceClusterOptions& options,
                            std::vector<int32_t>* assignment);
 
 /// k-medoids over the greedy-string-tiling block edit distance (EDBO).
-Status BlockEditCluster(const SequenceDatabase& db,
+Status BlockEditCluster(const SequenceStore& db,
                         const DistanceClusterOptions& options,
                         const BlockEditOptions& block_options,
                         std::vector<int32_t>* assignment);

@@ -198,7 +198,7 @@ double Hmm::Train(const std::vector<std::span<const SymbolId>>& data,
   return ll;
 }
 
-Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
+Status HmmCluster(const SequenceStore& db, const HmmClusterOptions& options,
                   std::vector<int32_t>* assignment) {
   const size_t n = db.size();
   assignment->assign(n, -1);
@@ -224,7 +224,7 @@ Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
     models.emplace_back(options.num_states, db.alphabet().size());
     models.back().RandomInit(&rng);
     std::vector<std::span<const SymbolId>> seed_data = {
-        std::span<const SymbolId>(db[seeds[c]].symbols())};
+        db.Symbols(seeds[c])};
     models[c].Train(seed_data, options.em_iters_per_round);
   }
   // Initial assignment from the seeded models.
@@ -233,7 +233,7 @@ Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
     int32_t best_c = 0;
     for (size_t c = 0; c < k; ++c) {
       double ll = models[c].LogLikelihoodPerSymbol(
-          std::span<const SymbolId>(db[i].symbols()));
+          db.Symbols(i));
       if (ll > best) {
         best = ll;
         best_c = static_cast<int32_t>(c);
@@ -248,12 +248,12 @@ Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
       std::vector<std::span<const SymbolId>> members;
       for (size_t i = 0; i < n; ++i) {
         if (assign[i] == static_cast<int32_t>(c)) {
-          members.emplace_back(db[i].symbols());
+          members.emplace_back(db.Symbols(i));
         }
       }
       if (members.empty()) {
         // Re-seed an empty cluster from a random sequence.
-        members.emplace_back(db[rng.Uniform(n)].symbols());
+        members.emplace_back(db.Symbols(rng.Uniform(n)));
       }
       models[c].Train(members, options.em_iters_per_round);
     }
@@ -264,7 +264,7 @@ Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
       int32_t best_c = assign[i];
       for (size_t c = 0; c < k; ++c) {
         double ll = models[c].LogLikelihoodPerSymbol(
-            std::span<const SymbolId>(db[i].symbols()));
+            db.Symbols(i));
         if (ll > best) {
           best = ll;
           best_c = static_cast<int32_t>(c);

@@ -15,7 +15,7 @@
 #include <span>
 #include <vector>
 
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -83,7 +83,7 @@ struct HmmClusterOptions {
 };
 
 /// Mixture-of-HMMs hard clustering; fills `assignment` with ids in [0, k).
-Status HmmCluster(const SequenceDatabase& db, const HmmClusterOptions& options,
+Status HmmCluster(const SequenceStore& db, const HmmClusterOptions& options,
                   std::vector<int32_t>* assignment);
 
 }  // namespace cluseq

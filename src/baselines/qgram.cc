@@ -75,7 +75,7 @@ Centroid MeanOf(const std::vector<QGramProfile>& profiles,
 
 }  // namespace
 
-Status QGramCluster(const SequenceDatabase& db,
+Status QGramCluster(const SequenceStore& db,
                     const QGramClusterOptions& options,
                     std::vector<int32_t>* assignment) {
   const size_t n = db.size();
@@ -90,7 +90,7 @@ Status QGramCluster(const SequenceDatabase& db,
   std::vector<QGramProfile> profiles(n);
   for (size_t i = 0; i < n; ++i) {
     profiles[i] = QGramProfile::Build(
-        std::span<const SymbolId>(db[i].symbols()), options.q,
+        db.Symbols(i), options.q,
         db.alphabet().size());
   }
 

@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -51,7 +51,7 @@ struct QGramClusterOptions {
 /// Hard assignment of each sequence to one of k clusters via spherical
 /// k-means over q-gram profiles. Fills `assignment` with cluster ids in
 /// [0, k).
-Status QGramCluster(const SequenceDatabase& db,
+Status QGramCluster(const SequenceStore& db,
                     const QGramClusterOptions& options,
                     std::vector<int32_t>* assignment);
 

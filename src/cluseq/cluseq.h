@@ -44,8 +44,11 @@
 #include "seq/alphabet.h"
 #include "seq/background_model.h"
 #include "seq/io.h"
+#include "seq/seqdb_reader.h"
+#include "seq/seqdb_writer.h"
 #include "seq/sequence.h"
 #include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "seq/suffix_array.h"
 #include "synth/dataset.h"
 #include "synth/generator_model.h"

@@ -63,7 +63,7 @@ double ClusteringResult::final_threshold() const {
   return std::exp(final_log_threshold);
 }
 
-CluseqClusterer::CluseqClusterer(const SequenceDatabase& db,
+CluseqClusterer::CluseqClusterer(const SequenceStore& db,
                                  CluseqOptions options)
     : db_(db), options_(options), rng_(options.rng_seed) {
   // Single source of truth for c.
@@ -121,12 +121,12 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
   std::vector<std::shared_ptr<const FrozenPst>> frozen(sample_size);
   ParallelFor(sample_size, options_.num_threads, [&](size_t j) {
     Pst pst(db_.alphabet().size(), options_.pst);
-    pst.InsertSequence(db_[sample[j]]);
+    pst.InsertSequence(db_.Symbols(sample[j]));
     frozen[j] = std::make_shared<const FrozenPst>(pst, background_);
   });
   std::vector<double> pairwise(sample_size * sample_size, kNegInf);
   const auto sample_cost = [&](size_t i) -> uint64_t {
-    return db_[sample[i]].length();
+    return db_.Length(sample[i]);
   };
   if (options_.batched_scan) {
     // One interleaved pass per sample sequence scores it against every
@@ -135,8 +135,7 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
     ParallelForWeighted(sample_size, options_.num_threads, sample_cost,
                         [&](size_t i) {
       std::vector<SimilarityResult> row =
-          sample_bank.ScanAll(std::span<const SymbolId>(
-              db_[sample[i]].symbols()));
+          sample_bank.ScanAll(db_.Symbols(sample[i]));
       for (size_t j = 0; j < sample_size; ++j) {
         if (i == j) continue;
         pairwise[i * sample_size + j] = row[j].log_sim;
@@ -148,7 +147,7 @@ double CluseqClusterer::EstimateInitialLogThreshold() {
       for (size_t j = 0; j < sample_size; ++j) {
         if (i == j) continue;
         pairwise[i * sample_size + j] =
-            ComputeSimilarity(*frozen[j], db_[sample[i]]).log_sim;
+            ComputeSimilarity(*frozen[j], db_.Symbols(sample[i])).log_sim;
       }
     });
   }
@@ -180,7 +179,7 @@ void CluseqClusterer::GenerateNewClusters(size_t count) {
   for (size_t seq_index : seeds) {
     clusters_.emplace_back(next_cluster_id_++, db_.alphabet().size(),
                            options_.pst);
-    clusters_.back().Seed(db_[seq_index], seq_index);
+    clusters_.back().Seed(db_.Symbols(seq_index), seq_index);
   }
 }
 
@@ -258,13 +257,13 @@ void CluseqClusterer::RebuildClusterPsts() {
       items.size(), options_.num_threads,
       [&](size_t i) -> uint64_t {
         const Item& it = items[i];
-        return db_[clusters_[it.cluster].members()[it.member]].length();
+        return db_.Length(clusters_[it.cluster].members()[it.member]);
       },
       [&](size_t i) {
         const Item& it = items[i];
         const Cluster& cluster = clusters_[it.cluster];
         const size_t s = cluster.members()[it.member];
-        SimilarityResult sim = ComputeSimilarity(*cluster.frozen(), db_[s]);
+        SimilarityResult sim = ComputeSimilarity(*cluster.frozen(), db_.Symbols(s));
         segments[it.cluster][it.member] = {sim.best_begin, sim.best_end};
       });
   // Clusters are disjoint state and each is rebuilt by exactly one task in
@@ -282,10 +281,8 @@ void CluseqClusterer::RebuildClusterPsts() {
         }
         cluster.ResetPst();
         for (size_t i = 0; i < members.size(); ++i) {
-          cluster.AbsorbSegment(
-              members[i],
-              std::span<const SymbolId>(db_[members[i]].symbols()),
-              segments[ci][i].begin, segments[ci][i].end);
+          cluster.AbsorbSegment(members[i], db_.Symbols(members[i]),
+                                segments[ci][i].begin, segments[ci][i].end);
         }
       });
 }
@@ -350,7 +347,7 @@ void CluseqClusterer::Recluster() {
       // Scan cost is linear in sequence length; weighted chunking keeps a
       // length-skewed database from parking workers behind one straggler.
       const auto scan_cost = [this](size_t s) -> uint64_t {
-        return db_[s].length();
+        return db_.Length(s);
       };
       if (options_.batched_scan) {
         // Pack every snapshot into the scoring arena (untouched models keep
@@ -358,12 +355,11 @@ void CluseqClusterer::Recluster() {
         // sequence instead of kc serial automaton scans.
         bank_.Assemble(snapshots);
         ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
-          bank_.ScanAll(std::span<const SymbolId>(db_[s].symbols()),
-                        sims.data() + s * kc);
+          bank_.ScanAll(db_.Symbols(s), sims.data() + s * kc);
         });
       } else {
         ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
-          std::span<const SymbolId> symbols(db_[s].symbols());
+          const std::span<const SymbolId> symbols = db_.Symbols(s);
           for (size_t ci = 0; ci < kc; ++ci) {
             sims[s * kc + ci] = ComputeSimilarity(*snapshots[ci], symbols);
           }
@@ -406,9 +402,8 @@ void CluseqClusterer::Recluster() {
         if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
           ++joins_per_cluster[ci];
           cluster.AddMember(s);
-          cluster.AbsorbSegment(s,
-                                std::span<const SymbolId>(db_[s].symbols()),
-                                sim.best_begin, sim.best_end);
+          cluster.AbsorbSegment(s, db_.Symbols(s), sim.best_begin,
+                                sim.best_end);
         }
       }
     });
@@ -427,7 +422,7 @@ void CluseqClusterer::Recluster() {
   std::vector<size_t> order = VisitOrderIndices();
   std::vector<SimilarityResult> sims;
   for (size_t seq_index : order) {
-    const Sequence& seq = db_[seq_index];
+    const std::span<const SymbolId> seq = db_.Symbols(seq_index);
     sims.assign(kc, SimilarityResult{});
     size_t threads = kc >= 4 ? options_.num_threads : 1;
     ParallelFor(kc, threads, [&](size_t ci) {
@@ -441,9 +436,8 @@ void CluseqClusterer::Recluster() {
       if (sim.log_sim >= log_t_ && std::isfinite(sim.log_sim)) {
         clusters_[ci].AddMember(seq_index);
         joined_[seq_index].push_back({clusters_[ci].id(), sim.log_sim});
-        clusters_[ci].AbsorbSegment(seq_index,
-                                    std::span<const SymbolId>(seq.symbols()),
-                                    sim.best_begin, sim.best_end);
+        clusters_[ci].AbsorbSegment(seq_index, seq, sim.best_begin,
+                                    sim.best_end);
       }
     }
   }
@@ -742,14 +736,14 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   return Status::OK();
 }
 
-int32_t CluseqClusterer::Classify(const Sequence& seq,
+int32_t CluseqClusterer::Classify(std::span<const SymbolId> symbols,
                                   double* log_sim) const {
   double best = kNegInf;
   int32_t best_pos = -1;
   const size_t kc = clusters_.size();
   if (kc > 0 && options_.batched_scan && bank_.num_models() == kc) {
     const std::vector<SimilarityResult> sims =
-        bank_.ScanAll(std::span<const SymbolId>(seq.symbols()));
+        bank_.ScanAll(symbols);
     for (size_t ci = 0; ci < kc; ++ci) {
       if (sims[ci].log_sim > best) {
         best = sims[ci].log_sim;
@@ -761,10 +755,11 @@ int32_t CluseqClusterer::Classify(const Sequence& seq,
     return best_pos;
   }
   for (size_t ci = 0; ci < kc; ++ci) {
-    double s = clusters_[ci].frozen_fresh()
-                   ? ComputeSimilarity(*clusters_[ci].frozen(), seq).log_sim
-                   : ComputeSimilarity(clusters_[ci].pst(), background_, seq)
-                         .log_sim;
+    double s =
+        clusters_[ci].frozen_fresh()
+            ? ComputeSimilarity(*clusters_[ci].frozen(), symbols).log_sim
+            : ComputeSimilarity(clusters_[ci].pst(), background_, symbols)
+                  .log_sim;
     if (s > best) {
       best = s;
       best_pos = static_cast<int32_t>(ci);
@@ -775,7 +770,7 @@ int32_t CluseqClusterer::Classify(const Sequence& seq,
   return best_pos;
 }
 
-Status RunCluseq(const SequenceDatabase& db, const CluseqOptions& options,
+Status RunCluseq(const SequenceStore& db, const CluseqOptions& options,
                  ClusteringResult* result) {
   CluseqClusterer clusterer(db, options);
   return clusterer.Run(result);

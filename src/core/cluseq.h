@@ -25,7 +25,8 @@
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
-#include "seq/sequence_database.h"
+#include "seq/sequence.h"
+#include "seq/sequence_store.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -190,8 +191,10 @@ struct ClusteringResult {
 
 class CluseqClusterer {
  public:
-  /// `db` must outlive the clusterer.
-  CluseqClusterer(const SequenceDatabase& db, CluseqOptions options);
+  /// `db` must outlive the clusterer. Any SequenceStore works: the in-RAM
+  /// SequenceDatabase or the mmap-backed SeqDbReader — the loop only ever
+  /// reads symbol spans, lengths, and the alphabet.
+  CluseqClusterer(const SequenceStore& db, CluseqOptions options);
   ~CluseqClusterer();  // Out of line: report_ points to an incomplete type.
 
   /// Runs the full iterative algorithm. Idempotent per instance: a second
@@ -212,7 +215,11 @@ class CluseqClusterer {
   /// cluster and its log similarity, or -1 when below the final threshold.
   /// Scores against the frozen snapshots cached by Run(), so repeated calls
   /// pay no tree-walk cost.
-  int32_t Classify(const Sequence& seq, double* log_sim = nullptr) const;
+  int32_t Classify(std::span<const SymbolId> symbols,
+                   double* log_sim = nullptr) const;
+  int32_t Classify(const Sequence& seq, double* log_sim = nullptr) const {
+    return Classify(std::span<const SymbolId>(seq.symbols()), log_sim);
+  }
 
  private:
   size_t PlanNewClusters(size_t iteration) const;
@@ -235,7 +242,7 @@ class CluseqClusterer {
   void RebuildMembershipViews();
   std::vector<uint64_t> MembershipFingerprint() const;
 
-  const SequenceDatabase& db_;
+  const SequenceStore& db_;
   CluseqOptions options_;
   BackgroundModel background_;
   Rng rng_;
@@ -268,7 +275,7 @@ class CluseqClusterer {
 };
 
 /// Convenience one-shot entry point.
-Status RunCluseq(const SequenceDatabase& db, const CluseqOptions& options,
+Status RunCluseq(const SequenceStore& db, const CluseqOptions& options,
                  ClusteringResult* result);
 
 }  // namespace cluseq

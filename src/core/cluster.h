@@ -31,11 +31,14 @@ class Cluster {
 
   /// Initializes the cluster from a single seed sequence: the PST is built
   /// from the entire sequence (paper §4.4).
-  void Seed(const Sequence& seq, size_t seq_index) {
-    pst_.InsertSequence(seq);
+  void Seed(std::span<const SymbolId> symbols, size_t seq_index) {
+    pst_.InsertSequence(symbols);
     seed_index_ = static_cast<int64_t>(seq_index);
-    contributions_.emplace(seq_index, Segment{0, seq.length()});
+    contributions_.emplace(seq_index, Segment{0, symbols.size()});
     pst_dirty_ = true;
+  }
+  void Seed(const Sequence& seq, size_t seq_index) {
+    Seed(std::span<const SymbolId>(seq.symbols()), seq_index);
   }
 
   /// Inserts the similarity-maximizing segment [begin, end) of `full` (the

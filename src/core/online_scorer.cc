@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace cluseq {
 
@@ -74,6 +75,37 @@ OnlineScorer::Score OnlineScorer::BestCurrentScore() const {
     }
   }
   return best;
+}
+
+void OnlineScorer::BatchClassify(const SequenceStore& store,
+                                 size_t num_threads, std::vector<Score>* out) {
+  const size_t n = store.size();
+  out->assign(n, Score{});
+  if (models_.empty() || n == 0) return;
+  EnsureBank();
+  static obs::Counter& batch_records =
+      obs::MetricsRegistry::Get().GetCounter("online_scorer.batch_records");
+  batch_records.Add(n);
+  num_threads = ResolveThreads(num_threads);
+  const size_t k = models_.size();
+  // Scan cost is linear in record length; weighted chunking keeps one long
+  // record from parking the other workers.
+  ParallelForWeighted(
+      n, num_threads,
+      [&store](size_t i) -> uint64_t { return store.Length(i); },
+      [&](size_t i) {
+        const std::vector<SimilarityResult> sims =
+            bank_.ScanAll(store.Symbols(i));
+        Score best;
+        for (size_t m = 0; m < k; ++m) {
+          if (best.model < 0 || sims[m].log_sim > best.log_sim) {
+            best.log_sim = sims[m].log_sim;
+            best.current_log_sim = sims[m].log_sim;
+            best.model = static_cast<int32_t>(m);
+          }
+        }
+        (*out)[i] = best;
+      });
 }
 
 void OnlineScorer::Reset() {

@@ -38,6 +38,7 @@
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
+#include "seq/sequence_store.h"
 
 namespace cluseq {
 
@@ -84,6 +85,16 @@ class OnlineScorer {
   /// Like BestScore but on the decaying current-segment signal; this is the
   /// one to monitor for drift/anomaly alerts.
   Score BestCurrentScore() const;
+
+  /// Scores every record of `store` independently (each from a fresh
+  /// automaton state — unrelated to the streaming Push() position) against
+  /// all registered models with one interleaved banked scan per record,
+  /// fanned out over `num_threads` (0 = auto). out[i] is record i's
+  /// best-scoring model, model = -1 when none are registered. Works for any
+  /// SequenceStore, so a classify run can score an mmap-backed .sqdb corpus
+  /// without materializing it. The streaming state is untouched.
+  void BatchClassify(const SequenceStore& store, size_t num_threads,
+                     std::vector<Score>* out);
 
   /// Clears stream state (automaton states and scores), keeping the models.
   void Reset();

@@ -14,7 +14,7 @@
 namespace cluseq {
 
 std::vector<size_t> SelectSeeds(
-    const SequenceDatabase& db, const std::vector<size_t>& unclustered,
+    const SequenceStore& db, const std::vector<size_t>& unclustered,
     size_t num_seeds, size_t sample_size,
     const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
     const BackgroundModel& background, const PstOptions& pst_options,
@@ -38,7 +38,7 @@ std::vector<size_t> SelectSeeds(
   std::vector<std::shared_ptr<const FrozenPst>> sample_psts(sample_size);
   ParallelFor(sample_size, num_threads, [&](size_t i) {
     Pst pst(db.alphabet().size(), pst_options);
-    pst.InsertSequence(db[sample_seq[i]]);
+    pst.InsertSequence(db.Symbols(sample_seq[i]));
     sample_psts[i] = std::make_shared<const FrozenPst>(pst, background);
   });
 
@@ -50,7 +50,7 @@ std::vector<size_t> SelectSeeds(
   // Each sample's scan cost is linear in its own length; weight the sample
   // loops by it so length-skewed databases stay balanced.
   const auto sample_cost = [&](size_t i) -> uint64_t {
-    return db[sample_seq[i]].length();
+    return db.Length(sample_seq[i]);
   };
   if (sample_size > 2) {
     if (batched_scan) {
@@ -61,7 +61,7 @@ std::vector<size_t> SelectSeeds(
       ParallelForWeighted(sample_size, num_threads, sample_cost,
                           [&](size_t i) {
         std::vector<SimilarityResult> row = peer_bank.ScanAll(
-            std::span<const SymbolId>(db[sample_seq[i]].symbols()));
+            db.Symbols(sample_seq[i]));
         for (size_t j = 0; j < sample_size; ++j) {
           if (j == i) continue;
           peer_best[i] = std::max(peer_best[i], row[j].log_sim);
@@ -73,7 +73,7 @@ std::vector<size_t> SelectSeeds(
         for (size_t j = 0; j < sample_size; ++j) {
           if (j == i) continue;
           double s =
-              ComputeSimilarity(*sample_psts[j], db[sample_seq[i]]).log_sim;
+              ComputeSimilarity(*sample_psts[j], db.Symbols(sample_seq[i])).log_sim;
           peer_best[i] = std::max(peer_best[i], s);
         }
       });
@@ -94,7 +94,7 @@ std::vector<size_t> SelectSeeds(
       ParallelForWeighted(sample_size, num_threads, sample_cost,
                           [&](size_t i) {
         std::vector<SimilarityResult> row = existing_bank.ScanAll(
-            std::span<const SymbolId>(db[sample_seq[i]].symbols()));
+            db.Symbols(sample_seq[i]));
         for (const SimilarityResult& sim : row) {
           best_sim[i] = std::max(best_sim[i], sim.log_sim);
         }
@@ -103,7 +103,7 @@ std::vector<size_t> SelectSeeds(
       ParallelForWeighted(sample_size, num_threads, sample_cost,
                           [&](size_t i) {
         for (const auto& cluster : existing_models) {
-          double s = ComputeSimilarity(*cluster, db[sample_seq[i]]).log_sim;
+          double s = ComputeSimilarity(*cluster, db.Symbols(sample_seq[i])).log_sim;
           best_sim[i] = std::max(best_sim[i], s);
         }
       });
@@ -132,7 +132,7 @@ std::vector<size_t> SelectSeeds(
     const FrozenPst& pst = *sample_psts[pick];
     ParallelForWeighted(sample_size, num_threads, sample_cost, [&](size_t i) {
       if (taken[i]) return;
-      double s = ComputeSimilarity(pst, db[sample_seq[i]]).log_sim;
+      double s = ComputeSimilarity(pst, db.Symbols(sample_seq[i])).log_sim;
       best_sim[i] = std::max(best_sim[i], s);
     });
   }

@@ -26,7 +26,7 @@
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
 #include "seq/background_model.h"
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "util/rng.h"
 
 namespace cluseq {
@@ -40,7 +40,7 @@ namespace cluseq {
 /// sequence (identical values either way). Returns fewer than `num_seeds`
 /// indices only when there are not enough unclustered sequences.
 std::vector<size_t> SelectSeeds(
-    const SequenceDatabase& db, const std::vector<size_t>& unclustered,
+    const SequenceStore& db, const std::vector<size_t>& unclustered,
     size_t num_seeds, size_t sample_size,
     const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
     const BackgroundModel& background, const PstOptions& pst_options,

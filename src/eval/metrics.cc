@@ -5,9 +5,9 @@
 
 namespace cluseq {
 
-std::vector<Label> TrueLabels(const SequenceDatabase& db) {
+std::vector<Label> TrueLabels(const SequenceStore& db) {
   std::vector<Label> labels(db.size());
-  for (size_t i = 0; i < db.size(); ++i) labels[i] = db[i].label();
+  for (size_t i = 0; i < db.size(); ++i) labels[i] = db.LabelOf(i);
   return labels;
 }
 
@@ -124,7 +124,7 @@ double NormalizedMutualInformation(const ContingencyTable& table) {
   return std::max(0.0, std::min(1.0, mi / denom));
 }
 
-EvaluationSummary Evaluate(const SequenceDatabase& db,
+EvaluationSummary Evaluate(const SequenceStore& db,
                            const std::vector<int32_t>& assignment) {
   ContingencyTable table(assignment, TrueLabels(db));
   EvaluationSummary summary;

@@ -16,12 +16,12 @@
 #include <vector>
 
 #include "eval/contingency.h"
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 
 namespace cluseq {
 
-/// Extracts the true-label vector of a database.
-std::vector<Label> TrueLabels(const SequenceDatabase& db);
+/// Extracts the true-label vector of a store.
+std::vector<Label> TrueLabels(const SequenceStore& db);
 
 /// Percentage (0..1) of correctly labeled sequences under majority-label
 /// mapping; unassigned true outliers count as correct.
@@ -62,7 +62,7 @@ struct EvaluationSummary {
   size_t num_found_clusters = 0;
   size_t num_unassigned = 0;
 };
-EvaluationSummary Evaluate(const SequenceDatabase& db,
+EvaluationSummary Evaluate(const SequenceStore& db,
                            const std::vector<int32_t>& assignment);
 
 }  // namespace cluseq

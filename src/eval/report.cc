@@ -5,7 +5,7 @@
 #include <ostream>
 
 #include "core/cluseq.h"
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 #include "util/string_util.h"
 
 namespace cluseq {
@@ -62,12 +62,16 @@ std::string FormatPercent(double fraction, int digits) {
 }
 
 Status WriteAssignments(const ClusteringResult& result,
-                        const SequenceDatabase& db, std::ostream& out) {
+                        const SequenceStore& db, std::ostream& out) {
   const size_t n = std::min(db.size(), result.best_cluster.size());
   for (size_t i = 0; i < n; ++i) {
-    const std::string& id = db[i].id();
-    out << (id.empty() ? "seq" + std::to_string(i) : id) << '\t'
-        << result.best_cluster[i] << '\t';
+    const std::string_view id = db.Id(i);
+    if (id.empty()) {
+      out << "seq" << i;
+    } else {
+      out << id;
+    }
+    out << '\t' << result.best_cluster[i] << '\t';
     double s = i < result.best_log_sim.size() ? result.best_log_sim[i] : 0.0;
     out << StringPrintf("%.6g", s) << '\n';
   }
@@ -76,7 +80,7 @@ Status WriteAssignments(const ClusteringResult& result,
 }
 
 Status WriteAssignmentsFile(const ClusteringResult& result,
-                            const SequenceDatabase& db,
+                            const SequenceStore& db,
                             const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);

@@ -37,15 +37,15 @@ std::string FormatDouble(double v, int digits = 2);
 /// Formats a fraction as a percentage string, e.g. 0.823 -> "82.3".
 std::string FormatPercent(double fraction, int digits = 1);
 
-class SequenceDatabase;
+class SequenceStore;
 struct ClusteringResult;
 
 /// Writes one line per sequence: "id <TAB> best_cluster <TAB> log_sim".
 /// best_cluster is -1 for outliers. Round-trips with any TSV reader.
 Status WriteAssignments(const ClusteringResult& result,
-                        const SequenceDatabase& db, std::ostream& out);
+                        const SequenceStore& db, std::ostream& out);
 Status WriteAssignmentsFile(const ClusteringResult& result,
-                            const SequenceDatabase& db,
+                            const SequenceStore& db,
                             const std::string& path);
 
 }  // namespace cluseq

@@ -135,6 +135,15 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.BeginObject();
   writer.KeyValue("num_sequences", uint64_t{report.num_sequences});
   writer.KeyValue("alphabet_size", uint64_t{report.alphabet_size});
+  if (!report.corpus_format.empty()) {
+    writer.Key("corpus");
+    writer.BeginObject();
+    writer.KeyValue("format", std::string_view(report.corpus_format));
+    writer.KeyValue("records", uint64_t{report.corpus_records});
+    writer.KeyValue("bytes", uint64_t{report.corpus_bytes});
+    writer.KeyValue("mmap", report.corpus_mmap);
+    writer.EndObject();
+  }
   writer.EndObject();
 
   writer.Key("summary");

@@ -39,6 +39,15 @@ struct RunReport {
   /// 0 = auto-detect resolution to HardwareThreads().
   size_t effective_threads = 0;
 
+  /// Corpus source, filled by callers that load the input themselves (the
+  /// CLI does): "fasta" / "tsv" / "sqdb" / "synthetic", record and on-disk
+  /// byte counts, and whether the bytes are served from an mmap (true only
+  /// for the .sqdb path).
+  std::string corpus_format;
+  size_t corpus_records = 0;
+  size_t corpus_bytes = 0;
+  bool corpus_mmap = false;
+
   /// One entry per completed iteration, parallel arrays.
   std::vector<IterationStats> iterations;
   std::vector<MetricsSnapshot> iteration_metrics;

@@ -53,7 +53,14 @@ Status Alphabet::EncodeChars(std::string_view text, bool intern_missing,
   return Status::OK();
 }
 
-std::string Alphabet::Decode(const std::vector<SymbolId>& ids) const {
+void Alphabet::Truncate(size_t n) {
+  while (names_.size() > n) {
+    index_.erase(names_.back());
+    names_.pop_back();
+  }
+}
+
+std::string Alphabet::Decode(std::span<const SymbolId> ids) const {
   std::string out;
   for (SymbolId id : ids) {
     if (id < names_.size()) out += names_[id];

@@ -9,6 +9,7 @@
 #define CLUSEQ_SEQ_ALPHABET_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -53,9 +54,17 @@ class Alphabet {
   Status EncodeChars(std::string_view text, bool intern_missing,
                      std::vector<SymbolId>* out);
 
+  /// Removes every symbol with id >= `n` (ids are dense and append-only,
+  /// so this exactly undoes the interning done after the alphabet had `n`
+  /// symbols). No-op when n >= size().
+  void Truncate(size_t n);
+
   /// Decodes ids back to a character string (only meaningful for alphabets
   /// of single-character names; multi-char names are concatenated).
-  std::string Decode(const std::vector<SymbolId>& ids) const;
+  std::string Decode(std::span<const SymbolId> ids) const;
+  std::string Decode(const std::vector<SymbolId>& ids) const {
+    return Decode(std::span<const SymbolId>(ids));
+  }
 
  private:
   std::unordered_map<std::string, SymbolId> index_;

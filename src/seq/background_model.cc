@@ -4,10 +4,10 @@
 
 namespace cluseq {
 
-BackgroundModel BackgroundModel::FromDatabase(const SequenceDatabase& db) {
+BackgroundModel BackgroundModel::FromDatabase(const SequenceStore& db) {
   std::vector<uint64_t> counts(db.alphabet().size(), 0);
-  for (const auto& seq : db.sequences()) {
-    for (SymbolId s : seq.symbols()) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    for (SymbolId s : db.Symbols(i)) {
       if (s < counts.size()) ++counts[s];
     }
   }

@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "seq/sequence_database.h"
+#include "seq/sequence_store.h"
 
 namespace cluseq {
 
@@ -18,9 +18,10 @@ class BackgroundModel {
  public:
   BackgroundModel() = default;
 
-  /// Estimates symbol frequencies over the whole database with add-one
-  /// (Laplace) smoothing so that no symbol has probability zero.
-  static BackgroundModel FromDatabase(const SequenceDatabase& db);
+  /// Estimates symbol frequencies over the whole store with add-one
+  /// (Laplace) smoothing so that no symbol has probability zero. Works for
+  /// any SequenceStore (in-RAM database or mmap-backed .sqdb reader).
+  static BackgroundModel FromDatabase(const SequenceStore& db);
 
   /// Builds directly from raw counts (must cover the whole alphabet).
   static BackgroundModel FromCounts(const std::vector<uint64_t>& counts);

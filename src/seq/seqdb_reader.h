@@ -1,0 +1,113 @@
+// SeqDbReader: zero-copy, mmap-backed SequenceStore over a .sqdb corpus
+// (layout in seqdb_writer.h).
+//
+// Open() maps both files read-only (MappedFile; buffered fallback when mmap
+// is unavailable) and validates strictly — magics, version, the exact
+// file-size equations, the canonical contiguous offset layout, the index
+// CRC and, by default, the data-file CRC plus a symbol-range check. Any
+// mismatch fails with Status::Corruption before a single record is served.
+//
+// The data-file verification pass deliberately does NOT read through the
+// mapping: it streams the file through a small reusable buffer with
+// read(2), so a cold open of a multi-gigabyte corpus verifies end-to-end
+// while the process RSS stays flat (the pages land in the kernel page
+// cache, not in the process). After Open(), Symbols(i) is a span straight
+// into the data mapping — no per-record allocation, no copy — and
+// Length(i)/Id(i)/LabelOf(i) are answered from the index mapping alone, so
+// cost-weighted scheduling (ParallelForWeighted over the length column) and
+// LengthSortedOrder() never fault data pages in.
+//
+// Sharing: mappings are MAP_SHARED of read-only files, so concurrent
+// workers (or processes) clustering against one corpus share page-cache
+// pages instead of each holding a private copy.
+
+#ifndef CLUSEQ_SEQ_SEQDB_READER_H_
+#define CLUSEQ_SEQ_SEQDB_READER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/sequence_store.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+struct SeqDbReaderOptions {
+  /// Serve the data and index bytes from shared read-only mappings when the
+  /// platform allows; false forces the buffered-read path everywhere.
+  bool prefer_mmap = true;
+
+  /// Verify the data file end-to-end on open: CRC32C against the value the
+  /// index recorded, plus every symbol id < alphabet size (a symbol outside
+  /// the alphabet would index out of bounds in the scoring tables). Runs as
+  /// a streamed read, so it does not fault the mapping in. Disable only for
+  /// trusted corpora where the open-time scan is unwanted; the index is
+  /// always verified in full.
+  bool verify_data = true;
+};
+
+class SeqDbReader : public SequenceStore {
+ public:
+  SeqDbReader() = default;
+
+  // Move-only: the spans the store hands out point into the mappings.
+  SeqDbReader(SeqDbReader&&) = default;
+  SeqDbReader& operator=(SeqDbReader&&) = default;
+  SeqDbReader(const SeqDbReader&) = delete;
+  SeqDbReader& operator=(const SeqDbReader&) = delete;
+
+  /// Opens `path` (+ `path`.index) and validates. On failure `*out` is left
+  /// empty and usable for a retry.
+  static Status Open(const std::string& path, SeqDbReader* out,
+                     const SeqDbReaderOptions& options = {});
+
+  // SequenceStore interface — all zero-copy.
+  const Alphabet& alphabet() const override { return alphabet_; }
+  size_t size() const override { return static_cast<size_t>(num_records_); }
+  std::span<const SymbolId> Symbols(size_t i) const override;
+  std::string_view Id(size_t i) const override;
+  Label LabelOf(size_t i) const override;
+  size_t Length(size_t i) const override;
+
+  /// Load diagnostics (the CLI's --verbose corpus line and RunReport).
+  const std::string& path() const { return path_; }
+  uint64_t data_bytes() const { return data_.size(); }
+  uint64_t index_bytes() const { return index_.size(); }
+  /// True when the data payload is served from an mmap (not a buffer).
+  bool is_mmap() const { return data_.is_mmap(); }
+  double load_seconds() const { return load_seconds_; }
+
+  void Reset();
+
+ private:
+  struct RecordEntry {
+    uint64_t data_offset;
+    uint32_t num_symbols;
+    Label label;
+    uint32_t id_offset;
+    uint32_t id_bytes;
+  };
+  RecordEntry Entry(size_t i) const;
+
+  Alphabet alphabet_;
+  MappedFile data_;
+  MappedFile index_;
+  std::string path_;
+  /// First symbol of the data payload. Points into data_, except on the
+  /// (theoretical) misaligned buffered path where it points into
+  /// aligned_payload_.
+  const SymbolId* payload_ = nullptr;
+  const char* record_table_ = nullptr;  ///< Into index_.
+  const char* id_blob_ = nullptr;       ///< Into index_.
+  uint64_t num_records_ = 0;
+  double load_seconds_ = 0.0;
+  std::vector<SymbolId> aligned_payload_;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SEQDB_READER_H_

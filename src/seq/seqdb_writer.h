@@ -1,0 +1,98 @@
+// Writer for the .sqdb on-disk sequence store (the MMseqs2-style two-file
+// data + offset-index layout; Steinegger & Söding 2017).
+//
+// A corpus `corpus.sqdb` is two files:
+//
+//   corpus.sqdb        the data file: a 24-byte header followed by every
+//                      record's encoded symbols (little-endian uint32),
+//                      concatenated in record order. The payload starts at
+//                      a 4-byte-aligned offset, so a reader can serve
+//                      Symbols(i) as a span straight into the file mapping.
+//
+//   corpus.sqdb.index  the index file: a header carrying the alphabet and
+//                      the CRC32C of the whole data file, one 24-byte entry
+//                      per record (data offset, symbol count, label, id
+//                      offset/length), the concatenated id blob, and a
+//                      trailing CRC32C over the whole index.
+//
+// Exact layout (all integers little-endian):
+//
+//   data file:
+//     0   char[8]  magic "CSQDATA1"
+//     8   u32      version (1)
+//     12  u32      reserved (0)
+//     16  u64      payload_bytes = 4 × total symbols
+//     24  u32[]    payload: record symbols, concatenated in record order
+//
+//   index file:
+//     0   char[8]  magic "CSQINDX1"
+//     8   u32      version (1)
+//     12  u32      alphabet_count
+//     16  u64      num_records
+//     24  u64      data_file_bytes (size of the whole data file)
+//     32  u32      data_crc (CRC32C of the whole data file)
+//     36  u32      reserved (0)
+//     40  u64      alphabet_blob_bytes
+//     48  u64      id_blob_bytes
+//     56  ...      alphabet blob: per symbol in id order, u32 length + name
+//         ...      record table: num_records × {u64 data_offset,
+//                  u32 num_symbols, i32 label, u32 id_offset, u32 id_bytes}
+//         ...      id blob: record ids, concatenated
+//     end-4  u32   CRC32C of every preceding index byte
+//
+// Record entries are canonical: data offsets start at the payload and are
+// contiguous (offset_{i+1} = offset_i + 4·len_i), id offsets likewise tile
+// the id blob exactly. The reader recomputes and enforces this, so a file
+// whose offsets overlap or point outside a section can never validate.
+//
+// Both files are written with WriteFileAtomic (temp file + fsync + atomic
+// rename), so a crashed import never leaves a torn corpus visible: readers
+// see either the previous complete .sqdb or the new one. The index is
+// written first — a data file without its index is unreadable, while the
+// brief window with a new index and an old data file is closed by the data
+// CRC check on open.
+
+#ifndef CLUSEQ_SEQ_SEQDB_WRITER_H_
+#define CLUSEQ_SEQ_SEQDB_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "seq/sequence_store.h"
+#include "util/status.h"
+
+namespace cluseq {
+
+/// Shared format constants (the reader validates against these).
+inline constexpr char kSeqDbDataMagic[8] = {'C', 'S', 'Q', 'D',
+                                            'A', 'T', 'A', '1'};
+inline constexpr char kSeqDbIndexMagic[8] = {'C', 'S', 'Q', 'I',
+                                             'N', 'D', 'X', '1'};
+inline constexpr uint32_t kSeqDbVersion = 1;
+inline constexpr size_t kSeqDbDataHeaderBytes = 24;
+inline constexpr size_t kSeqDbIndexHeaderBytes = 56;
+inline constexpr size_t kSeqDbRecordEntryBytes = 24;
+
+/// The index path of a .sqdb data file: `path` + ".index".
+std::string SeqDbIndexPath(const std::string& path);
+
+/// True when `path` names a .sqdb store (extension match; the CLI's
+/// --input auto-detection).
+bool IsSeqDbPath(const std::string& path);
+
+struct SeqDbWriteStats {
+  uint64_t records = 0;
+  uint64_t total_symbols = 0;
+  uint64_t data_bytes = 0;   ///< Size of the written data file.
+  uint64_t index_bytes = 0;  ///< Size of the written index file.
+};
+
+/// Serializes `store` to `path` + `path`.index atomically (see above).
+/// Fails with InvalidArgument when a record's symbols fall outside the
+/// store's alphabet (such a file could never validate on open).
+Status WriteSeqDb(const SequenceStore& store, const std::string& path,
+                  SeqDbWriteStats* stats = nullptr);
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SEQDB_WRITER_H_

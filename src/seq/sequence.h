@@ -12,12 +12,9 @@
 #include <vector>
 
 #include "seq/alphabet.h"
+#include "seq/sequence_store.h"  // Label / kNoLabel live with the store API.
 
 namespace cluseq {
-
-/// Ground-truth label; kNoLabel means unknown / outlier.
-using Label = int32_t;
-inline constexpr Label kNoLabel = -1;
 
 class Sequence {
  public:

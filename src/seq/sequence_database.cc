@@ -1,7 +1,5 @@
 #include "seq/sequence_database.h"
 
-#include <algorithm>
-
 namespace cluseq {
 
 size_t SequenceDatabase::Add(Sequence seq) {
@@ -18,24 +16,9 @@ Status SequenceDatabase::AddText(std::string_view text, std::string id,
   return Status::OK();
 }
 
-size_t SequenceDatabase::TotalSymbols() const {
-  size_t total = 0;
-  for (const auto& s : sequences_) total += s.length();
-  return total;
+void SequenceDatabase::Clear() {
+  sequences_.clear();
+  alphabet_.Truncate(base_alphabet_size_);
 }
-
-double SequenceDatabase::AverageLength() const {
-  if (sequences_.empty()) return 0.0;
-  return static_cast<double>(TotalSymbols()) /
-         static_cast<double>(sequences_.size());
-}
-
-size_t SequenceDatabase::NumLabels() const {
-  Label max_label = kNoLabel;
-  for (const auto& s : sequences_) max_label = std::max(max_label, s.label());
-  return max_label == kNoLabel ? 0 : static_cast<size_t>(max_label) + 1;
-}
-
-void SequenceDatabase::Clear() { sequences_.clear(); }
 
 }  // namespace cluseq

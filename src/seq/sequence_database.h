@@ -1,30 +1,52 @@
-// SequenceDatabase: the collection of sequences to be clustered, together
-// with the alphabet they are encoded over.
+// SequenceDatabase: the in-RAM collection of sequences to be clustered,
+// together with the alphabet they are encoded over.
+//
+// This is the mutable SequenceStore: the FASTA/TSV readers and the
+// synthetic generators build corpora here, and small datasets cluster
+// straight out of it. For corpora that should not be re-parsed (or do not
+// fit in RAM), convert once with WriteSeqDb and cluster from the
+// mmap-backed SeqDbReader instead — every consumer takes the
+// SequenceStore interface, so the two are interchangeable.
 
 #ifndef CLUSEQ_SEQ_SEQUENCE_DATABASE_H_
 #define CLUSEQ_SEQ_SEQUENCE_DATABASE_H_
 
+#include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "seq/alphabet.h"
 #include "seq/sequence.h"
+#include "seq/sequence_store.h"
 #include "util/status.h"
 
 namespace cluseq {
 
-class SequenceDatabase {
+class SequenceDatabase : public SequenceStore {
  public:
   SequenceDatabase() = default;
   explicit SequenceDatabase(Alphabet alphabet)
-      : alphabet_(std::move(alphabet)) {}
+      : alphabet_(std::move(alphabet)), base_alphabet_size_(alphabet_.size()) {}
 
-  const Alphabet& alphabet() const { return alphabet_; }
+  // Movable and copyable like the plain struct it used to be.
+  SequenceDatabase(const SequenceDatabase&) = default;
+  SequenceDatabase& operator=(const SequenceDatabase&) = default;
+  SequenceDatabase(SequenceDatabase&&) = default;
+  SequenceDatabase& operator=(SequenceDatabase&&) = default;
+
+  const Alphabet& alphabet() const override { return alphabet_; }
   Alphabet& mutable_alphabet() { return alphabet_; }
 
-  size_t size() const { return sequences_.size(); }
-  bool empty() const { return sequences_.empty(); }
+  size_t size() const override { return sequences_.size(); }
+
+  std::span<const SymbolId> Symbols(size_t i) const override {
+    return std::span<const SymbolId>(sequences_[i].symbols());
+  }
+  std::string_view Id(size_t i) const override { return sequences_[i].id(); }
+  Label LabelOf(size_t i) const override { return sequences_[i].label(); }
+  size_t Length(size_t i) const override { return sequences_[i].length(); }
 
   const Sequence& operator[](size_t i) const { return sequences_[i]; }
   Sequence& operator[](size_t i) { return sequences_[i]; }
@@ -39,20 +61,19 @@ class SequenceDatabase {
   Status AddText(std::string_view text, std::string id = "",
                  Label label = kNoLabel);
 
-  /// Total number of symbols across all sequences.
-  size_t TotalSymbols() const;
-
-  /// Average sequence length (0 for an empty database).
-  double AverageLength() const;
-
-  /// Largest label value + 1 (i.e. the number of ground-truth classes),
-  /// ignoring kNoLabel. Returns 0 when nothing is labeled.
-  size_t NumLabels() const;
-
+  /// Drops all sequences and every symbol interned *after* construction:
+  /// the alphabet reverts to the one the database was constructed with (an
+  /// explicitly supplied alphabet survives; symbols interned by AddText on
+  /// the cleared corpus do not leak into the next one).
   void Clear();
 
  private:
   Alphabet alphabet_;
+  /// How many symbols the construction-time alphabet carried; Clear()
+  /// truncates back to this count. Interning is append-only with dense ids,
+  /// so the first `base_alphabet_size_` entries are always exactly the
+  /// construction-time alphabet.
+  size_t base_alphabet_size_ = 0;
   std::vector<Sequence> sequences_;
 };
 

@@ -1,0 +1,36 @@
+#include "seq/sequence_store.h"
+
+#include <algorithm>
+
+namespace cluseq {
+
+size_t SequenceStore::TotalSymbols() const {
+  size_t total = 0;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) total += Length(i);
+  return total;
+}
+
+double SequenceStore::AverageLength() const {
+  const size_t n = size();
+  if (n == 0) return 0.0;
+  return static_cast<double>(TotalSymbols()) / static_cast<double>(n);
+}
+
+size_t SequenceStore::NumLabels() const {
+  Label max_label = kNoLabel;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) max_label = std::max(max_label, LabelOf(i));
+  return max_label == kNoLabel ? 0 : static_cast<size_t>(max_label) + 1;
+}
+
+std::vector<size_t> SequenceStore::LengthSortedOrder() const {
+  std::vector<size_t> order(size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return Length(a) > Length(b);
+  });
+  return order;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,87 @@
+// SequenceStore: the read-only corpus abstraction every consumer of
+// sequence data programs against.
+//
+// CLUSEQ's iteration, the baselines, evaluation and the CLI all need the
+// same five things from a corpus: how many records there are, the alphabet
+// they are encoded over, and each record's encoded symbols, id and label.
+// This interface captures exactly that, so the corpus can live either
+//
+//   * in RAM (SequenceDatabase — mutable, built by the readers in seq/io.h
+//     and the synthetic generators), or
+//   * on disk (SeqDbReader — an mmap-backed view of a .sqdb file whose
+//     Symbols() spans point straight into the file mapping, so a corpus
+//     larger than memory streams through the clustering loop without a
+//     per-sequence copy; see seq/seqdb_reader.h).
+//
+// Symbols(i) returns a span valid for the lifetime of the store. Length(i)
+// is a separate virtual because the on-disk store answers it from the index
+// length column without touching the data file — the cost callbacks of
+// ParallelForWeighted call it once per record per phase, and faulting the
+// whole corpus in just to plan chunk boundaries would defeat the point of
+// the out-of-core layout.
+
+#ifndef CLUSEQ_SEQ_SEQUENCE_STORE_H_
+#define CLUSEQ_SEQ_SEQUENCE_STORE_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace cluseq {
+
+/// Ground-truth label; kNoLabel means unknown / outlier. (Lives here rather
+/// than sequence.h so the interface does not depend on the in-RAM record
+/// type; sequence.h re-uses this definition.)
+using Label = int32_t;
+inline constexpr Label kNoLabel = -1;
+
+class SequenceStore {
+ public:
+  virtual ~SequenceStore() = default;
+
+  /// The alphabet all records are encoded over.
+  virtual const Alphabet& alphabet() const = 0;
+
+  /// Number of records.
+  virtual size_t size() const = 0;
+
+  /// Encoded symbols of record `i`. Valid while the store lives; never
+  /// copies (in-RAM: the record's own vector; on-disk: the file mapping).
+  virtual std::span<const SymbolId> Symbols(size_t i) const = 0;
+
+  /// Record id ("" when the record has none).
+  virtual std::string_view Id(size_t i) const = 0;
+
+  /// Ground-truth label (kNoLabel when unlabeled).
+  virtual Label LabelOf(size_t i) const = 0;
+
+  /// Symbol count of record `i`. Override when it is answerable more
+  /// cheaply than materializing the symbols (SeqDbReader reads it from the
+  /// index length column).
+  virtual size_t Length(size_t i) const { return Symbols(i).size(); }
+
+  bool empty() const { return size() == 0; }
+
+  /// Total number of symbols across all records.
+  size_t TotalSymbols() const;
+
+  /// Average record length (0 for an empty store).
+  double AverageLength() const;
+
+  /// Largest label value + 1 (the number of ground-truth classes), ignoring
+  /// kNoLabel. Returns 0 when nothing is labeled.
+  size_t NumLabels() const;
+
+  /// Record indices ordered by decreasing length, ties by index — the
+  /// MMseqs2 SORT_BY_LENGTH iteration order. Scheduling long records first
+  /// keeps a length-skewed corpus from parking a whole worker behind one
+  /// straggler at the end of a pass. Answered from Length() only, so the
+  /// on-disk store computes it from the index without touching data pages.
+  std::vector<size_t> LengthSortedOrder() const;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_SEQ_SEQUENCE_STORE_H_

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seq/sequence_database.h"
+
 namespace cluseq {
 namespace {
 

@@ -107,6 +107,62 @@ TEST(TsvTest, RoundTrip) {
   EXPECT_EQ(db2.alphabet().Decode(db2[0].symbols()), "hello");
 }
 
+TEST(FastaTest, HandlesCrlfLineEndings) {
+  std::istringstream in(">s1 label=2\r\nABCD\r\n>s2\r\nAA\r\nBB\r\n");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadFasta(in, &db).ok());
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].id(), "s1");
+  EXPECT_EQ(db[0].label(), 2);
+  EXPECT_EQ(db[0].length(), 4u);  // No stray '\r' interned.
+  EXPECT_EQ(db[1].length(), 4u);
+  EXPECT_EQ(db.alphabet().Find("\r"), kInvalidSymbol);
+}
+
+TEST(FastaTest, FinalRecordWithoutTrailingNewline) {
+  std::istringstream in(">s1\nABCD\n>s2\nXY");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadFasta(in, &db).ok());
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[1].id(), "s2");
+  EXPECT_EQ(db[1].length(), 2u);
+}
+
+TEST(FastaTest, OversizedRecordIsRejectedWithAClearError) {
+  IoOptions options;
+  options.max_record_bytes = 8;
+  std::istringstream in(">tiny\nABCD\n>huge\nABCDEFGH\nIJ\n");
+  SequenceDatabase db;
+  Status st = ReadFasta(in, &db, options);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("huge"), std::string::npos) << st.ToString();
+  // Under the default (generous) limit the same input is fine.
+  std::istringstream again(">tiny\nABCD\n>huge\nABCDEFGH\nIJ\n");
+  db.Clear();
+  EXPECT_TRUE(ReadFasta(again, &db).ok());
+}
+
+TEST(TsvTest, HandlesCrlfAndMissingFinalNewline) {
+  std::istringstream in("a\t0\tXYZ\r\nb\t-1\tXX");
+  SequenceDatabase db;
+  ASSERT_TRUE(ReadTsv(in, &db).ok());
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].length(), 3u);  // '\r' stripped, not interned.
+  EXPECT_EQ(db.alphabet().Find("\r"), kInvalidSymbol);
+  EXPECT_EQ(db[1].id(), "b");
+  EXPECT_EQ(db[1].length(), 2u);
+}
+
+TEST(TsvTest, OversizedRecordIsRejectedWithAClearError) {
+  IoOptions options;
+  options.max_record_bytes = 4;
+  std::istringstream in("ok\t0\tABCD\nbig\t1\tABCDE\n");
+  SequenceDatabase db;
+  Status st = ReadTsv(in, &db, options);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("big"), std::string::npos) << st.ToString();
+}
+
 TEST(TsvTest, FileRoundTrip) {
   SequenceDatabase db;
   ASSERT_TRUE(db.AddText("abc", "x", 1).ok());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "eval/report.h"
+#include "seq/sequence_database.h"
 
 #include <sstream>
 

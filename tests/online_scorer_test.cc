@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/similarity.h"
+#include "seq/sequence_database.h"
 #include "util/rng.h"
 
 namespace cluseq {
@@ -115,6 +116,59 @@ TEST(OnlineScorerTest, ResetClearsStreamButKeepsModels) {
   EXPECT_EQ(scorer.num_models(), 1u);
   for (SymbolId s : stream) scorer.Push(s);
   EXPECT_DOUBLE_EQ(scorer.ScoreOf(0).log_sim, first);  // Replays identically.
+}
+
+TEST(OnlineScorerTest, BatchClassifyMatchesStreamingAndIsThreadInvariant) {
+  BackgroundModel bg = UniformBackground(4);
+  Pst a(4, Opts(4)), b(4, Opts(4));
+  a.InsertSequence(RandomText(300, 4, 10));
+  b.InsertSequence(RandomText(300, 4, 11));
+  OnlineScorer scorer(bg);
+  scorer.AddModel(&a);
+  scorer.AddModel(&b);
+
+  SequenceDatabase db(Alphabet::Synthetic(4));
+  Rng rng(12);
+  for (size_t i = 0; i < 23; ++i) {
+    db.Add(Sequence(RandomText(10 + rng.Uniform(60), 4, 13 + i)));
+  }
+
+  std::vector<OnlineScorer::Score> serial;
+  scorer.BatchClassify(db, 1, &serial);
+  ASSERT_EQ(serial.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    // Each record scored as its own stream must agree with the batch.
+    scorer.Reset();
+    for (SymbolId s : db.Symbols(i)) scorer.Push(s);
+    OnlineScorer::Score streamed = scorer.BestScore();
+    EXPECT_EQ(serial[i].model, streamed.model) << i;
+    EXPECT_NEAR(serial[i].log_sim, streamed.log_sim, 1e-9) << i;
+  }
+  for (size_t threads : {size_t{2}, size_t{7}}) {
+    std::vector<OnlineScorer::Score> parallel;
+    scorer.BatchClassify(db, threads, &parallel);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].model, serial[i].model) << i;
+      EXPECT_EQ(parallel[i].log_sim, serial[i].log_sim) << i;
+    }
+  }
+}
+
+TEST(OnlineScorerTest, BatchClassifyOnEmptyInputsIsWellDefined) {
+  BackgroundModel bg = UniformBackground(3);
+  OnlineScorer scorer(bg);
+  SequenceDatabase db(Alphabet::Synthetic(3));
+  std::vector<OnlineScorer::Score> out;
+  scorer.BatchClassify(db, 1, &out);  // No models, no records.
+  EXPECT_TRUE(out.empty());
+  Pst pst(3, Opts(3));
+  pst.InsertSequence(RandomText(100, 3, 14));
+  scorer.AddModel(&pst);
+  db.Add(Sequence(Symbols{}));  // Zero-length record.
+  scorer.BatchClassify(db, 2, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].model, 0);
 }
 
 TEST(OnlineScorerTest, WindowCoversDeepestModel) {

@@ -98,5 +98,32 @@ TEST(SequenceDatabaseTest, Clear) {
   EXPECT_EQ(db.alphabet().size(), 1u);  // Alphabet survives.
 }
 
+TEST(SequenceDatabaseTest, ClearDropsSymbolsInternedAfterConstruction) {
+  // Regression: Clear() used to drop the sequences but keep every symbol
+  // AddText had interned, so the next corpus loaded into the same database
+  // inherited a polluted alphabet (and different dense ids than a fresh
+  // load would assign).
+  SequenceDatabase db(Alphabet::FromChars("ab"));
+  ASSERT_TRUE(db.AddText("abxyz", "s0").ok());
+  EXPECT_EQ(db.alphabet().size(), 5u);  // a b + interned x y z.
+  db.Clear();
+  EXPECT_EQ(db.alphabet().size(), 2u);  // Only the constructed alphabet.
+  EXPECT_EQ(db.alphabet().Find("x"), kInvalidSymbol);
+  // Re-interning after Clear() reassigns the same dense ids a fresh
+  // database would.
+  ASSERT_TRUE(db.AddText("zab", "s1").ok());
+  EXPECT_EQ(db.alphabet().Find("z"), SymbolId{2});
+  EXPECT_EQ(db.alphabet().size(), 3u);
+}
+
+TEST(SequenceDatabaseTest, ClearOnDefaultConstructedDropsEverything) {
+  SequenceDatabase db;
+  ASSERT_TRUE(db.AddText("abc", "s0").ok());
+  EXPECT_EQ(db.alphabet().size(), 3u);
+  db.Clear();
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.alphabet().size(), 0u);
+}
+
 }  // namespace
 }  // namespace cluseq

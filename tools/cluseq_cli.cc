@@ -2,20 +2,27 @@
 //
 // Subcommands:
 //   generate  synthesize a labeled dataset and write it to a file
+//   import    convert a FASTA/TSV corpus to the indexed .sqdb store
+//   export    convert a .sqdb store back to FASTA/TSV
 //   cluster   cluster a dataset and write per-sequence assignments
 //   classify  score sequences against previously saved cluster PSTs
 //
 // Examples:
 //   cluseq_cli generate --kind=protein --out=prot.fasta --scale=0.05
-//   cluseq_cli cluster --input=prot.fasta --assignments=out.tsv
+//   cluseq_cli import --input=prot.fasta --out=prot.sqdb
+//   cluseq_cli cluster --input=prot.sqdb --assignments=out.tsv
 //       --model-dir=models --c=5 --min-members=4
 //   cluseq_cli classify --input=more.fasta --model-dir=models
 //
-// Input format is chosen by extension: .fa/.fasta → FASTA, else TSV
-// ("id<TAB>label<TAB>text"; label -1 = unlabeled).
+// Input format is chosen by extension: .sqdb → the indexed binary store
+// (mmap-backed, no parsing, corpus stays out of process RSS);
+// .fa/.fasta → FASTA; else TSV ("id<TAB>label<TAB>text"; label -1 =
+// unlabeled). generate/import/export pick the output format the same way,
+// so `generate --out=corpus.sqdb` writes the binary store directly.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,14 +44,65 @@ bool IsFastaPath(const std::string& path) {
   return HasSuffix(path, ".fa") || HasSuffix(path, ".fasta");
 }
 
-Status ReadDatabase(const std::string& path, SequenceDatabase* db) {
-  if (IsFastaPath(path)) return ReadFastaFile(path, db);
-  return ReadTsvFile(path, db);
+uint64_t FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const auto pos = in.tellg();
+  return pos < 0 ? 0 : static_cast<uint64_t>(pos);
 }
 
-Status WriteDatabase(const SequenceDatabase& db, const std::string& path) {
-  if (IsFastaPath(path)) return WriteFastaFile(db, path);
-  return WriteTsvFile(db, path);
+// One loaded input corpus behind the SequenceStore interface: either a
+// parsed in-RAM SequenceDatabase (FASTA/TSV) or the mmap-backed SeqDbReader
+// (.sqdb), chosen by extension. Also carries the provenance that the
+// --verbose corpus line and the RunReport record.
+struct LoadedCorpus {
+  SequenceDatabase db;
+  SeqDbReader reader;
+  bool is_sqdb = false;
+  std::string format;  // "fasta" / "tsv" / "sqdb"
+  uint64_t bytes = 0;  // On-disk size (data + index for .sqdb).
+
+  const SequenceStore& store() const {
+    return is_sqdb ? static_cast<const SequenceStore&>(reader)
+                   : static_cast<const SequenceStore&>(db);
+  }
+  bool mmap() const { return is_sqdb && reader.is_mmap(); }
+};
+
+Status LoadCorpus(const std::string& path, LoadedCorpus* corpus) {
+  if (IsSeqDbPath(path)) {
+    corpus->is_sqdb = true;
+    corpus->format = "sqdb";
+    CLUSEQ_RETURN_NOT_OK(SeqDbReader::Open(path, &corpus->reader));
+    corpus->bytes =
+        corpus->reader.data_bytes() + corpus->reader.index_bytes();
+    return Status::OK();
+  }
+  corpus->is_sqdb = false;
+  if (IsFastaPath(path)) {
+    corpus->format = "fasta";
+    CLUSEQ_RETURN_NOT_OK(ReadFastaFile(path, &corpus->db));
+  } else {
+    corpus->format = "tsv";
+    CLUSEQ_RETURN_NOT_OK(ReadTsvFile(path, &corpus->db));
+  }
+  corpus->bytes = FileSizeBytes(path);
+  return Status::OK();
+}
+
+void PrintCorpusLine(const std::string& path, const LoadedCorpus& corpus) {
+  std::printf("corpus: %s format=%s records=%zu bytes=%llu %s\n",
+              path.c_str(), corpus.format.c_str(), corpus.store().size(),
+              static_cast<unsigned long long>(corpus.bytes),
+              corpus.is_sqdb ? (corpus.mmap() ? "(mmap)" : "(buffered)")
+                             : "(in-ram)");
+}
+
+Status WriteStore(const SequenceStore& store, const std::string& path,
+                  SeqDbWriteStats* sqdb_stats = nullptr) {
+  if (IsSeqDbPath(path)) return WriteSeqDb(store, path, sqdb_stats);
+  if (IsFastaPath(path)) return WriteFastaFile(store, path);
+  return WriteTsvFile(store, path);
 }
 
 int Fail(const Status& st, const char* what) {
@@ -182,10 +240,54 @@ int RunGenerate(const CommonFlags& flags) {
                  flags.kind.c_str());
     return 2;
   }
-  Status st = WriteDatabase(db, flags.output);
+  Status st = WriteStore(db, flags.output);
   if (!st.ok()) return Fail(st, "write");
   std::printf("wrote %zu sequences (%zu labels) to %s\n", db.size(),
               db.NumLabels(), flags.output.c_str());
+  return 0;
+}
+
+int RunImport(const CommonFlags& flags) {
+  if (flags.input.empty() || flags.output.empty()) {
+    std::fprintf(stderr, "import: --input=<path> and --out=<path.sqdb> are "
+                         "required\n");
+    return 2;
+  }
+  if (!IsSeqDbPath(flags.output)) {
+    std::fprintf(stderr, "import: --out must end in .sqdb (got %s)\n",
+                 flags.output.c_str());
+    return 2;
+  }
+  LoadedCorpus corpus;
+  Status st = LoadCorpus(flags.input, &corpus);
+  if (!st.ok()) return Fail(st, "read");
+  SeqDbWriteStats stats;
+  st = WriteSeqDb(corpus.store(), flags.output, &stats);
+  if (!st.ok()) return Fail(st, "write");
+  std::printf("imported %llu records (%llu symbols) -> %s "
+              "(%llu data + %llu index bytes)\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.total_symbols),
+              flags.output.c_str(),
+              static_cast<unsigned long long>(stats.data_bytes),
+              static_cast<unsigned long long>(stats.index_bytes));
+  return MaybeWritePrometheus(flags.metrics_prom);
+}
+
+int RunExport(const CommonFlags& flags) {
+  if (flags.input.empty() || flags.output.empty()) {
+    std::fprintf(stderr,
+                 "export: --input=<path.sqdb> and --out=<path> are "
+                 "required\n");
+    return 2;
+  }
+  LoadedCorpus corpus;
+  Status st = LoadCorpus(flags.input, &corpus);
+  if (!st.ok()) return Fail(st, "read");
+  st = WriteStore(corpus.store(), flags.output);
+  if (!st.ok()) return Fail(st, "write");
+  std::printf("exported %zu records -> %s\n", corpus.store().size(),
+              flags.output.c_str());
   return 0;
 }
 
@@ -194,11 +296,13 @@ int RunCluster(CommonFlags& flags) {
     std::fprintf(stderr, "cluster: --input=<path> is required\n");
     return 2;
   }
-  SequenceDatabase db;
-  Status st = ReadDatabase(flags.input, &db);
+  LoadedCorpus corpus;
+  Status st = LoadCorpus(flags.input, &corpus);
   if (!st.ok()) return Fail(st, "read");
+  const SequenceStore& db = corpus.store();
   std::printf("read %zu sequences over %zu symbols\n", db.size(),
               db.alphabet().size());
+  if (flags.options.verbose) PrintCorpusLine(flags.input, corpus);
 
   if (!flags.trace_json.empty()) obs::TraceRecorder::Get().Start();
   CluseqClusterer clusterer(db, flags.options);
@@ -225,6 +329,10 @@ int RunCluster(CommonFlags& flags) {
 
   if (!flags.metrics_json.empty()) {
     obs::RunReport report = *clusterer.report();
+    report.corpus_format = corpus.format;
+    report.corpus_records = db.size();
+    report.corpus_bytes = corpus.bytes;
+    report.corpus_mmap = corpus.mmap();
     if (have_eval) {
       report.has_eval = true;
       report.eval_correct_fraction = eval.correct_fraction;
@@ -292,9 +400,11 @@ int RunClassify(const CommonFlags& flags) {
                  "required\n");
     return 2;
   }
-  SequenceDatabase db;
-  Status st = ReadDatabase(flags.input, &db);
+  LoadedCorpus corpus;
+  Status st = LoadCorpus(flags.input, &corpus);
   if (!st.ok()) return Fail(st, "read");
+  const SequenceStore& db = corpus.store();
+  if (flags.options.verbose) PrintCorpusLine(flags.input, corpus);
 
   if (!DirectoryExists(flags.model_dir)) {
     return Fail(Status::NotFound("model directory does not exist: " +
@@ -396,13 +506,13 @@ int RunClassify(const CommonFlags& flags) {
   std::vector<size_t> best_model(db.size(), 0);
   ParallelForWeighted(
       db.size(), flags.options.num_threads,
-      [&](size_t i) -> uint64_t { return db[i].length(); },
+      [&](size_t i) -> uint64_t { return db.Length(i); },
       [&](size_t i) {
         double best = -1e300;
         size_t best_c = 0;
         if (bankable) {
           std::vector<SimilarityResult> sims(num_models);
-          bank.ScanAll(db[i].symbols(), sims.data());
+          bank.ScanAll(db.Symbols(i), sims.data());
           for (size_t c = 0; c < num_models; ++c) {
             if (sims[c].log_sim > best) {
               best = sims[c].log_sim;
@@ -411,7 +521,7 @@ int RunClassify(const CommonFlags& flags) {
           }
         } else {
           for (size_t c = 0; c < num_models; ++c) {
-            double s = ComputeSimilarity(*models[c], db[i]).log_sim;
+            double s = ComputeSimilarity(*models[c], db.Symbols(i)).log_sim;
             if (s > best) {
               best = s;
               best_c = c;
@@ -422,19 +532,23 @@ int RunClassify(const CommonFlags& flags) {
         best_model[i] = best_c;
       });
   for (size_t i = 0; i < db.size(); ++i) {
-    std::printf("%s\t%zu\t%.4f\n",
-                db[i].id().empty() ? ("seq" + std::to_string(i)).c_str()
-                                   : db[i].id().c_str(),
-                best_model[i], best_sim[i]);
+    const std::string id = db.Id(i).empty() ? "seq" + std::to_string(i)
+                                            : std::string(db.Id(i));
+    std::printf("%s\t%zu\t%.4f\n", id.c_str(), best_model[i], best_sim[i]);
   }
   return MaybeWritePrometheus(flags.metrics_prom);
 }
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: cluseq_cli <generate|cluster|classify> [flags]\n"
+               "usage: cluseq_cli <generate|import|export|cluster|classify> "
+               "[flags]\n"
                "  generate --kind=synthetic|protein|language --out=PATH "
                "[--scale=F] [--seed=N]\n"
+               "  import   --input=PATH --out=PATH.sqdb   (FASTA/TSV -> "
+               "indexed binary store)\n"
+               "  export   --input=PATH.sqdb --out=PATH   (back to "
+               "FASTA/TSV)\n"
                "  cluster  --input=PATH [--assignments=PATH] "
                "[--model-dir=DIR]\n"
                "           [--k=N] [--c=N] [--t=F] [--depth=N] "
@@ -449,6 +563,8 @@ void PrintUsage() {
                "           [--threads=N] [--metrics_prom=PATH]\n"
                "           (--strict: fail on any corrupt model file "
                "instead of skipping it)\n"
+               "  --input/--out ending in .sqdb selects the indexed binary "
+               "store (mmap-backed)\n"
                "  --threads=0 auto-detects the hardware thread count\n");
 }
 
@@ -466,6 +582,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (command == "generate") return RunGenerate(flags);
+  if (command == "import") return RunImport(flags);
+  if (command == "export") return RunExport(flags);
   if (command == "cluster") return RunCluster(flags);
   if (command == "classify") return RunClassify(flags);
   PrintUsage();
