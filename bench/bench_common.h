@@ -93,12 +93,16 @@ inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
 /// between the bench harnesses and the run reports.
 inline bool WriteBenchJson(
     const std::string& name,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, bool>>& flags = {}) {
   std::ofstream out("BENCH_" + name + ".json");
   if (!out) return false;
   cluseq::obs::JsonWriter writer(out);
   writer.BeginObject();
   writer.KeyValue("bench", std::string_view(name));
+  for (const auto& [key, value] : flags) {
+    writer.KeyValue(key, value);
+  }
   for (const auto& [key, value] : metrics) {
     writer.KeyValue(key, value);
   }

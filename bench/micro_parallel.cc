@@ -143,6 +143,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\nclusterings identical across all thread counts: yes\n");
 
+  // A single-core machine cannot show real scaling: every point past one
+  // thread measures scheduling overhead, and the ~1.0x "speedups" would
+  // read as a regression (or worse, as success) if taken at face value.
+  const bool degraded = HardwareThreads() == 1;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_threads == 1 — speedup numbers are "
+                 "degraded (scheduling overhead only, not scaling); "
+                 "recording \"degraded\": true\n");
+  }
+
   std::vector<std::pair<std::string, double>> metrics;
   metrics.emplace_back("scale", args.scale);
   metrics.emplace_back("hardware_threads",
@@ -161,7 +172,8 @@ int main(int argc, char** argv) {
   }
   metrics.emplace_back("speedup_8_over_1",
                        base / points.back().total_seconds);
-  if (!cluseq_bench::WriteBenchJson("parallel_scan", metrics)) {
+  if (!cluseq_bench::WriteBenchJson("parallel_scan", metrics,
+                                    {{"degraded", degraded}})) {
     std::fprintf(stderr, "failed to write BENCH_parallel_scan.json\n");
     return 1;
   }

@@ -1,0 +1,231 @@
+// Prefilter A/B: the two-level pruned scan (ScanPrefilter over
+// FrozenBank::ScanCandidatesBounded) against the exhaustive ScanAll oracle
+// on the same bank, same threshold, same corpus, at k = {64, 256, 1024}
+// cluster models.
+//
+// The workload mirrors a mid-run CLUSEQ iteration honestly: one depth-5 PST
+// per ground-truth synthetic cluster (trained on that cluster's members),
+// and a threshold set to the median per-sequence best score from the exact
+// scan — so roughly half the corpus joins something, and the other half is
+// what the prefilter should be skipping. Both arms run on all hardware
+// threads. Before timing, every sequence's on/off results are checked for
+// the prefilter contract: identical join sets, bit-identical results on
+// joined pairs, identical per-sequence maxima, and an identical
+// first-strict-max argmax; any mismatch fails the bench.
+//
+// skip_ratio is reported as measured — if the bounds are too loose to skip
+// anything on this corpus, the JSON says so rather than hiding it.
+//
+// Emits BENCH_prefilter.json. Usage: micro_prefilter [--scale=F] [--seed=N]
+// [--csv]
+
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+namespace {
+
+struct KPoint {
+  size_t k = 0;
+  size_t n = 0;
+  double log_t = 0.0;
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  double skip_ratio = 0.0;
+  double early_exit_ratio = 0.0;
+  uint64_t early_exits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Prefilter A/B — pruned vs exhaustive cluster scan",
+              "scan-phase perf target (not a paper table); admissible-bound "
+              "pruning in front of FrozenBank::ScanAll");
+
+  const size_t threads = HardwareThreads();
+  std::printf("hardware threads: %zu, SIMD: %s\n\n", threads,
+              FrozenBank::SimdAvailable() ? "avx2" : "scalar");
+
+  ReportTable table({"k", "n", "log_t", "off (s)", "on (s)", "speedup",
+                     "skip%", "early-exit%"});
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<KPoint> points;
+  bool all_identical = true;
+
+  for (size_t k : {size_t{64}, size_t{256}, size_t{1024}}) {
+    SyntheticDatasetOptions synth;
+    synth.num_clusters = k;
+    synth.sequences_per_cluster = Scaled(3, args.scale);
+    synth.alphabet_size = 20;
+    synth.avg_length = 120;
+    synth.outlier_fraction = 0.05;
+    synth.seed = args.seed + k;
+    const SequenceDatabase db = MakeSyntheticDataset(synth);
+    const size_t n = db.size();
+
+    // One model per ground-truth cluster, trained on its members — the
+    // same shape the clusterer's bank has mid-run.
+    PstOptions pst_options;
+    pst_options.max_depth = 5;
+    pst_options.significance_threshold = 4;
+    const BackgroundModel background = BackgroundModel::FromDatabase(db);
+    std::vector<Pst> psts(k, Pst(db.alphabet().size(), pst_options));
+    for (size_t i = 0; i < n; ++i) {
+      const Label label = db.LabelOf(i);
+      if (label == kNoLabel) continue;
+      psts[static_cast<size_t>(label) % k].InsertSequence(db.Symbols(i));
+    }
+    std::vector<std::shared_ptr<const FrozenPst>> models(k);
+    ParallelFor(k, threads, [&](size_t m) {
+      models[m] = std::make_shared<const FrozenPst>(psts[m], background);
+    });
+    const FrozenBank bank(models);
+
+    const auto cost = [&db](size_t s) -> uint64_t { return db.Length(s); };
+
+    // Exact reference scan; its per-sequence best scores set the threshold.
+    std::vector<SimilarityResult> off_sims(n * k);
+    ParallelForWeighted(n, threads, cost, [&](size_t s) {
+      bank.ScanAll(db.Symbols(s), off_sims.data() + s * k);
+    });
+    std::vector<double> best(n);
+    for (size_t s = 0; s < n; ++s) {
+      double b = off_sims[s * k].log_sim;
+      for (size_t m = 1; m < k; ++m) {
+        b = std::max(b, off_sims[s * k + m].log_sim);
+      }
+      best[s] = b;
+    }
+    std::vector<double> sorted_best = best;
+    std::sort(sorted_best.begin(), sorted_best.end());
+    const double log_t = std::max(0.0, sorted_best[n / 2]);
+
+    // Correctness gate (untimed): the prefilter contract versus the oracle.
+    const ScanPrefilter prefilter(&bank);
+    std::atomic<bool> identical{true};
+    std::vector<SimilarityResult> on_sims(n * k);
+    ParallelForWeighted(n, threads, cost, [&](size_t s) {
+      prefilter.ScanAllWithThreshold(db.Symbols(s), log_t,
+                                     on_sims.data() + s * k);
+      double on_best = -1e300;
+      double off_best = -1e300;
+      for (size_t m = 0; m < k; ++m) {
+        const SimilarityResult& off = off_sims[s * k + m];
+        const SimilarityResult& on = on_sims[s * k + m];
+        const bool off_joins = off.log_sim >= log_t;
+        const bool on_joins = on.log_sim >= log_t;
+        if (off_joins != on_joins ||
+            (off_joins &&
+             (on.log_sim != off.log_sim || on.best_begin != off.best_begin ||
+              on.best_end != off.best_end))) {
+          identical.store(false);
+        }
+        on_best = std::max(on_best, on.log_sim);
+        off_best = std::max(off_best, off.log_sim);
+      }
+      if (on_best != off_best) identical.store(false);
+      // Argmax path: pruned BestModel vs the exhaustive first-strict-max.
+      double pf_best = 0.0;
+      const int32_t pf_pos = prefilter.BestModel(db.Symbols(s), &pf_best);
+      double ex_best = -std::numeric_limits<double>::infinity();
+      int32_t ex_pos = -1;
+      for (size_t m = 0; m < k; ++m) {
+        if (off_sims[s * k + m].log_sim > ex_best) {
+          ex_best = off_sims[s * k + m].log_sim;
+          ex_pos = static_cast<int32_t>(m);
+        }
+      }
+      if (pf_pos != ex_pos || (ex_pos >= 0 && pf_best != ex_best)) {
+        identical.store(false);
+      }
+    });
+    if (!identical.load()) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE VIOLATION at k=%zu: prefiltered scan "
+                   "disagrees with the exhaustive oracle\n",
+                   k);
+      all_identical = false;
+    }
+
+    // Timed A/B (one warm pass each already happened above).
+    Stopwatch off_timer;
+    ParallelForWeighted(n, threads, cost, [&](size_t s) {
+      bank.ScanAll(db.Symbols(s), off_sims.data() + s * k);
+    });
+    const double off_seconds = off_timer.ElapsedSeconds();
+
+    std::atomic<uint64_t> skipped{0};
+    std::atomic<uint64_t> early{0};
+    std::atomic<uint64_t> rescans{0};
+    Stopwatch on_timer;
+    ParallelForWeighted(n, threads, cost, [&](size_t s) {
+      PrefilterScanStats stats;
+      prefilter.ScanAllWithThreshold(db.Symbols(s), log_t,
+                                     on_sims.data() + s * k, &stats);
+      skipped.fetch_add(stats.candidates_skipped, std::memory_order_relaxed);
+      early.fetch_add(stats.dp_early_exits, std::memory_order_relaxed);
+      rescans.fetch_add(stats.residual_rescans, std::memory_order_relaxed);
+    });
+    const double on_seconds = on_timer.ElapsedSeconds();
+
+    KPoint p;
+    p.k = k;
+    p.n = n;
+    p.log_t = log_t;
+    p.off_seconds = off_seconds;
+    p.on_seconds = on_seconds;
+    const double pairs = static_cast<double>(n) * static_cast<double>(k);
+    p.skip_ratio = static_cast<double>(skipped.load()) / pairs;
+    p.early_exits = early.load();
+    p.early_exit_ratio = static_cast<double>(p.early_exits) / pairs;
+    points.push_back(p);
+
+    table.AddRow({std::to_string(k), std::to_string(n),
+                  FormatDouble(log_t, 2), FormatDouble(off_seconds, 4),
+                  FormatDouble(on_seconds, 4),
+                  FormatDouble(off_seconds / on_seconds, 2) + "x",
+                  FormatDouble(100.0 * p.skip_ratio, 1),
+                  FormatDouble(100.0 * p.early_exit_ratio, 1)});
+
+    const std::string tag = "k" + std::to_string(k);
+    metrics.emplace_back(tag + "_num_sequences", static_cast<double>(n));
+    metrics.emplace_back(tag + "_log_t", log_t);
+    metrics.emplace_back(tag + "_scan_off_seconds", off_seconds);
+    metrics.emplace_back(tag + "_scan_on_seconds", on_seconds);
+    metrics.emplace_back(tag + "_speedup", off_seconds / on_seconds);
+    metrics.emplace_back(tag + "_skip_ratio", p.skip_ratio);
+    metrics.emplace_back(tag + "_early_exits",
+                         static_cast<double>(p.early_exits));
+    metrics.emplace_back(tag + "_residual_rescans",
+                         static_cast<double>(rescans.load()));
+  }
+
+  EmitTable(table, args.csv);
+  double speedup_k256 = 0.0;
+  for (const KPoint& p : points) {
+    if (p.k == 256) speedup_k256 = p.off_seconds / p.on_seconds;
+  }
+  metrics.emplace_back("speedup_k256", speedup_k256);
+  if (!WriteBenchJson("prefilter", metrics,
+                      {{"identical", all_identical}})) {
+    std::fprintf(stderr, "failed to write BENCH_prefilter.json\n");
+    return 1;
+  }
+  std::printf("\nprefilter-on vs -off outputs identical: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("scan-phase speedup at k=256: %.2fx\n", speedup_k256);
+  std::printf("metrics -> BENCH_prefilter.json\n");
+  return all_identical ? 0 : 1;
+}

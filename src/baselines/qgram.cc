@@ -18,19 +18,32 @@ QGramProfile QGramProfile::Build(std::span<const SymbolId> symbols, size_t q,
     p.counts_[key] += 1.0;
   }
   double sq = 0.0;
-  for (const auto& [k, v] : p.counts_) sq += v * v;
+  p.sorted_.reserve(p.counts_.size());
+  for (const auto& [k, v] : p.counts_) {
+    sq += v * v;
+    p.sorted_.emplace_back(k, v);
+  }
+  std::sort(p.sorted_.begin(), p.sorted_.end());
   p.norm_ = std::sqrt(sq);
   return p;
 }
 
 double QGramProfile::Cosine(const QGramProfile& a, const QGramProfile& b) {
   if (a.norm_ == 0.0 || b.norm_ == 0.0) return 0.0;
-  const auto& small = a.counts_.size() <= b.counts_.size() ? a : b;
-  const auto& large = a.counts_.size() <= b.counts_.size() ? b : a;
+  // Merge-join over the key-sorted views: one linear pass, no hashing.
   double dot = 0.0;
-  for (const auto& [k, v] : small.counts_) {
-    auto it = large.counts_.find(k);
-    if (it != large.counts_.end()) dot += v * it->second;
+  auto ia = a.sorted_.begin();
+  auto ib = b.sorted_.begin();
+  while (ia != a.sorted_.end() && ib != b.sorted_.end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      dot += ia->second * ib->second;
+      ++ia;
+      ++ib;
+    }
   }
   return dot / (a.norm_ * b.norm_);
 }

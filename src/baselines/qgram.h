@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "seq/sequence_store.h"
@@ -19,6 +20,10 @@ namespace cluseq {
 /// Sparse q-gram count profile. Keys are rolling-hash encodings of the
 /// q-grams (exact, not lossy, for alphabets up to 2^12 and q <= 5; larger
 /// configurations may alias, which only perturbs the baseline slightly).
+///
+/// Build() caches the L2 norm and a key-sorted (key, count) view, so
+/// Cosine() is a cache-friendly merge-join over two sorted arrays with no
+/// per-key hashing — same values as a hash-probe dot, just faster.
 class QGramProfile {
  public:
   QGramProfile() = default;
@@ -35,9 +40,14 @@ class QGramProfile {
   const std::unordered_map<uint64_t, double>& counts() const {
     return counts_;
   }
+  /// (key, count) pairs sorted by key; parallel to counts().
+  const std::vector<std::pair<uint64_t, double>>& sorted_counts() const {
+    return sorted_;
+  }
 
  private:
   std::unordered_map<uint64_t, double> counts_;
+  std::vector<std::pair<uint64_t, double>> sorted_;
   double norm_ = 0.0;
 };
 

@@ -24,6 +24,7 @@
 #include "core/cluseq.h"
 #include "core/cluster.h"
 #include "core/online_scorer.h"
+#include "core/prefilter.h"
 #include "core/seeding.h"
 #include "core/similarity.h"
 #include "core/threshold.h"

@@ -1,11 +1,13 @@
 #include "core/cluseq.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <unordered_map>
 
+#include "core/prefilter.h"
 #include "core/seeding.h"
 #include "core/similarity.h"
 #include "core/threshold.h"
@@ -175,7 +177,7 @@ void CluseqClusterer::GenerateNewClusters(size_t count) {
   std::vector<size_t> seeds =
       SelectSeeds(db_, unclustered_, count, sample_size, Snapshots(),
                   background_, options_.pst, options_.num_threads, &rng_,
-                  options_.batched_scan);
+                  options_.batched_scan, options_.prefilter);
   for (size_t seq_index : seeds) {
     clusters_.emplace_back(next_cluster_id_++, db_.alphabet().size(),
                            options_.pst);
@@ -354,9 +356,37 @@ void CluseqClusterer::Recluster() {
         // their rows byte-identical) and run one interleaved scan per
         // sequence instead of kc serial automaton scans.
         bank_.Assemble(snapshots);
-        ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
-          bank_.ScanAll(db_.Symbols(s), sims.data() + s * kc);
-        });
+        if (prefilter_active_) {
+          // Two-level pruned scan. Joins and the per-sequence max are
+          // exact (see ScanPrefilter); pruned slots hold admissible
+          // bounds < log t, which is all the downstream passes and the
+          // (frozen-by-now) threshold adjuster ever look at.
+          CLUSEQ_TRACE_SPAN("cluseq.prefilter_scan");
+          ScanPrefilter prefilter(&bank_);
+          std::atomic<uint64_t> skipped{0};
+          std::atomic<uint64_t> early_exits{0};
+          ParallelForWeighted(
+              n, options_.num_threads, scan_cost, [&](size_t s) {
+                PrefilterScanStats scan_stats;
+                prefilter.ScanAllWithThreshold(db_.Symbols(s), log_t_,
+                                               sims.data() + s * kc,
+                                               &scan_stats);
+                skipped.fetch_add(scan_stats.candidates_skipped,
+                                  std::memory_order_relaxed);
+                early_exits.fetch_add(scan_stats.dp_early_exits,
+                                      std::memory_order_relaxed);
+              });
+          prefilter_pairs_this_iter_ += n * kc;
+          prefilter_skipped_this_iter_ +=
+              static_cast<size_t>(skipped.load(std::memory_order_relaxed));
+          prefilter_early_exits_this_iter_ += static_cast<size_t>(
+              early_exits.load(std::memory_order_relaxed));
+        } else {
+          ParallelForWeighted(
+              n, options_.num_threads, scan_cost, [&](size_t s) {
+                bank_.ScanAll(db_.Symbols(s), sims.data() + s * kc);
+              });
+        }
       } else {
         ParallelForWeighted(n, options_.num_threads, scan_cost, [&](size_t s) {
           const std::span<const SymbolId> symbols = db_.Symbols(s);
@@ -559,6 +589,10 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   rng_ = Rng(options_.rng_seed);
   clusters_.clear();
   bank_ = FrozenBank();
+  prefilter_active_ = false;
+  run_prefilter_pairs_ = 0;
+  run_prefilter_skipped_ = 0;
+  run_prefilter_early_exits_ = 0;
   next_cluster_id_ = 0;
   log_t_ = options_.auto_initial_threshold
                ? EstimateInitialLogThreshold()
@@ -606,6 +640,17 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     refrozen_this_iter_ = 0;
     scan_seconds_this_iter_ = 0.0;
     join_seconds_this_iter_ = 0.0;
+    prefilter_pairs_this_iter_ = 0;
+    prefilter_skipped_this_iter_ = 0;
+    prefilter_early_exits_this_iter_ = 0;
+    // The prefilter may prune only once the threshold has settled: while
+    // the §4.6 adjuster is still moving t it needs exact scores in
+    // all_log_sims_ for its histogram, so those iterations scan
+    // exhaustively. Once frozen (or when adjustment is off) the pruned
+    // slots' bounds are never consumed and skipping becomes safe.
+    prefilter_active_ = options_.prefilter && options_.batched_scan &&
+                        !options_.within_scan_updates &&
+                        (!options_.adjust_threshold || adjuster.frozen());
     const uint64_t pruned_before = pruned_counter.Value();
 
     Stopwatch seed_timer;
@@ -656,6 +701,15 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     stats.seed_seconds = seed_seconds;
     stats.join_seconds = join_seconds_this_iter_;
     stats.consolidate_seconds = consolidate_seconds;
+    stats.prefilter_dp_early_exits = prefilter_early_exits_this_iter_;
+    if (prefilter_pairs_this_iter_ > 0) {
+      stats.prefilter_skip_ratio =
+          static_cast<double>(prefilter_skipped_this_iter_) /
+          static_cast<double>(prefilter_pairs_this_iter_);
+    }
+    run_prefilter_pairs_ += prefilter_pairs_this_iter_;
+    run_prefilter_skipped_ += prefilter_skipped_this_iter_;
+    run_prefilter_early_exits_ += prefilter_early_exits_this_iter_;
     size_t pst_bytes_total = 0;
     for (const Cluster& c : clusters_) {
       stats.pst_nodes_total += c.pst().NumNodes();
@@ -693,7 +747,10 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
                         << " pruned), phases seed " << stats.seed_seconds
                         << "s / join " << stats.join_seconds
                         << "s / consolidate " << stats.consolidate_seconds
-                        << "s";
+                        << "s, prefilter skip "
+                        << 100.0 * stats.prefilter_skip_ratio << "% ("
+                        << stats.prefilter_dp_early_exits
+                        << " early exits)";
     }
 
     std::vector<uint64_t> fingerprint = MembershipFingerprint();
@@ -732,6 +789,14 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   report_->total_iterations = result->iterations;
   report_->final_log_threshold = result->final_log_threshold;
   report_->total_seconds = run_timer.ElapsedSeconds();
+  report_->prefilter_enabled = options_.prefilter && options_.batched_scan &&
+                               !options_.within_scan_updates;
+  report_->prefilter_early_exits = run_prefilter_early_exits_;
+  report_->prefilter_skip_ratio =
+      run_prefilter_pairs_ > 0
+          ? static_cast<double>(run_prefilter_skipped_) /
+                static_cast<double>(run_prefilter_pairs_)
+          : 0.0;
   report_->final_metrics = registry.Snapshot();
   return Status::OK();
 }
@@ -742,6 +807,15 @@ int32_t CluseqClusterer::Classify(std::span<const SymbolId> symbols,
   int32_t best_pos = -1;
   const size_t kc = clusters_.size();
   if (kc > 0 && options_.batched_scan && bank_.num_models() == kc) {
+    if (options_.prefilter) {
+      // Argmax-mode pruned scan: exact best value and the same
+      // smallest-index tie-break as the exhaustive loop below.
+      ScanPrefilter prefilter(&bank_);
+      best_pos = prefilter.BestModel(symbols, &best);
+      if (log_sim != nullptr) *log_sim = best;
+      if (best_pos >= 0 && best < log_t_) best_pos = -1;
+      return best_pos;
+    }
     const std::vector<SimilarityResult> sims =
         bank_.ScanAll(symbols);
     for (size_t ci = 0; ci < kc; ++ci) {

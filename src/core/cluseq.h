@@ -93,6 +93,17 @@ struct CluseqOptions {
   /// within-scan-updates mode, which must score against live trees.
   bool batched_scan = true;
 
+  /// Two-level candidate pruning in front of the banked scan (ScanPrefilter):
+  /// per-model admissible upper bounds skip clusters that provably cannot
+  /// reach the threshold, and survivors run an early-abandoning DP. Outputs
+  /// are bit-for-bit identical with the prefilter on or off — every skip is
+  /// justified by an admissible bound — so, like batched_scan, this is purely
+  /// a performance switch (the off path doubles as the correctness oracle).
+  /// Requires batched_scan; inactive in within-scan-updates mode and while
+  /// the §4.6 threshold adjuster is still moving t (the adjuster wants exact
+  /// scores for its histogram, and a moving target would invalidate skips).
+  bool prefilter = true;
+
   /// c: significance threshold for PST nodes (paper rule of thumb: >= 30).
   uint64_t significance_threshold = 30;
 
@@ -164,6 +175,11 @@ struct IterationStats {
   double join_seconds = 0.0;
   /// Wall time of consolidation + membership view rebuild.
   double consolidate_seconds = 0.0;
+  /// Fraction of the n × k sequence-cluster pairs the prefilter skipped
+  /// without touching any model rows (0 when the prefilter was inactive).
+  double prefilter_skip_ratio = 0.0;
+  /// Pairs whose DP was abandoned mid-sequence by the bounded scan.
+  size_t prefilter_dp_early_exits = 0;
 };
 
 struct ClusteringResult {
@@ -257,6 +273,17 @@ class CluseqClusterer {
   size_t refrozen_this_iter_ = 0;
   double scan_seconds_this_iter_ = 0.0;
   double join_seconds_this_iter_ = 0.0;
+  // Whether the prefilter may prune this iteration's scan. Recomputed each
+  // iteration in Run() (it depends on the threshold adjuster having frozen)
+  // and left at its final value for Classify().
+  bool prefilter_active_ = false;
+  size_t prefilter_pairs_this_iter_ = 0;
+  size_t prefilter_skipped_this_iter_ = 0;
+  size_t prefilter_early_exits_this_iter_ = 0;
+  // Whole-run prefilter aggregates for the run report.
+  size_t run_prefilter_pairs_ = 0;
+  size_t run_prefilter_skipped_ = 0;
+  size_t run_prefilter_early_exits_ = 0;
   std::unique_ptr<obs::RunReport> report_;
 
   // Per-sequence (cluster position, log sim, segment) of joined clusters,

@@ -1,8 +1,10 @@
 #include "core/online_scorer.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "core/prefilter.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
 
@@ -78,7 +80,8 @@ OnlineScorer::Score OnlineScorer::BestCurrentScore() const {
 }
 
 void OnlineScorer::BatchClassify(const SequenceStore& store,
-                                 size_t num_threads, std::vector<Score>* out) {
+                                 size_t num_threads, std::vector<Score>* out,
+                                 bool prefilter) {
   const size_t n = store.size();
   out->assign(n, Score{});
   if (models_.empty() || n == 0) return;
@@ -90,6 +93,26 @@ void OnlineScorer::BatchClassify(const SequenceStore& store,
   const size_t k = models_.size();
   // Scan cost is linear in record length; weighted chunking keeps one long
   // record from parking the other workers.
+  if (prefilter) {
+    const ScanPrefilter bank_prefilter(&bank_);
+    ParallelForWeighted(
+        n, num_threads,
+        [&store](size_t i) -> uint64_t { return store.Length(i); },
+        [&](size_t i) {
+          Score best;
+          best.model = bank_prefilter.BestModel(store.Symbols(i),
+                                                &best.log_sim);
+          if (best.model < 0) {
+            // Every model scored -inf; the exhaustive loop below still
+            // reports model 0 (its seed), with that -inf score.
+            best.model = 0;
+            best.log_sim = -std::numeric_limits<double>::infinity();
+          }
+          best.current_log_sim = best.log_sim;
+          (*out)[i] = best;
+        });
+    return;
+  }
   ParallelForWeighted(
       n, num_threads,
       [&store](size_t i) -> uint64_t { return store.Length(i); },

@@ -93,8 +93,12 @@ class OnlineScorer {
   /// best-scoring model, model = -1 when none are registered. Works for any
   /// SequenceStore, so a classify run can score an mmap-backed .sqdb corpus
   /// without materializing it. The streaming state is untouched.
+  /// `prefilter` prunes each record's scan with ScanPrefilter's admissible
+  /// bounds; outputs are bit-for-bit identical either way. (The streaming
+  /// Push()/StepAll path is inherently exhaustive — every model's running
+  /// state must advance on every symbol — so only batch scoring prunes.)
   void BatchClassify(const SequenceStore& store, size_t num_threads,
-                     std::vector<Score>* out);
+                     std::vector<Score>* out, bool prefilter = true);
 
   /// Clears stream state (automaton states and scores), keeping the models.
   void Reset();

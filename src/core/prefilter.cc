@@ -1,0 +1,344 @@
+#include "core/prefilter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cluseq {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Per-thread scratch. The stamp/count arrays are sized A² (bigram codes) or
+// A (unigram fallback) and reset lazily via the epoch counter, so a scan
+// costs O(distinct codes), not O(A²).
+struct Workspace {
+  std::vector<uint32_t> stamp;
+  std::vector<double> count;
+  std::vector<uint32_t> touched;
+  uint32_t epoch = 0;
+
+  std::vector<double> ubs;
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> candidates;
+  std::vector<uint8_t> exact;
+  std::vector<SimilarityResult> tmp;
+  std::vector<std::pair<double, uint32_t>> residual;
+  std::vector<uint8_t> model_exact;
+  std::vector<double> model_value;
+};
+
+Workspace& GetWorkspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+// Counts the codes driving the level-1 bound: bigram codes s_{i-1}·A + s_i
+// for positions i ≥ 1 when the bank carries bigram caps, plain symbols at
+// positions i ≥ 1 otherwise. Position 0 is handled exactly by the caller.
+void CountCodes(std::span<const SymbolId> symbols, size_t alphabet,
+                bool bigram, Workspace& ws) {
+  const size_t table = bigram ? alphabet * alphabet : alphabet;
+  if (ws.stamp.size() < table) {
+    ws.stamp.assign(table, 0);
+    ws.count.resize(table);
+    ws.epoch = 0;
+  }
+  ++ws.epoch;
+  if (ws.epoch == 0) {  // Wrapped: every stale stamp now looks current.
+    std::fill(ws.stamp.begin(), ws.stamp.end(), 0);
+    ws.epoch = 1;
+  }
+  ws.touched.clear();
+  for (size_t i = 1; i < symbols.size(); ++i) {
+    const size_t code = bigram
+        ? static_cast<size_t>(symbols[i - 1]) * alphabet + symbols[i]
+        : static_cast<size_t>(symbols[i]);
+    if (ws.stamp[code] != ws.epoch) {
+      ws.stamp[code] = ws.epoch;
+      ws.count[code] = 0.0;
+      ws.touched.push_back(static_cast<uint32_t>(code));
+    }
+    ws.count[code] += 1.0;
+  }
+}
+
+void RecordMetrics(const PrefilterScanStats& stats) {
+  static obs::Counter& skipped = obs::MetricsRegistry::Get().GetCounter(
+      "prefilter.candidates_skipped");
+  static obs::Counter& early = obs::MetricsRegistry::Get().GetCounter(
+      "prefilter.dp_early_exits");
+  if (stats.candidates_skipped > 0) skipped.Add(stats.candidates_skipped);
+  if (stats.dp_early_exits > 0) early.Add(stats.dp_early_exits);
+}
+
+// Slack of the level-1 bound on the best-scoring model, observed once per
+// scan — cheap, and enough to judge how tight the caps are in practice.
+void RecordSlack(double bound, double exact_value) {
+  if (!std::isfinite(bound) || !std::isfinite(exact_value)) return;
+  static constexpr double kSlackBounds[] = {0.5, 1.0, 2.0, 4.0,
+                                            8.0, 16.0, 32.0, 64.0};
+  static obs::Histogram& slack = obs::MetricsRegistry::Get().GetHistogram(
+      "prefilter.bound_slack", kSlackBounds);
+  slack.Observe(bound - exact_value);
+}
+
+}  // namespace
+
+// Fills ws.ubs[m] with an admissible upper bound on log SIM_m(symbols) for
+// every model. Requires symbols non-empty.
+static void ComputeUpperBounds(const FrozenBank& bank,
+                               std::span<const SymbolId> symbols,
+                               Workspace& ws) {
+  const size_t k = bank.num_models();
+  const size_t alphabet = bank.alphabet_size();
+  const bool bigram = bank.has_bigram_signature();
+  CountCodes(symbols, alphabet, bigram, ws);
+  ws.ubs.resize(k);
+  double* ubs = ws.ubs.data();
+  // The loops run code-major over the bank's transposed, positive-clamped
+  // cap tables: for each distinct code the k per-model caps are a
+  // contiguous column, so the update is a branch-free streaming
+  // multiply-add the compiler vectorizes — the model-major layout made
+  // this pass cost as much as the scan it was meant to replace.
+  //
+  // Position 0 is capped by the per-symbol maxima (the root row's ratio is
+  // ≤ the max over all states); its transposed column doubles as the
+  // initializer, which also pins every bound at ≥ 0 — admissible even for
+  // an all-negative model, whose true Z is a single negative X.
+  {
+    const double* col = bank.signature_pos_max_symbol_t(symbols[0]).data();
+    std::copy(col, col + k, ubs);
+  }
+  for (const uint32_t code : ws.touched) {
+    const double cnt = ws.count[code];
+    const double* col = bigram
+                            ? bank.signature_pos_bigram_cap_t(code).data()
+                            : bank.signature_pos_max_symbol_t(code).data();
+    for (size_t m = 0; m < k; ++m) {
+      ubs[m] += cnt * col[m];
+    }
+  }
+}
+
+void ScanPrefilter::ScanAllWithThreshold(std::span<const SymbolId> symbols,
+                                         double log_t,
+                                         SimilarityResult* results,
+                                         PrefilterScanStats* stats) const {
+  const size_t k = bank_->num_models();
+  PrefilterScanStats local;
+  local.models_total = k;
+  if (k == 0) {
+    if (stats) *stats = local;
+    return;
+  }
+  if (symbols.empty()) {
+    // Every model scores -inf on an empty sequence; delegate.
+    bank_->ScanAll(symbols, results);
+    if (stats) *stats = local;
+    return;
+  }
+
+  Workspace& ws = GetWorkspace();
+  ComputeUpperBounds(*bank_, symbols, ws);
+
+  // Level 1: drop models whose bound cannot reach the threshold. Their
+  // slot records the bound itself — strictly below log_t, so downstream
+  // join tests behave exactly as with the true (smaller) score.
+  ws.candidates.clear();
+  for (size_t m = 0; m < k; ++m) {
+    if (ws.ubs[m] >= log_t) {
+      ws.candidates.push_back(static_cast<uint32_t>(m));
+    } else {
+      results[m] = SimilarityResult{ws.ubs[m], 0, 0};
+    }
+  }
+  local.candidates_skipped = k - ws.candidates.size();
+
+  // Level 2: bounded DP over the survivors with the threshold as target.
+  double best_exact = kNegInf;
+  size_t best_m = static_cast<size_t>(-1);
+  if (!ws.candidates.empty()) {
+    ws.tmp.resize(ws.candidates.size());
+    ws.exact.resize(ws.candidates.size());
+    local.dp_early_exits = bank_->ScanCandidatesBounded(
+        symbols, ws.candidates, log_t, ws.tmp.data(), ws.exact.data());
+    for (size_t j = 0; j < ws.candidates.size(); ++j) {
+      const size_t m = ws.candidates[j];
+      results[m] = ws.tmp[j];
+      if (ws.exact[j] && ws.tmp[j].log_sim > best_exact) {
+        best_exact = ws.tmp[j].log_sim;
+        best_m = m;
+      }
+    }
+  }
+
+  // Residual pass: the per-sequence maximum must be exact even when it
+  // falls below the threshold (best_log_sim is a reported output). Models
+  // whose recorded bound still beats the best exactly-known score are
+  // re-scanned in descending bound order — a model whose bound is ≤
+  // best_exact cannot change the max; pruned and abandoned slots both hold
+  // admissible bounds, so one rule covers both. The re-scan runs in
+  // interleaved chunks with the running best as the abandon target (the
+  // same argmax loop BestModel uses): the true-max model can be neither
+  // skipped (its bound ≥ its score ≥ best_exact) nor abandoned (any
+  // admissible mid-scan bound on it is ≥ its score ≥ the target), so the
+  // final max is exact. Sequences that joined something never get here:
+  // best_exact ≥ log_t then, and every non-exact bound is < log_t.
+  ws.model_exact.assign(k, 0);
+  for (size_t j = 0; j < ws.candidates.size(); ++j) {
+    if (ws.exact[j]) ws.model_exact[ws.candidates[j]] = 1;
+  }
+  ws.residual.clear();
+  for (size_t m = 0; m < k; ++m) {
+    if (!ws.model_exact[m] && results[m].log_sim > best_exact) {
+      ws.residual.emplace_back(results[m].log_sim, static_cast<uint32_t>(m));
+    }
+  }
+  std::sort(ws.residual.begin(), ws.residual.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  constexpr size_t kResidualChunk = 16;
+  size_t pos = 0;
+  while (pos < ws.residual.size()) {
+    ws.candidates.clear();
+    while (pos < ws.residual.size() &&
+           ws.candidates.size() < kResidualChunk) {
+      const auto& [bound, m32] = ws.residual[pos];
+      if (!(bound > best_exact)) {
+        // Sorted descending: every later bound is ≤ this one.
+        pos = ws.residual.size();
+        break;
+      }
+      ws.candidates.push_back(m32);
+      ++pos;
+    }
+    if (ws.candidates.empty()) break;
+    ws.tmp.resize(ws.candidates.size());
+    ws.exact.resize(ws.candidates.size());
+    local.dp_early_exits += bank_->ScanCandidatesBounded(
+        symbols, ws.candidates, best_exact, ws.tmp.data(), ws.exact.data());
+    for (size_t j = 0; j < ws.candidates.size(); ++j) {
+      const size_t m = ws.candidates[j];
+      // Abandoned lanes leave a refined admissible bound (< best_exact at
+      // chunk start, hence < log t) in the slot; exact lanes leave the
+      // true result, which is ≤ its bound < log t — no new joins either
+      // way.
+      results[m] = ws.tmp[j];
+      if (ws.exact[j]) {
+        ++local.residual_rescans;
+        if (ws.tmp[j].log_sim > best_exact) {
+          best_exact = ws.tmp[j].log_sim;
+          best_m = m;
+        }
+      }
+    }
+  }
+
+  if (best_m != static_cast<size_t>(-1)) {
+    RecordSlack(ws.ubs[best_m], best_exact);
+  }
+  RecordMetrics(local);
+  if (stats) *stats = local;
+}
+
+int32_t ScanPrefilter::BestModel(std::span<const SymbolId> symbols,
+                                 double* best_log_sim,
+                                 PrefilterScanStats* stats,
+                                 size_t exclude_model) const {
+  const size_t k = bank_->num_models();
+  PrefilterScanStats local;
+  local.models_total = k;
+  double best = kNegInf;
+  int32_t best_pos = -1;
+  if (k == 0 || symbols.empty() || (k == 1 && exclude_model == 0)) {
+    // Empty sequences score -inf everywhere; the exhaustive first-strict-max
+    // loop never fires on -inf, so the answer is "no model" either way.
+    if (best_log_sim) *best_log_sim = best;
+    if (stats) *stats = local;
+    return best_pos;
+  }
+
+  Workspace& ws = GetWorkspace();
+  ComputeUpperBounds(*bank_, symbols, ws);
+
+  // Process models in descending bound order (ties: ascending index) in
+  // AVX2-friendly chunks, tightening the abandon target as exact scores
+  // come in. Skipping requires ub strictly below the running best: a model
+  // whose bound TIES the best could still attain it and win the ascending-
+  // index tie-break, so it must be scanned.
+  ws.order.clear();
+  for (size_t m = 0; m < k; ++m) {
+    if (m != exclude_model) ws.order.push_back(static_cast<uint32_t>(m));
+  }
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (ws.ubs[a] != ws.ubs[b]) return ws.ubs[a] > ws.ubs[b];
+              return a < b;
+            });
+
+  constexpr size_t kChunk = 16;
+  std::vector<double>& exact_value = ws.model_value;
+  std::vector<uint8_t>& have_exact = ws.model_exact;
+  exact_value.assign(k, kNegInf);
+  have_exact.assign(k, 0);
+  size_t pos = 0;
+  double best_bound = kNegInf;
+  while (pos < ws.order.size()) {
+    ws.candidates.clear();
+    while (pos < ws.order.size() && ws.candidates.size() < kChunk) {
+      const uint32_t m = ws.order[pos];
+      if (ws.ubs[m] < best) {
+        // Sorted descending: everything from here on is hopeless too.
+        pos = ws.order.size();
+        break;
+      }
+      ws.candidates.push_back(m);
+      ++pos;
+    }
+    if (ws.candidates.empty()) break;
+    ws.tmp.resize(ws.candidates.size());
+    ws.exact.resize(ws.candidates.size());
+    local.dp_early_exits += bank_->ScanCandidatesBounded(
+        symbols, ws.candidates, best, ws.tmp.data(), ws.exact.data());
+    for (size_t j = 0; j < ws.candidates.size(); ++j) {
+      if (!ws.exact[j]) continue;  // True score < best: cannot be argmax.
+      const uint32_t m = ws.candidates[j];
+      exact_value[m] = ws.tmp[j].log_sim;
+      have_exact[m] = 1;
+      if (ws.tmp[j].log_sim > best) {
+        best = ws.tmp[j].log_sim;
+        best_bound = ws.ubs[m];
+      }
+    }
+  }
+  local.candidates_skipped =
+      (exclude_model < k ? k - 1 : k) -
+      static_cast<size_t>(
+          std::count(have_exact.begin(), have_exact.end(), uint8_t{1})) -
+      local.dp_early_exits;
+
+  // First model (ascending index) whose exact score equals the exact max —
+  // identical to the exhaustive first-strict-max loop, which also leaves
+  // best_pos at -1 when every score is -inf (or NaN).
+  if (best > kNegInf) {
+    for (size_t m = 0; m < k; ++m) {
+      if (have_exact[m] && exact_value[m] == best) {
+        best_pos = static_cast<int32_t>(m);
+        break;
+      }
+    }
+    RecordSlack(best_bound, best);
+  }
+  RecordMetrics(local);
+  if (best_log_sim) *best_log_sim = best;
+  if (stats) *stats = local;
+  return best_pos;
+}
+
+}  // namespace cluseq

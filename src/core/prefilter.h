@@ -1,0 +1,110 @@
+// ScanPrefilter: admissible candidate pruning in front of FrozenBank.
+//
+// Every CLUSEQ iteration scores every sequence against every cluster — an
+// O(n·k·L) all-vs-all scan even though most sequences can only plausibly
+// join a handful of clusters. The prefilter cuts that cost the way
+// MMseqs2's k-mer prefilter does, but with a hard guarantee: every skip is
+// justified by an *admissible upper bound* on the §4.3 log-similarity, so
+// prefiltered runs produce bit-for-bit the outputs of exhaustive ones.
+//
+// Level 1 — signature bound, no row touched. The §4.3 score is the maximum
+// window sum of per-position terms X_i = log[P(s_i | prefix)/p(s_i)], and
+// any window sum is at most Σ_i max(ub_i, 0) for per-position caps
+// ub_i ≥ X_i. The bank's signatures supply the caps:
+//   * position 0 starts from the root, so X_0 is capped by the per-symbol
+//     maximum maxsym[s_0] (the root row's ratio is ≤ the max over states);
+//   * position i ≥ 1 is capped by the bigram signature
+//     cap2[s_{i-1}·A + s_i] — admissible because the automaton state before
+//     consuming s_i always lies in the image of Step(·, s_{i-1}), and cap2
+//     maximizes the ratio over exactly that image;
+//   * alphabets too large for cap2 fall back to the per-symbol maxima
+//     maxsym[s_i] (looser: ignores the preceding symbol).
+// The bound needs only the sequence's bigram (or symbol) counts — O(L)
+// counting per sequence, then one streaming multiply-add over the bank's
+// transposed positive-clamped cap columns: O(distinct bigrams · k) total,
+// sequential and vectorizable, instead of k · O(L) DP steps. A model whose
+// bound cannot reach the threshold (or beat the best score seen so far, in
+// argmax mode) is skipped outright.
+//
+// Level 2 — in-DP early abandon. Survivors run the real interleaved DP
+// (FrozenBank::ScanCandidatesBounded), which drops a model mid-stream once
+// max(Z_i, max(Y_i, 0) + remaining·max-ratio) falls below the target.
+//
+// Exactness is restored where consumers need it:
+//   * join decisions: a skipped/abandoned model's recorded value is its
+//     upper bound, which is < log t, so it never joins — same as exact;
+//   * the per-sequence best score: after the bounded pass, models whose
+//     bound still exceeds the best exactly-known score are re-scanned
+//     exactly, in descending bound order, until no bound beats it;
+//   * argmax (Classify): models are processed in descending bound order
+//     with the running best as the abandon target; the true argmax can
+//     never be skipped or abandoned (its bound is ≥ its score ≥ the
+//     running best), and ties resolve to the smallest model index exactly
+//     as the exhaustive first-strict-max loop does.
+//
+// Thread-safe: all mutable state lives in a per-thread workspace, so one
+// ScanPrefilter may be shared by every pool worker.
+
+#ifndef CLUSEQ_CORE_PREFILTER_H_
+#define CLUSEQ_CORE_PREFILTER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/similarity.h"
+#include "pst/frozen_bank.h"
+#include "seq/alphabet.h"
+
+namespace cluseq {
+
+/// Per-call pruning diagnostics (aggregated by the clusterer into
+/// IterationStats and the run report).
+struct PrefilterScanStats {
+  size_t models_total = 0;       ///< Models the call covered.
+  size_t candidates_skipped = 0; ///< Level-1 skips (no arena row touched).
+  size_t dp_early_exits = 0;     ///< Level-2 mid-DP abandons.
+  size_t residual_rescans = 0;   ///< Exact re-scans restoring the max.
+};
+
+class ScanPrefilter {
+ public:
+  ScanPrefilter() = default;
+  explicit ScanPrefilter(const FrozenBank* bank) { Bind(bank); }
+
+  /// Points the prefilter at `bank` (not owned; must outlive this object
+  /// and stay un-reassembled while scans run). Binding is free — the
+  /// signatures live in the bank.
+  void Bind(const FrozenBank* bank) { bank_ = bank; }
+  bool bound() const { return bank_ != nullptr && !bank_->empty(); }
+
+  /// Threshold-mode scan over all models. Postconditions versus the exact
+  /// bank_->ScanAll(symbols, results):
+  ///   * results[m].log_sim >= log_t holds for exactly the same models,
+  ///     and for those models results[m] is bit-for-bit exact;
+  ///   * max_m results[m].log_sim is the exact maximum;
+  ///   * other slots hold an admissible upper bound (< log_t) instead of
+  ///     the exact score, with zeroed segment bounds.
+  /// `log_t` must be finite.
+  void ScanAllWithThreshold(std::span<const SymbolId> symbols, double log_t,
+                            SimilarityResult* results,
+                            PrefilterScanStats* stats = nullptr) const;
+
+  /// Argmax-mode scan: returns the smallest model index attaining the exact
+  /// maximum log-similarity (the exhaustive first-strict-max loop's answer)
+  /// and writes the exact maximum to *best_log_sim. Returns -1 — with
+  /// *best_log_sim = -inf — when there are no models or no model scores
+  /// above -inf. `exclude_model` removes one model from consideration
+  /// entirely (the seeding peer matrix excludes self); pass kNoExclude for
+  /// none.
+  static constexpr size_t kNoExclude = static_cast<size_t>(-1);
+  int32_t BestModel(std::span<const SymbolId> symbols, double* best_log_sim,
+                    PrefilterScanStats* stats = nullptr,
+                    size_t exclude_model = kNoExclude) const;
+
+ private:
+  const FrozenBank* bank_ = nullptr;
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_CORE_PREFILTER_H_

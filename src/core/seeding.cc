@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/prefilter.h"
 #include "core/similarity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,7 +19,7 @@ std::vector<size_t> SelectSeeds(
     size_t num_seeds, size_t sample_size,
     const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
     const BackgroundModel& background, const PstOptions& pst_options,
-    size_t num_threads, Rng* rng, bool batched_scan) {
+    size_t num_threads, Rng* rng, bool batched_scan, bool prefilter) {
   std::vector<size_t> chosen;
   if (num_seeds == 0 || unclustered.empty()) return chosen;
   CLUSEQ_TRACE_SPAN("seeding.select_seeds");
@@ -56,17 +57,28 @@ std::vector<size_t> SelectSeeds(
     if (batched_scan) {
       // The full peer matrix needs each sample scored against every other
       // sample's model: one banked scan per sample replaces sample_size - 1
-      // serial automaton scans of the same symbols.
+      // serial automaton scans of the same symbols. Only the per-sample
+      // maximum is consumed, so the prefilter's pruned argmax scan
+      // (excluding the sample's own model) gives the same values.
       const FrozenBank peer_bank(sample_psts);
-      ParallelForWeighted(sample_size, num_threads, sample_cost,
-                          [&](size_t i) {
-        std::vector<SimilarityResult> row = peer_bank.ScanAll(
-            db.Symbols(sample_seq[i]));
-        for (size_t j = 0; j < sample_size; ++j) {
-          if (j == i) continue;
-          peer_best[i] = std::max(peer_best[i], row[j].log_sim);
-        }
-      });
+      if (prefilter) {
+        const ScanPrefilter peer_prefilter(&peer_bank);
+        ParallelForWeighted(sample_size, num_threads, sample_cost,
+                            [&](size_t i) {
+          peer_prefilter.BestModel(db.Symbols(sample_seq[i]), &peer_best[i],
+                                   /*stats=*/nullptr, /*exclude_model=*/i);
+        });
+      } else {
+        ParallelForWeighted(sample_size, num_threads, sample_cost,
+                            [&](size_t i) {
+          std::vector<SimilarityResult> row = peer_bank.ScanAll(
+              db.Symbols(sample_seq[i]));
+          for (size_t j = 0; j < sample_size; ++j) {
+            if (j == i) continue;
+            peer_best[i] = std::max(peer_best[i], row[j].log_sim);
+          }
+        });
+      }
     } else {
       ParallelForWeighted(sample_size, num_threads, sample_cost,
                           [&](size_t i) {
@@ -91,14 +103,23 @@ std::vector<size_t> SelectSeeds(
   if (!existing_models.empty()) {
     if (batched_scan) {
       const FrozenBank existing_bank(existing_models);
-      ParallelForWeighted(sample_size, num_threads, sample_cost,
-                          [&](size_t i) {
-        std::vector<SimilarityResult> row = existing_bank.ScanAll(
-            db.Symbols(sample_seq[i]));
-        for (const SimilarityResult& sim : row) {
-          best_sim[i] = std::max(best_sim[i], sim.log_sim);
-        }
-      });
+      if (prefilter) {
+        const ScanPrefilter existing_prefilter(&existing_bank);
+        ParallelForWeighted(sample_size, num_threads, sample_cost,
+                            [&](size_t i) {
+          existing_prefilter.BestModel(db.Symbols(sample_seq[i]),
+                                       &best_sim[i]);
+        });
+      } else {
+        ParallelForWeighted(sample_size, num_threads, sample_cost,
+                            [&](size_t i) {
+          std::vector<SimilarityResult> row = existing_bank.ScanAll(
+              db.Symbols(sample_seq[i]));
+          for (const SimilarityResult& sim : row) {
+            best_sim[i] = std::max(best_sim[i], sim.log_sim);
+          }
+        });
+      }
     } else {
       ParallelForWeighted(sample_size, num_threads, sample_cost,
                           [&](size_t i) {

@@ -37,14 +37,19 @@ namespace cluseq {
 /// snapshots of the clusters already in T. `num_threads` parallelizes the
 /// similarity evaluations; `batched_scan` scores the sample-vs-sample and
 /// sample-vs-existing matrices with one interleaved FrozenBank pass per
-/// sequence (identical values either way). Returns fewer than `num_seeds`
-/// indices only when there are not enough unclustered sequences.
+/// sequence (identical values either way). `prefilter` (only with
+/// batched_scan) prunes those matrix scans with ScanPrefilter's admissible
+/// bounds — the seed selection only consumes per-sample maxima, which the
+/// prefilter reports exactly, so the chosen seeds are identical. Returns
+/// fewer than `num_seeds` indices only when there are not enough
+/// unclustered sequences.
 std::vector<size_t> SelectSeeds(
     const SequenceStore& db, const std::vector<size_t>& unclustered,
     size_t num_seeds, size_t sample_size,
     const std::vector<std::shared_ptr<const FrozenPst>>& existing_models,
     const BackgroundModel& background, const PstOptions& pst_options,
-    size_t num_threads, Rng* rng, bool batched_scan = true);
+    size_t num_threads, Rng* rng, bool batched_scan = true,
+    bool prefilter = true);
 
 }  // namespace cluseq
 

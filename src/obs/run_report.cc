@@ -40,6 +40,7 @@ void WriteOptions(JsonWriter& writer, const CluseqOptions& options) {
   writer.KeyValue("rebuild_each_iteration", options.rebuild_each_iteration);
   writer.KeyValue("within_scan_updates", options.within_scan_updates);
   writer.KeyValue("batched_scan", options.batched_scan);
+  writer.KeyValue("prefilter", options.prefilter);
   writer.KeyValue("significance_threshold",
                   uint64_t{options.significance_threshold});
   writer.KeyValue("sample_multiplier", options.sample_multiplier);
@@ -82,6 +83,9 @@ void WriteIterationStats(JsonWriter& writer, const IterationStats& stats) {
   writer.KeyValue("seed_seconds", stats.seed_seconds);
   writer.KeyValue("join_seconds", stats.join_seconds);
   writer.KeyValue("consolidate_seconds", stats.consolidate_seconds);
+  writer.KeyValue("prefilter_skip_ratio", stats.prefilter_skip_ratio);
+  writer.KeyValue("prefilter_dp_early_exits",
+                  uint64_t{stats.prefilter_dp_early_exits});
   writer.EndObject();
 }
 
@@ -154,6 +158,12 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.KeyValue("final_log_threshold", report.final_log_threshold);
   writer.KeyValue("total_seconds", report.total_seconds);
   writer.KeyValue("effective_threads", uint64_t{report.effective_threads});
+  writer.Key("prefilter");
+  writer.BeginObject();
+  writer.KeyValue("enabled", report.prefilter_enabled);
+  writer.KeyValue("skip_ratio", report.prefilter_skip_ratio);
+  writer.KeyValue("early_exits", uint64_t{report.prefilter_early_exits});
+  writer.EndObject();
   writer.EndObject();
 
   writer.Key("iterations");

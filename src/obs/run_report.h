@@ -63,6 +63,15 @@ struct RunReport {
   double final_log_threshold = 0.0;
   double total_seconds = 0.0;
 
+  /// Prefilter aggregates across all iterations. `prefilter_enabled` echoes
+  /// whether the run was eligible to prune (option on, batched scan, not
+  /// within-scan mode); the skip ratio is skipped pairs over all n × k
+  /// pairs of prefiltered iterations (0 when none pruned, e.g. because the
+  /// threshold adjuster never froze).
+  bool prefilter_enabled = false;
+  double prefilter_skip_ratio = 0.0;
+  size_t prefilter_early_exits = 0;
+
   /// External evaluation, filled by callers that have ground-truth labels
   /// (the CLI does when the input carries them).
   bool has_eval = false;

@@ -375,6 +375,9 @@ class BankSerializer {
       fresh.entries_.resize(static_cast<size_t>(total_entries));
       std::memcpy(fresh.entries_.data(), entry_bytes, layout.entries_size);
     }
+    // The file carries only the packed rows; the prefilter's bound
+    // signatures are derived, so rebuild them from the (validated) arena.
+    fresh.BuildAllSignatures();
     *bank = std::move(fresh);
     return Status::OK();
   }

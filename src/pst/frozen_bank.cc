@@ -144,6 +144,117 @@ void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
   }
 }
 
+size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
+                              const uint32_t* bases, size_t num_models,
+                              const SymbolId* symbols, size_t len,
+                              const double* margins, double target,
+                              SimilarityResult* out, uint8_t* exact) {
+  // Same DP lanes as ScanBlockScalar plus, per lane, its output slot (lanes
+  // compact as models abandon, outputs do not) and its admissible
+  // per-symbol margin. The abandon check runs every 64 symbols: O(active)
+  // work amortized over 64 · active DP steps, so survivors pay ~nothing.
+  double y[kMaxBlockModels];
+  double z[kMaxBlockModels];
+  uint32_t row[kMaxBlockModels];
+  uint32_t base[kMaxBlockModels];
+  size_t ybegin[kMaxBlockModels];
+  size_t bbegin[kMaxBlockModels];
+  size_t bend[kMaxBlockModels];
+  uint32_t slot[kMaxBlockModels];
+  double margin[kMaxBlockModels];
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  for (size_t m = 0; m < num_models; ++m) {
+    base[m] = bases[m];
+    row[m] = bases[m];
+    z[m] = neg_inf;
+    ybegin[m] = 0;
+    bbegin[m] = 0;
+    bend[m] = 0;
+    slot[m] = static_cast<uint32_t>(m);
+    margin[m] = margins[m];
+    exact[m] = 1;
+  }
+  size_t active = num_models;
+  size_t abandoned = 0;
+
+  // i = 0 peeled, identical to ScanBlockScalar.
+  {
+    const uint32_t s = symbols[0];
+    for (size_t m = 0; m < active; ++m) {
+      const FrozenBank::Entry& e = entries[static_cast<size_t>(row[m]) + s];
+      row[m] = base[m] + e.next;
+      y[m] = e.ratio;
+      if (y[m] > z[m]) {
+        z[m] = y[m];
+        bend[m] = 1;
+      }
+    }
+  }
+  for (size_t i = 1; i < len; ++i) {
+    if ((i & 63u) == 0) {
+      // Positions 0..i-1 are consumed; `len - i` symbols remain. Any future
+      // Y either extends the current run (≤ Y_i + rem·margin) or restarts
+      // inside the remainder (≤ rem·margin), so the final Z cannot exceed
+      // max(Z_i, max(Y_i, 0) + rem·margin).
+      const double rem = static_cast<double>(len - i);
+      size_t w = 0;
+      for (size_t m = 0; m < active; ++m) {
+        const double peak = y[m] > 0.0 ? y[m] : 0.0;
+        double ub = peak + rem * margin[m];
+        if (z[m] > ub) ub = z[m];
+        if (ub < target) {
+          out[slot[m]].log_sim = ub;
+          out[slot[m]].best_begin = bbegin[m];
+          out[slot[m]].best_end = bend[m];
+          exact[slot[m]] = 0;
+          ++abandoned;
+          continue;
+        }
+        if (w != m) {
+          y[w] = y[m];
+          z[w] = z[m];
+          row[w] = row[m];
+          // The base must travel with the lane: transitions rebase via it,
+          // and after compaction lane index != original candidate index.
+          base[w] = base[m];
+          ybegin[w] = ybegin[m];
+          bbegin[w] = bbegin[m];
+          bend[w] = bend[m];
+          slot[w] = slot[m];
+          margin[w] = margin[m];
+        }
+        ++w;
+      }
+      active = w;
+      if (active == 0) return abandoned;
+    }
+    const uint32_t s = symbols[i];
+    for (size_t m = 0; m < active; ++m) {
+      const FrozenBank::Entry& e = entries[static_cast<size_t>(row[m]) + s];
+      const double x = e.ratio;
+      row[m] = base[m] + e.next;
+      const double extend = y[m] + x;
+      if (extend < x) {
+        y[m] = x;
+        ybegin[m] = i;
+      } else {
+        y[m] = extend;
+      }
+      if (y[m] > z[m]) {
+        z[m] = y[m];
+        bbegin[m] = ybegin[m];
+        bend[m] = i + 1;
+      }
+    }
+  }
+  for (size_t m = 0; m < active; ++m) {
+    out[slot[m]].log_sim = z[m];
+    out[slot[m]].best_begin = bbegin[m];
+    out[slot[m]].best_end = bend[m];
+  }
+  return abandoned;
+}
+
 }  // namespace internal
 
 bool FrozenBank::SimdAvailable() {
@@ -227,6 +338,22 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
     base32_[m] = static_cast<uint32_t>(base_[m]);
   }
 
+  // Bound signatures ride the same reuse logic: a slot whose rows were kept
+  // byte-identical keeps its signature (flat per-model indexing is stable
+  // because reuse implies an unchanged alphabet and slot index).
+  sig_cap2_enabled_ = alphabet <= kMaxBigramAlphabet;
+  sig_rmax_.resize(models_.size());
+  sig_maxsym_.resize(models_.size() * alphabet);
+  if (sig_cap2_enabled_) {
+    sig_cap2_.resize(models_.size() * alphabet * alphabet);
+  } else {
+    sig_cap2_.clear();
+  }
+  for (size_t m = 0; m < models_.size(); ++m) {
+    if (!reuse[m]) BuildSignature(m);
+  }
+  BuildTransposedSignatures();
+
   static obs::Counter& assembles =
       obs::MetricsRegistry::Get().GetCounter("frozen_bank.assembles");
   static obs::Counter& written =
@@ -240,6 +367,100 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
   reused.Add(stats.models_reused);
   arena_bytes.Set(static_cast<double>(entries_.size() * sizeof(Entry)));
   return stats;
+}
+
+void FrozenBank::BuildSignature(size_t m) {
+  const size_t a_size = alphabet_size_;
+  const size_t ns = states_[m];
+  const Entry* rows = scan_data() + base_[m];
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  double* maxsym = sig_maxsym_.data() + m * a_size;
+  if (m < models_.size() && models_[m] != nullptr &&
+      !models_[m]->max_symbol_log_ratio().empty()) {
+    // Assembled bank: the per-symbol maxima were precomputed at freeze time.
+    const std::span<const double> src = models_[m]->max_symbol_log_ratio();
+    std::copy(src.begin(), src.end(), maxsym);
+    sig_rmax_[m] = models_[m]->max_log_ratio();
+  } else {
+    // Mapped bank: one pass over the packed rows.
+    std::fill(maxsym, maxsym + a_size, neg_inf);
+    for (size_t u = 0; u < ns; ++u) {
+      const Entry* row = rows + u * a_size;
+      for (size_t a = 0; a < a_size; ++a) {
+        if (row[a].ratio > maxsym[a]) maxsym[a] = row[a].ratio;
+      }
+    }
+    double rmax = neg_inf;
+    for (size_t a = 0; a < a_size; ++a) {
+      if (maxsym[a] > rmax) rmax = maxsym[a];
+    }
+    sig_rmax_[m] = rmax;
+  }
+
+  if (!sig_cap2_enabled_) return;
+  // cap2[b·A + a] = max of ratio(v, a) over v in the image of Step(·, b).
+  // That image is small — every state reached by consuming b has a label
+  // ending in b (or is the root), and those sets are disjoint across b, so
+  // Σ_b |image_b| ≤ states + A. Folding each distinct successor row once
+  // per b (epoch-stamp dedup) keeps construction at O(states · A), the
+  // same order as packing the rows in the first place.
+  double* cap2 = sig_cap2_.data() + m * a_size * a_size;
+  std::fill(cap2, cap2 + a_size * a_size, neg_inf);
+  std::vector<uint32_t> stamp(ns, 0);
+  for (size_t b = 0; b < a_size; ++b) {
+    const uint32_t epoch = static_cast<uint32_t>(b) + 1;
+    double* caps = cap2 + b * a_size;
+    for (size_t u = 0; u < ns; ++u) {
+      const uint32_t v = rows[u * a_size + b].next / a_size;
+      if (stamp[v] == epoch) continue;
+      stamp[v] = epoch;
+      const Entry* vrow = rows + static_cast<size_t>(v) * a_size;
+      for (size_t a = 0; a < a_size; ++a) {
+        if (vrow[a].ratio > caps[a]) caps[a] = vrow[a].ratio;
+      }
+    }
+  }
+}
+
+void FrozenBank::BuildAllSignatures() {
+  const size_t k = base_.size();
+  sig_cap2_enabled_ =
+      alphabet_size_ > 0 && alphabet_size_ <= kMaxBigramAlphabet;
+  sig_rmax_.resize(k);
+  sig_maxsym_.resize(k * alphabet_size_);
+  sig_cap2_.clear();
+  if (sig_cap2_enabled_) {
+    sig_cap2_.resize(k * alphabet_size_ * alphabet_size_);
+  }
+  for (size_t m = 0; m < k; ++m) BuildSignature(m);
+  BuildTransposedSignatures();
+}
+
+void FrozenBank::BuildTransposedSignatures() {
+  const size_t k = base_.size();
+  const size_t a_size = alphabet_size_;
+  sig_maxsymt_.resize(k * a_size);
+  for (size_t m = 0; m < k; ++m) {
+    const double* src = sig_maxsym_.data() + m * a_size;
+    for (size_t a = 0; a < a_size; ++a) {
+      // max(x, 0): -inf and NaN caps both clamp to 0, matching pos() in the
+      // bound (a NaN cap contributes nothing rather than poisoning the sum).
+      sig_maxsymt_[a * k + m] = src[a] > 0.0 ? src[a] : 0.0;
+    }
+  }
+  if (!sig_cap2_enabled_) {
+    sig_cap2t_.clear();
+    return;
+  }
+  const size_t sq = a_size * a_size;
+  sig_cap2t_.resize(k * sq);
+  for (size_t m = 0; m < k; ++m) {
+    const double* src = sig_cap2_.data() + m * sq;
+    for (size_t code = 0; code < sq; ++code) {
+      sig_cap2t_[code * k + m] = src[code] > 0.0 ? src[code] : 0.0;
+    }
+  }
 }
 
 size_t FrozenBank::BlockModels() const {
@@ -295,6 +516,121 @@ void FrozenBank::ScanAll(std::span<const SymbolId> symbols,
     internal::ScanBlockScalar(scan_data(), base32_.data() + m0, mb,
                               symbols.data(), symbols.size(), results + m0);
   }
+}
+
+namespace {
+
+// Scratch for the sparse scans: the candidates' bases (and margins)
+// compacted into the dense arrays the block kernels expect. thread_local
+// because ScanCandidates* runs concurrently on pool workers.
+struct SparseScanScratch {
+  std::vector<uint32_t> bases;
+  std::vector<double> margins;
+};
+
+SparseScanScratch& GetSparseScratch() {
+  static thread_local SparseScanScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void FrozenBank::ScanCandidates(std::span<const SymbolId> symbols,
+                                std::span<const uint32_t> candidates,
+                                SimilarityResult* results) const {
+  const size_t k = candidates.size();
+  if (k == 0) return;
+  if (symbols.empty()) {
+    for (size_t j = 0; j < k; ++j) {
+      results[j] = SimilarityResult{};
+      results[j].log_sim = -std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+#ifdef CLUSEQ_HAVE_AVX2
+  const bool use_simd = !force_scalar_ && SimdAvailable();
+#else
+  const bool use_simd = false;
+#endif
+  SparseScanScratch& scratch = GetSparseScratch();
+  scratch.bases.resize(k);
+  for (size_t j = 0; j < k; ++j) scratch.bases[j] = base32_[candidates[j]];
+
+  static obs::Counter& scan_symbols =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
+  scan_symbols.Add(symbols.size() * k);
+  const size_t block = BlockModels();
+  for (size_t m0 = 0; m0 < k; m0 += block) {
+    const size_t mb = std::min(block, k - m0);
+#ifdef CLUSEQ_HAVE_AVX2
+    if (use_simd) {
+      internal::ScanBlockAvx2(scan_data(), scratch.bases.data() + m0, mb,
+                              symbols.data(), symbols.size(), results + m0);
+      continue;
+    }
+#else
+    (void)use_simd;
+#endif
+    internal::ScanBlockScalar(scan_data(), scratch.bases.data() + m0, mb,
+                              symbols.data(), symbols.size(), results + m0);
+  }
+}
+
+size_t FrozenBank::ScanCandidatesBounded(std::span<const SymbolId> symbols,
+                                         std::span<const uint32_t> candidates,
+                                         double target,
+                                         SimilarityResult* results,
+                                         uint8_t* exact) const {
+  const size_t k = candidates.size();
+  if (k == 0) return 0;
+  if (symbols.empty()) {
+    for (size_t j = 0; j < k; ++j) {
+      results[j] = SimilarityResult{};
+      results[j].log_sim = -std::numeric_limits<double>::infinity();
+      exact[j] = 1;
+    }
+    return 0;
+  }
+#ifdef CLUSEQ_HAVE_AVX2
+  const bool use_simd = !force_scalar_ && SimdAvailable();
+#else
+  const bool use_simd = false;
+#endif
+  SparseScanScratch& scratch = GetSparseScratch();
+  scratch.bases.resize(k);
+  scratch.margins.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    const uint32_t c = candidates[j];
+    scratch.bases[j] = base32_[c];
+    // Admissible per-symbol increment for the remaining-stream bound; the
+    // kernels require it nonnegative (a run can always restart empty).
+    scratch.margins[j] = sig_rmax_[c] > 0.0 ? sig_rmax_[c] : 0.0;
+  }
+
+  static obs::Counter& scan_symbols =
+      obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
+  scan_symbols.Add(symbols.size() * k);
+  size_t abandoned = 0;
+  const size_t block = BlockModels();
+  for (size_t m0 = 0; m0 < k; m0 += block) {
+    const size_t mb = std::min(block, k - m0);
+#ifdef CLUSEQ_HAVE_AVX2
+    if (use_simd) {
+      abandoned += internal::ScanBlockAvx2Bounded(
+          scan_data(), scratch.bases.data() + m0, mb, symbols.data(),
+          symbols.size(), scratch.margins.data() + m0, target, results + m0,
+          exact + m0);
+      continue;
+    }
+#else
+    (void)use_simd;
+#endif
+    abandoned += internal::ScanBlockScalarBounded(
+        scan_data(), scratch.bases.data() + m0, mb, symbols.data(),
+        symbols.size(), scratch.margins.data() + m0, target, results + m0,
+        exact + m0);
+  }
+  return abandoned;
 }
 
 void FrozenBank::StepAll(SymbolId symbol, uint32_t* rows, double* y,

@@ -135,6 +135,78 @@ class FrozenBank {
     return results;
   }
 
+  /// Sparse-candidate scan: scores only the models named in `candidates`
+  /// (indices into [0, num_models())). `results[j]` corresponds to
+  /// `candidates[j]` and is bit-for-bit the ScanAll result for that model.
+  /// The prefilter (core/prefilter.h) calls this over the models whose
+  /// admissible upper bound survived the level-1 cut.
+  void ScanCandidates(std::span<const SymbolId> symbols,
+                      std::span<const uint32_t> candidates,
+                      SimilarityResult* results) const;
+
+  /// Bounded sparse scan: like ScanCandidates, but every 64 symbols each
+  /// still-active model is tested against the admissible remaining-stream
+  /// bound and abandoned once it provably cannot reach `target`:
+  ///
+  ///   final Z  ≤  max(Z_i, max(Y_i, 0) + remaining · margin_m)
+  ///
+  /// where margin_m = max(signature_max(candidates[j]), 0) caps any future
+  /// per-symbol X term. For abandoned models `exact[j] = 0` and
+  /// `results[j].log_sim` holds that (strictly < target) upper bound; for
+  /// survivors `exact[j] = 1` and `results[j]` is bit-for-bit ScanAll.
+  /// Returns the number of abandoned models (the dp_early_exits metric).
+  size_t ScanCandidatesBounded(std::span<const SymbolId> symbols,
+                               std::span<const uint32_t> candidates,
+                               double target, SimilarityResult* results,
+                               uint8_t* exact) const;
+
+  /// --- Admissible-bound signatures -------------------------------------
+  /// Per-model caps on the §4.3 DP's X terms, maintained by Assemble (only
+  /// rewritten slots are recomputed) and by the .fbank loader, so they are
+  /// valid whenever the bank is non-empty. core/prefilter.h combines them
+  /// with a sequence's symbol/bigram counts into upper bounds on log SIM.
+
+  /// Alphabet-size cap on the bigram signature: above this the k·A²·8-byte
+  /// tables stop paying for themselves and the prefilter falls back to the
+  /// unigram bound.
+  static constexpr size_t kMaxBigramAlphabet = 64;
+
+  /// max over (state, symbol) of model m's log-ratio — caps any single X.
+  double signature_max(size_t m) const { return sig_rmax_[m]; }
+
+  /// Per-symbol maxima: A entries, [a] = max over states of LogRatio(·, a).
+  std::span<const double> signature_max_symbol(size_t m) const {
+    return std::span<const double>(sig_maxsym_.data() + m * alphabet_size_,
+                                   alphabet_size_);
+  }
+
+  /// Bigram caps (only when has_bigram_signature()): A² entries,
+  /// [b·A + a] = max of LogRatio(v, a) over the image of Step(·, b) — an
+  /// admissible cap on X_i at any position whose previous symbol is b,
+  /// because the automaton state at position i always lies in that image.
+  bool has_bigram_signature() const { return sig_cap2_enabled_; }
+  std::span<const double> signature_bigram_cap(size_t m) const {
+    const size_t sq = alphabet_size_ * alphabet_size_;
+    return std::span<const double>(sig_cap2_.data() + m * sq, sq);
+  }
+
+  /// Transposed, positive-clamped mirrors of the signatures above, laid out
+  /// code-major ([code][model]) so a per-sequence bound pass streams
+  /// sequentially through all k models for each distinct code instead of
+  /// gathering one cap per model. Entries are pre-clamped to max(cap, 0):
+  /// the bound only ever adds the positive part, and clamping at build time
+  /// turns the prefilter's inner loop into a branch-free fused
+  /// multiply-add. pos_bigram_cap_t is only populated when
+  /// has_bigram_signature().
+  std::span<const double> signature_pos_max_symbol_t(size_t symbol) const {
+    return std::span<const double>(
+        sig_maxsymt_.data() + symbol * num_models(), num_models());
+  }
+  std::span<const double> signature_pos_bigram_cap_t(size_t code) const {
+    return std::span<const double>(sig_cap2t_.data() + code * num_models(),
+                                   num_models());
+  }
+
   /// Streaming variant for online scoring: advances every model by one
   /// symbol. The arrays are parallel over models: `rows` holds each model's
   /// current row offset *local to the model* (state · alphabet_size; start
@@ -207,6 +279,18 @@ class FrozenBank {
   /// chosen to keep a block's hot rows L2-resident.
   size_t BlockModels() const;
 
+  /// Recomputes model m's bound signature from its packed arena rows
+  /// (works identically for assembled and mapped banks). The sig_ arrays
+  /// must already be sized for the current layout.
+  void BuildSignature(size_t m);
+  /// Sizes the sig_ arrays for the current layout and rebuilds every model
+  /// (the .fbank load path, where nothing is reusable).
+  void BuildAllSignatures();
+  /// Rebuilds sig_maxsymt_/sig_cap2t_ from the per-model signatures. Must
+  /// run after any signature refresh — the code-major layout interleaves
+  /// all models, so slot reuse cannot keep transposed columns in place.
+  void BuildTransposedSignatures();
+
   size_t alphabet_size_ = 0;
   /// Source snapshots (assembled banks; empty for mapped banks).
   std::vector<std::shared_ptr<const FrozenPst>> models_;
@@ -227,6 +311,18 @@ class FrozenBank {
   const Entry* external_entries_ = nullptr;
   std::shared_ptr<const void> external_storage_;
   bool force_scalar_ = false;
+  /// Bound signatures, parallel to base_: per-model overall max log-ratio,
+  /// flat k·A per-symbol maxima, and (when sig_cap2_enabled_) flat k·A²
+  /// bigram caps. See the signature accessors above.
+  std::vector<double> sig_rmax_;
+  std::vector<double> sig_maxsym_;
+  std::vector<double> sig_cap2_;
+  /// Code-major, positive-clamped transposes of sig_maxsym_/sig_cap2_
+  /// (see the signature_pos_* accessors). Rebuilt wholesale after every
+  /// signature refresh — O(k·A²) writes, noise next to arena packing.
+  std::vector<double> sig_maxsymt_;
+  std::vector<double> sig_cap2t_;
+  bool sig_cap2_enabled_ = false;
 };
 
 namespace internal {
@@ -241,6 +337,19 @@ void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
                      size_t num_models, const SymbolId* symbols, size_t len,
                      SimilarityResult* out);
 
+/// Early-abandon variant of ScanBlockScalar: every 64 symbols each active
+/// lane is compared against max(Z, max(Y, 0) + remaining · margins[m]) and
+/// dropped once that bound falls below `target` (out[m].log_sim = bound,
+/// exact[m] = 0, lane compacted away). Survivors produce bit-for-bit
+/// ScanBlockScalar results with exact[m] = 1. margins[m] must be ≥ 0 — an
+/// admissible cap on any future per-symbol X term. Returns the number of
+/// abandoned lanes.
+size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
+                              const uint32_t* bases, size_t num_models,
+                              const SymbolId* symbols, size_t len,
+                              const double* margins, double target,
+                              SimilarityResult* out, uint8_t* exact);
+
 #ifdef CLUSEQ_HAVE_AVX2
 /// AVX2 kernel: same contract and bit-identical results, 4 models per
 /// vector lane group, several groups interleaved per symbol (remainder
@@ -248,6 +357,17 @@ void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
 void ScanBlockAvx2(const FrozenBank::Entry* entries, const uint32_t* bases,
                    size_t num_models, const SymbolId* symbols, size_t len,
                    SimilarityResult* out);
+
+/// Early-abandon AVX2 kernel: same contract as ScanBlockScalarBounded but
+/// abandonment is per *group* — a group of 16/8/4 interleaved models stops
+/// only when every lane in it is hopeless (per-lane compaction would break
+/// the fixed-width register layout). Lanes that run to the end are
+/// bit-for-bit ScanBlockAvx2.
+size_t ScanBlockAvx2Bounded(const FrozenBank::Entry* entries,
+                            const uint32_t* bases, size_t num_models,
+                            const SymbolId* symbols, size_t len,
+                            const double* margins, double target,
+                            SimilarityResult* out, uint8_t* exact);
 #endif  // CLUSEQ_HAVE_AVX2
 
 }  // namespace internal

@@ -52,6 +52,7 @@
 #define CLUSEQ_PST_FROZEN_PST_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -121,8 +122,26 @@ class FrozenPst {
   std::span<const State> transition_table() const { return next_; }
   std::span<const double> log_ratio_table() const { return log_ratio_; }
 
+  /// max over all states u of LogRatio(u, s) — the tightest per-symbol cap
+  /// on the similarity DP's X term that holds regardless of context.
+  /// Precomputed at freeze time; the prefilter's admissible upper bounds
+  /// (see core/prefilter.h) are built from these. -inf entries mean the
+  /// model can never emit the symbol (smoothing off, zero counts).
+  std::span<const double> max_symbol_log_ratio() const {
+    return max_symbol_log_ratio_;
+  }
+
+  /// max over (state, symbol) of LogRatio — the per-step margin used by the
+  /// in-DP early-abandon bound. Equal to max over max_symbol_log_ratio().
+  double max_log_ratio() const { return max_log_ratio_; }
+
  private:
   friend class PstSerializer;
+
+  /// Rebuilds max_symbol_log_ratio_/max_log_ratio_ from log_ratio_. Called
+  /// at the end of freezing and after deserialization (the .fpst format
+  /// stores only the tables; derived bounds are recomputed on load).
+  void ComputeDerived();
 
   size_t alphabet_size_ = 0;
   size_t max_depth_ = 0;
@@ -131,6 +150,9 @@ class FrozenPst {
   std::vector<double> log_ratio_;
   // Per-state context length (diagnostics, serialization validation).
   std::vector<uint32_t> depth_;
+  // Derived bound metadata (see accessors above).
+  std::vector<double> max_symbol_log_ratio_;
+  double max_log_ratio_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace cluseq

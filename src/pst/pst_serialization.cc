@@ -313,6 +313,9 @@ class PstSerializer {
         return Status::Corruption("frozen PST log-ratio is NaN or +inf");
       }
     }
+    // The on-disk format stores only the tables; per-symbol max log-ratios
+    // (prefilter bound metadata) are derived, so rebuild them here.
+    loaded.ComputeDerived();
     *pst = std::move(loaded);
     return Status::OK();
   }

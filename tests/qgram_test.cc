@@ -6,6 +6,7 @@
 
 #include "eval/metrics.h"
 #include "synth/dataset.h"
+#include "util/rng.h"
 
 namespace cluseq {
 namespace {
@@ -57,6 +58,55 @@ TEST(QGramCosineTest, SymmetricAndBounded) {
   EXPECT_DOUBLE_EQ(ab, QGramProfile::Cosine(pb, pa));
   EXPECT_GE(ab, 0.0);
   EXPECT_LE(ab, 1.0);
+}
+
+TEST(QGramCosineTest, MergeJoinMatchesHashProbeReference) {
+  // Cosine now runs a merge-join over the key-sorted count vectors cached
+  // at Build time; it must agree with the straightforward hash-probe dot
+  // product over the same counts (tolerance-based: the two sum the shared
+  // grams in different orders).
+  Rng rng(314);
+  for (size_t trial = 0; trial < 20; ++trial) {
+    const size_t alphabet = 3 + rng.Uniform(8);
+    Symbols a(20 + rng.Uniform(200)), b(20 + rng.Uniform(200));
+    for (auto& s : a) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+    for (auto& s : b) s = static_cast<SymbolId>(rng.Uniform(alphabet));
+    const size_t q = 1 + rng.Uniform(4);
+    QGramProfile pa = QGramProfile::Build(a, q, alphabet);
+    QGramProfile pb = QGramProfile::Build(b, q, alphabet);
+
+    double dot = 0.0;
+    for (const auto& [gram, count] : pa.counts()) {
+      const auto it = pb.counts().find(gram);
+      if (it != pb.counts().end()) dot += count * it->second;
+    }
+    const double reference =
+        (pa.norm() == 0.0 || pb.norm() == 0.0)
+            ? 0.0
+            : dot / (pa.norm() * pb.norm());
+    EXPECT_NEAR(QGramProfile::Cosine(pa, pb), reference, 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(QGramProfileTest, SortedCountsMirrorHashCounts) {
+  Symbols s = {0, 1, 0, 1, 2, 0, 1, 0};
+  QGramProfile p = QGramProfile::Build(s, 2, 3);
+  ASSERT_EQ(p.sorted_counts().size(), p.counts().size());
+  double sum_sq = 0.0;
+  uint64_t prev_key = 0;
+  bool first = true;
+  for (const auto& [key, count] : p.sorted_counts()) {
+    if (!first) EXPECT_GT(key, prev_key);  // Strictly sorted, no dupes.
+    prev_key = key;
+    first = false;
+    const auto it = p.counts().find(key);
+    ASSERT_NE(it, p.counts().end());
+    EXPECT_DOUBLE_EQ(it->second, count);
+    sum_sq += count * count;
+  }
+  // The cached norm is the L2 norm of those counts.
+  EXPECT_NEAR(p.norm(), std::sqrt(sum_sq), 1e-12);
 }
 
 TEST(QGramCosineTest, EmptyProfileGivesZero) {

@@ -71,6 +71,17 @@ TEST(RunReportTest, RoundTripMatchesIterationStats) {
   EXPECT_EQ(summary->Find("iterations")->number,
             static_cast<double>(result.iterations));
 
+  // Prefilter block: round-trips the report fields exactly.
+  const obs::JsonValue* prefilter = summary->Find("prefilter");
+  ASSERT_NE(prefilter, nullptr);
+  EXPECT_EQ(prefilter->Find("enabled")->bool_value,
+            report->prefilter_enabled);
+  EXPECT_DOUBLE_EQ(prefilter->Find("skip_ratio")->number,
+                   report->prefilter_skip_ratio);
+  EXPECT_EQ(prefilter->Find("early_exits")->number,
+            static_cast<double>(report->prefilter_early_exits));
+  EXPECT_TRUE(report->prefilter_enabled);  // SmallOptions leaves defaults.
+
   const obs::JsonValue* iterations = root.Find("iterations");
   ASSERT_NE(iterations, nullptr);
   ASSERT_TRUE(iterations->is_array());
@@ -106,6 +117,10 @@ TEST(RunReportTest, RoundTripMatchesIterationStats) {
                      expect.join_seconds);
     EXPECT_DOUBLE_EQ(stats->Find("consolidate_seconds")->number,
                      expect.consolidate_seconds);
+    EXPECT_DOUBLE_EQ(stats->Find("prefilter_skip_ratio")->number,
+                     expect.prefilter_skip_ratio);
+    EXPECT_EQ(stats->Find("prefilter_dp_early_exits")->number,
+              static_cast<double>(expect.prefilter_dp_early_exits));
     // Per-iteration metrics snapshot rides along with the stats.
     const obs::JsonValue* metrics = iterations->array[i].Find("metrics");
     ASSERT_NE(metrics, nullptr) << "iteration " << i;

@@ -193,6 +193,16 @@ struct CommonFlags {
                        v.c_str());
           return false;
         }
+      } else if (ParseFlag(arg, "prefilter", &v)) {
+        if (v == "on") {
+          options.prefilter = true;
+        } else if (v == "off") {
+          options.prefilter = false;
+        } else {
+          std::fprintf(stderr, "--prefilter takes 'on' or 'off', got %s\n",
+                       v.c_str());
+          return false;
+        }
       } else if (arg == "--strict") {
         strict = true;
       } else if (arg == "--verbose") {
@@ -510,7 +520,17 @@ int RunClassify(const CommonFlags& flags) {
       [&](size_t i) {
         double best = -1e300;
         size_t best_c = 0;
-        if (bankable) {
+        if (bankable && flags.options.prefilter) {
+          // Pruned argmax scan; exact value and the same smallest-index
+          // tie-break as the exhaustive loops below.
+          const ScanPrefilter prefilter(&bank);
+          double value = 0.0;
+          const int32_t m = prefilter.BestModel(db.Symbols(i), &value);
+          if (m >= 0 && value > best) {
+            best = value;
+            best_c = static_cast<size_t>(m);
+          }
+        } else if (bankable) {
           std::vector<SimilarityResult> sims(num_models);
           bank.ScanAll(db.Symbols(i), sims.data());
           for (size_t c = 0; c < num_models; ++c) {
@@ -555,12 +575,17 @@ void PrintUsage() {
                "[--min-members=N]\n"
                "           [--max-iterations=N] [--threads=N] "
                "[--pst-memory=BYTES]\n"
-               "           [--batched_scan=on|off] [--verbose]\n"
+               "           [--batched_scan=on|off] [--prefilter=on|off] "
+               "[--verbose]\n"
                "           [--metrics_json=PATH] [--metrics_prom=PATH] "
                "[--trace_json=PATH]\n"
                "  classify --input=PATH --model-dir=DIR "
-               "[--batched_scan=on|off] [--strict]\n"
+               "[--batched_scan=on|off] [--prefilter=on|off] [--strict]\n"
                "           [--threads=N] [--metrics_prom=PATH]\n"
+               "  --prefilter=on skips clusters via admissible score bounds; "
+               "outputs are\n"
+               "  bit-for-bit identical to --prefilter=off (the exhaustive "
+               "oracle), just faster\n"
                "           (--strict: fail on any corrupt model file "
                "instead of skipping it)\n"
                "  --input/--out ending in .sqdb selects the indexed binary "
