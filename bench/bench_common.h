@@ -85,12 +85,34 @@ inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
   }
 }
 
+/// Best-effort `git describe` of the working tree the bench ran in. Empty
+/// (and the envelope key omitted) when git or the repo is unavailable —
+/// CI artifact directories and tarball builds are normal, not errors.
+inline std::string GitDescribe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[128];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
 /// Writes a flat metrics object to BENCH_<name>.json in the working
 /// directory, so successive runs leave a machine-readable trajectory next
 /// to the human-readable tables. Uses the library's obs::JsonWriter — the
 /// same serializer behind --metrics_json/--trace_json — so escaping and
 /// number formatting (%.17g, enough to round-trip a double) cannot drift
 /// between the bench harnesses and the run reports.
+///
+/// Every file carries the `cluseq.bench.v1` envelope consumed by
+/// `cluseq_cli report-diff` and the CI perf gate: schema, bench name, a
+/// best-effort git describe, the machine's hardware thread count, and a
+/// `degraded` flag (single-core runner — timing-derived metrics measure
+/// scheduling overhead, not scaling, and CI treats them as warn-only).
 inline bool WriteBenchJson(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& metrics,
@@ -99,7 +121,13 @@ inline bool WriteBenchJson(
   if (!out) return false;
   cluseq::obs::JsonWriter writer(out);
   writer.BeginObject();
-  writer.KeyValue("bench", std::string_view(name));
+  writer.KeyValue("schema", std::string_view("cluseq.bench.v1"));
+  writer.KeyValue("name", std::string_view(name));
+  const std::string git = GitDescribe();
+  if (!git.empty()) writer.KeyValue("git", std::string_view(git));
+  writer.KeyValue("hardware_threads",
+                  uint64_t{cluseq::HardwareThreads()});
+  writer.KeyValue("degraded", cluseq::HardwareThreads() == 1);
   for (const auto& [key, value] : flags) {
     writer.KeyValue(key, value);
   }

@@ -188,6 +188,23 @@ int main(int argc, char** argv) {
   EmitTable(table, args.csv);
   metrics.emplace_back("speedup_reference", speedup_at_reference);
   metrics.emplace_back("obs_overhead_pct", obs_overhead_pct);
+
+  {
+    // Cost of CLUSEQ_TRACE_SPAN with tracing off — the contract is one
+    // relaxed atomic load at construction and nothing at destruction, so
+    // instrumented hot paths stay free when no trace is being recorded.
+    // Recorded per span so report-diff can flag a regression (warn-only:
+    // single-digit nanoseconds are noisy on shared runners).
+    obs::TraceRecorder::Get().Stop();
+    constexpr size_t kSpans = size_t{1} << 22;
+    Stopwatch span_timer;
+    for (size_t i = 0; i < kSpans; ++i) {
+      CLUSEQ_TRACE_SPAN("bench.disabled_span");
+    }
+    metrics.emplace_back(
+        "trace_disabled_span_ns",
+        span_timer.ElapsedSeconds() * 1e9 / static_cast<double>(kSpans));
+  }
   if (!WriteBenchJson("frozen_bank", metrics)) {
     std::fprintf(stderr, "failed to write BENCH_frozen_bank.json\n");
     return 1;

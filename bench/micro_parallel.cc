@@ -156,8 +156,6 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<std::string, double>> metrics;
   metrics.emplace_back("scale", args.scale);
-  metrics.emplace_back("hardware_threads",
-                       static_cast<double>(HardwareThreads()));
   metrics.emplace_back("num_sequences", static_cast<double>(db.size()));
   metrics.emplace_back("total_symbols", static_cast<double>(total_symbols));
   for (const SweepPoint& p : points) {
@@ -172,8 +170,8 @@ int main(int argc, char** argv) {
   }
   metrics.emplace_back("speedup_8_over_1",
                        base / points.back().total_seconds);
-  if (!cluseq_bench::WriteBenchJson("parallel_scan", metrics,
-                                    {{"degraded", degraded}})) {
+  // hardware_threads and the degraded flag now ride in the bench envelope.
+  if (!cluseq_bench::WriteBenchJson("parallel_scan", metrics)) {
     std::fprintf(stderr, "failed to write BENCH_parallel_scan.json\n");
     return 1;
   }

@@ -33,7 +33,9 @@
 #include "eval/report.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/prometheus.h"
+#include "obs/report_diff.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "pst/bank_serialization.h"

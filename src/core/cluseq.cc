@@ -337,6 +337,7 @@ void CluseqClusterer::Recluster() {
     std::vector<SimilarityResult> sims(n * kc);
     {
       CLUSEQ_TRACE_SPAN("cluseq.scan");
+      obs::PerfScope perf_scope = phase_perf_.Sample("scan");
       static obs::Counter& scan_symbols_counter =
           obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
       static obs::Gauge& scan_rate_gauge = obs::MetricsRegistry::Get().GetGauge(
@@ -404,6 +405,7 @@ void CluseqClusterer::Recluster() {
       }
     }
     CLUSEQ_TRACE_SPAN("cluseq.join");
+    obs::PerfScope join_perf_scope = phase_perf_.Sample("join");
     Stopwatch join_timer;
     // Deferred apply, parallel in two passes. Pass 1 is per-sequence: every
     // written slot (the all_log_sims_ position, best_log_sim_[s],
@@ -449,6 +451,8 @@ void CluseqClusterer::Recluster() {
   // §4.2 mode: sequences are visited one at a time and each join updates
   // the joined cluster's PST mid-scan, which later sequences observe — so
   // parallelism can only be applied across clusters for one sequence.
+  // Scoring and joining interleave here, so one "scan" phase covers both.
+  obs::PerfScope perf_scope = phase_perf_.Sample("scan");
   std::vector<size_t> order = VisitOrderIndices();
   std::vector<SimilarityResult> sims;
   for (size_t seq_index : order) {
@@ -574,6 +578,9 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   report_->num_sequences = db_.size();
   report_->alphabet_size = db_.alphabet().size();
   report_->effective_threads = options_.num_threads;
+  // Opens the process-wide counter set on first run; also publishes the
+  // perf.available gauge (and the one unavailability warning) up front.
+  report_->perf_available = obs::PerfCounterSet::Process().available();
   report_->baseline_metrics = registry.Snapshot();
   Stopwatch run_timer;
   *result = ClusteringResult{};
@@ -593,6 +600,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   run_prefilter_pairs_ = 0;
   run_prefilter_skipped_ = 0;
   run_prefilter_early_exits_ = 0;
+  phase_perf_.TakePhases();  // Drop samples a prior (aborted) run left over.
   next_cluster_id_ = 0;
   log_t_ = options_.auto_initial_threshold
                ? EstimateInitialLogThreshold()
@@ -657,6 +665,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     size_t generated = 0;
     {
       CLUSEQ_TRACE_SPAN("cluseq.seed");
+      obs::PerfScope perf_scope = phase_perf_.Sample("seed");
       if (options_.rebuild_each_iteration) RebuildClusterPsts();
       const size_t planned = PlanNewClusters(iteration);
       const size_t before = clusters_.size();
@@ -671,6 +680,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     size_t consolidated = 0;
     {
       CLUSEQ_TRACE_SPAN("cluseq.consolidate");
+      obs::PerfScope perf_scope = phase_perf_.Sample("consolidate");
       consolidated = Consolidate();
       RebuildMembershipViews();
     }
@@ -679,6 +689,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     const double log_t_before = log_t_;
     {
       CLUSEQ_TRACE_SPAN("cluseq.adjust_t");
+      obs::PerfScope perf_scope = phase_perf_.Sample("adjust_t");
       if (options_.adjust_threshold && !adjuster.frozen()) {
         ThresholdUpdate update = adjuster.Adjust(all_log_sims_, log_t_);
         if (update.adjusted) log_t_ = update.new_log_t;
@@ -702,6 +713,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     stats.join_seconds = join_seconds_this_iter_;
     stats.consolidate_seconds = consolidate_seconds;
     stats.prefilter_dp_early_exits = prefilter_early_exits_this_iter_;
+    stats.phase_perf = phase_perf_.TakePhases();
     if (prefilter_pairs_this_iter_ > 0) {
       stats.prefilter_skip_ratio =
           static_cast<double>(prefilter_skipped_this_iter_) /
@@ -751,6 +763,27 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
                         << 100.0 * stats.prefilter_skip_ratio << "% ("
                         << stats.prefilter_dp_early_exits
                         << " early exits)";
+      // One perf line per iteration when the counters opened: the scan
+      // phase dominates, so lead with its cycles and IPC.
+      for (const obs::PhasePerf& phase : stats.phase_perf) {
+        if (phase.phase != "scan" || phase.counters.empty()) continue;
+        uint64_t cycles = 0;
+        uint64_t instructions = 0;
+        for (const auto& [name, value] : phase.counters) {
+          if (name == "cycles") cycles = value;
+          if (name == "instructions") instructions = value;
+        }
+        if (cycles > 0) {
+          CLUSEQ_LOG(kInfo) << "iteration " << iteration << " scan perf: "
+                            << cycles << " cycles, " << instructions
+                            << " instructions (IPC "
+                            << (static_cast<double>(instructions) /
+                                static_cast<double>(cycles))
+                            << "), " << phase.major_faults
+                            << " major faults, rss " << phase.maxrss_kb
+                            << " KB";
+        }
+      }
     }
 
     std::vector<uint64_t> fingerprint = MembershipFingerprint();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "obs/perf_counters.h"
 #include "pst/frozen_bank.h"
 #include "pst/frozen_pst.h"
 #include "pst/pst.h"
@@ -180,6 +181,12 @@ struct IterationStats {
   double prefilter_skip_ratio = 0.0;
   /// Pairs whose DP was abandoned mid-sequence by the bounded scan.
   size_t prefilter_dp_early_exits = 0;
+  /// Per-phase perf-counter and getrusage deltas (seed / scan / join /
+  /// consolidate / adjust_t). Counters are empty when perf_event_open is
+  /// unavailable; the rusage fields are always filled. Observability only —
+  /// never feeds back into clustering decisions, so determinism tests that
+  /// compare the algorithmic fields above stay untouched.
+  std::vector<obs::PhasePerf> phase_perf;
 };
 
 struct ClusteringResult {
@@ -284,6 +291,9 @@ class CluseqClusterer {
   size_t run_prefilter_pairs_ = 0;
   size_t run_prefilter_skipped_ = 0;
   size_t run_prefilter_early_exits_ = 0;
+  // Per-phase perf/rusage sampling; drained into IterationStats each
+  // iteration. Opens the process-wide PerfCounterSet lazily on first use.
+  obs::PhasePerfCollector phase_perf_;
   std::unique_ptr<obs::RunReport> report_;
 
   // Per-sequence (cluster position, log sim, segment) of joined clusters,

@@ -1,0 +1,222 @@
+#include "obs/perf_counters.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define CLUSEQ_PERF_EVENTS_SUPPORTED 1
+#else
+#define CLUSEQ_PERF_EVENTS_SUPPORTED 0
+#endif
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+namespace cluseq {
+namespace obs {
+
+namespace {
+
+#if CLUSEQ_PERF_EVENTS_SUPPORTED
+constexpr PerfEventSpec kDefaultEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES, "cache_references"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache_misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch_misses"},
+};
+#endif
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+}  // namespace
+
+std::span<const PerfEventSpec> DefaultPerfEvents() {
+#if CLUSEQ_PERF_EVENTS_SUPPORTED
+  return std::span<const PerfEventSpec>(kDefaultEvents);
+#else
+  return {};
+#endif
+}
+
+PerfCounterSet::PerfCounterSet() { Open(DefaultPerfEvents()); }
+
+PerfCounterSet::PerfCounterSet(std::span<const PerfEventSpec> events) {
+  Open(events);
+}
+
+void PerfCounterSet::Open(std::span<const PerfEventSpec> events) {
+#if CLUSEQ_PERF_EVENTS_SUPPORTED
+  if (events.empty() || events.size() > kMaxPerfEvents) return;
+  for (const PerfEventSpec& event : events) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = event.type;
+    attr.config = event.config;
+    // One read(2) returns every group member plus the enabled/running
+    // times needed to scale multiplexed windows.
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // The leader starts disabled so siblings attach before anything
+    // counts; one group-wide ioctl below starts them together.
+    attr.disabled = num_events_ == 0 ? 1 : 0;
+    // User-space only: works under perf_event_paranoid=2, and the scan
+    // loops we attribute are user-space anyway.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const int group_fd = num_events_ == 0 ? -1 : fds_[0];
+    const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                            /*cpu=*/-1, group_fd, /*flags=*/0UL);
+    if (fd < 0) {
+      // A rejected sibling (unsupported event on this PMU) is dropped; a
+      // rejected leader means no perf at all (denied syscall / no PMU).
+      if (num_events_ == 0) return;
+      continue;
+    }
+    fds_[num_events_] = static_cast<int>(fd);
+    names_[num_events_] = event.name;
+    ++num_events_;
+  }
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#else
+  (void)events;
+#endif
+}
+
+PerfCounterSet::~PerfCounterSet() {
+#if CLUSEQ_PERF_EVENTS_SUPPORTED
+  for (size_t i = 0; i < num_events_; ++i) close(fds_[i]);
+#endif
+}
+
+bool PerfCounterSet::Read(PerfReading* out) const {
+#if CLUSEQ_PERF_EVENTS_SUPPORTED
+  if (!available()) return false;
+  // PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING layout:
+  // { u64 nr; u64 time_enabled; u64 time_running; u64 values[nr]; }.
+  uint64_t buffer[3 + kMaxPerfEvents];
+  const ssize_t want =
+      static_cast<ssize_t>((3 + num_events_) * sizeof(uint64_t));
+  const ssize_t got = read(fds_[0], buffer, sizeof(buffer));
+  if (got != want) return false;
+  if (buffer[0] != num_events_) return false;
+  out->num = num_events_;
+  out->time_enabled_ns = buffer[1];
+  out->time_running_ns = buffer[2];
+  out->raw.fill(0);
+  for (size_t i = 0; i < num_events_; ++i) out->raw[i] = buffer[3 + i];
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+void PerfCounterSet::Delta(const PerfReading& begin, const PerfReading& end,
+                           std::array<uint64_t, kMaxPerfEvents>* out) {
+  out->fill(0);
+  const size_t num = std::min(begin.num, end.num);
+  const uint64_t enabled = end.time_enabled_ns - begin.time_enabled_ns;
+  const uint64_t running = end.time_running_ns - begin.time_running_ns;
+  for (size_t i = 0; i < num; ++i) {
+    const uint64_t raw = end.raw[i] - begin.raw[i];
+    if (running > 0 && enabled > running) {
+      // The group was multiplexed off-core for part of the window; scale
+      // the observed count up to an estimate of the full window.
+      (*out)[i] = static_cast<uint64_t>(std::llround(
+          static_cast<double>(raw) * static_cast<double>(enabled) /
+          static_cast<double>(running)));
+    } else {
+      (*out)[i] = raw;
+    }
+  }
+}
+
+PerfCounterSet& PerfCounterSet::Process() {
+  static PerfCounterSet* set = [] {
+    auto* s = new PerfCounterSet();
+    MetricsRegistry::Get().GetGauge("perf.available")
+        .Set(s->available() ? 1.0 : 0.0);
+    if (!s->available()) {
+      CLUSEQ_LOG(kWarning)
+          << "perf_event_open unavailable (syscall denied or no PMU); "
+             "hardware counters disabled, rusage phase stats still recorded";
+    }
+    return s;
+  }();
+  return *set;
+}
+
+PerfScope::PerfScope(const char* phase, PhasePerfCollector* collector,
+                     const PerfCounterSet* set)
+    : phase_(phase),
+      collector_(collector),
+      set_(set != nullptr ? set : &PerfCounterSet::Process()) {
+  rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    begin_utime_ = TimevalSeconds(usage.ru_utime);
+    begin_stime_ = TimevalSeconds(usage.ru_stime);
+    begin_major_faults_ = static_cast<uint64_t>(usage.ru_majflt);
+  }
+  perf_ok_ = set_->Read(&begin_);
+}
+
+PerfScope::~PerfScope() {
+  PhasePerf out;
+  out.phase = phase_;
+  if (perf_ok_) {
+    PerfReading end;
+    if (set_->Read(&end)) {
+      std::array<uint64_t, kMaxPerfEvents> delta;
+      PerfCounterSet::Delta(begin_, end, &delta);
+      out.counters.reserve(set_->num_events());
+      for (size_t i = 0; i < set_->num_events(); ++i) {
+        out.counters.emplace_back(set_->event_name(i), delta[i]);
+      }
+    }
+  }
+  rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    const double utime = TimevalSeconds(usage.ru_utime);
+    const double stime = TimevalSeconds(usage.ru_stime);
+    out.utime_seconds = utime - begin_utime_;
+    out.stime_seconds = stime - begin_stime_;
+    out.major_faults =
+        static_cast<uint64_t>(usage.ru_majflt) - begin_major_faults_;
+    out.maxrss_kb = static_cast<uint64_t>(usage.ru_maxrss);
+    // Cumulative process totals: gauges, not deltas, so the Prometheus
+    // view matches what getrusage reports.
+    MetricsRegistry& registry = MetricsRegistry::Get();
+    static Gauge& utime_gauge = registry.GetGauge("rusage.utime_seconds");
+    static Gauge& stime_gauge = registry.GetGauge("rusage.stime_seconds");
+    static Gauge& maxrss_gauge = registry.GetGauge("rusage.maxrss_kb");
+    static Gauge& majflt_gauge = registry.GetGauge("rusage.major_faults");
+    utime_gauge.Set(utime);
+    stime_gauge.Set(stime);
+    maxrss_gauge.Set(static_cast<double>(usage.ru_maxrss));
+    majflt_gauge.Set(static_cast<double>(usage.ru_majflt));
+  }
+  // Counter keys exist only when a reading succeeded: an unavailable set
+  // contributes nothing, so "no perf.* keys" is the degraded signature.
+  for (const auto& [name, delta] : out.counters) {
+    MetricsRegistry::Get()
+        .GetCounter(std::string("perf.") + phase_ + "." + name)
+        .Add(delta);
+  }
+  if (collector_ != nullptr) collector_->Append(std::move(out));
+}
+
+}  // namespace obs
+}  // namespace cluseq

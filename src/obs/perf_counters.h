@@ -1,0 +1,198 @@
+// Hardware performance counters and per-phase resource accounting.
+//
+// PerfCounterSet wraps perf_event_open(2): one event group (a leader plus
+// siblings) read atomically with a single read(2), so cycles, instructions
+// and cache/branch misses are mutually consistent — no skew between the
+// counters of one sample. The default set covers PERF_COUNT_HW_CPU_CYCLES,
+// INSTRUCTIONS, CACHE_REFERENCES, CACHE_MISSES and BRANCH_MISSES; siblings
+// that the kernel rejects (common for cache/branch events on older PMUs)
+// are dropped individually, and a rejected *leader* makes the whole set
+// unavailable. Unavailability is a supported state, not an error:
+// containers routinely deny the syscall (perf_event_paranoid >= 2 without
+// CAP_PERFMON) and VMs often expose no PMU at all. In that state every
+// operation is a cheap no-op, the `perf.available` gauge reads 0, exactly
+// one warning is logged, and no `perf.*` counter keys are ever registered —
+// consumers see the keys' absence, never zeros masquerading as
+// measurements.
+//
+// Counters are opened for the calling thread (perf "inherit" cannot be
+// combined with grouped reads), so deltas cover the orchestrating thread
+// only. That thread participates in every ParallelFor, which makes the
+// numbers representative of per-phase behavior; time_enabled/time_running
+// are tracked so multiplexed readings are scaled (§ PERF_FORMAT_TOTAL_TIME_*).
+//
+// PerfScope / PhasePerfCollector layer per-phase accounting on top: a scope
+// snapshots the process-wide counter set plus getrusage(RUSAGE_SELF) on
+// entry, and on exit records the deltas (a) into the collector (landing in
+// IterationStats and the run report) and (b) into the metrics registry as
+// `perf.<phase>.<counter>` counters and `rusage.*` gauges. getrusage is
+// always available, so utime/stime/major-fault deltas and the RSS
+// high-water mark survive even when perf does not.
+
+#ifndef CLUSEQ_OBS_PERF_COUNTERS_H_
+#define CLUSEQ_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cluseq {
+namespace obs {
+
+/// Upper bound on events per group (the default set uses 5).
+inline constexpr size_t kMaxPerfEvents = 8;
+
+/// One perf event to open: `type`/`config` as perf_event_attr fields
+/// (PERF_TYPE_* / PERF_COUNT_*), `name` the key the value is reported
+/// under. Must be a string literal (stored by pointer).
+struct PerfEventSpec {
+  uint32_t type = 0;
+  uint64_t config = 0;
+  const char* name = nullptr;
+};
+
+/// The default hardware set: cycles (leader), instructions, cache
+/// references, cache misses, branch misses. Empty on non-Linux builds.
+std::span<const PerfEventSpec> DefaultPerfEvents();
+
+/// One atomic sample of a group: raw (unscaled) values in spec order plus
+/// the enabled/running times needed to correct for multiplexing.
+struct PerfReading {
+  size_t num = 0;
+  std::array<uint64_t, kMaxPerfEvents> raw{};
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+};
+
+class PerfCounterSet {
+ public:
+  /// Opens the default hardware events for the calling thread.
+  PerfCounterSet();
+  /// Opens a custom group (events[0] is the leader). Used by tests to
+  /// exercise the live path with software events on PMU-less machines.
+  explicit PerfCounterSet(std::span<const PerfEventSpec> events);
+
+  /// Forced-unavailable instance: tests of the degraded path.
+  struct UnavailableTag {};
+  explicit PerfCounterSet(UnavailableTag) {}
+
+  ~PerfCounterSet();
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// False when the leader could not be opened (denied syscall, no PMU,
+  /// non-Linux). Read() then always fails and no keys are ever emitted.
+  bool available() const { return num_events_ > 0; }
+
+  /// Events that actually opened (rejected siblings are dropped).
+  size_t num_events() const { return num_events_; }
+  const char* event_name(size_t i) const { return names_[i]; }
+
+  /// One read(2) of the whole group. Returns false when unavailable or the
+  /// kernel returned a short/odd record.
+  bool Read(PerfReading* out) const;
+
+  /// end - begin per event, scaled by the group's enabled/running time
+  /// ratio over the window (identity when the group was never multiplexed).
+  static void Delta(const PerfReading& begin, const PerfReading& end,
+                    std::array<uint64_t, kMaxPerfEvents>* out);
+
+  /// Lazily-opened process-wide default set. The first call sets the
+  /// `perf.available` gauge and, when unavailable, logs one warning.
+  static PerfCounterSet& Process();
+
+ private:
+  void Open(std::span<const PerfEventSpec> events);
+
+  size_t num_events_ = 0;
+  std::array<int, kMaxPerfEvents> fds_{};  // fds_[0] is the group leader.
+  std::array<const char*, kMaxPerfEvents> names_{};
+};
+
+/// Per-phase resource deltas: perf counters when available, getrusage
+/// always. `counters` pairs event name -> multiplex-scaled delta, in the
+/// order of the set that produced them; empty when perf is unavailable.
+struct PhasePerf {
+  std::string phase;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  uint64_t major_faults = 0;  ///< Delta over the phase.
+  uint64_t maxrss_kb = 0;     ///< Process high-water mark at phase end.
+};
+
+class PhasePerfCollector;
+
+/// RAII sampler: snapshots counters + rusage at construction, records the
+/// deltas at destruction — into `collector` when given, and always into the
+/// metrics registry (`perf.<phase>.<counter>` counters, `rusage.*` gauges).
+/// Callers normally go through PhasePerfCollector::Sample or
+/// CLUSEQ_PERF_SCOPE; `phase` must be a string literal.
+class PerfScope {
+ public:
+  explicit PerfScope(const char* phase,
+                     PhasePerfCollector* collector = nullptr,
+                     const PerfCounterSet* set = nullptr);
+  ~PerfScope();
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  const char* phase_;
+  PhasePerfCollector* collector_;
+  const PerfCounterSet* set_;
+  PerfReading begin_;
+  bool perf_ok_ = false;
+  double begin_utime_ = 0.0;
+  double begin_stime_ = 0.0;
+  uint64_t begin_major_faults_ = 0;
+};
+
+/// Accumulates the PhasePerf records of the scopes sampled through it (one
+/// per scope, in destruction order). Single-threaded by design: phases are
+/// sampled by the orchestrating thread only.
+class PhasePerfCollector {
+ public:
+  /// Samples with the process-wide default counter set.
+  PhasePerfCollector() = default;
+  /// Samples with an injected set (tests: software events / forced
+  /// unavailable). `set` must outlive the collector.
+  explicit PhasePerfCollector(const PerfCounterSet* set) : set_(set) {}
+
+  PerfScope Sample(const char* phase) {
+    return PerfScope(phase, this, set_);
+  }
+
+  void Append(PhasePerf phase) { phases_.push_back(std::move(phase)); }
+
+  /// Moves out everything recorded so far and clears the collector.
+  std::vector<PhasePerf> TakePhases() {
+    std::vector<PhasePerf> out = std::move(phases_);
+    phases_.clear();
+    return out;
+  }
+
+ private:
+  const PerfCounterSet* set_ = nullptr;  // null = PerfCounterSet::Process().
+  std::vector<PhasePerf> phases_;
+};
+
+}  // namespace obs
+}  // namespace cluseq
+
+#define CLUSEQ_PERF_CONCAT_INNER(a, b) a##b
+#define CLUSEQ_PERF_CONCAT(a, b) CLUSEQ_PERF_CONCAT_INNER(a, b)
+
+/// Opens a scoped perf sample named `name` (a string literal): counter and
+/// rusage deltas land in the metrics registry when the scope closes.
+#define CLUSEQ_PERF_SCOPE(name)                                       \
+  ::cluseq::obs::PerfScope CLUSEQ_PERF_CONCAT(cluseq_perf_scope_,     \
+                                              __LINE__)(name)
+
+#endif  // CLUSEQ_OBS_PERF_COUNTERS_H_

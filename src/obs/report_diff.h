@@ -1,0 +1,117 @@
+// Structural comparison of two observability artifacts — run reports
+// (`cluseq.run_report.v1`, the CLI's --metrics_json output) or bench
+// results (`cluseq.bench.v1`, the BENCH_*.json files) — behind the
+// `cluseq report-diff` subcommand and the CI perf gate.
+//
+// Both schemas are flattened to one sorted (dotted-key -> finite double)
+// list: summary/input/eval blocks and the final counter/gauge snapshot for
+// run reports, every top-level numeric or boolean member for bench files.
+// A handful of derived aliases (scan.seconds, scan.symbols_per_sec,
+// prefilter.skip_ratio, refrozen_clusters, peak_rss_kb) name the headline
+// run-report quantities that CI thresholds want without path spelunking.
+//
+// The diff pairs the two flat views, computes absolute and relative deltas
+// per shared key, and evaluates --fail-on rules: `metric:-10%` breaches
+// when the metric *dropped* by more than 10% relative, `metric:+10%` when
+// it *rose* by more, `metric:10%` on either direction, and `metric:0%` is
+// an exact-equality gate. A rule whose metric is missing from either side
+// — or was dropped because the JSON carried null where a number belongs
+// (the writer maps NaN/Inf to null) — breaches conservatively: a gate that
+// cannot be evaluated must not pass silently.
+
+#ifndef CLUSEQ_OBS_REPORT_DIFF_H_
+#define CLUSEQ_OBS_REPORT_DIFF_H_
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace cluseq {
+namespace obs {
+
+/// Flat numeric view of one parsed report file.
+struct ReportMetrics {
+  std::string schema;  ///< "cluseq.run_report.v1" or "cluseq.bench.v1".
+  std::string name;    ///< Bench name; empty for run reports.
+  /// Sorted by key; values are finite.
+  std::vector<std::pair<std::string, double>> values;
+  /// Keys dropped because the JSON held null where a number belongs (the
+  /// writer serializes NaN/Inf as null).
+  std::vector<std::string> non_finite;
+
+  /// Value lookup; returns false when the key is absent.
+  bool Lookup(std::string_view key, double* out) const;
+};
+
+/// Flattens a parsed report. Fails on a missing or unrecognized schema.
+Status ExtractReportMetrics(const JsonValue& root, ReportMetrics* out);
+
+/// One --fail-on threshold.
+struct FailRule {
+  enum class Direction : uint8_t {
+    kBoth,   ///< "metric:10%": breach when |rel delta| > tolerance.
+    kBelow,  ///< "metric:-10%": breach when rel delta < -tolerance.
+    kAbove,  ///< "metric:+10%": breach when rel delta > +tolerance.
+  };
+
+  std::string metric;
+  double tolerance = 0.0;  ///< Relative, as a fraction (10% -> 0.1).
+  Direction direction = Direction::kBoth;
+
+  /// Accepts "metric:TOL" with TOL = [+|-]NUMBER[%]; "metric:0%" gates on
+  /// exact equality.
+  static Status Parse(std::string_view spec, FailRule* out);
+  std::string ToString() const;
+};
+
+/// One metric present in both files.
+struct MetricDelta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  double abs_delta = 0.0;  ///< b - a.
+  double rel_delta = 0.0;  ///< (b - a) / |a|; ±inf when a == 0 != b.
+  bool breached = false;   ///< Some rule fired on this row.
+};
+
+struct ReportDiff {
+  struct Breach {
+    std::string metric;
+    std::string reason;  ///< Human-readable: what fired and why.
+  };
+
+  std::string schema;
+  std::vector<MetricDelta> rows;        ///< Keys in both files, sorted.
+  std::vector<std::string> only_in_a;   ///< Keys the B file lost.
+  std::vector<std::string> only_in_b;   ///< Keys the B file gained.
+  std::vector<std::string> diagnostics; ///< Non-finite keys and the like.
+  std::vector<Breach> breaches;
+
+  bool ok() const { return breaches.empty(); }
+};
+
+/// Diffs two extracted views and evaluates `rules`. Fails (Status, not
+/// breach) on schema mismatch between the files or mismatched bench names
+/// — comparing a run report against a bench file is a usage error, not a
+/// regression.
+Status ComputeReportDiff(const ReportMetrics& a, const ReportMetrics& b,
+                         std::span<const FailRule> rules, ReportDiff* out);
+
+/// Convenience: parse + extract + diff two JSON documents.
+Status DiffReportFiles(const std::string& path_a, const std::string& path_b,
+                       std::span<const FailRule> rules, ReportDiff* out);
+
+/// Renders the per-metric table plus key-set changes, diagnostics, and the
+/// breach list (the `report-diff` CLI output, also uploaded as a CI
+/// artifact).
+void PrintReportDiff(const ReportDiff& diff, std::ostream& out);
+
+}  // namespace obs
+}  // namespace cluseq
+
+#endif  // CLUSEQ_OBS_REPORT_DIFF_H_

@@ -1,5 +1,6 @@
 #include "obs/run_report.h"
 
+#include <algorithm>
 #include <fstream>
 
 namespace cluseq {
@@ -89,6 +90,53 @@ void WriteIterationStats(JsonWriter& writer, const IterationStats& stats) {
   writer.EndObject();
 }
 
+void WritePhasePerf(JsonWriter& writer, const PhasePerf& phase) {
+  writer.BeginObject();
+  writer.KeyValue("phase", std::string_view(phase.phase));
+  for (const auto& [name, value] : phase.counters) {
+    writer.KeyValue(name, uint64_t{value});
+  }
+  writer.KeyValue("utime_seconds", phase.utime_seconds);
+  writer.KeyValue("stime_seconds", phase.stime_seconds);
+  writer.KeyValue("major_faults", uint64_t{phase.major_faults});
+  writer.KeyValue("maxrss_kb", uint64_t{phase.maxrss_kb});
+  writer.EndObject();
+}
+
+/// Run-wide aggregates of the per-iteration phase records: counter totals
+/// keyed by event name (insertion order = event order), rusage totals, and
+/// the RSS high-water mark.
+struct PerfSummary {
+  std::vector<std::pair<std::string, uint64_t>> counter_totals;
+  double utime_seconds = 0.0;
+  double stime_seconds = 0.0;
+  uint64_t major_faults = 0;
+  uint64_t maxrss_kb = 0;
+};
+
+PerfSummary SummarizePerf(const RunReport& report) {
+  PerfSummary sum;
+  for (const IterationStats& stats : report.iterations) {
+    for (const PhasePerf& phase : stats.phase_perf) {
+      sum.utime_seconds += phase.utime_seconds;
+      sum.stime_seconds += phase.stime_seconds;
+      sum.major_faults += phase.major_faults;
+      sum.maxrss_kb = std::max(sum.maxrss_kb, phase.maxrss_kb);
+      for (const auto& [name, value] : phase.counters) {
+        auto it = std::find_if(
+            sum.counter_totals.begin(), sum.counter_totals.end(),
+            [&](const auto& row) { return row.first == name; });
+        if (it == sum.counter_totals.end()) {
+          sum.counter_totals.emplace_back(name, value);
+        } else {
+          it->second += value;
+        }
+      }
+    }
+  }
+  return sum;
+}
+
 }  // namespace
 
 void WriteMetricsSnapshotJson(JsonWriter& writer,
@@ -164,6 +212,20 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.KeyValue("skip_ratio", report.prefilter_skip_ratio);
   writer.KeyValue("early_exits", uint64_t{report.prefilter_early_exits});
   writer.EndObject();
+  {
+    const PerfSummary perf = SummarizePerf(report);
+    writer.Key("perf");
+    writer.BeginObject();
+    writer.KeyValue("available", report.perf_available);
+    for (const auto& [name, value] : perf.counter_totals) {
+      writer.KeyValue(name, uint64_t{value});
+    }
+    writer.KeyValue("utime_seconds", perf.utime_seconds);
+    writer.KeyValue("stime_seconds", perf.stime_seconds);
+    writer.KeyValue("major_faults", uint64_t{perf.major_faults});
+    writer.KeyValue("maxrss_kb", uint64_t{perf.maxrss_kb});
+    writer.EndObject();
+  }
   writer.EndObject();
 
   writer.Key("iterations");
@@ -172,6 +234,14 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
     writer.BeginObject();
     writer.Key("stats");
     WriteIterationStats(writer, report.iterations[i]);
+    if (!report.iterations[i].phase_perf.empty()) {
+      writer.Key("perf");
+      writer.BeginArray();
+      for (const PhasePerf& phase : report.iterations[i].phase_perf) {
+        WritePhasePerf(writer, phase);
+      }
+      writer.EndArray();
+    }
     if (i < report.iteration_metrics.size()) {
       writer.Key("metrics");
       WriteMetricsSnapshotJson(writer, report.iteration_metrics[i]);

@@ -72,6 +72,14 @@ struct RunReport {
   double prefilter_skip_ratio = 0.0;
   size_t prefilter_early_exits = 0;
 
+  /// Whether perf_event_open counters were live for this run (the process-
+  /// wide default set opened). The `summary.perf` aggregates — counter
+  /// totals, rusage totals, the RSS high-water mark — are derived from the
+  /// per-iteration phase records at serialization time; counter keys are
+  /// omitted entirely when unavailable, so consumers distinguish "no perf"
+  /// from "zero events".
+  bool perf_available = false;
+
   /// External evaluation, filled by callers that have ground-truth labels
   /// (the CLI does when the input carries them).
   bool has_eval = false;

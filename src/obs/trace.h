@@ -8,6 +8,14 @@
 // in chrome://tracing and ui.perfetto.dev. When tracing is disabled (the
 // default) a span costs one relaxed atomic load.
 //
+// Recording is gated by a SamplingPolicy rather than all-or-nothing:
+// `always` keeps every span, `prob:p,seed=n` keeps a seeded-deterministic
+// fraction per thread, `every:n` keeps each thread's every-Nth span,
+// `rate:r` caps spans per second per span name, and `never` is a hard off
+// (equivalent to not starting). Sampling decisions only run once the
+// single relaxed load says tracing is on, so the disabled hot path is
+// untouched by the policy machinery.
+//
 // Span names must be string literals (or otherwise outlive the recorder):
 // events store the pointer, not a copy, so recording stays allocation-free
 // apart from buffer growth.
@@ -17,7 +25,10 @@
 // appends; the global collector locks each buffer briefly). Buffers of
 // exited threads — e.g. ParallelFor workers, which are joined per call —
 // are flushed into the recorder before the thread dies, so no events are
-// lost.
+// lost. Per-thread sampling state (the seeded RNG, the every-Nth counter)
+// lives in the same buffers and resets with them on Start(), so at a fixed
+// thread count with a deterministic span schedule two runs keep an
+// identical event set.
 
 #ifndef CLUSEQ_OBS_TRACE_H_
 #define CLUSEQ_OBS_TRACE_H_
@@ -25,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -34,6 +46,32 @@
 
 namespace cluseq {
 namespace obs {
+
+/// Which spans the recorder keeps while tracing is on. Parsed from the
+/// CLI's --trace_sample flag; see Parse() for the accepted specs.
+struct SamplingPolicy {
+  enum class Mode : uint8_t {
+    kAlways,         ///< Keep every span (the historical behavior).
+    kNever,          ///< Keep none: the recorder stays gated off.
+    kProbabilistic,  ///< Keep each span with probability p (seeded, per
+                     ///< thread — deterministic across identical runs).
+    kEveryNth,       ///< Keep each thread's spans 0, N, 2N, ... exactly.
+    kRateLimited,    ///< Keep at most `max_per_sec` spans per second for
+                     ///< each distinct span name (wall-clock windows).
+  };
+
+  Mode mode = Mode::kAlways;
+  double probability = 1.0;  ///< kProbabilistic.
+  uint64_t seed = 0;         ///< kProbabilistic.
+  uint64_t every_nth = 1;    ///< kEveryNth.
+  double max_per_sec = 0.0;  ///< kRateLimited.
+
+  /// Accepted specs: "always", "never" (alias "off"), "prob:P" or
+  /// "prob:P,seed=N" (0 <= P <= 1), "every:N" (N >= 1), "rate:R" (R > 0,
+  /// spans/second per span name).
+  static Status Parse(std::string_view spec, SamplingPolicy* out);
+  std::string ToString() const;
+};
 
 /// One completed span: [ts_us, ts_us + dur_us) on thread `tid`, in
 /// microseconds relative to the recorder's epoch.
@@ -50,17 +88,26 @@ class TraceRecorder {
 
   static TraceRecorder& Get();
 
-  /// Discards previously recorded events and starts recording.
-  void Start();
+  /// Discards previously recorded events and starts recording under
+  /// `policy`. A `never` policy leaves the recorder gated off (spans still
+  /// cost one relaxed load) after discarding old events.
+  void Start(const SamplingPolicy& policy);
+  void Start() { Start(SamplingPolicy{}); }
   /// Stops recording; already-recorded events stay collectable.
   void Stop();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Policy-based keep/drop decision for one span on the calling thread.
+  /// Only meaningful while enabled(); TraceSpan calls this after the
+  /// enabled gate passes.
+  bool Sample(const char* name);
 
   /// Appends one completed span (no-op while disabled). Callers normally go
   /// through CLUSEQ_TRACE_SPAN instead.
   void Record(const char* name, double ts_us, double dur_us);
 
-  /// Copy of every event recorded since Start(), in no particular order.
+  /// Copy of every event recorded since Start(), in no particular order —
+  /// WriteJson() sorts by (ts_us, tid) before serializing.
   std::vector<TraceEvent> Collect() const;
 
   /// Microseconds since the recorder epoch (the clock spans are stamped
@@ -68,21 +115,33 @@ class TraceRecorder {
   double NowMicros() const;
 
   /// Serializes all collected events as a Chrome trace_event JSON object:
-  /// {"displayTimeUnit": "ms", "traceEvents": [{"ph": "X", ...}, ...]}.
+  /// {"displayTimeUnit": "ms", "traceEvents": [...]} — first one "M"
+  /// thread_name metadata event per thread (named "t<N>"), then the "X"
+  /// complete events sorted by (ts_us, tid), so Perfetto timelines are
+  /// stable across runs and threads are labeled.
   void WriteJson(std::ostream& out) const;
   Status WriteJsonFile(const std::string& path) const;
 
  private:
   TraceRecorder();
   ThreadBuffer& BufferForThisThread();
+  // Clears stale per-thread state (events + sampling counters) when the
+  // buffer predates the current generation. Caller holds buffer.mu.
+  void SyncBufferLocked(ThreadBuffer& buffer, uint64_t generation);
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // Guards the buffer list and flushed events.
+  mutable std::mutex mu_;  // Guards the buffer list, policy, rate state,
+                           // and flushed events.
+  SamplingPolicy policy_;
   std::vector<ThreadBuffer*> live_buffers_;
   std::vector<TraceEvent> flushed_;
   uint64_t generation_ = 0;  // Bumped by Start() to invalidate old buffers.
+  // kRateLimited bookkeeping: span name -> (window start in whole seconds
+  // since epoch, spans kept in that window).
+  std::map<std::string, std::pair<int64_t, uint64_t>, std::less<>>
+      rate_windows_;
 };
 
 /// RAII span; see CLUSEQ_TRACE_SPAN.
@@ -90,7 +149,11 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
       : name_(name), enabled_(TraceRecorder::Get().enabled()) {
-    if (enabled_) start_us_ = TraceRecorder::Get().NowMicros();
+    if (enabled_) {
+      TraceRecorder& recorder = TraceRecorder::Get();
+      enabled_ = recorder.Sample(name);
+      if (enabled_) start_us_ = recorder.NowMicros();
+    }
   }
   ~TraceSpan() {
     if (enabled_) {

@@ -1,12 +1,21 @@
 #include "obs/prometheus.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/prefilter.h"
+#include "obs/perf_counters.h"
+#include "pst/frozen_bank.h"
+#include "pst/pst.h"
+#include "seq/background_model.h"
 #include "util/file_io.h"
+#include "util/rng.h"
 
 namespace cluseq {
 namespace obs {
@@ -75,6 +84,83 @@ TEST(PrometheusRenderTest, LiveRegistrySnapshotRenders) {
   const std::string text = RenderPrometheusText(registry.Snapshot());
   EXPECT_NE(text.find("prom_test_counter_total"), std::string::npos);
   EXPECT_NE(text.find("prom_test_gauge 2.25\n"), std::string::npos);
+}
+
+// Drives a real prefiltered scan so the production-registered
+// `prefilter.bound_slack` histogram (bounds 0.5 .. 64) gets observations,
+// then checks that the rendered buckets honor Prometheus' cumulative `le`
+// contract: counts non-decreasing across ascending bounds and the +Inf
+// bucket equal to the total count. A non-cumulative (per-bucket) rendering
+// regression would show up as a decreasing row here.
+TEST(PrometheusRenderTest, BoundSlackHistogramRendersCumulativeLe) {
+  Rng rng(1234);
+  constexpr size_t kAlphabet = 6;
+  constexpr size_t kModels = 4;
+  std::vector<uint64_t> counts(kAlphabet, 10);
+  const BackgroundModel background = BackgroundModel::FromCounts(counts);
+  std::vector<std::shared_ptr<const FrozenPst>> models;
+  for (size_t m = 0; m < kModels; ++m) {
+    PstOptions options;
+    options.max_depth = 3;
+    options.significance_threshold = 2;
+    Pst pst(kAlphabet, options);
+    std::vector<SymbolId> text(300);
+    for (auto& s : text) s = static_cast<SymbolId>(rng.Uniform(kAlphabet));
+    pst.InsertSequence(text);
+    models.push_back(std::make_shared<const FrozenPst>(pst, background));
+  }
+  FrozenBank bank(models);
+  const ScanPrefilter prefilter(&bank);
+  std::vector<SimilarityResult> sims(kModels);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<SymbolId> query(120);
+    for (auto& s : query) s = static_cast<SymbolId>(rng.Uniform(kAlphabet));
+    // A permissive threshold keeps at least the best model exact, which is
+    // the observation RecordSlack feeds the histogram.
+    prefilter.ScanAllWithThreshold(query, -1e9, sims.data());
+  }
+
+  const std::string text =
+      RenderPrometheusText(MetricsRegistry::Get().Snapshot());
+  ASSERT_NE(text.find("# TYPE prefilter_bound_slack histogram"),
+            std::string::npos)
+      << text;
+  const char* kLes[] = {"0.5", "1", "2", "4", "8", "16", "32", "64", "+Inf"};
+  uint64_t prev = 0;
+  uint64_t last = 0;
+  for (const char* le : kLes) {
+    const std::string needle =
+        std::string("prefilter_bound_slack_bucket{le=\"") + le + "\"} ";
+    const size_t pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos) << "missing bucket le=" << le;
+    last = std::strtoull(text.c_str() + pos + needle.size(), nullptr, 10);
+    EXPECT_GE(last, prev) << "le=" << le << " not cumulative";
+    prev = last;
+  }
+  EXPECT_GT(last, 0u);  // The scans above observed something.
+  const std::string count_needle = "prefilter_bound_slack_count ";
+  const size_t count_pos = text.find(count_needle);
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(std::strtoull(text.c_str() + count_pos + count_needle.size(),
+                          nullptr, 10),
+            last)
+      << "+Inf bucket must equal the total count";
+}
+
+TEST(PrometheusRenderTest, PerfAndRusageGaugesRender) {
+  // Force both registration paths: Process() publishes perf.available
+  // (whatever its value on this machine), and closing any PerfScope sets
+  // the rusage gauges.
+  const bool available = PerfCounterSet::Process().available();
+  { CLUSEQ_PERF_SCOPE("prom_render_test"); }
+  const std::string text =
+      RenderPrometheusText(MetricsRegistry::Get().Snapshot());
+  EXPECT_NE(text.find(std::string("perf_available ") +
+                      (available ? "1" : "0")),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rusage_maxrss_kb gauge"), std::string::npos);
+  EXPECT_NE(text.find("rusage_utime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("rusage_major_faults"), std::string::npos);
 }
 
 TEST(PrometheusRenderTest, WritesFileAtomically) {

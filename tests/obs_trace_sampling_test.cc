@@ -1,0 +1,226 @@
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+// The recorder is process-global; each test Start()s it, which discards
+// whatever earlier tests recorded.
+
+TEST(TraceSamplingTest, ParseAcceptsEveryPolicyShape) {
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("always", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kAlways);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("never", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kNever);
+  ASSERT_TRUE(SamplingPolicy::Parse("off", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kNever);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:0.25", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kProbabilistic);
+  EXPECT_DOUBLE_EQ(policy.probability, 0.25);
+  EXPECT_EQ(policy.seed, 0u);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:0.1,seed=42", &policy).ok());
+  EXPECT_DOUBLE_EQ(policy.probability, 0.1);
+  EXPECT_EQ(policy.seed, 42u);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("every:8", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kEveryNth);
+  EXPECT_EQ(policy.every_nth, 8u);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("rate:100", &policy).ok());
+  EXPECT_EQ(policy.mode, SamplingPolicy::Mode::kRateLimited);
+  EXPECT_DOUBLE_EQ(policy.max_per_sec, 100.0);
+}
+
+TEST(TraceSamplingTest, ParseRejectsMalformedSpecs) {
+  SamplingPolicy policy;
+  EXPECT_FALSE(SamplingPolicy::Parse("", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("sometimes", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("prob:", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("prob:1.5", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("prob:-0.1", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("prob:0.5,seed=", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("prob:0.5,sed=1", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("every:0", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("every:abc", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("rate:0", &policy).ok());
+  EXPECT_FALSE(SamplingPolicy::Parse("rate:-5", &policy).ok());
+}
+
+TEST(TraceSamplingTest, ToStringRoundTripsThroughParse) {
+  for (const char* spec :
+       {"always", "never", "prob:0.1,seed=42", "every:8", "rate:100"}) {
+    SamplingPolicy policy;
+    ASSERT_TRUE(SamplingPolicy::Parse(spec, &policy).ok()) << spec;
+    SamplingPolicy reparsed;
+    ASSERT_TRUE(SamplingPolicy::Parse(policy.ToString(), &reparsed).ok())
+        << policy.ToString();
+    EXPECT_EQ(reparsed.mode, policy.mode);
+    EXPECT_DOUBLE_EQ(reparsed.probability, policy.probability);
+    EXPECT_EQ(reparsed.seed, policy.seed);
+    EXPECT_EQ(reparsed.every_nth, policy.every_nth);
+    EXPECT_DOUBLE_EQ(reparsed.max_per_sec, policy.max_per_sec);
+  }
+}
+
+TEST(TraceSamplingTest, NeverPolicyKeepsRecorderGatedOff) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("never", &policy).ok());
+  recorder.Start(policy);
+  // The fast gate itself stays closed: spans never even reach Sample(),
+  // which is what keeps the off path at one relaxed atomic load.
+  EXPECT_FALSE(recorder.enabled());
+  { CLUSEQ_TRACE_SPAN("sampling_test.never"); }
+  recorder.Stop();
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(TraceSamplingTest, EveryNthIsExactPerThread) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("every:3", &policy).ok());
+  recorder.Start(policy);
+  for (int i = 0; i < 10; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.every");
+  }
+  recorder.Stop();
+  // Spans 0, 3, 6, 9 of this thread's sequence.
+  EXPECT_EQ(recorder.Collect().size(), 4u);
+
+  // Restarting resets the per-thread position counter.
+  recorder.Start(policy);
+  { CLUSEQ_TRACE_SPAN("sampling_test.every"); }
+  recorder.Stop();
+  EXPECT_EQ(recorder.Collect().size(), 1u);
+}
+
+TEST(TraceSamplingTest, SeededProbabilisticIsDeterministic) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:0.1,seed=42", &policy).ok());
+
+  constexpr int kSpans = 2000;
+  auto run_once = [&]() {
+    recorder.Start(policy);
+    std::vector<size_t> kept_positions;
+    for (int i = 0; i < kSpans; ++i) {
+      const size_t count_before = recorder.Collect().size();
+      { CLUSEQ_TRACE_SPAN("sampling_test.prob"); }
+      if (recorder.Collect().size() > count_before) {
+        kept_positions.push_back(static_cast<size_t>(i));
+      }
+    }
+    recorder.Stop();
+    return kept_positions;
+  };
+
+  const std::vector<size_t> first = run_once();
+  const std::vector<size_t> second = run_once();
+  // Identical kept-span positions across two runs: the decision stream is
+  // a pure function of (seed, thread index, span position).
+  EXPECT_EQ(first, second);
+  // p=0.1 over 2000 spans: expected 200 keeps; a deterministic stream
+  // only needs a sanity corridor, not a statistical test.
+  EXPECT_GT(first.size(), 100u);
+  EXPECT_LT(first.size(), 400u);
+}
+
+TEST(TraceSamplingTest, ProbabilisticEdgeCasesKeepAllOrNone) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:1", &policy).ok());
+  recorder.Start(policy);
+  for (int i = 0; i < 50; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.prob_one");
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.Collect().size(), 50u);
+
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:0", &policy).ok());
+  recorder.Start(policy);
+  for (int i = 0; i < 50; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.prob_zero");
+  }
+  recorder.Stop();
+  EXPECT_TRUE(recorder.Collect().empty());
+}
+
+TEST(TraceSamplingTest, ProbabilisticWorkersSampleIndependently) {
+  // Determinism is a per-thread-stream property: each thread's decisions
+  // are a pure function of (seed, its stable ThreadIndex, span position).
+  // Fresh std::threads draw fresh indices, so this test only pins down
+  // that concurrent samplers work and stay within the policy's corridor;
+  // cross-run set equality is covered single-threaded above and end-to-end
+  // by the CLI smoke (phase spans all live on the orchestrating thread).
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("prob:0.5,seed=7", &policy).ok());
+  recorder.Start(policy);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        CLUSEQ_TRACE_SPAN("sampling_test.worker");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  recorder.Stop();
+  const size_t kept = recorder.Collect().size();
+  // 400 spans at p=0.5: wide corridor, no flakes.
+  EXPECT_GT(kept, 100u);
+  EXPECT_LT(kept, 300u);
+}
+
+TEST(TraceSamplingTest, RateLimitCapsPerSpanName) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  SamplingPolicy policy;
+  ASSERT_TRUE(SamplingPolicy::Parse("rate:5", &policy).ok());
+  recorder.Start(policy);
+  // A tight burst lands within one wall-clock second window (the loop is
+  // microseconds long), so at most 5 of each name survive — and the two
+  // names are limited independently.
+  for (int i = 0; i < 100; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.rate_a");
+  }
+  for (int i = 0; i < 100; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.rate_b");
+  }
+  recorder.Stop();
+  size_t a = 0;
+  size_t b = 0;
+  for (const TraceEvent& event : recorder.Collect()) {
+    if (std::string(event.name) == "sampling_test.rate_a") ++a;
+    if (std::string(event.name) == "sampling_test.rate_b") ++b;
+  }
+  // The burst can straddle a second boundary, doubling the budget once.
+  EXPECT_GE(a, 1u);
+  EXPECT_LE(a, 10u);
+  EXPECT_GE(b, 1u);
+  EXPECT_LE(b, 10u);
+}
+
+TEST(TraceSamplingTest, DefaultStartIsAlways) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Start();
+  for (int i = 0; i < 25; ++i) {
+    CLUSEQ_TRACE_SPAN("sampling_test.default");
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.Collect().size(), 25u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

@@ -100,8 +100,18 @@ TEST(TraceTest, WriteJsonEmitsWellFormedChromeTrace) {
   const JsonValue* events = root.Find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  ASSERT_EQ(events->array.size(), 2u);
-  for (const JsonValue& event : events->array) {
+  // One thread_name metadata event for the single recording thread, then
+  // the two complete events.
+  ASSERT_EQ(events->array.size(), 3u);
+  const JsonValue& meta = events->array[0];
+  EXPECT_EQ(meta.Find("ph")->string_value, "M");
+  EXPECT_EQ(meta.Find("name")->string_value, "thread_name");
+  ASSERT_NE(meta.Find("args"), nullptr);
+  EXPECT_EQ(meta.Find("args")->Find("name")->string_value,
+            "t" + std::to_string(
+                      static_cast<uint64_t>(meta.Find("tid")->number)));
+  for (size_t i = 1; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
     ASSERT_TRUE(event.is_object());
     EXPECT_TRUE(event.Find("name")->is_string());
     EXPECT_EQ(event.Find("cat")->string_value, "cluseq");
@@ -111,6 +121,9 @@ TEST(TraceTest, WriteJsonEmitsWellFormedChromeTrace) {
     EXPECT_EQ(event.Find("pid")->number, 1.0);
     EXPECT_TRUE(event.Find("tid")->is_number());
   }
+  // Complete events are serialized in (ts, tid) order.
+  EXPECT_LE(events->array[1].Find("ts")->number,
+            events->array[2].Find("ts")->number);
 }
 
 TEST(TraceTest, WriteJsonFileRoundTrips) {
@@ -124,7 +137,8 @@ TEST(TraceTest, WriteJsonFileRoundTrips) {
   JsonValue root;
   ASSERT_TRUE(ParseJsonFile(path, &root).ok());
   ASSERT_TRUE(root.Find("traceEvents")->is_array());
-  EXPECT_EQ(root.Find("traceEvents")->array.size(), 1u);
+  // thread_name metadata + the one complete event.
+  EXPECT_EQ(root.Find("traceEvents")->array.size(), 2u);
   std::remove(path.c_str());
 }
 

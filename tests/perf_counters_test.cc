@@ -1,0 +1,171 @@
+#include "obs/perf_counters.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#endif
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+// Burns enough user CPU that a task-clock or cycle counter must advance.
+uint64_t BurnCpu(uint64_t spins) {
+  volatile uint64_t acc = 1;
+  for (uint64_t i = 0; i < spins; ++i) acc = acc * 6364136223846793005ULL + 1;
+  return acc;
+}
+
+TEST(PerfCountersTest, UnavailableSetIsSilentNoOp) {
+  PerfCounterSet set{PerfCounterSet::UnavailableTag{}};
+  EXPECT_FALSE(set.available());
+  EXPECT_EQ(set.num_events(), 0u);
+  PerfReading reading;
+  EXPECT_FALSE(set.Read(&reading));
+}
+
+// The degraded path must still be *correct*: rusage deltas recorded, the
+// phase present in the collector, and zero counter keys — absence, not
+// zeros, is the unavailability signature consumers rely on.
+TEST(PerfCountersTest, UnavailableCollectorKeepsRusageDropsCounters) {
+  PerfCounterSet unavailable{PerfCounterSet::UnavailableTag{}};
+  PhasePerfCollector collector(&unavailable);
+  {
+    PerfScope scope = collector.Sample("unavailable_phase");
+    BurnCpu(1000000);
+  }
+  std::vector<PhasePerf> phases = collector.TakePhases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].phase, "unavailable_phase");
+  EXPECT_TRUE(phases[0].counters.empty());
+  EXPECT_GT(phases[0].maxrss_kb, 0u);
+  EXPECT_GE(phases[0].utime_seconds, 0.0);
+  EXPECT_GE(phases[0].stime_seconds, 0.0);
+
+  // No perf.<phase>.* counter may have been registered for this phase.
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  for (const auto& row : snapshot.counters) {
+    EXPECT_EQ(row.name.find("perf.unavailable_phase."), std::string::npos)
+        << row.name;
+  }
+  // The rusage gauges are always maintained.
+  EXPECT_GT(snapshot.GaugeValue("rusage.maxrss_kb"), 0.0);
+}
+
+TEST(PerfCountersTest, TakePhasesDrainsCollector) {
+  PerfCounterSet unavailable{PerfCounterSet::UnavailableTag{}};
+  PhasePerfCollector collector(&unavailable);
+  { PerfScope scope = collector.Sample("a"); }
+  { PerfScope scope = collector.Sample("b"); }
+  std::vector<PhasePerf> phases = collector.TakePhases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].phase, "a");
+  EXPECT_EQ(phases[1].phase, "b");
+  EXPECT_TRUE(collector.TakePhases().empty());
+}
+
+// The process-wide set records its availability in the perf.available
+// gauge, whichever way the probe went on this machine.
+TEST(PerfCountersTest, ProcessSetPublishesAvailabilityGauge) {
+  PerfCounterSet& process = PerfCounterSet::Process();
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  EXPECT_EQ(snapshot.GaugeValue("perf.available", -1.0),
+            process.available() ? 1.0 : 0.0);
+}
+
+TEST(PerfCountersTest, DeltaScalesMultiplexedWindows) {
+  PerfReading begin;
+  begin.num = 1;
+  begin.raw[0] = 100;
+  begin.time_enabled_ns = 1000;
+  begin.time_running_ns = 1000;
+  PerfReading end = begin;
+  end.raw[0] = 150;            // +50 observed...
+  end.time_enabled_ns = 3000;  // ...over 2000ns enabled,
+  end.time_running_ns = 2000;  // of which only 1000ns on-core.
+  std::array<uint64_t, kMaxPerfEvents> delta;
+  PerfCounterSet::Delta(begin, end, &delta);
+  EXPECT_EQ(delta[0], 100u);  // 50 * 2000/1000.
+
+  // No multiplexing: the delta is the raw difference.
+  end.time_running_ns = 3000;
+  PerfCounterSet::Delta(begin, end, &delta);
+  EXPECT_EQ(delta[0], 50u);
+}
+
+#if defined(__linux__)
+
+// Software events are schedulable without a PMU and without elevated
+// perf_event_paranoid, so they exercise the real open/group-read/delta
+// machinery on machines where the hardware set is denied. If even these
+// cannot open (fully sealed sandbox), the live-path tests skip.
+const PerfEventSpec kSoftwareEvents[] = {
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, "task_clock_ns"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS, "page_faults"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES, "context_switches"},
+};
+
+TEST(PerfCountersTest, GroupReadIsConsistent) {
+  PerfCounterSet set{std::span<const PerfEventSpec>(kSoftwareEvents)};
+  if (!set.available()) GTEST_SKIP() << "perf_event_open denied entirely";
+  ASSERT_GE(set.num_events(), 1u);
+  BurnCpu(2000000);
+  PerfReading reading;
+  ASSERT_TRUE(set.Read(&reading));
+  // One read(2) returns every member of the group plus consistent
+  // enabled/running times (running can never exceed enabled).
+  EXPECT_EQ(reading.num, set.num_events());
+  EXPECT_GT(reading.time_enabled_ns, 0u);
+  EXPECT_GE(reading.time_enabled_ns, reading.time_running_ns);
+  // The leader (task clock) must have advanced over the burn.
+  EXPECT_GT(reading.raw[0], 0u);
+}
+
+TEST(PerfCountersTest, ScopedDeltasAreMonotone) {
+  PerfCounterSet set{std::span<const PerfEventSpec>(kSoftwareEvents)};
+  if (!set.available()) GTEST_SKIP() << "perf_event_open denied entirely";
+  PerfReading first;
+  ASSERT_TRUE(set.Read(&first));
+  BurnCpu(2000000);
+  PerfReading second;
+  ASSERT_TRUE(set.Read(&second));
+  for (size_t i = 0; i < set.num_events(); ++i) {
+    EXPECT_GE(second.raw[i], first.raw[i]) << set.event_name(i);
+  }
+  EXPECT_GE(second.time_enabled_ns, first.time_enabled_ns);
+  EXPECT_GE(second.time_running_ns, first.time_running_ns);
+  std::array<uint64_t, kMaxPerfEvents> delta;
+  PerfCounterSet::Delta(first, second, &delta);
+  EXPECT_GT(delta[0], 0u);  // Task clock strictly advances while spinning.
+}
+
+TEST(PerfCountersTest, AvailableCollectorRecordsCountersAndRegistry) {
+  PerfCounterSet set{std::span<const PerfEventSpec>(kSoftwareEvents)};
+  if (!set.available()) GTEST_SKIP() << "perf_event_open denied entirely";
+  PhasePerfCollector collector(&set);
+  {
+    PerfScope scope = collector.Sample("sw_phase");
+    BurnCpu(2000000);
+  }
+  std::vector<PhasePerf> phases = collector.TakePhases();
+  ASSERT_EQ(phases.size(), 1u);
+  ASSERT_EQ(phases[0].counters.size(), set.num_events());
+  EXPECT_EQ(phases[0].counters[0].first, "task_clock_ns");
+  EXPECT_GT(phases[0].counters[0].second, 0u);
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  EXPECT_GT(snapshot.CounterValue("perf.sw_phase.task_clock_ns"), 0u);
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

@@ -1,0 +1,298 @@
+#include "obs/report_diff.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace cluseq {
+namespace obs {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue root;
+  const Status status = ParseJson(text, &root);
+  EXPECT_TRUE(status.ok()) << status.message() << "\n" << text;
+  return root;
+}
+
+ReportMetrics Extract(const std::string& text) {
+  ReportMetrics metrics;
+  const Status status = ExtractReportMetrics(Parse(text), &metrics);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return metrics;
+}
+
+const char kBenchA[] = R"({
+  "schema": "cluseq.bench.v1",
+  "name": "prefilter",
+  "git": "abc123",
+  "hardware_threads": 8,
+  "degraded": false,
+  "k256_skip_ratio": 0.995,
+  "speedup_k256": 4.0,
+  "identical": true
+})";
+
+std::string BenchWith(double skip_ratio, double speedup) {
+  std::ostringstream out;
+  out << R"({
+  "schema": "cluseq.bench.v1",
+  "name": "prefilter",
+  "hardware_threads": 1,
+  "degraded": true,
+  "k256_skip_ratio": )" << skip_ratio << R"(,
+  "speedup_k256": )" << speedup << R"(,
+  "identical": true
+})";
+  return out.str();
+}
+
+TEST(ReportDiffTest, ExtractBenchFlattensNumbersAndBools) {
+  const ReportMetrics metrics = Extract(kBenchA);
+  EXPECT_EQ(metrics.schema, "cluseq.bench.v1");
+  EXPECT_EQ(metrics.name, "prefilter");
+  double value = 0.0;
+  ASSERT_TRUE(metrics.Lookup("k256_skip_ratio", &value));
+  EXPECT_DOUBLE_EQ(value, 0.995);
+  ASSERT_TRUE(metrics.Lookup("identical", &value));
+  EXPECT_EQ(value, 1.0);  // Bools diff as 0/1.
+  ASSERT_TRUE(metrics.Lookup("hardware_threads", &value));
+  EXPECT_EQ(value, 8.0);
+  // Envelope strings are not metrics.
+  EXPECT_FALSE(metrics.Lookup("git", &value));
+  EXPECT_FALSE(metrics.Lookup("schema", &value));
+}
+
+TEST(ReportDiffTest, ExtractRejectsMissingOrUnknownSchema) {
+  ReportMetrics metrics;
+  EXPECT_FALSE(
+      ExtractReportMetrics(Parse(R"({"bench": "old"})"), &metrics).ok());
+  EXPECT_FALSE(
+      ExtractReportMetrics(Parse(R"({"schema": "cluseq.bench.v9"})"),
+                           &metrics)
+          .ok());
+  EXPECT_FALSE(ExtractReportMetrics(Parse(R"([1, 2])"), &metrics).ok());
+}
+
+TEST(ReportDiffTest, ExtractRunReportFlattensAndAliases) {
+  const ReportMetrics metrics = Extract(R"({
+    "schema": "cluseq.run_report.v1",
+    "summary": {
+      "num_clusters": 5,
+      "total_seconds": 2.5,
+      "prefilter": {"enabled": true, "skip_ratio": 0.99},
+      "perf": {"available": true, "cycles": 1000, "maxrss_kb": 4096}
+    },
+    "input": {"num_sequences": 100, "corpus": {"records": 100}},
+    "iterations": [
+      {"stats": {"scan_seconds": 1.0, "refrozen_clusters": 3}},
+      {"stats": {"scan_seconds": 0.5, "refrozen_clusters": 2}}
+    ],
+    "final_metrics": {
+      "counters": {"cluseq.iterations": 2},
+      "gauges": {"frozen_bank.scan_symbols_per_sec": 1000000.0}
+    }
+  })");
+  double value = 0.0;
+  ASSERT_TRUE(metrics.Lookup("summary.num_clusters", &value));
+  EXPECT_EQ(value, 5.0);
+  ASSERT_TRUE(metrics.Lookup("summary.prefilter.skip_ratio", &value));
+  EXPECT_DOUBLE_EQ(value, 0.99);
+  ASSERT_TRUE(metrics.Lookup("summary.perf.cycles", &value));
+  EXPECT_EQ(value, 1000.0);
+  ASSERT_TRUE(metrics.Lookup("input.corpus.records", &value));
+  EXPECT_EQ(value, 100.0);
+  ASSERT_TRUE(metrics.Lookup("metrics.cluseq.iterations", &value));
+  EXPECT_EQ(value, 2.0);
+  // Derived aliases.
+  ASSERT_TRUE(metrics.Lookup("scan.seconds", &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  ASSERT_TRUE(metrics.Lookup("refrozen_clusters", &value));
+  EXPECT_EQ(value, 5.0);
+  ASSERT_TRUE(metrics.Lookup("scan.symbols_per_sec", &value));
+  EXPECT_DOUBLE_EQ(value, 1000000.0);
+  ASSERT_TRUE(metrics.Lookup("prefilter.skip_ratio", &value));
+  EXPECT_DOUBLE_EQ(value, 0.99);
+  ASSERT_TRUE(metrics.Lookup("peak_rss_kb", &value));
+  EXPECT_EQ(value, 4096.0);
+}
+
+TEST(ReportDiffTest, FailRuleParsesDirectionsAndUnits) {
+  FailRule rule;
+  ASSERT_TRUE(FailRule::Parse("scan.symbols_per_sec:-10%", &rule).ok());
+  EXPECT_EQ(rule.metric, "scan.symbols_per_sec");
+  EXPECT_EQ(rule.direction, FailRule::Direction::kBelow);
+  EXPECT_DOUBLE_EQ(rule.tolerance, 0.10);
+
+  ASSERT_TRUE(FailRule::Parse("peak_rss_kb:+20%", &rule).ok());
+  EXPECT_EQ(rule.direction, FailRule::Direction::kAbove);
+  EXPECT_DOUBLE_EQ(rule.tolerance, 0.20);
+
+  ASSERT_TRUE(FailRule::Parse("k256_skip_ratio:0%", &rule).ok());
+  EXPECT_EQ(rule.direction, FailRule::Direction::kBoth);
+  EXPECT_DOUBLE_EQ(rule.tolerance, 0.0);
+
+  ASSERT_TRUE(FailRule::Parse("speedup_k256:0.05", &rule).ok());
+  EXPECT_EQ(rule.direction, FailRule::Direction::kBoth);
+  EXPECT_DOUBLE_EQ(rule.tolerance, 0.05);
+
+  EXPECT_FALSE(FailRule::Parse("no_tolerance", &rule).ok());
+  EXPECT_FALSE(FailRule::Parse(":5%", &rule).ok());
+  EXPECT_FALSE(FailRule::Parse("metric:", &rule).ok());
+  EXPECT_FALSE(FailRule::Parse("metric:abc", &rule).ok());
+  EXPECT_FALSE(FailRule::Parse("metric:--5%", &rule).ok());
+}
+
+TEST(ReportDiffTest, SelfDiffIsCleanUnderExactRules) {
+  const ReportMetrics a = Extract(kBenchA);
+  std::vector<FailRule> rules(2);
+  ASSERT_TRUE(FailRule::Parse("k256_skip_ratio:0%", &rules[0]).ok());
+  ASSERT_TRUE(FailRule::Parse("identical:0%", &rules[1]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, a, rules, &diff).ok());
+  EXPECT_TRUE(diff.ok());
+  EXPECT_TRUE(diff.only_in_a.empty());
+  EXPECT_TRUE(diff.only_in_b.empty());
+  for (const MetricDelta& row : diff.rows) {
+    EXPECT_EQ(row.abs_delta, 0.0) << row.name;
+    EXPECT_EQ(row.rel_delta, 0.0) << row.name;
+  }
+}
+
+TEST(ReportDiffTest, RegressionBreachesDirectionalRule) {
+  const ReportMetrics a = Extract(BenchWith(0.995, 4.0));
+  const ReportMetrics b = Extract(BenchWith(0.995, 3.0));  // -25% speedup.
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("speedup_k256:-10%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, rules, &diff).ok());
+  ASSERT_EQ(diff.breaches.size(), 1u);
+  EXPECT_EQ(diff.breaches[0].metric, "speedup_k256");
+
+  // An improvement must NOT trip the lower-bound rule.
+  const ReportMetrics c = Extract(BenchWith(0.995, 8.0));
+  ASSERT_TRUE(ComputeReportDiff(a, c, rules, &diff).ok());
+  EXPECT_TRUE(diff.ok());
+
+  // ...but trips a both-direction exact rule.
+  ASSERT_TRUE(FailRule::Parse("speedup_k256:0%", &rules[0]).ok());
+  ASSERT_TRUE(ComputeReportDiff(a, c, rules, &diff).ok());
+  EXPECT_FALSE(diff.ok());
+}
+
+TEST(ReportDiffTest, ToleranceBoundaryIsInclusive) {
+  const ReportMetrics a = Extract(BenchWith(0.995, 4.0));
+  const ReportMetrics b = Extract(BenchWith(0.995, 3.6));  // Exactly -10%.
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("speedup_k256:-10%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, rules, &diff).ok());
+  // rel == -tolerance does not breach (strict inequality).
+  EXPECT_TRUE(diff.ok()) << diff.breaches[0].reason;
+}
+
+TEST(ReportDiffTest, MissingMetricBreachesConservatively) {
+  const ReportMetrics a = Extract(kBenchA);
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("no_such_metric:-10%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, a, rules, &diff).ok());
+  ASSERT_EQ(diff.breaches.size(), 1u);
+  EXPECT_NE(diff.breaches[0].reason.find("missing"), std::string::npos);
+}
+
+TEST(ReportDiffTest, SchemaAndNameMismatchAreUsageErrors) {
+  const ReportMetrics bench = Extract(kBenchA);
+  const ReportMetrics report = Extract(
+      R"({"schema": "cluseq.run_report.v1", "summary": {"num_clusters": 1},
+          "iterations": []})");
+  ReportDiff diff;
+  EXPECT_FALSE(ComputeReportDiff(bench, report, {}, &diff).ok());
+
+  ReportMetrics other_bench = bench;
+  other_bench.name = "frozen_bank";
+  EXPECT_FALSE(ComputeReportDiff(bench, other_bench, {}, &diff).ok());
+}
+
+TEST(ReportDiffTest, NullValuesSurfaceAsDiagnosticsAndBreachRules) {
+  // The writer serializes NaN/Inf as null; a rule on such a key must fail.
+  const ReportMetrics a = Extract(R"({
+    "schema": "cluseq.bench.v1", "name": "x", "good": 1.0, "bad": null})");
+  const ReportMetrics b = Extract(R"({
+    "schema": "cluseq.bench.v1", "name": "x", "good": 1.0, "bad": 2.0})");
+  ASSERT_EQ(a.non_finite.size(), 1u);
+  EXPECT_EQ(a.non_finite[0], "bad");
+
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("bad:0%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, rules, &diff).ok());
+  ASSERT_EQ(diff.breaches.size(), 1u);
+  EXPECT_NE(diff.breaches[0].reason.find("non-finite"), std::string::npos);
+  ASSERT_FALSE(diff.diagnostics.empty());
+}
+
+TEST(ReportDiffTest, ZeroBaselineYieldsInfiniteRelativeDelta) {
+  const ReportMetrics a = Extract(
+      R"({"schema": "cluseq.bench.v1", "name": "x", "m": 0.0})");
+  const ReportMetrics b = Extract(
+      R"({"schema": "cluseq.bench.v1", "name": "x", "m": 5.0})");
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("m:50%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, rules, &diff).ok());
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_TRUE(std::isinf(diff.rows[0].rel_delta));
+  // |inf| > any tolerance: the rule fires.
+  EXPECT_FALSE(diff.ok());
+  // 0 -> 0 is a clean 0% delta.
+  ASSERT_TRUE(ComputeReportDiff(a, a, rules, &diff).ok());
+  EXPECT_TRUE(diff.ok());
+}
+
+TEST(ReportDiffTest, KeySetChangesAreReportedNotFatal) {
+  const ReportMetrics a = Extract(
+      R"({"schema": "cluseq.bench.v1", "name": "x", "common": 1, "old": 2})");
+  const ReportMetrics b = Extract(
+      R"({"schema": "cluseq.bench.v1", "name": "x", "common": 1, "new": 3})");
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, {}, &diff).ok());
+  EXPECT_TRUE(diff.ok());
+  ASSERT_EQ(diff.only_in_a.size(), 1u);
+  EXPECT_EQ(diff.only_in_a[0], "old");
+  ASSERT_EQ(diff.only_in_b.size(), 1u);
+  EXPECT_EQ(diff.only_in_b[0], "new");
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_EQ(diff.rows[0].name, "common");
+}
+
+TEST(ReportDiffTest, PrintRendersTableBreachesAndNotes) {
+  const ReportMetrics a = Extract(BenchWith(0.995, 4.0));
+  const ReportMetrics b = Extract(BenchWith(0.5, 4.0));
+  std::vector<FailRule> rules(1);
+  ASSERT_TRUE(FailRule::Parse("k256_skip_ratio:0%", &rules[0]).ok());
+  ReportDiff diff;
+  ASSERT_TRUE(ComputeReportDiff(a, b, rules, &diff).ok());
+  std::ostringstream out;
+  PrintReportDiff(diff, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("k256_skip_ratio"), std::string::npos);
+  EXPECT_NE(text.find("BREACH"), std::string::npos);
+  EXPECT_NE(text.find("schema: cluseq.bench.v1"), std::string::npos);
+
+  ReportDiff clean;
+  ASSERT_TRUE(ComputeReportDiff(a, a, {}, &clean).ok());
+  std::ostringstream clean_out;
+  PrintReportDiff(clean, clean_out);
+  EXPECT_NE(clean_out.str().find("ok: no thresholds breached"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cluseq

@@ -125,7 +125,123 @@ TEST(RunReportTest, RoundTripMatchesIterationStats) {
     const obs::JsonValue* metrics = iterations->array[i].Find("metrics");
     ASSERT_NE(metrics, nullptr) << "iteration " << i;
     EXPECT_TRUE(metrics->Find("counters")->is_object());
+    // So does the per-phase perf block: rusage sampling never fails, so
+    // every iteration carries the seed/scan/join/consolidate/adjust_t
+    // phases even when perf_event_open is denied.
+    const obs::JsonValue* perf = iterations->array[i].Find("perf");
+    ASSERT_NE(perf, nullptr) << "iteration " << i;
+    ASSERT_TRUE(perf->is_array());
+    ASSERT_EQ(perf->array.size(), expect.phase_perf.size());
+    for (size_t p = 0; p < perf->array.size(); ++p) {
+      const obs::JsonValue& phase = perf->array[p];
+      EXPECT_EQ(phase.Find("phase")->string_value,
+                expect.phase_perf[p].phase);
+      EXPECT_TRUE(phase.Find("utime_seconds")->is_number());
+      EXPECT_TRUE(phase.Find("maxrss_kb")->is_number());
+      EXPECT_GT(phase.Find("maxrss_kb")->number, 0.0);
+    }
   }
+
+  // Phase order within an iteration is the loop's phase order.
+  const std::vector<obs::PhasePerf>& first_perf =
+      result.iteration_stats[0].phase_perf;
+  ASSERT_EQ(first_perf.size(), 5u);
+  EXPECT_EQ(first_perf[0].phase, "seed");
+  EXPECT_EQ(first_perf[1].phase, "scan");
+  EXPECT_EQ(first_perf[2].phase, "join");
+  EXPECT_EQ(first_perf[3].phase, "consolidate");
+  EXPECT_EQ(first_perf[4].phase, "adjust_t");
+
+  // The summary.perf availability flag and the per-phase counter keys must
+  // agree: counters present iff the process-wide set opened. Either way the
+  // rusage aggregates are filled (rusage never fails).
+  const obs::JsonValue* perf_summary = root.Find("summary")->Find("perf");
+  ASSERT_NE(perf_summary, nullptr);
+  ASSERT_NE(perf_summary->Find("available"), nullptr);
+  const bool available = perf_summary->Find("available")->bool_value;
+  EXPECT_EQ(available, report->perf_available);
+  for (const obs::PhasePerf& phase : first_perf) {
+    EXPECT_EQ(!phase.counters.empty(), available) << phase.phase;
+  }
+  EXPECT_TRUE(perf_summary->Find("utime_seconds")->is_number());
+  EXPECT_GT(perf_summary->Find("maxrss_kb")->number, 0.0);
+  if (available) {
+    EXPECT_NE(perf_summary->Find("cycles"), nullptr);
+  } else {
+    EXPECT_EQ(perf_summary->Find("cycles"), nullptr);
+  }
+}
+
+TEST(RunReportTest, PerfSummaryAggregatesHandBuiltPhases) {
+  // Serialization-level coverage of the perf-available path, independent of
+  // whether this machine grants perf_event_open: hand-build the phase
+  // records the collector would have produced.
+  obs::RunReport report;
+  report.perf_available = true;
+  IterationStats it1;
+  it1.phase_perf.push_back(obs::PhasePerf{
+      "scan", {{"cycles", 1000}, {"instructions", 2000}}, 0.5, 0.1, 2, 800});
+  it1.phase_perf.push_back(
+      obs::PhasePerf{"join", {{"cycles", 100}}, 0.1, 0.0, 0, 900});
+  IterationStats it2;
+  it2.phase_perf.push_back(obs::PhasePerf{
+      "scan", {{"cycles", 3000}, {"instructions", 4000}}, 0.25, 0.0, 1, 850});
+  report.iterations = {it1, it2};
+
+  std::ostringstream out;
+  obs::WriteRunReportJson(report, out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok()) << out.str();
+
+  const obs::JsonValue* perf = root.Find("summary")->Find("perf");
+  ASSERT_NE(perf, nullptr);
+  EXPECT_TRUE(perf->Find("available")->bool_value);
+  EXPECT_EQ(perf->Find("cycles")->number, 4100.0);
+  EXPECT_EQ(perf->Find("instructions")->number, 6000.0);
+  EXPECT_DOUBLE_EQ(perf->Find("utime_seconds")->number, 0.85);
+  EXPECT_DOUBLE_EQ(perf->Find("stime_seconds")->number, 0.1);
+  EXPECT_EQ(perf->Find("major_faults")->number, 3.0);
+  EXPECT_EQ(perf->Find("maxrss_kb")->number, 900.0);  // High-water mark.
+
+  const obs::JsonValue* iterations = root.Find("iterations");
+  ASSERT_EQ(iterations->array.size(), 2u);
+  const obs::JsonValue* it1_perf = iterations->array[0].Find("perf");
+  ASSERT_NE(it1_perf, nullptr);
+  ASSERT_EQ(it1_perf->array.size(), 2u);
+  EXPECT_EQ(it1_perf->array[0].Find("phase")->string_value, "scan");
+  EXPECT_EQ(it1_perf->array[0].Find("cycles")->number, 1000.0);
+  EXPECT_EQ(it1_perf->array[0].Find("instructions")->number, 2000.0);
+  EXPECT_EQ(it1_perf->array[1].Find("phase")->string_value, "join");
+  EXPECT_EQ(it1_perf->array[1].Find("instructions"), nullptr);
+}
+
+TEST(RunReportTest, UnavailablePerfOmitsCounterKeys) {
+  // The degraded contract: available=false, rusage aggregates still there,
+  // and NO counter keys — consumers must never see zeros masquerading as
+  // measurements.
+  obs::RunReport report;
+  report.perf_available = false;
+  IterationStats it1;
+  it1.phase_perf.push_back(obs::PhasePerf{"scan", {}, 0.5, 0.1, 0, 700});
+  report.iterations = {it1};
+
+  std::ostringstream out;
+  obs::WriteRunReportJson(report, out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok()) << out.str();
+
+  const obs::JsonValue* perf = root.Find("summary")->Find("perf");
+  ASSERT_NE(perf, nullptr);
+  EXPECT_FALSE(perf->Find("available")->bool_value);
+  EXPECT_EQ(perf->Find("cycles"), nullptr);
+  EXPECT_EQ(perf->Find("instructions"), nullptr);
+  EXPECT_DOUBLE_EQ(perf->Find("utime_seconds")->number, 0.5);
+  EXPECT_EQ(perf->Find("maxrss_kb")->number, 700.0);
+  const obs::JsonValue* it_perf =
+      root.Find("iterations")->array[0].Find("perf");
+  ASSERT_NE(it_perf, nullptr);
+  EXPECT_EQ(it_perf->array[0].Find("cycles"), nullptr);
+  EXPECT_GT(it_perf->array[0].Find("maxrss_kb")->number, 0.0);
 }
 
 TEST(RunReportTest, ReportEchoesOptionsAndMetrics) {

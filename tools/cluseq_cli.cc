@@ -129,6 +129,7 @@ struct CommonFlags {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_json;
+  obs::SamplingPolicy trace_sample;  // Default: keep every span.
   std::string kind = "synthetic";
   double scale = 0.05;
   uint64_t seed = 42;
@@ -157,6 +158,14 @@ struct CommonFlags {
       } else if (ParseFlag(arg, "trace_json", &v) ||
                  ParseFlag(arg, "trace-json", &v)) {
         trace_json = v;
+      } else if (ParseFlag(arg, "trace_sample", &v) ||
+                 ParseFlag(arg, "trace-sample", &v)) {
+        Status st = obs::SamplingPolicy::Parse(v, &trace_sample);
+        if (!st.ok()) {
+          std::fprintf(stderr, "--trace_sample: %s\n",
+                       st.ToString().c_str());
+          return false;
+        }
       } else if (ParseFlag(arg, "kind", &v)) {
         kind = v;
       } else if (ParseFlag(arg, "scale", &v)) {
@@ -314,7 +323,9 @@ int RunCluster(CommonFlags& flags) {
               db.alphabet().size());
   if (flags.options.verbose) PrintCorpusLine(flags.input, corpus);
 
-  if (!flags.trace_json.empty()) obs::TraceRecorder::Get().Start();
+  if (!flags.trace_json.empty()) {
+    obs::TraceRecorder::Get().Start(flags.trace_sample);
+  }
   CluseqClusterer clusterer(db, flags.options);
   ClusteringResult result;
   st = clusterer.Run(&result);
@@ -559,9 +570,102 @@ int RunClassify(const CommonFlags& flags) {
   return MaybeWritePrometheus(flags.metrics_prom);
 }
 
+// `report-diff A.json B.json [--fail-on metric:tol,...]` — structural
+// comparison of two cluseq.run_report.v1 / cluseq.bench.v1 files, or
+// `report-diff --validate FILE` to parse-check a single report.
+// Exit codes: 0 = ok, 1 = a --fail-on threshold breached, 2 = usage /
+// unreadable file / schema mismatch.
+int RunReportDiff(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<obs::FailRule> rules;
+  std::string validate_path;
+  auto add_rules = [&rules](const std::string& specs) -> bool {
+    size_t begin = 0;
+    while (begin <= specs.size()) {
+      size_t end = specs.find(',', begin);
+      if (end == std::string::npos) end = specs.size();
+      const std::string spec = specs.substr(begin, end - begin);
+      if (!spec.empty()) {
+        obs::FailRule rule;
+        Status st = obs::FailRule::Parse(spec, &rule);
+        if (!st.ok()) {
+          std::fprintf(stderr, "--fail-on: %s\n", st.ToString().c_str());
+          return false;
+        }
+        rules.push_back(std::move(rule));
+      }
+      begin = end + 1;
+    }
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "fail-on", &v) || ParseFlag(arg, "fail_on", &v)) {
+      if (!add_rules(v)) return 2;
+    } else if (arg == "--fail-on" || arg == "--fail_on") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--fail-on needs a metric:tolerance value\n");
+        return 2;
+      }
+      if (!add_rules(argv[++i])) return 2;
+    } else if (ParseFlag(arg, "validate", &v)) {
+      validate_path = v;
+    } else if (arg == "--validate") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--validate needs a file path\n");
+        return 2;
+      }
+      validate_path = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "report-diff: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (!validate_path.empty()) {
+    if (!files.empty() || !rules.empty()) {
+      std::fprintf(stderr,
+                   "report-diff: --validate takes no other arguments\n");
+      return 2;
+    }
+    obs::JsonValue root;
+    Status st = obs::ParseJsonFile(validate_path, &root);
+    obs::ReportMetrics metrics;
+    if (st.ok()) st = obs::ExtractReportMetrics(root, &metrics);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report-diff: %s: %s\n", validate_path.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    std::printf("ok: %s (%s, %zu metrics)\n", validate_path.c_str(),
+                metrics.schema.c_str(), metrics.values.size());
+    return 0;
+  }
+
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "report-diff: expected exactly two report files "
+                 "(got %zu); or --validate FILE\n",
+                 files.size());
+    return 2;
+  }
+  obs::ReportDiff diff;
+  Status st = obs::DiffReportFiles(files[0], files[1], rules, &diff);
+  if (!st.ok()) {
+    std::fprintf(stderr, "report-diff: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  obs::PrintReportDiff(diff, std::cout);
+  return diff.ok() ? 0 : 1;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: cluseq_cli <generate|import|export|cluster|classify> "
+               "usage: cluseq_cli "
+               "<generate|import|export|cluster|classify|report-diff> "
                "[flags]\n"
                "  generate --kind=synthetic|protein|language --out=PATH "
                "[--scale=F] [--seed=N]\n"
@@ -579,6 +683,13 @@ void PrintUsage() {
                "[--verbose]\n"
                "           [--metrics_json=PATH] [--metrics_prom=PATH] "
                "[--trace_json=PATH]\n"
+               "           [--trace_sample=always|never|prob:P[,seed=N]|"
+               "every:N|rate:R]\n"
+               "  report-diff A.json B.json [--fail-on=metric:[+|-]TOL%%,...]"
+               "\n"
+               "  report-diff --validate FILE     (parse-check one report)\n"
+               "           exit 0 = ok, 1 = threshold breached, 2 = usage/"
+               "schema error\n"
                "  classify --input=PATH --model-dir=DIR "
                "[--batched_scan=on|off] [--prefilter=on|off] [--strict]\n"
                "           [--threads=N] [--metrics_prom=PATH]\n"
@@ -601,6 +712,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
+  // report-diff has positional arguments; parse its own argv slice.
+  if (command == "report-diff" || command == "report_diff") {
+    return RunReportDiff(argc, argv);
+  }
   CommonFlags flags;
   if (!flags.Parse(argc, argv)) {
     PrintUsage();
