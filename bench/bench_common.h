@@ -88,18 +88,9 @@ inline void EmitTable(const cluseq::ReportTable& table, bool csv) {
 /// Best-effort `git describe` of the working tree the bench ran in. Empty
 /// (and the envelope key omitted) when git or the repo is unavailable —
 /// CI artifact directories and tarball builds are normal, not errors.
-inline std::string GitDescribe() {
-  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
-  if (pipe == nullptr) return {};
-  std::string out;
-  char buf[128];
-  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
-  ::pclose(pipe);
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out;
-}
+/// Delegates to the library's util/build_info so the bench envelope,
+/// `cluseq version`, and checkpoint metadata all report the same string.
+inline std::string GitDescribe() { return cluseq::GitDescribe(); }
 
 /// Writes a flat metrics object to BENCH_<name>.json in the working
 /// directory, so successive runs leave a machine-readable trajectory next

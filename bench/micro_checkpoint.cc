@@ -1,0 +1,173 @@
+// Checkpoint overhead A/B: the same clustering run with checkpointing off,
+// with a checkpoint written every iteration, and with a checkpoint
+// directory configured but checkpoint_every=0 (which must disable
+// checkpointing entirely and cost nothing). Repetitions are interleaved
+// A B C A B C ... so thermal drift and page-cache warmup land evenly on
+// all three arms instead of biasing whichever ran last.
+//
+// Before timing, all three arms' clusterings are checked bit-for-bit
+// identical — checkpointing is bookkeeping on iteration boundaries and
+// must never perturb the result. Any mismatch fails the bench.
+//
+// Emits BENCH_checkpoint.json: mean seconds per arm, the on/off overhead
+// ratio, saves per run, bytes and seconds per save. Usage:
+// micro_checkpoint [--scale=F] [--seed=N] [--csv]
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+using namespace cluseq;
+using namespace cluseq_bench;
+
+namespace {
+
+bool Identical(const ClusteringResult& x, const ClusteringResult& y) {
+  return x.clusters == y.clusters && x.best_cluster == y.best_cluster &&
+         x.best_log_sim == y.best_log_sim &&
+         x.final_log_threshold == y.final_log_threshold &&
+         x.num_unclustered == y.num_unclustered;
+}
+
+double RunOnce(const SequenceDatabase& db, const CluseqOptions& options,
+               ClusteringResult* result) {
+  Stopwatch timer;
+  Status st = RunCluseq(db, options, result);
+  if (!st.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintHeader("Checkpoint overhead A/B — off vs every-iteration vs cadence 0",
+              "crash-safety perf target (not a paper table); checkpoint "
+              "saves ride iteration boundaries and must stay cheap");
+
+  SyntheticDatasetOptions synth;
+  synth.num_clusters = 8;
+  synth.sequences_per_cluster = Scaled(25, args.scale);
+  synth.alphabet_size = 20;
+  synth.avg_length = 120;
+  synth.outlier_fraction = 0.05;
+  synth.seed = args.seed;
+  const SequenceDatabase db = MakeSyntheticDataset(synth);
+
+  CluseqOptions base = ScaledCluseqOptions(args.scale);
+  base.num_threads = HardwareThreads();
+  base.rng_seed = args.seed;
+
+  std::string dir_template =
+      (std::filesystem::temp_directory_path() / "cluseq_bench_ckpt_XXXXXX")
+          .string();
+  char* dir_cstr = ::mkdtemp(dir_template.data());
+  if (dir_cstr == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = dir_cstr;
+
+  CluseqOptions off = base;
+  CluseqOptions on = base;
+  on.checkpoint_dir = dir;
+  on.checkpoint_every = 1;
+  CluseqOptions zero = base;
+  zero.checkpoint_dir = dir;
+  zero.checkpoint_every = 0;  // Configured but disabled: must cost nothing.
+
+  obs::Counter& bytes_counter =
+      obs::MetricsRegistry::Get().GetCounter("checkpoint.bytes_written");
+
+  // Untimed warmup + the correctness gate across all three arms.
+  ClusteringResult off_result;
+  ClusteringResult on_result;
+  ClusteringResult zero_result;
+  (void)RunOnce(db, off, &off_result);
+  const uint64_t bytes_before = bytes_counter.Value();
+  (void)RunOnce(db, on, &on_result);
+  const uint64_t bytes_per_run = bytes_counter.Value() - bytes_before;
+  (void)RunOnce(db, zero, &zero_result);
+  const bool identical = Identical(off_result, on_result) &&
+                         Identical(off_result, zero_result);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: checkpointing changed the "
+                 "clustering result\n");
+  }
+  const size_t saves_per_run = on_result.iterations;  // Converged run:
+  // boundaries 0 .. iterations-1 (the fixed-point iteration breaks before
+  // its capture), so `iterations` saves at cadence 1.
+
+  const int kReps = 5;
+  double off_total = 0.0;
+  double on_total = 0.0;
+  double zero_total = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Fresh directory contents per checkpointed rep so every save pays the
+    // same retention work (unlink third-newest) instead of a mix.
+    std::filesystem::remove_all(dir);
+    if (!EnsureDirectory(dir).ok()) {
+      std::fprintf(stderr, "cannot recreate %s\n", dir.c_str());
+      return 1;
+    }
+    ClusteringResult r;
+    off_total += RunOnce(db, off, &r);
+    on_total += RunOnce(db, on, &r);
+    zero_total += RunOnce(db, zero, &r);
+  }
+  const double off_mean = off_total / kReps;
+  const double on_mean = on_total / kReps;
+  const double zero_mean = zero_total / kReps;
+  const double save_seconds =
+      obs::MetricsRegistry::Get().GetGauge("checkpoint.save_seconds").Value();
+  std::filesystem::remove_all(dir);
+
+  ReportTable table({"arm", "mean (s)", "vs off"});
+  table.AddRow({"checkpoint off", FormatDouble(off_mean, 4), "1.00x"});
+  table.AddRow({"every iteration", FormatDouble(on_mean, 4),
+                FormatDouble(on_mean / off_mean, 2) + "x"});
+  table.AddRow({"dir set, every=0", FormatDouble(zero_mean, 4),
+                FormatDouble(zero_mean / off_mean, 2) + "x"});
+  EmitTable(table, args.csv);
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("num_sequences", static_cast<double>(db.size()));
+  metrics.emplace_back("iterations",
+                       static_cast<double>(on_result.iterations));
+  metrics.emplace_back("off_seconds", off_mean);
+  metrics.emplace_back("on_seconds", on_mean);
+  metrics.emplace_back("zero_cadence_seconds", zero_mean);
+  metrics.emplace_back("overhead_ratio", on_mean / off_mean);
+  metrics.emplace_back("zero_cadence_ratio", zero_mean / off_mean);
+  metrics.emplace_back("saves_per_run", static_cast<double>(saves_per_run));
+  metrics.emplace_back("bytes_per_run", static_cast<double>(bytes_per_run));
+  metrics.emplace_back(
+      "bytes_per_save",
+      saves_per_run > 0
+          ? static_cast<double>(bytes_per_run) / saves_per_run
+          : 0.0);
+  metrics.emplace_back("last_save_seconds", save_seconds);
+  if (!WriteBenchJson("checkpoint", metrics, {{"identical", identical}})) {
+    std::fprintf(stderr, "failed to write BENCH_checkpoint.json\n");
+    return 1;
+  }
+  std::printf("\ncheckpointed vs plain results identical: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("every-iteration overhead: %.2f%% (%zu saves, %.1f KB each)\n",
+              100.0 * (on_mean / off_mean - 1.0), saves_per_run,
+              saves_per_run > 0
+                  ? static_cast<double>(bytes_per_run) / saves_per_run / 1024.0
+                  : 0.0);
+  std::printf("metrics -> BENCH_checkpoint.json\n");
+  return identical ? 0 : 1;
+}

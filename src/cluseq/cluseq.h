@@ -21,6 +21,7 @@
 #include "baselines/hmm.h"
 #include "baselines/kmedoids.h"
 #include "baselines/qgram.h"
+#include "core/checkpoint.h"
 #include "core/cluseq.h"
 #include "core/cluster.h"
 #include "core/online_scorer.h"
@@ -57,6 +58,8 @@
 #include "synth/generator_model.h"
 #include "synth/language_like.h"
 #include "synth/protein_like.h"
+#include "util/build_info.h"
+#include "util/cancellation.h"
 #include "util/crc32c.h"
 #include "util/fault_injection.h"
 #include "util/file_io.h"

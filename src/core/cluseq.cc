@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "core/prefilter.h"
 #include "core/seeding.h"
 #include "core/similarity.h"
@@ -14,6 +16,8 @@
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "pst/pst_serialization.h"
+#include "util/build_info.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -57,6 +61,9 @@ Status CluseqOptions::Validate() const {
   if (!(auto_threshold_quantile > 0.0) || !(auto_threshold_quantile < 1.0)) {
     return Status::InvalidArgument(
         "auto_threshold_quantile must be in (0, 1)");
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument("resume requires checkpoint_dir");
   }
   return pst.Validate();
 }
@@ -569,6 +576,110 @@ std::vector<uint64_t> CluseqClusterer::MembershipFingerprint() const {
   return hashes;
 }
 
+ClustererCheckpoint CluseqClusterer::BuildCheckpoint(
+    uint64_t iteration, const ThresholdAdjuster& adjuster,
+    const std::vector<uint64_t>& prev_fingerprint,
+    bool have_prev_fingerprint) const {
+  ClustererCheckpoint ckpt;
+  ckpt.options_fingerprint = FingerprintOptions(options_);
+  ckpt.corpus_fingerprint = db_.ContentFingerprint();
+  ckpt.num_sequences = db_.size();
+  ckpt.total_symbols = db_.TotalSymbols();
+  ckpt.build = BuildVersionString();
+  ckpt.iteration = iteration;
+  ckpt.log_t = log_t_;
+  ckpt.next_cluster_id = next_cluster_id_;
+  ckpt.prev_new = prev_new_;
+  ckpt.prev_consolidated = prev_consolidated_;
+  ckpt.adjuster_frozen = adjuster.frozen();
+  ckpt.have_prev_fingerprint = have_prev_fingerprint;
+  ckpt.prev_fingerprint = prev_fingerprint;
+  ckpt.rng = rng_.SaveState();
+  ckpt.prev_best_cluster = prev_best_cluster_;
+  ckpt.best_log_sim = best_log_sim_;
+  ckpt.unclustered.assign(unclustered_.begin(), unclustered_.end());
+  ckpt.clusters.reserve(clusters_.size());
+  for (const Cluster& cluster : clusters_) {
+    CheckpointClusterState state;
+    state.id = cluster.id();
+    state.seed_index = cluster.seed_index();
+    state.members.assign(cluster.members().begin(), cluster.members().end());
+    state.contributions.reserve(cluster.contributions().size());
+    for (const auto& [seq, segment] : cluster.contributions()) {
+      state.contributions.push_back({static_cast<uint64_t>(seq),
+                                     static_cast<uint64_t>(segment.begin),
+                                     static_cast<uint64_t>(segment.end)});
+    }
+    // Canonical order: the map iterates nondeterministically, but the
+    // encoded bytes must be a pure function of the cluster state.
+    std::sort(state.contributions.begin(), state.contributions.end(),
+              [](const auto& a, const auto& b) {
+                return a.seq_index < b.seq_index;
+              });
+    std::ostringstream blob;
+    // SavePst only fails on stream write errors, which an ostringstream
+    // never produces.
+    Status st = SavePst(cluster.pst(), blob);
+    CLUSEQ_CHECK(st.ok(), "in-memory PST serialization cannot fail");
+    state.pst_blob = blob.str();
+    ckpt.clusters.push_back(std::move(state));
+  }
+  return ckpt;
+}
+
+Status CluseqClusterer::RestoreFromCheckpoint(
+    const ClustererCheckpoint& ckpt, ThresholdAdjuster* adjuster,
+    std::vector<uint64_t>* prev_fingerprint, bool* have_prev_fingerprint) {
+  if (ckpt.options_fingerprint != FingerprintOptions(options_)) {
+    return Status::FailedPrecondition(
+        "checkpoint was written under different algorithmic options; "
+        "resume with the original options or start fresh without --resume");
+  }
+  if (ckpt.num_sequences != db_.size() ||
+      ckpt.total_symbols != db_.TotalSymbols() ||
+      ckpt.corpus_fingerprint != db_.ContentFingerprint()) {
+    return Status::FailedPrecondition(
+        "checkpoint was written against a different corpus; resume with "
+        "the original input or start fresh without --resume");
+  }
+  background_ = BackgroundModel::FromDatabase(db_);
+  rng_ = Rng(options_.rng_seed);
+  rng_.RestoreState(ckpt.rng);
+  clusters_.clear();
+  clusters_.reserve(ckpt.clusters.size());
+  for (const CheckpointClusterState& state : ckpt.clusters) {
+    Pst pst(db_.alphabet().size(), options_.pst);
+    std::istringstream blob(state.pst_blob);
+    CLUSEQ_RETURN_NOT_OK(LoadPst(blob, &pst));
+    std::vector<size_t> members(state.members.begin(), state.members.end());
+    std::vector<std::pair<size_t, Cluster::Segment>> contributions;
+    contributions.reserve(state.contributions.size());
+    for (const auto& contrib : state.contributions) {
+      contributions.emplace_back(
+          static_cast<size_t>(contrib.seq_index),
+          Cluster::Segment{static_cast<size_t>(contrib.begin),
+                           static_cast<size_t>(contrib.end)});
+    }
+    Cluster cluster(state.id, db_.alphabet().size(), options_.pst);
+    cluster.RestoreForResume(std::move(pst), state.seed_index,
+                             std::move(members), std::move(contributions));
+    clusters_.push_back(std::move(cluster));
+  }
+  bank_ = FrozenBank();
+  next_cluster_id_ = ckpt.next_cluster_id;
+  log_t_ = ckpt.log_t;
+  joined_.clear();
+  prev_best_cluster_ = ckpt.prev_best_cluster;
+  best_log_sim_ = ckpt.best_log_sim;
+  unclustered_.assign(ckpt.unclustered.begin(), ckpt.unclustered.end());
+  prev_new_ = static_cast<size_t>(ckpt.prev_new);
+  prev_consolidated_ = static_cast<size_t>(ckpt.prev_consolidated);
+  adjuster->RestoreFrozen(ckpt.adjuster_frozen);
+  *prev_fingerprint = ckpt.prev_fingerprint;
+  *have_prev_fingerprint = ckpt.have_prev_fingerprint;
+  return Status::OK();
+}
+
 Status CluseqClusterer::Run(ClusteringResult* result) {
   CLUSEQ_RETURN_NOT_OK(options_.Validate());
   CLUSEQ_TRACE_SPAN("cluseq.run");
@@ -592,32 +703,143 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     return Status::OK();
   }
 
-  background_ = BackgroundModel::FromDatabase(db_);
-  rng_ = Rng(options_.rng_seed);
-  clusters_.clear();
-  bank_ = FrozenBank();
+  ThresholdAdjuster adjuster(options_.histogram_buckets, /*min_log_t=*/0.0);
+  std::vector<uint64_t> prev_fingerprint;
+  bool have_prev_fingerprint = false;
+
+  const CancellationToken* cancel = options_.cancellation;
+  const bool checkpointing =
+      !options_.checkpoint_dir.empty() && options_.checkpoint_every > 0;
   prefilter_active_ = false;
   run_prefilter_pairs_ = 0;
   run_prefilter_skipped_ = 0;
   run_prefilter_early_exits_ = 0;
   phase_perf_.TakePhases();  // Drop samples a prior (aborted) run left over.
-  next_cluster_id_ = 0;
-  log_t_ = options_.auto_initial_threshold
-               ? EstimateInitialLogThreshold()
-               : std::log(options_.similarity_threshold);
-  if (options_.verbose) {
-    CLUSEQ_LOG(kInfo) << "initial log t = " << log_t_;
-  }
-  joined_.clear();
-  prev_best_cluster_.clear();
-  unclustered_.resize(n);
-  for (size_t i = 0; i < n; ++i) unclustered_[i] = i;
-  prev_new_ = 0;
-  prev_consolidated_ = 0;
 
-  ThresholdAdjuster adjuster(options_.histogram_buckets, /*min_log_t=*/0.0);
-  std::vector<uint64_t> prev_fingerprint;
-  bool have_prev_fingerprint = false;
+  size_t start_iteration = 0;
+  if (options_.resume) {
+    ClustererCheckpoint ckpt;
+    std::string loaded_path;
+    Status load = LoadLatestCheckpoint(options_.checkpoint_dir,
+                                       options_.checkpoint_strict, &ckpt,
+                                       &loaded_path);
+    if (load.ok()) {
+      CLUSEQ_RETURN_NOT_OK(RestoreFromCheckpoint(
+          ckpt, &adjuster, &prev_fingerprint, &have_prev_fingerprint));
+      start_iteration = static_cast<size_t>(ckpt.iteration);
+      result->resumed_from_checkpoint = true;
+      static obs::Counter& resumes =
+          registry.GetCounter("checkpoint.resumes");
+      resumes.Increment();
+      if (options_.verbose) {
+        CLUSEQ_LOG(kInfo) << "resumed from " << loaded_path
+                          << " at iteration " << start_iteration;
+      }
+    } else if (load.IsNotFound()) {
+      // Nothing to resume from is a fresh start, not an error — the very
+      // first (later-killed) run of a checkpointed job hits this path.
+      CLUSEQ_LOG(kWarning) << "no checkpoint to resume from in "
+                           << options_.checkpoint_dir
+                           << "; starting fresh";
+    } else {
+      return load;
+    }
+  }
+
+  if (!result->resumed_from_checkpoint) {
+    background_ = BackgroundModel::FromDatabase(db_);
+    rng_ = Rng(options_.rng_seed);
+    clusters_.clear();
+    bank_ = FrozenBank();
+    next_cluster_id_ = 0;
+    log_t_ = options_.auto_initial_threshold
+                 ? EstimateInitialLogThreshold()
+                 : std::log(options_.similarity_threshold);
+    if (options_.verbose) {
+      CLUSEQ_LOG(kInfo) << "initial log t = " << log_t_;
+    }
+    joined_.clear();
+    prev_best_cluster_.clear();
+    best_log_sim_.clear();
+    unclustered_.resize(n);
+    for (size_t i = 0; i < n; ++i) unclustered_[i] = i;
+    prev_new_ = 0;
+    prev_consolidated_ = 0;
+  }
+
+  // Iteration-boundary bookkeeping for cancellation and checkpointing.
+  // `boundary` is a cheap snapshot of the last *completed* iteration's
+  // clustering — the only state an interrupted run may report, since the
+  // live members/joins are torn mid-iteration. `pending_blob` is the
+  // encoded checkpoint of that same boundary, written to disk on the
+  // checkpoint_every cadence and flushed unconditionally on cancellation.
+  // When neither a token nor checkpointing is configured, none of this
+  // runs — a plain Run() costs nothing extra.
+  struct BoundarySnapshot {
+    uint64_t iteration = 0;
+    double log_t = 0.0;
+    std::vector<std::vector<size_t>> members;
+    std::vector<int32_t> best_cluster;
+    std::vector<double> best_log_sim;
+    size_t num_unclustered = 0;
+  };
+  BoundarySnapshot boundary;
+  std::string pending_blob;
+  uint64_t pending_iteration = 0;
+  bool have_pending = false;
+  uint64_t last_saved_iteration = start_iteration;
+  bool have_saved = result->resumed_from_checkpoint;
+  size_t checkpoint_saves = 0;
+  static obs::Gauge& save_seconds_gauge =
+      registry.GetGauge("checkpoint.save_seconds");
+
+  const auto cancelled = [&]() {
+    return cancel != nullptr && cancel->Cancelled();
+  };
+  const auto capture_boundary = [&](uint64_t iteration) -> Status {
+    if (cancel != nullptr || checkpointing) {
+      boundary.iteration = iteration;
+      boundary.log_t = log_t_;
+      boundary.members.clear();
+      boundary.members.reserve(clusters_.size());
+      for (const Cluster& c : clusters_) boundary.members.push_back(c.members());
+      boundary.best_cluster = prev_best_cluster_;
+      boundary.best_log_sim = best_log_sim_;
+      boundary.num_unclustered = unclustered_.size();
+    }
+    if (checkpointing) {
+      ClustererCheckpoint ckpt = BuildCheckpoint(
+          iteration, adjuster, prev_fingerprint, have_prev_fingerprint);
+      CLUSEQ_RETURN_NOT_OK(EncodeCheckpoint(ckpt, &pending_blob));
+      pending_iteration = iteration;
+      have_pending = true;
+    }
+    return Status::OK();
+  };
+  const auto flush_pending = [&]() -> Status {
+    if (!have_pending ||
+        (have_saved && pending_iteration <= last_saved_iteration)) {
+      return Status::OK();
+    }
+    CLUSEQ_TRACE_SPAN("cluseq.checkpoint_save");
+    Stopwatch save_timer;
+    CLUSEQ_RETURN_NOT_OK(WriteCheckpointRetainTwo(
+        options_.checkpoint_dir, pending_iteration, pending_blob));
+    save_seconds_gauge.Set(save_timer.ElapsedSeconds());
+    last_saved_iteration = pending_iteration;
+    have_saved = true;
+    ++checkpoint_saves;
+    return Status::OK();
+  };
+
+  // The pre-loop boundary: established state (threshold estimate, RNG)
+  // before iteration 1 runs, so a kill during the first iteration resumes
+  // here instead of repeating the estimation from scratch.
+  CLUSEQ_RETURN_NOT_OK(capture_boundary(start_iteration));
+  if (checkpointing && !result->resumed_from_checkpoint) {
+    have_saved = false;  // Nothing on disk yet: always write boundary 0.
+    CLUSEQ_RETURN_NOT_OK(flush_pending());
+  }
 
   static obs::Counter& iteration_counter =
       registry.GetCounter("cluseq.iterations");
@@ -640,8 +862,13 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   obs::Counter& pruned_counter = registry.GetCounter("pst.nodes_pruned");
   log_threshold_gauge.Set(log_t_);
 
-  size_t iteration = 0;
+  bool interrupted = false;
+  size_t iteration = start_iteration;
   while (iteration < options_.max_iterations) {
+    if (cancelled()) {
+      interrupted = true;
+      break;
+    }
     ++iteration;
     CLUSEQ_TRACE_SPAN("cluseq.iteration");
     Stopwatch timer;
@@ -674,7 +901,21 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     }
     const double seed_seconds = seed_timer.ElapsedSeconds();
 
+    // Phase boundaries are the cancellation points: state is consistent
+    // here, and abandoning the rest of the iteration is safe because the
+    // reported result and the flushed checkpoint both come from the last
+    // completed iteration's boundary (resume replays this one).
+    if (cancelled()) {
+      interrupted = true;
+      break;
+    }
+
     Recluster();
+
+    if (cancelled()) {
+      interrupted = true;
+      break;
+    }
 
     Stopwatch consolidate_timer;
     size_t consolidated = 0;
@@ -685,6 +926,11 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
       RebuildMembershipViews();
     }
     const double consolidate_seconds = consolidate_timer.ElapsedSeconds();
+
+    if (cancelled()) {
+      interrupted = true;
+      break;
+    }
 
     const double log_t_before = log_t_;
     {
@@ -795,26 +1041,61 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     have_prev_fingerprint = true;
     prev_new_ = generated;
     prev_consolidated_ = consolidated;
+
+    // Iteration boundary: everything the next iteration consumes is now in
+    // place, so snapshot it (and encode the checkpoint) before any of it
+    // is touched again. Disk writes follow the checkpoint_every cadence;
+    // the in-memory encode happens every boundary so a later cancellation
+    // can flush the newest state.
+    CLUSEQ_RETURN_NOT_OK(capture_boundary(iteration));
+    if (checkpointing && iteration % options_.checkpoint_every == 0) {
+      CLUSEQ_RETURN_NOT_OK(flush_pending());
+    }
   }
 
-  result->iterations = iteration;
-  result->final_log_threshold = log_t_;
-  result->num_unclustered = unclustered_.size();
-  result->clusters.reserve(clusters_.size());
-  for (const Cluster& c : clusters_) {
-    std::vector<size_t> members = c.members();
-    std::sort(members.begin(), members.end());
-    result->clusters.push_back(std::move(members));
-  }
-  result->best_cluster = prev_best_cluster_;
-  result->best_log_sim = best_log_sim_;
-  // Snapshot the final summaries so Classify() runs on compiled automata
-  // (one banked interleaved scan when batched_scan is on).
-  RefreshFrozen();
-  if (options_.batched_scan) {
-    bank_.Assemble(Snapshots());
+  if (interrupted) {
+    // The live members/joins may be torn mid-iteration; report the last
+    // completed iteration's boundary instead, and flush its checkpoint so
+    // a resumed run replays the abandoned iteration. The result is exactly
+    // what Run() returned after that iteration — never a partial one.
+    if (checkpointing) CLUSEQ_RETURN_NOT_OK(flush_pending());
+    result->interrupted = true;
+    result->iterations = static_cast<size_t>(boundary.iteration);
+    result->final_log_threshold = boundary.log_t;
+    result->num_unclustered = boundary.num_unclustered;
+    result->clusters.reserve(boundary.members.size());
+    for (const std::vector<size_t>& members : boundary.members) {
+      std::vector<size_t> sorted = members;
+      std::sort(sorted.begin(), sorted.end());
+      result->clusters.push_back(std::move(sorted));
+    }
+    if (!boundary.best_cluster.empty()) {
+      result->best_cluster = boundary.best_cluster;
+      result->best_log_sim = boundary.best_log_sim;
+    }
+    bank_ = FrozenBank();  // Live trees are torn; never serve Classify().
   } else {
-    bank_ = FrozenBank();
+    result->iterations = iteration;
+    result->final_log_threshold = log_t_;
+    result->num_unclustered = unclustered_.size();
+    result->clusters.reserve(clusters_.size());
+    for (const Cluster& c : clusters_) {
+      std::vector<size_t> members = c.members();
+      std::sort(members.begin(), members.end());
+      result->clusters.push_back(std::move(members));
+    }
+    if (!prev_best_cluster_.empty()) {
+      result->best_cluster = prev_best_cluster_;
+      result->best_log_sim = best_log_sim_;
+    }
+    // Snapshot the final summaries so Classify() runs on compiled automata
+    // (one banked interleaved scan when batched_scan is on).
+    RefreshFrozen();
+    if (options_.batched_scan) {
+      bank_.Assemble(Snapshots());
+    } else {
+      bank_ = FrozenBank();
+    }
   }
 
   report_->num_clusters = result->num_clusters();
@@ -830,6 +1111,12 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
           ? static_cast<double>(run_prefilter_skipped_) /
                 static_cast<double>(run_prefilter_pairs_)
           : 0.0;
+  report_->checkpoint_enabled = checkpointing;
+  report_->checkpoint_saves = checkpoint_saves;
+  report_->checkpoint_last_iteration =
+      have_saved ? static_cast<size_t>(last_saved_iteration) : 0;
+  report_->resumed_from_checkpoint = result->resumed_from_checkpoint;
+  report_->interrupted = result->interrupted;
   report_->final_metrics = registry.Snapshot();
   return Status::OK();
 }

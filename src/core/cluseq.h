@@ -28,6 +28,7 @@
 #include "seq/background_model.h"
 #include "seq/sequence.h"
 #include "seq/sequence_store.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -36,6 +37,9 @@ namespace cluseq {
 namespace obs {
 struct RunReport;  // obs/run_report.h; owned by CluseqClusterer.
 }  // namespace obs
+
+struct ClustererCheckpoint;  // core/checkpoint.h; used by Run() internally.
+class ThresholdAdjuster;     // core/threshold.h.
 
 /// Order in which sequences are examined during re-clustering (§6.3).
 enum class VisitOrder {
@@ -145,6 +149,38 @@ struct CluseqOptions {
   /// Emit per-iteration progress via CLUSEQ_LOG(kInfo).
   bool verbose = false;
 
+  /// Directory for crash-safe checkpoints (DESIGN.md §16). Empty (default)
+  /// disables checkpointing entirely — the run pays nothing, not even the
+  /// per-boundary state encode.
+  std::string checkpoint_dir;
+
+  /// Write a checkpoint every N completed iterations (the boundary state
+  /// is still captured in memory every iteration so a cancellation can
+  /// flush the newest one). 0 disables checkpointing even when a directory
+  /// is set.
+  size_t checkpoint_every = 1;
+
+  /// Resume from the newest loadable checkpoint in `checkpoint_dir`. A
+  /// missing directory or an empty one falls back to a fresh start with a
+  /// warning; a checkpoint written against a different corpus or different
+  /// algorithmic options fails with FailedPrecondition. Requires
+  /// `checkpoint_dir` to be set.
+  bool resume = false;
+
+  /// When resuming, refuse to fall back from a corrupt newest checkpoint
+  /// to the previous one: fail with Status::Corruption instead.
+  bool checkpoint_strict = false;
+
+  /// Optional cooperative-cancellation token (not owned; must outlive the
+  /// run). Run() polls it at phase boundaries; once it fires, the run
+  /// abandons the in-flight iteration, flushes the newest boundary
+  /// checkpoint (when checkpointing), and returns OK with
+  /// ClusteringResult::interrupted set and the last completed iteration's
+  /// clustering. Resuming afterwards replays the abandoned iteration, so
+  /// the eventual final clustering is bit-for-bit what an uninterrupted
+  /// run produces.
+  const CancellationToken* cancellation = nullptr;
+
   Status Validate() const;
 };
 
@@ -209,6 +245,16 @@ struct ClusteringResult {
   size_t num_unclustered = 0;
   std::vector<IterationStats> iteration_stats;
 
+  /// True when the run was stopped by the cancellation token before
+  /// reaching its fixed point. The clustering fields then reflect the last
+  /// *completed* iteration (never a half-executed one), and a checkpointed
+  /// run can be resumed to completion.
+  bool interrupted = false;
+
+  /// True when this run resumed from a checkpoint instead of starting
+  /// fresh.
+  bool resumed_from_checkpoint = false;
+
   size_t num_clusters() const { return clusters.size(); }
 };
 
@@ -264,6 +310,18 @@ class CluseqClusterer {
   size_t Consolidate();
   void RebuildMembershipViews();
   std::vector<uint64_t> MembershipFingerprint() const;
+  // Serializes the complete iteration-boundary state (checkpoint.h).
+  ClustererCheckpoint BuildCheckpoint(
+      uint64_t iteration, const ThresholdAdjuster& adjuster,
+      const std::vector<uint64_t>& prev_fingerprint,
+      bool have_prev_fingerprint) const;
+  // Reinstates the clusterer from a decoded checkpoint after validating
+  // the options/corpus fingerprints. On failure the clusterer state is
+  // unspecified but the next fresh Run() reinitializes everything.
+  Status RestoreFromCheckpoint(const ClustererCheckpoint& ckpt,
+                               ThresholdAdjuster* adjuster,
+                               std::vector<uint64_t>* prev_fingerprint,
+                               bool* have_prev_fingerprint);
 
   const SequenceStore& db_;
   CluseqOptions options_;

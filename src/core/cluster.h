@@ -67,6 +67,12 @@ class Cluster {
     return contributions_.contains(seq_index);
   }
 
+  /// Which segment of each contributing sequence the tree currently counts
+  /// (checkpointing serializes this alongside the tree).
+  const std::unordered_map<size_t, Segment>& contributions() const {
+    return contributions_;
+  }
+
   /// True iff the PST currently counts exactly the segments `segments[i]`
   /// of sequences `members[i]` (parallel arrays) and nothing else — i.e.
   /// rebuilding the tree from them would re-count the identical multiset of
@@ -123,6 +129,24 @@ class Cluster {
   void AddMember(size_t seq_index) { members_.push_back(seq_index); }
   void SetMembers(std::vector<size_t> members) {
     members_ = std::move(members);
+  }
+
+  /// Reinstates the full cross-iteration state of a cluster when resuming
+  /// from a checkpoint: the counted tree, which segments it counts, the
+  /// seed, and the membership in its stored order. The frozen snapshot is
+  /// deliberately NOT restored — it is a pure function of the tree and the
+  /// background model, and recompiling it on demand is both cheaper to
+  /// store and immune to snapshot/tree skew.
+  void RestoreForResume(Pst pst, int64_t seed_index,
+                        std::vector<size_t> members,
+                        std::vector<std::pair<size_t, Segment>> contributions) {
+    pst_ = std::move(pst);
+    seed_index_ = seed_index;
+    members_ = std::move(members);
+    contributions_.clear();
+    contributions_.insert(contributions.begin(), contributions.end());
+    frozen_ = nullptr;
+    pst_dirty_ = true;
   }
 
  private:

@@ -46,6 +46,11 @@ class ThresholdAdjuster {
 
   bool frozen() const { return frozen_; }
 
+  /// Reinstates the frozen flag when resuming from a checkpoint — the flag
+  /// is the adjuster's only cross-iteration state (the histogram is rebuilt
+  /// from scratch every Adjust call).
+  void RestoreFrozen(bool frozen) { frozen_ = frozen; }
+
  private:
   size_t buckets_;
   double min_log_t_;

@@ -54,6 +54,9 @@ void WriteOptions(JsonWriter& writer, const CluseqOptions& options) {
   writer.KeyValue("num_threads", uint64_t{options.num_threads});
   writer.KeyValue("rng_seed", uint64_t{options.rng_seed});
   writer.KeyValue("verbose", options.verbose);
+  writer.KeyValue("checkpoint_dir", std::string_view(options.checkpoint_dir));
+  writer.KeyValue("checkpoint_every", uint64_t{options.checkpoint_every});
+  writer.KeyValue("resume", options.resume);
   writer.Key("pst");
   writer.BeginObject();
   writer.KeyValue("max_depth", uint64_t{options.pst.max_depth});
@@ -211,6 +214,14 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.KeyValue("enabled", report.prefilter_enabled);
   writer.KeyValue("skip_ratio", report.prefilter_skip_ratio);
   writer.KeyValue("early_exits", uint64_t{report.prefilter_early_exits});
+  writer.EndObject();
+  writer.Key("checkpoint");
+  writer.BeginObject();
+  writer.KeyValue("enabled", report.checkpoint_enabled);
+  writer.KeyValue("saves", uint64_t{report.checkpoint_saves});
+  writer.KeyValue("last_iteration", uint64_t{report.checkpoint_last_iteration});
+  writer.KeyValue("resumed", report.resumed_from_checkpoint);
+  writer.KeyValue("interrupted", report.interrupted);
   writer.EndObject();
   {
     const PerfSummary perf = SummarizePerf(report);

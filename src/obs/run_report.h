@@ -80,6 +80,18 @@ struct RunReport {
   /// from "zero events".
   bool perf_available = false;
 
+  /// Checkpointing summary: whether the run wrote checkpoints, how many
+  /// saves landed on disk, the iteration of the newest one, whether the run
+  /// started from a checkpoint, and whether it ended early on a
+  /// cancellation request (SIGINT/SIGTERM or --max_seconds). `interrupted`
+  /// reports are still complete and valid — they describe the last finished
+  /// iteration boundary.
+  bool checkpoint_enabled = false;
+  size_t checkpoint_saves = 0;
+  size_t checkpoint_last_iteration = 0;
+  bool resumed_from_checkpoint = false;
+  bool interrupted = false;
+
   /// External evaluation, filled by callers that have ground-truth labels
   /// (the CLI does when the input carries them).
   bool has_eval = false;

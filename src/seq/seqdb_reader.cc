@@ -121,6 +121,7 @@ void SeqDbReader::Reset() {
   record_table_ = nullptr;
   id_blob_ = nullptr;
   num_records_ = 0;
+  data_crc_ = 0;
   load_seconds_ = 0.0;
   aligned_payload_.clear();
   aligned_payload_.shrink_to_fit();
@@ -151,6 +152,15 @@ Label SeqDbReader::LabelOf(size_t i) const { return Entry(i).label; }
 
 size_t SeqDbReader::Length(size_t i) const { return Entry(i).num_symbols; }
 
+uint64_t SeqDbReader::ContentFingerprint() const {
+  // Fold the data CRC (verified against the payload on open when
+  // verify_data is set) into the structural base fingerprint.
+  uint64_t h = SequenceStore::ContentFingerprint();
+  h ^= 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(data_crc_) +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
 Status SeqDbReader::Open(const std::string& path, SeqDbReader* out,
                          const SeqDbReaderOptions& options) {
   const auto start = std::chrono::steady_clock::now();
@@ -179,6 +189,7 @@ Status SeqDbReader::Open(const std::string& path, SeqDbReader* out,
     const uint64_t num_records = ReadPod<uint64_t>(ix + 16);
     const uint64_t data_file_bytes = ReadPod<uint64_t>(ix + 24);
     const uint32_t data_crc = ReadPod<uint32_t>(ix + 32);
+    reader.data_crc_ = data_crc;
     const uint64_t alphabet_blob_bytes = ReadPod<uint64_t>(ix + 40);
     const uint64_t id_blob_bytes = ReadPod<uint64_t>(ix + 48);
 

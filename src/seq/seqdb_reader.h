@@ -73,6 +73,11 @@ class SeqDbReader : public SequenceStore {
   Label LabelOf(size_t i) const override;
   size_t Length(size_t i) const override;
 
+  /// Base structural fingerprint strengthened with the .sqdb data CRC32C
+  /// the index records, so a resumed checkpoint is bound to the file's
+  /// actual symbol content, not just its shape.
+  uint64_t ContentFingerprint() const override;
+
   /// Load diagnostics (the CLI's --verbose corpus line and RunReport).
   const std::string& path() const { return path_; }
   uint64_t data_bytes() const { return data_.size(); }
@@ -104,6 +109,7 @@ class SeqDbReader : public SequenceStore {
   const char* record_table_ = nullptr;  ///< Into index_.
   const char* id_blob_ = nullptr;       ///< Into index_.
   uint64_t num_records_ = 0;
+  uint32_t data_crc_ = 0;  ///< CRC32C of the data file, from the index.
   double load_seconds_ = 0.0;
   std::vector<SymbolId> aligned_payload_;
 };

@@ -33,4 +33,29 @@ std::vector<size_t> SequenceStore::LengthSortedOrder() const {
   return order;
 }
 
+uint64_t SequenceStore::ContentFingerprint() const {
+  // FNV-1a over the corpus structure: record count, alphabet, lengths.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](uint64_t h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * kPrime;
+    }
+    return h;
+  };
+  uint64_t h = kOffset;
+  const size_t n = size();
+  h = mix(h, n);
+  const Alphabet& ab = alphabet();
+  h = mix(h, ab.size());
+  for (size_t s = 0; s < ab.size(); ++s) {
+    for (char c : ab.Name(static_cast<SymbolId>(s))) {
+      h = (h ^ static_cast<unsigned char>(c)) * kPrime;
+    }
+    h = (h ^ 0xFFu) * kPrime;  // Name terminator so "ab","c" != "a","bc".
+  }
+  for (size_t i = 0; i < n; ++i) h = mix(h, Length(i));
+  return h;
+}
+
 }  // namespace cluseq

@@ -80,6 +80,16 @@ class SequenceStore {
   /// straggler at the end of a pass. Answered from Length() only, so the
   /// on-disk store computes it from the index without touching data pages.
   std::vector<size_t> LengthSortedOrder() const;
+
+  /// Cheap identity fingerprint of the corpus, used to reject resuming a
+  /// checkpoint against the wrong data. The base implementation hashes
+  /// record count, alphabet (size + symbol names) and per-record lengths —
+  /// structure, not content, so it stays O(n) index reads even for an
+  /// out-of-core store. SeqDbReader strengthens it with the .sqdb data
+  /// CRC, which does cover content. Not a cryptographic commitment; it
+  /// catches the realistic accident (resumed against a different or
+  /// regenerated corpus), not an adversary.
+  virtual uint64_t ContentFingerprint() const;
 };
 
 }  // namespace cluseq

@@ -1,0 +1,34 @@
+#include "util/build_info.h"
+
+#include <cstdio>
+
+namespace cluseq {
+
+namespace {
+
+std::string RunGitDescribe() {
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[128];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& GitDescribe() {
+  static const std::string* describe = new std::string(RunGitDescribe());
+  return *describe;
+}
+
+std::string BuildVersionString() {
+  const std::string& git = GitDescribe();
+  return git.empty() ? "unknown" : git;
+}
+
+}  // namespace cluseq

@@ -1,0 +1,25 @@
+// Build identification shared by the CLI (`cluseq version`), the bench
+// envelope (`git` key in BENCH_*.json), and checkpoint metadata. One
+// implementation means the three can never disagree about which tree
+// produced an artifact.
+
+#ifndef CLUSEQ_UTIL_BUILD_INFO_H_
+#define CLUSEQ_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace cluseq {
+
+/// Best-effort `git describe --always --dirty` of the working tree the
+/// binary runs in. Empty when git or the repo is unavailable — CI artifact
+/// directories and tarball builds are normal, not errors. The result is
+/// computed once and cached for the process lifetime.
+const std::string& GitDescribe();
+
+/// GitDescribe() when non-empty, otherwise "unknown" — for contexts that
+/// need to print or persist *something* (version output, checkpoint meta).
+std::string BuildVersionString();
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_BUILD_INFO_H_

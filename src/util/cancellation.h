@@ -1,0 +1,78 @@
+// Cooperative cancellation for long-running operations.
+//
+// A CancellationToken is a one-way latch plus an optional soft deadline.
+// Producers (a CLI signal handler, a --max_seconds watchdog, a test) flip
+// it; consumers (the clustering loop) poll it at phase boundaries and wind
+// down cleanly — finish the running phase, flush a checkpoint, return a
+// result marked interrupted. Nothing here ever interrupts a thread
+// preemptively; cancellation is only as prompt as the consumer's polling.
+//
+// RequestCancel() and cancel_requested() are a single relaxed atomic
+// operation each, making them safe to call from an async signal handler
+// (POSIX requires lock-free atomics there; a bool always is). Cancelled()
+// additionally evaluates the deadline against steady_clock and must only be
+// called from normal (non-handler) context.
+
+#ifndef CLUSEQ_UTIL_CANCELLATION_H_
+#define CLUSEQ_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cluseq {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Latches the token. Async-signal-safe; idempotent.
+  void RequestCancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once RequestCancel() was called. Async-signal-safe; does not
+  /// consider the deadline.
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a soft deadline `seconds` from now (<= 0 expires immediately).
+  /// Call before handing the token to the consumer.
+  void SetTimeout(double seconds) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto delta = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            (now + delta).time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_relaxed);
+  }
+
+  /// True when cancellation was requested or the deadline has passed. The
+  /// consumer-side poll; not for use inside signal handlers.
+  bool Cancelled() const {
+    if (cancel_requested()) return true;
+    if (!has_deadline_.load(std::memory_order_relaxed)) return false;
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return now_ns >= deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady_clock epoch, nanoseconds.
+};
+
+}  // namespace cluseq
+
+#endif  // CLUSEQ_UTIL_CANCELLATION_H_

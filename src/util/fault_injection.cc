@@ -14,6 +14,8 @@ void FaultInjector::Arm(const FaultPlan& plan) {
   plan_ = plan;
   bytes_through_ = 0;
   eintr_left_ = plan.transient_eintr_writes;
+  bytes_read_through_ = 0;
+  read_eintr_left_ = plan.transient_eintr_reads;
   counters_ = Counters{};
   armed_.store(true, std::memory_order_relaxed);
 }
@@ -67,6 +69,33 @@ int FaultInjector::OnRename() {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.renames;
   return plan_.fail_rename ? EIO : 0;
+}
+
+int FaultInjector::OnRead(size_t* count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.reads;
+  if (read_eintr_left_ > 0) {
+    --read_eintr_left_;
+    return EINTR;
+  }
+  if (bytes_read_through_ >= plan_.read_limit) return plan_.read_errno;
+  // Short read: only the bytes below the limit come back; the caller's
+  // loop retries the tail and then hits the error above.
+  if (bytes_read_through_ + *count > plan_.read_limit) {
+    *count = plan_.read_limit - bytes_read_through_;
+  }
+  return 0;
+}
+
+void FaultInjector::OnReadBytes(char* data, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.read_flip_offset >= bytes_read_through_ &&
+      plan_.read_flip_offset < bytes_read_through_ + count) {
+    data[plan_.read_flip_offset - bytes_read_through_] ^=
+        static_cast<char>(plan_.read_flip_mask);
+  }
+  bytes_read_through_ += count;
+  counters_.bytes_read += count;
 }
 
 }  // namespace cluseq

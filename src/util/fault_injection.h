@@ -48,6 +48,22 @@ struct FaultPlan {
   /// bit rot between the write buffer and the medium.
   size_t flip_offset = std::numeric_limits<size_t>::max();
   uint8_t flip_mask = 0;
+
+  // --- Read path (checkpoint/model loads) -----------------------------
+  /// Total bytes allowed to come back from read(): the read that crosses
+  /// the limit is clamped short and every later read fails with
+  /// `read_errno` — a file that goes unreadable mid-load.
+  size_t read_limit = std::numeric_limits<size_t>::max();
+  /// errno for reads rejected past `read_limit`.
+  int read_errno = 5;  // EIO
+  /// The first N reads fail with EINTR before returning any bytes;
+  /// exercises the loader's bounded-retry loop.
+  int transient_eintr_reads = 0;
+  /// Flip `read_flip_mask` into the byte at logical offset
+  /// `read_flip_offset` of the read-back stream (counted across all reads
+  /// of one armed plan): bit rot between the platter and the read buffer.
+  size_t read_flip_offset = std::numeric_limits<size_t>::max();
+  uint8_t read_flip_mask = 0;
 };
 
 class FaultInjector {
@@ -66,6 +82,8 @@ class FaultInjector {
     size_t bytes_written = 0; ///< Bytes actually allowed through.
     size_t fsyncs = 0;
     size_t renames = 0;
+    size_t reads = 0;         ///< read() attempts observed (incl. failed).
+    size_t bytes_read = 0;    ///< Bytes actually handed back to callers.
   };
   Counters counters() const;
 
@@ -76,6 +94,14 @@ class FaultInjector {
   int OnFsync(bool is_directory);
   int OnRename();
 
+  /// Read-path pair. OnRead runs before the syscall: it may fail the call
+  /// (EINTR storm, post-limit errno) or clamp `*count` to a short read.
+  /// OnReadBytes runs after a successful read over the bytes about to be
+  /// returned, applying in-flight bit rot and advancing the logical read
+  /// offset the flip is addressed against.
+  int OnRead(size_t* count);
+  void OnReadBytes(char* data, size_t count);
+
  private:
   FaultInjector() = default;
 
@@ -84,6 +110,8 @@ class FaultInjector {
   FaultPlan plan_;
   size_t bytes_through_ = 0;  ///< Logical write offset under the armed plan.
   int eintr_left_ = 0;
+  size_t bytes_read_through_ = 0;  ///< Logical read offset under the plan.
+  int read_eintr_left_ = 0;
   Counters counters_;
 };
 

@@ -145,10 +145,21 @@ Status ReadFileToString(const std::string& path, std::string* out) {
   }
   out->clear();
   out->reserve(static_cast<size_t>(st.st_size));
+  FaultInjector& injector = FaultInjector::Get();
   char buf[1 << 16];
   int retries = 0;
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    size_t want = sizeof(buf);
+    if (injector.armed()) {
+      int err = injector.OnRead(&want);
+      if (err == EINTR && retries++ <= kMaxEintrRetries) continue;
+      if (err != 0) {
+        CloseRetry(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (want == 0) continue;  // Next call reports the errno.
+    }
+    ssize_t n = ::read(fd, buf, want);
     if (n < 0) {
       if (errno == EINTR && retries++ <= kMaxEintrRetries) continue;
       int err = errno;
@@ -156,6 +167,7 @@ Status ReadFileToString(const std::string& path, std::string* out) {
       return ErrnoStatus("read", path, err);
     }
     if (n == 0) break;
+    if (injector.armed()) injector.OnReadBytes(buf, static_cast<size_t>(n));
     out->append(buf, static_cast<size_t>(n));
   }
   CloseRetry(fd);

@@ -139,4 +139,20 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t universe, size_t n) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // An all-zero xoshiro state is absorbing; keep the constructor's guard.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace cluseq

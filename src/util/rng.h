@@ -72,6 +72,18 @@ class Rng {
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
 
+  /// Complete generator state: the xoshiro256** words plus the Box-Muller
+  /// cache (Normal() produces two variates per round trip and hands out the
+  /// second on the next call — dropping it would shift every later draw).
+  /// Serializable: restoring a saved state resumes the exact stream.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

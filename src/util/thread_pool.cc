@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -130,19 +132,51 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   }
 }
 
+namespace {
+
+// The global pool, fork-aware. fork() clones only the calling thread, so a
+// child inherits the parent's pool object with its worker threads gone: any
+// ParallelFor wider than 1 would submit helper tasks nobody runs and block
+// forever (the chaos/crash tests fork clustering children; so does any
+// embedder that forks). pthread_atfork abandons the stale pool in the child
+// — its threads cannot be joined and its mutex state is indeterminate, so
+// the object is leaked, never destroyed — and the next Global() call
+// constructs a fresh pool with live workers. The parent keeps its pool
+// untouched. The pool is also deliberately leaked at process exit: workers
+// park on a condition variable and die with the process.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+pthread_mutex_t g_global_pool_mu = PTHREAD_MUTEX_INITIALIZER;
+
+void GlobalPoolAtForkChild() {
+  g_global_pool.store(nullptr, std::memory_order_release);
+  // The lock may have been held mid-fork by another thread; that holder no
+  // longer exists in the child, so re-initialize rather than inherit an
+  // unreleasable lock.
+  g_global_pool_mu = PTHREAD_MUTEX_INITIALIZER;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::Global() {
-  // Function-local static: started on first use, joined at process exit.
-  // Sized to the hardware — per-call parallelism is capped by the caller's
+  // Started on first use (per process — see the atfork note above), sized
+  // to the hardware: per-call parallelism is capped by the caller's
   // num_threads, not by shrinking the pool.
-  static ThreadPool pool(HardwareThreads());
-  static bool workers_gauge_set = [] {
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  pthread_mutex_lock(&g_global_pool_mu);
+  pool = g_global_pool.load(std::memory_order_relaxed);
+  if (pool == nullptr) {
+    static const int atfork_registered =
+        pthread_atfork(nullptr, nullptr, &GlobalPoolAtForkChild);
+    (void)atfork_registered;
+    pool = new ThreadPool(HardwareThreads());
     obs::MetricsRegistry::Get()
         .GetGauge("thread_pool.workers")
-        .Set(static_cast<double>(pool.num_threads()));
-    return true;
-  }();
-  (void)workers_gauge_set;
-  return pool;
+        .Set(static_cast<double>(pool->num_threads()));
+    g_global_pool.store(pool, std::memory_order_release);
+  }
+  pthread_mutex_unlock(&g_global_pool_mu);
+  return *pool;
 }
 
 bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }

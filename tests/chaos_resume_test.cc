@@ -1,0 +1,277 @@
+// Kill-at-every-phase chaos harness: fork a child that checkpoints every
+// iteration and SIGKILLs itself at the Nth successful save, then fork a
+// second child that resumes from the survivors and reports its final
+// clustering as a fingerprint. The resumed result must be bit-for-bit
+// identical to an uninterrupted run — for every kill point N, at thread
+// counts {1, 2, 7}, with the prefilter on and off, and with the resuming
+// process deliberately using a *different* thread count and prefilter
+// setting than the killed one (both are excluded from the options
+// fingerprint, so cross-setting resume is legal and must not change the
+// answer).
+//
+// Children never touch gtest: they communicate one 64-bit FNV fingerprint
+// through a file and _exit(). Format-level corruption (bit flips, torn
+// writes) is swept in checkpoint_test.cc; cooperative cancellation in
+// cancellation_test.cc.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/cluseq.h"
+#include "seq/sequence_database.h"
+#include "synth/dataset.h"
+#include "util/file_io.h"
+
+namespace cluseq {
+namespace {
+
+SequenceDatabase PlantedDb(uint64_t seed = 11) {
+  SyntheticDatasetOptions opts;
+  opts.num_clusters = 3;
+  opts.sequences_per_cluster = 10;
+  opts.alphabet_size = 8;
+  opts.avg_length = 60;
+  opts.outlier_fraction = 0.1;
+  opts.spread = 0.25;
+  opts.seed = seed;
+  return MakeSyntheticDataset(opts);
+}
+
+CluseqOptions FastOptions() {
+  CluseqOptions o;
+  o.initial_clusters = 2;
+  o.similarity_threshold = 1.05;
+  o.significance_threshold = 4;
+  o.min_unique_members = 3;
+  o.max_iterations = 10;
+  o.pst.max_depth = 4;
+  o.pst.smoothing_p_min = 1e-4;
+  o.rng_seed = 7;
+  return o;
+}
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + tag + "_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return made;
+}
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FnvMixDouble(uint64_t h, double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return FnvMix(h, bits);
+}
+
+/// Order-sensitive fingerprint of everything "bit-for-bit identical" means
+/// for a clustering: memberships, assignments, scores (as raw IEEE bits),
+/// the final threshold, and the iteration count.
+uint64_t ResultFingerprint(const ClusteringResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  h = FnvMix(h, r.iterations);
+  h = FnvMix(h, r.num_unclustered);
+  h = FnvMixDouble(h, r.final_log_threshold);
+  h = FnvMix(h, r.clusters.size());
+  for (const std::vector<size_t>& members : r.clusters) {
+    h = FnvMix(h, members.size());
+    for (size_t m : members) h = FnvMix(h, m);
+  }
+  h = FnvMix(h, r.best_cluster.size());
+  for (int32_t c : r.best_cluster) {
+    h = FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(c)));
+  }
+  h = FnvMix(h, r.best_log_sim.size());
+  for (double s : r.best_log_sim) h = FnvMixDouble(h, s);
+  return h;
+}
+
+// Kill-switch shared with the save hook. Plain globals: the hook is a
+// C function pointer and only the forked child ever arms it.
+uint64_t g_kill_at = 0;
+uint64_t g_saves_seen = 0;
+
+void KillAtNthSave(uint64_t /*iteration*/, const std::string& /*path*/) {
+  if (g_saves_seen++ == g_kill_at) ::kill(::getpid(), SIGKILL);
+}
+
+/// Writes `fp` to `path` as fixed-width hex + newline with plain stdio
+/// (children must not rely on atexit flushing).
+bool WriteFingerprintFile(const std::string& path, uint64_t fp) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "%016llx\n",
+                         static_cast<unsigned long long>(fp)) > 0;
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool ReadFingerprintFile(const std::string& path, uint64_t* fp) {
+  std::string text;
+  if (!ReadFileToString(path, &text).ok()) return false;
+  char* end = nullptr;
+  *fp = std::strtoull(text.c_str(), &end, 16);
+  return end != text.c_str();
+}
+
+// Child exit codes (children use _exit; gtest assertions live in the parent).
+constexpr int kChildOk = 0;
+constexpr int kChildRunFailed = 7;
+constexpr int kChildWriteFailed = 8;
+
+/// Runs the clusterer with `options` in the current (forked) process and
+/// reports the result fingerprint through `fp_path`. Never returns.
+[[noreturn]] void ChildRunAndReport(const SequenceDatabase& db,
+                                    const CluseqOptions& options,
+                                    const std::string& fp_path) {
+  ClusteringResult result;
+  if (!RunCluseq(db, options, &result).ok()) ::_exit(kChildRunFailed);
+  if (!WriteFingerprintFile(fp_path, ResultFingerprint(result))) {
+    ::_exit(kChildWriteFailed);
+  }
+  ::_exit(kChildOk);
+}
+
+struct ChaosConfig {
+  size_t threads;
+  bool prefilter;
+};
+
+/// One full kill sweep for one configuration: kill the run at save 0, 1,
+/// 2, ... (each in its own forked process, each from a fresh directory),
+/// resume in another forked process with shuffled perf settings, and
+/// demand the reference fingerprint every time. The sweep ends when the
+/// child outlives the kill point, i.e. every save boundary was probed.
+void RunKillSweep(const SequenceDatabase& db, const ChaosConfig& config,
+                  uint64_t reference_fp) {
+  const size_t kThreadChoices[] = {1, 2, 7};
+  // Far above any plausible save count for a 10-iteration run; a sweep
+  // that gets here means the kill hook never let the child finish.
+  const uint64_t kMaxKillPoints = 64;
+  uint64_t kill_at = 0;
+  for (; kill_at < kMaxKillPoints; ++kill_at) {
+    SCOPED_TRACE("threads=" + std::to_string(config.threads) +
+                 " prefilter=" + std::to_string(config.prefilter) +
+                 " kill_at=" + std::to_string(kill_at));
+    const std::string dir = MakeTempDir("chaos");
+    const std::string fp_path = dir + "/fingerprint";
+
+    CluseqOptions victim = FastOptions();
+    victim.num_threads = config.threads;
+    victim.prefilter = config.prefilter;
+    victim.checkpoint_dir = dir;
+    victim.checkpoint_every = 1;
+
+    pid_t victim_pid = ::fork();
+    ASSERT_NE(victim_pid, -1);
+    if (victim_pid == 0) {
+      g_kill_at = kill_at;
+      g_saves_seen = 0;
+      SetCheckpointSaveHookForTest(&KillAtNthSave);
+      ChildRunAndReport(db, victim, fp_path);
+    }
+    int victim_status = 0;
+    ASSERT_EQ(::waitpid(victim_pid, &victim_status, 0), victim_pid);
+
+    if (WIFEXITED(victim_status)) {
+      // The kill point is past the last save: the run completed normally.
+      // Its fingerprint must still match, and the sweep is done — every
+      // earlier save boundary has been probed.
+      ASSERT_EQ(WEXITSTATUS(victim_status), kChildOk);
+      uint64_t completed_fp = 0;
+      ASSERT_TRUE(ReadFingerprintFile(fp_path, &completed_fp));
+      EXPECT_EQ(completed_fp, reference_fp);
+      std::filesystem::remove_all(dir);
+      break;
+    }
+    ASSERT_TRUE(WIFSIGNALED(victim_status));
+    ASSERT_EQ(WTERMSIG(victim_status), SIGKILL);
+
+    // Resume from whatever the kill left behind — with a different thread
+    // count and (on odd kill points) the opposite prefilter setting, since
+    // neither is part of the run's identity.
+    CluseqOptions survivor = FastOptions();
+    survivor.num_threads = kThreadChoices[kill_at % 3];
+    survivor.prefilter =
+        (kill_at % 2 == 0) ? config.prefilter : !config.prefilter;
+    survivor.checkpoint_dir = dir;
+    survivor.checkpoint_every = 1;
+    survivor.resume = true;
+
+    pid_t resume_pid = ::fork();
+    ASSERT_NE(resume_pid, -1);
+    if (resume_pid == 0) ChildRunAndReport(db, survivor, fp_path);
+    int resume_status = 0;
+    ASSERT_EQ(::waitpid(resume_pid, &resume_status, 0), resume_pid);
+    ASSERT_TRUE(WIFEXITED(resume_status));
+    ASSERT_EQ(WEXITSTATUS(resume_status), kChildOk);
+
+    uint64_t resumed_fp = 0;
+    ASSERT_TRUE(ReadFingerprintFile(fp_path, &resumed_fp));
+    EXPECT_EQ(resumed_fp, reference_fp)
+        << "resume after SIGKILL at save " << kill_at
+        << " diverged from the uninterrupted run";
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_LT(kill_at, kMaxKillPoints)
+      << "kill sweep never reached a completed run";
+}
+
+TEST(ChaosResumeTest, KillAtEverySaveBoundaryResumesBitForBit) {
+  SequenceDatabase db = PlantedDb();
+
+  // Uninterrupted in-process reference, and the thread/prefilter
+  // invariance check that makes one reference valid for all six sweeps.
+  const ChaosConfig kConfigs[] = {
+      {1, true}, {1, false}, {2, true}, {2, false}, {7, true}, {7, false},
+  };
+  uint64_t reference_fp = 0;
+  for (size_t i = 0; i < std::size(kConfigs); ++i) {
+    CluseqOptions plain = FastOptions();
+    plain.num_threads = kConfigs[i].threads;
+    plain.prefilter = kConfigs[i].prefilter;
+    ClusteringResult result;
+    ASSERT_TRUE(RunCluseq(db, plain, &result).ok());
+    uint64_t fp = ResultFingerprint(result);
+    if (i == 0) {
+      reference_fp = fp;
+      ASSERT_GT(result.iterations, 1u)
+          << "fixture converged instantly; the kill sweep would only probe "
+             "one boundary";
+    } else {
+      ASSERT_EQ(fp, reference_fp)
+          << "threads=" << kConfigs[i].threads
+          << " prefilter=" << kConfigs[i].prefilter
+          << " changed the uninterrupted result; chaos sweep preconditions "
+             "are broken";
+    }
+  }
+
+  for (const ChaosConfig& config : kConfigs) {
+    RunKillSweep(db, config, reference_fp);
+  }
+}
+
+}  // namespace
+}  // namespace cluseq

@@ -284,6 +284,55 @@ TEST(RunReportTest, ReportEchoesOptionsAndMetrics) {
   EXPECT_EQ(root.Find("eval"), nullptr);
 }
 
+TEST(RunReportTest, CheckpointBlockRoundTrips) {
+  obs::RunReport report;
+  report.checkpoint_enabled = true;
+  report.checkpoint_saves = 7;
+  report.checkpoint_last_iteration = 6;
+  report.resumed_from_checkpoint = true;
+  report.interrupted = true;
+  report.options.checkpoint_dir = "/tmp/ck";
+  report.options.checkpoint_every = 2;
+  report.options.resume = true;
+  std::ostringstream out;
+  obs::WriteRunReportJson(report, out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok()) << out.str();
+
+  const obs::JsonValue* ckpt = root.Find("summary")->Find("checkpoint");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_TRUE(ckpt->Find("enabled")->bool_value);
+  EXPECT_EQ(ckpt->Find("saves")->number, 7.0);
+  EXPECT_EQ(ckpt->Find("last_iteration")->number, 6.0);
+  EXPECT_TRUE(ckpt->Find("resumed")->bool_value);
+  EXPECT_TRUE(ckpt->Find("interrupted")->bool_value);
+
+  // Options echo carries the checkpoint configuration.
+  const obs::JsonValue* opts = root.Find("options");
+  EXPECT_EQ(opts->Find("checkpoint_dir")->string_value, "/tmp/ck");
+  EXPECT_EQ(opts->Find("checkpoint_every")->number, 2.0);
+  EXPECT_TRUE(opts->Find("resume")->bool_value);
+}
+
+TEST(RunReportTest, CheckpointBlockDefaultsOffForPlainRuns) {
+  SequenceDatabase db = SmallDb();
+  CluseqClusterer clusterer(db, SmallOptions());
+  ClusteringResult result;
+  ASSERT_TRUE(clusterer.Run(&result).ok());
+  std::ostringstream out;
+  obs::WriteRunReportJson(*clusterer.report(), out);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(out.str(), &root).ok());
+  const obs::JsonValue* ckpt = root.Find("summary")->Find("checkpoint");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_FALSE(ckpt->Find("enabled")->bool_value);
+  EXPECT_EQ(ckpt->Find("saves")->number, 0.0);
+  EXPECT_FALSE(ckpt->Find("resumed")->bool_value);
+  EXPECT_FALSE(ckpt->Find("interrupted")->bool_value);
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_FALSE(result.resumed_from_checkpoint);
+}
+
 TEST(RunReportTest, EvalBlockSerializesWhenPresent) {
   obs::RunReport report;
   report.has_eval = true;

@@ -20,6 +20,9 @@
 // unlabeled). generate/import/export pick the output format the same way,
 // so `generate --out=corpus.sqdb` writes the binary store directly.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +37,38 @@
 namespace {
 
 using namespace cluseq;
+
+// Cooperative cancellation for the cluster subcommand. The first
+// SIGINT/SIGTERM requests a clean stop: the clusterer finishes its current
+// phase, flushes a final checkpoint, the CLI writes whatever outputs were
+// requested, and exits 3. A second signal restores the default disposition
+// and re-raises, i.e. dies immediately. Everything in the handler is
+// async-signal-safe: one relaxed atomic store, signal(), raise(), write().
+CancellationToken g_cancel;
+volatile sig_atomic_t g_signal_seen = 0;
+
+void HandleStopSignal(int sig) {
+  if (g_signal_seen) {
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_signal_seen = 1;
+  g_cancel.RequestCancel();
+  static const char kMsg[] =
+      "\ncluseq: stop requested; finishing current phase and saving state "
+      "(signal again to abort now)\n";
+  [[maybe_unused]] ssize_t n = write(2, kMsg, sizeof(kMsg) - 1);
+}
+
+void InstallStopHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = &HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // No SA_RESTART: let blocking calls see EINTR.
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -134,6 +169,7 @@ struct CommonFlags {
   double scale = 0.05;
   uint64_t seed = 42;
   bool strict = false;
+  double max_seconds = 0.0;  // 0 = no deadline.
   CluseqOptions options;
 
   // Returns false (after printing) on an unknown flag.
@@ -212,6 +248,17 @@ struct CommonFlags {
                        v.c_str());
           return false;
         }
+      } else if (ParseFlag(arg, "checkpoint_dir", &v) ||
+                 ParseFlag(arg, "checkpoint-dir", &v)) {
+        options.checkpoint_dir = v;
+      } else if (ParseFlag(arg, "checkpoint_every", &v) ||
+                 ParseFlag(arg, "checkpoint-every", &v)) {
+        options.checkpoint_every = std::strtoull(v.c_str(), nullptr, 10);
+      } else if (arg == "--resume") {
+        options.resume = true;
+      } else if (ParseFlag(arg, "max_seconds", &v) ||
+                 ParseFlag(arg, "max-seconds", &v)) {
+        max_seconds = std::strtod(v.c_str(), nullptr);
       } else if (arg == "--strict") {
         strict = true;
       } else if (arg == "--verbose") {
@@ -326,11 +373,28 @@ int RunCluster(CommonFlags& flags) {
   if (!flags.trace_json.empty()) {
     obs::TraceRecorder::Get().Start(flags.trace_sample);
   }
+  flags.options.cancellation = &g_cancel;
+  flags.options.checkpoint_strict = flags.strict;
+  if (flags.max_seconds > 0.0) g_cancel.SetTimeout(flags.max_seconds);
+  InstallStopHandlers();
   CluseqClusterer clusterer(db, flags.options);
   ClusteringResult result;
   st = clusterer.Run(&result);
   if (!flags.trace_json.empty()) obs::TraceRecorder::Get().Stop();
   if (!st.ok()) return Fail(st, "cluster");
+  if (result.resumed_from_checkpoint) {
+    std::printf("resumed from checkpoint in %s\n",
+                flags.options.checkpoint_dir.c_str());
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "cluseq: interrupted after %zu iterations; reporting the "
+                 "last completed iteration boundary%s\n",
+                 result.iterations,
+                 flags.options.checkpoint_dir.empty()
+                     ? ""
+                     : " (checkpoint saved; rerun with --resume)");
+  }
   std::printf("clusters: %zu   unclustered: %zu   iterations: %zu   "
               "final log t: %.3f\n",
               result.num_clusters(), result.num_unclustered,
@@ -379,7 +443,13 @@ int RunCluster(CommonFlags& flags) {
     if (!st.ok()) return Fail(st, "assignments");
     std::printf("assignments -> %s\n", flags.assignments.c_str());
   }
-  if (!flags.model_dir.empty()) {
+  if (!flags.model_dir.empty() && result.interrupted) {
+    // The live trees may be mid-iteration after a cancellation; only
+    // boundary-consistent state (the checkpoint) is safe to persist.
+    std::fprintf(stderr,
+                 "cluseq: skipping --model-dir export on interrupted run "
+                 "(resume and finish to export models)\n");
+  } else if (!flags.model_dir.empty()) {
     st = EnsureDirectory(flags.model_dir);
     if (!st.ok()) return Fail(st, "model-dir");
     std::vector<std::shared_ptr<const FrozenPst>> snapshots;
@@ -411,7 +481,7 @@ int RunCluster(CommonFlags& flags) {
       std::printf("bank -> %s/bank.fbank\n", flags.model_dir.c_str());
     }
   }
-  return 0;
+  return result.interrupted ? 3 : 0;
 }
 
 int RunClassify(const CommonFlags& flags) {
@@ -665,8 +735,8 @@ int RunReportDiff(int argc, char** argv) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: cluseq_cli "
-               "<generate|import|export|cluster|classify|report-diff> "
-               "[flags]\n"
+               "<generate|import|export|cluster|classify|report-diff|"
+               "version> [flags]\n"
                "  generate --kind=synthetic|protein|language --out=PATH "
                "[--scale=F] [--seed=N]\n"
                "  import   --input=PATH --out=PATH.sqdb   (FASTA/TSV -> "
@@ -685,6 +755,24 @@ void PrintUsage() {
                "[--trace_json=PATH]\n"
                "           [--trace_sample=always|never|prob:P[,seed=N]|"
                "every:N|rate:R]\n"
+               "           [--checkpoint_dir=DIR] [--checkpoint_every=N] "
+               "[--resume]\n"
+               "           [--max_seconds=F] [--strict]\n"
+               "           --checkpoint_dir enables crash-safe saves at "
+               "iteration boundaries\n"
+               "           (every N iterations, default 1; 0 = only the "
+               "initial + final state);\n"
+               "           --resume continues from the newest loadable "
+               "checkpoint, bit-for-bit;\n"
+               "           SIGINT/SIGTERM or --max_seconds stop cleanly "
+               "after the current phase\n"
+               "           and save state: exit 0 = done, 3 = interrupted "
+               "with state saved\n"
+               "           (--strict: treat a corrupt newest checkpoint as "
+               "an error instead of\n"
+               "           falling back to the previous one)\n"
+               "  version  print the build version (matches the bench "
+               "envelope's build field)\n"
                "  report-diff A.json B.json [--fail-on=metric:[+|-]TOL%%,...]"
                "\n"
                "  report-diff --validate FILE     (parse-check one report)\n"
@@ -712,6 +800,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
+  if (command == "version" || command == "--version") {
+    std::printf("%s\n", BuildVersionString().c_str());
+    return 0;
+  }
   // report-diff has positional arguments; parse its own argv slice.
   if (command == "report-diff" || command == "report_diff") {
     return RunReportDiff(argc, argv);
