@@ -339,6 +339,12 @@ uint64_t FingerprintOptions(const CluseqOptions& options) {
   h = FnvMix(h, options.pst.max_memory_bytes);
   h = FnvMix(h, static_cast<uint64_t>(options.pst.prune_strategy));
   h = FnvMixDouble(h, options.pst.smoothing_p_min);
+  // Algorithmic because it sets the censor floor of the §4.6 adjuster's
+  // histogram while the adjuster is live — a different window walks a
+  // different threshold trajectory. The prefilter perf knobs
+  // (signature_budget_bytes, prefilter_prefix) deliberately stay out: they
+  // never change any output, so resuming under different ones is legal.
+  h = FnvMixDouble(h, options.adjust_bound_window);
   return h;
 }
 

@@ -65,6 +65,9 @@ Status CluseqOptions::Validate() const {
   if (resume && checkpoint_dir.empty()) {
     return Status::InvalidArgument("resume requires checkpoint_dir");
   }
+  if (!(adjust_bound_window > 0.0)) {
+    return Status::InvalidArgument("adjust_bound_window must be > 0");
+  }
   return pst.Validate();
 }
 
@@ -80,6 +83,7 @@ CluseqClusterer::CluseqClusterer(const SequenceStore& db,
   // 0 = auto-detect: resolve once here so every phase (and the RunReport
   // echo) sees the effective width.
   options_.num_threads = ResolveThreads(options_.num_threads);
+  bank_.set_signature_budget_bytes(options_.signature_budget_bytes);
 }
 
 CluseqClusterer::~CluseqClusterer() = default;
@@ -365,23 +369,32 @@ void CluseqClusterer::Recluster() {
         // sequence instead of kc serial automaton scans.
         bank_.Assemble(snapshots);
         if (prefilter_active_) {
-          // Two-level pruned scan. Joins and the per-sequence max are
-          // exact (see ScanPrefilter); pruned slots hold admissible
-          // bounds < log t, which is all the downstream passes and the
-          // (frozen-by-now) threshold adjuster ever look at.
+          // Multi-level pruned scan against scan_target_ — log t while the
+          // §4.6 adjuster is frozen or off, the censored floor
+          // log t − adjust_bound_window while it is live. Joins and the
+          // per-sequence max are exact (see ScanPrefilter); pruned slots
+          // hold admissible bounds < the target, and everything at or
+          // above the target is exact, which is all the join pass and the
+          // floor-censored adjuster histogram ever look at.
           CLUSEQ_TRACE_SPAN("cluseq.prefilter_scan");
-          ScanPrefilter prefilter(&bank_);
+          ScanPrefilter prefilter(&bank_, options_.prefilter_prefix);
           std::atomic<uint64_t> skipped{0};
           std::atomic<uint64_t> early_exits{0};
+          std::atomic<uint64_t> l15_pruned{0};
+          std::atomic<uint64_t> checkpoints{0};
           ParallelForWeighted(
               n, options_.num_threads, scan_cost, [&](size_t s) {
                 PrefilterScanStats scan_stats;
-                prefilter.ScanAllWithThreshold(db_.Symbols(s), log_t_,
+                prefilter.ScanAllWithThreshold(db_.Symbols(s), scan_target_,
                                                sims.data() + s * kc,
                                                &scan_stats);
                 skipped.fetch_add(scan_stats.candidates_skipped,
                                   std::memory_order_relaxed);
                 early_exits.fetch_add(scan_stats.dp_early_exits,
+                                      std::memory_order_relaxed);
+                l15_pruned.fetch_add(scan_stats.l15_pruned,
+                                     std::memory_order_relaxed);
+                checkpoints.fetch_add(scan_stats.checkpoints,
                                       std::memory_order_relaxed);
               });
           prefilter_pairs_this_iter_ += n * kc;
@@ -389,6 +402,10 @@ void CluseqClusterer::Recluster() {
               static_cast<size_t>(skipped.load(std::memory_order_relaxed));
           prefilter_early_exits_this_iter_ += static_cast<size_t>(
               early_exits.load(std::memory_order_relaxed));
+          prefilter_l15_this_iter_ += static_cast<size_t>(
+              l15_pruned.load(std::memory_order_relaxed));
+          prefilter_checkpoints_this_iter_ += static_cast<size_t>(
+              checkpoints.load(std::memory_order_relaxed));
         } else {
           ParallelForWeighted(
               n, options_.num_threads, scan_cost, [&](size_t s) {
@@ -666,6 +683,7 @@ Status CluseqClusterer::RestoreFromCheckpoint(
     clusters_.push_back(std::move(cluster));
   }
   bank_ = FrozenBank();
+  bank_.set_signature_budget_bytes(options_.signature_budget_bytes);
   next_cluster_id_ = ckpt.next_cluster_id;
   log_t_ = ckpt.log_t;
   joined_.clear();
@@ -710,10 +728,18 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   const CancellationToken* cancel = options_.cancellation;
   const bool checkpointing =
       !options_.checkpoint_dir.empty() && options_.checkpoint_every > 0;
-  prefilter_active_ = false;
+  // Fixed per run: the prefilter needs the batched arena and deferred
+  // joins; a live threshold adjuster no longer disables it — while the
+  // adjuster moves t, the scan targets the censored floor
+  // log t − adjust_bound_window and the adjuster histograms only scores at
+  // or above that floor, which the prefilter keeps exact.
+  prefilter_active_ = options_.prefilter && options_.batched_scan &&
+                      !options_.within_scan_updates;
   run_prefilter_pairs_ = 0;
   run_prefilter_skipped_ = 0;
   run_prefilter_early_exits_ = 0;
+  run_prefilter_l15_ = 0;
+  run_prefilter_checkpoints_ = 0;
   phase_perf_.TakePhases();  // Drop samples a prior (aborted) run left over.
 
   size_t start_iteration = 0;
@@ -751,6 +777,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     rng_ = Rng(options_.rng_seed);
     clusters_.clear();
     bank_ = FrozenBank();
+    bank_.set_signature_budget_bytes(options_.signature_budget_bytes);
     next_cluster_id_ = 0;
     log_t_ = options_.auto_initial_threshold
                  ? EstimateInitialLogThreshold()
@@ -878,14 +905,20 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     prefilter_pairs_this_iter_ = 0;
     prefilter_skipped_this_iter_ = 0;
     prefilter_early_exits_this_iter_ = 0;
-    // The prefilter may prune only once the threshold has settled: while
-    // the §4.6 adjuster is still moving t it needs exact scores in
-    // all_log_sims_ for its histogram, so those iterations scan
-    // exhaustively. Once frozen (or when adjustment is off) the pruned
-    // slots' bounds are never consumed and skipping becomes safe.
-    prefilter_active_ = options_.prefilter && options_.batched_scan &&
-                        !options_.within_scan_updates &&
-                        (!options_.adjust_threshold || adjuster.frozen());
+    prefilter_l15_this_iter_ = 0;
+    prefilter_checkpoints_this_iter_ = 0;
+    // While the §4.6 adjuster is live its histogram must see exact scores,
+    // so the scan targets the censored floor log t − W instead of log t:
+    // everything at or above the floor comes back exact (the adjuster and
+    // the join pass both censor/compare against values no lower), and
+    // scores below it are censored identically in prefiltered and
+    // exhaustive runs, keeping the adjuster trajectory bit-for-bit
+    // independent of the prefilter. Once frozen (or with adjustment off)
+    // the target snaps back to log t itself.
+    const bool adjuster_live =
+        options_.adjust_threshold && !adjuster.frozen();
+    scan_target_ = adjuster_live ? log_t_ - options_.adjust_bound_window
+                                 : log_t_;
     const uint64_t pruned_before = pruned_counter.Value();
 
     Stopwatch seed_timer;
@@ -936,8 +969,13 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     {
       CLUSEQ_TRACE_SPAN("cluseq.adjust_t");
       obs::PerfScope perf_scope = phase_perf_.Sample("adjust_t");
-      if (options_.adjust_threshold && !adjuster.frozen()) {
-        ThresholdUpdate update = adjuster.Adjust(all_log_sims_, log_t_);
+      if (adjuster_live) {
+        // The censor floor is exactly this iteration's scan target: the
+        // prefilter guarantees every score at or above it is exact, and
+        // exhaustive runs apply the same floor, so both see an identical
+        // filtered multiset and walk identical threshold trajectories.
+        ThresholdUpdate update =
+            adjuster.Adjust(all_log_sims_, log_t_, scan_target_);
         if (update.adjusted) log_t_ = update.new_log_t;
       }
     }
@@ -959,6 +997,8 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     stats.join_seconds = join_seconds_this_iter_;
     stats.consolidate_seconds = consolidate_seconds;
     stats.prefilter_dp_early_exits = prefilter_early_exits_this_iter_;
+    stats.prefilter_l15_pruned = prefilter_l15_this_iter_;
+    stats.prefilter_checkpoints = prefilter_checkpoints_this_iter_;
     stats.phase_perf = phase_perf_.TakePhases();
     if (prefilter_pairs_this_iter_ > 0) {
       stats.prefilter_skip_ratio =
@@ -968,6 +1008,8 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
     run_prefilter_pairs_ += prefilter_pairs_this_iter_;
     run_prefilter_skipped_ += prefilter_skipped_this_iter_;
     run_prefilter_early_exits_ += prefilter_early_exits_this_iter_;
+    run_prefilter_l15_ += prefilter_l15_this_iter_;
+    run_prefilter_checkpoints_ += prefilter_checkpoints_this_iter_;
     size_t pst_bytes_total = 0;
     for (const Cluster& c : clusters_) {
       stats.pst_nodes_total += c.pst().NumNodes();
@@ -1007,8 +1049,10 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
                         << "s / consolidate " << stats.consolidate_seconds
                         << "s, prefilter skip "
                         << 100.0 * stats.prefilter_skip_ratio << "% ("
+                        << stats.prefilter_l15_pruned << " l15 pruned, "
                         << stats.prefilter_dp_early_exits
-                        << " early exits)";
+                        << " early exits, "
+                        << stats.prefilter_checkpoints << " checkpoints)";
       // One perf line per iteration when the counters opened: the scan
       // phase dominates, so lead with its cycles and IPC.
       for (const obs::PhasePerf& phase : stats.phase_perf) {
@@ -1074,6 +1118,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
       result->best_log_sim = boundary.best_log_sim;
     }
     bank_ = FrozenBank();  // Live trees are torn; never serve Classify().
+    bank_.set_signature_budget_bytes(options_.signature_budget_bytes);
   } else {
     result->iterations = iteration;
     result->final_log_threshold = log_t_;
@@ -1095,6 +1140,7 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
       bank_.Assemble(Snapshots());
     } else {
       bank_ = FrozenBank();
+      bank_.set_signature_budget_bytes(options_.signature_budget_bytes);
     }
   }
 
@@ -1103,14 +1149,21 @@ Status CluseqClusterer::Run(ClusteringResult* result) {
   report_->total_iterations = result->iterations;
   report_->final_log_threshold = result->final_log_threshold;
   report_->total_seconds = run_timer.ElapsedSeconds();
-  report_->prefilter_enabled = options_.prefilter && options_.batched_scan &&
-                               !options_.within_scan_updates;
+  report_->prefilter_enabled = prefilter_active_;
   report_->prefilter_early_exits = run_prefilter_early_exits_;
   report_->prefilter_skip_ratio =
       run_prefilter_pairs_ > 0
           ? static_cast<double>(run_prefilter_skipped_) /
                 static_cast<double>(run_prefilter_pairs_)
           : 0.0;
+  report_->prefilter_l15_ratio =
+      run_prefilter_pairs_ > 0
+          ? static_cast<double>(run_prefilter_l15_) /
+                static_cast<double>(run_prefilter_pairs_)
+          : 0.0;
+  report_->prefilter_checkpoints = run_prefilter_checkpoints_;
+  report_->prefilter_sig_tier =
+      bank_.empty() ? "" : bank_.signature_tier_name();
   report_->checkpoint_enabled = checkpointing;
   report_->checkpoint_saves = checkpoint_saves;
   report_->checkpoint_last_iteration =
@@ -1130,7 +1183,7 @@ int32_t CluseqClusterer::Classify(std::span<const SymbolId> symbols,
     if (options_.prefilter) {
       // Argmax-mode pruned scan: exact best value and the same
       // smallest-index tie-break as the exhaustive loop below.
-      ScanPrefilter prefilter(&bank_);
+      ScanPrefilter prefilter(&bank_, options_.prefilter_prefix);
       best_pos = prefilter.BestModel(symbols, &best);
       if (log_sim != nullptr) *log_sim = best;
       if (best_pos >= 0 && best < log_t_) best_pos = -1;

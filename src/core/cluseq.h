@@ -98,16 +98,40 @@ struct CluseqOptions {
   /// within-scan-updates mode, which must score against live trees.
   bool batched_scan = true;
 
-  /// Two-level candidate pruning in front of the banked scan (ScanPrefilter):
-  /// per-model admissible upper bounds skip clusters that provably cannot
-  /// reach the threshold, and survivors run an early-abandoning DP. Outputs
-  /// are bit-for-bit identical with the prefilter on or off — every skip is
-  /// justified by an admissible bound — so, like batched_scan, this is purely
-  /// a performance switch (the off path doubles as the correctness oracle).
-  /// Requires batched_scan; inactive in within-scan-updates mode and while
-  /// the §4.6 threshold adjuster is still moving t (the adjuster wants exact
-  /// scores for its histogram, and a moving target would invalidate skips).
+  /// Multi-level candidate pruning in front of the banked scan
+  /// (ScanPrefilter, DESIGN.md §14): admissible block/signature/prefix-DP
+  /// upper bounds skip clusters that provably cannot reach the threshold,
+  /// and survivors run an early-abandoning DP. Outputs are bit-for-bit
+  /// identical with the prefilter on or off — every skip is justified by
+  /// an admissible bound — so, like batched_scan, this is purely a
+  /// performance switch (the off path doubles as the correctness oracle).
+  /// Requires batched_scan; inactive in within-scan-updates mode. While
+  /// the §4.6 threshold adjuster is live, the scan prunes against the
+  /// censored floor log t − adjust_bound_window instead of log t, so the
+  /// adjuster's histogram sees exact scores (see adjust_bound_window).
   bool prefilter = true;
+
+  /// Width W of the §4.6 histogram window when the prefilter runs during
+  /// adjusting iterations: scores below log t − W are censored from the
+  /// adjuster's histogram (in both prefiltered and exhaustive runs, so the
+  /// two stay bit-for-bit identical), and the prefiltered scan only prunes
+  /// pairs whose bound falls below that floor. Larger W = more of the
+  /// score distribution visible to the valley finder but less pruning
+  /// while t still moves. Algorithmic: affects the adjuster trajectory, so
+  /// it participates in the checkpoint option fingerprint. Must be > 0.
+  double adjust_bound_window = 64.0;
+
+  /// Byte budget for the bank's per-model signature tables, which decide
+  /// the prefilter bound order: trigram caps within budget, else bigram,
+  /// else per-symbol maxima (FrozenBank::SelectSignatureTier). Purely a
+  /// perf/memory trade — any tier is admissible. 0 forces the unigram
+  /// tier.
+  size_t signature_budget_bytes = FrozenBank::kDefaultSignatureBudgetBytes;
+
+  /// Symbols covered by the prefilter's level-1.5 truncated-prefix DP
+  /// bound (ScanPrefilter::kDefaultL15Prefix = 96); 0 disables that level.
+  /// Purely a perf switch — the bound is admissible at any prefix.
+  size_t prefilter_prefix = 96;
 
   /// c: significance threshold for PST nodes (paper rule of thumb: >= 30).
   uint64_t significance_threshold = 30;
@@ -217,6 +241,11 @@ struct IterationStats {
   double prefilter_skip_ratio = 0.0;
   /// Pairs whose DP was abandoned mid-sequence by the bounded scan.
   size_t prefilter_dp_early_exits = 0;
+  /// Pairs pruned by the level-1.5 truncated-prefix DP bound (a subset of
+  /// the skipped pairs counted in prefilter_skip_ratio).
+  size_t prefilter_l15_pruned = 0;
+  /// Level-2 bound checks actually executed by the adaptive schedule.
+  size_t prefilter_checkpoints = 0;
   /// Per-phase perf-counter and getrusage deltas (seed / scan / join /
   /// consolidate / adjust_t). Counters are empty when perf_event_open is
   /// unavailable; the rusage fields are always filled. Observability only —
@@ -338,17 +367,24 @@ class CluseqClusterer {
   size_t refrozen_this_iter_ = 0;
   double scan_seconds_this_iter_ = 0.0;
   double join_seconds_this_iter_ = 0.0;
-  // Whether the prefilter may prune this iteration's scan. Recomputed each
-  // iteration in Run() (it depends on the threshold adjuster having frozen)
-  // and left at its final value for Classify().
+  // Whether the prefilter may prune scans (fixed per run: prefilter ∧
+  // batched_scan ∧ ¬within_scan_updates).
   bool prefilter_active_ = false;
+  // The scan's pruning target for the current iteration: log_t_ once the
+  // adjuster is frozen (or disabled), log_t_ − adjust_bound_window while
+  // it is live — the same floor the adjuster censors its histogram at.
+  double scan_target_ = 0.0;
   size_t prefilter_pairs_this_iter_ = 0;
   size_t prefilter_skipped_this_iter_ = 0;
   size_t prefilter_early_exits_this_iter_ = 0;
+  size_t prefilter_l15_this_iter_ = 0;
+  size_t prefilter_checkpoints_this_iter_ = 0;
   // Whole-run prefilter aggregates for the run report.
   size_t run_prefilter_pairs_ = 0;
   size_t run_prefilter_skipped_ = 0;
   size_t run_prefilter_early_exits_ = 0;
+  size_t run_prefilter_l15_ = 0;
+  size_t run_prefilter_checkpoints_ = 0;
   // Per-phase perf/rusage sampling; drained into IterationStats each
   // iteration. Opens the process-wide PerfCounterSet lazily on first use.
   obs::PhasePerfCollector phase_perf_;

@@ -7,43 +7,68 @@
 // justified by an *admissible upper bound* on the §4.3 log-similarity, so
 // prefiltered runs produce bit-for-bit the outputs of exhaustive ones.
 //
-// Level 1 — signature bound, no row touched. The §4.3 score is the maximum
-// window sum of per-position terms X_i = log[P(s_i | prefix)/p(s_i)], and
-// any window sum is at most Σ_i max(ub_i, 0) for per-position caps
-// ub_i ≥ X_i. The bank's signatures supply the caps:
-//   * position 0 starts from the root, so X_0 is capped by the per-symbol
-//     maximum maxsym[s_0] (the root row's ratio is ≤ the max over states);
-//   * position i ≥ 1 is capped by the bigram signature
-//     cap2[s_{i-1}·A + s_i] — admissible because the automaton state before
-//     consuming s_i always lies in the image of Step(·, s_{i-1}), and cap2
-//     maximizes the ratio over exactly that image;
-//   * alphabets too large for cap2 fall back to the per-symbol maxima
-//     maxsym[s_i] (looser: ignores the preceding symbol).
-// The bound needs only the sequence's bigram (or symbol) counts — O(L)
-// counting per sequence, then one streaming multiply-add over the bank's
-// transposed positive-clamped cap columns: O(distinct bigrams · k) total,
-// sequential and vectorizable, instead of k · O(L) DP steps. A model whose
-// bound cannot reach the threshold (or beat the best score seen so far, in
-// argmax mode) is skipped outright.
+// The bound hierarchy (DESIGN.md §14), cheapest first:
 //
-// Level 2 — in-DP early abandon. Survivors run the real interleaved DP
-// (FrozenBank::ScanCandidatesBounded), which drops a model mid-stream once
-// max(Z_i, max(Y_i, 0) + remaining·max-ratio) falls below the target.
+// Level 1 — signature Kadane bound, no arena row touched. The §4.3 score
+// is the maximum window sum of per-position terms X_i =
+// log[P(s_i | prefix)/p(s_i)], so any per-position caps ub_i ≥ X_i give
+// an admissible bound via the same max-window (Kadane) recurrence run
+// over the caps. The bank's tiered signatures supply the caps (order
+// chosen per bank by a byte budget, see FrozenBank::SignatureTier):
+//   * lead positions (fewer than order−1 preceding symbols, but at least
+//     position 0) are capped by the per-symbol maxima maxsym[s_i];
+//   * position i with full context is capped by the order-o table
+//     cap[s_{i-o+1}··s_i] — admissible because the automaton state before
+//     consuming s_i always lies in the (o−1)-step image of the preceding
+//     symbols, and the cap maximizes the ratio over exactly that image.
+// The dense pass runs one exact integer Kadane per model over the bank's
+// code-major signed offset-u8 cap columns (value = (entry − zero point) ·
+// shared scale, entries round the true caps up; NaN occupies the top
+// code) — all k models advance one position per table byte in a SIMD
+// sweep. Because the encoding keeps negative caps, the bound sees windows
+// *break*: a model whose good caps never chain into one window is pruned
+// here, which a positional sum of positive parts can never do. The
+// per-model refinement bounds read the model-major int16 caps instead — a
+// grid ~50× finer, used where one model's bound must be as tight as the
+// tier allows.
+//
+// Level 1.5 — truncated-prefix DP. Level-1 survivors run a cap-table
+// Kadane over just the first B symbols (B = l15_prefix, default 96):
+// the best window either closes inside the prefix (≤ the prefix DP's Ẑ)
+// or crosses it (≤ max(Ŷ, 0) + the level-1 mass beyond the prefix). This
+// sees cap *ordering*, which the positional sum cannot — a model whose
+// good caps are scattered never chains them into one window. A tiny
+// deterministic pad absorbs FP summation-order differences against the
+// level-1 sum, keeping the bound admissible.
+//
+// Level 2 — in-DP early abandon. Remaining survivors run the real
+// interleaved DP (FrozenBank::ScanCandidatesBounded) with per-(sequence,
+// model) margins — the max cap over codes the sequence actually contains,
+// far tighter than the bank's static per-model max ratio — on an adaptive
+// checkpoint schedule (dense while lanes are near the target, geometric
+// back-off once they separate; see frozen_bank.h).
 //
 // Exactness is restored where consumers need it:
 //   * join decisions: a skipped/abandoned model's recorded value is its
-//     upper bound, which is < log t, so it never joins — same as exact;
-//   * the per-sequence best score: after the bounded pass, models whose
-//     bound still exceeds the best exactly-known score are re-scanned
-//     exactly, in descending bound order, until no bound beats it;
-//   * argmax (Classify): models are processed in descending bound order
-//     with the running best as the abandon target; the true argmax can
-//     never be skipped or abandoned (its bound is ≥ its score ≥ the
-//     running best), and ties resolve to the smallest model index exactly
-//     as the exhaustive first-strict-max loop does.
+//     upper bound, which is < the target, so it never joins — same as
+//     exact;
+//   * the per-sequence best score: after the bounded pass, the highest-
+//     bound model is scanned exactly, then an ascending-index sweep
+//     visits every model whose bound still exceeds the best exactly-known
+//     score, each first *refined* (a full-length Kadane on the fine int16
+//     caps) and only re-scanned exactly if the refined bound still beats
+//     the best — the Kadane bound is tight enough that the sweep almost
+//     never fires, so no priority order is needed;
+//   * argmax (Classify): the highest-bound model is scanned first (it is
+//     usually the winner), then the same ascending sweep runs with the
+//     running best as the abandon target; the true argmax can never be
+//     skipped or abandoned (its bound is ≥ its score ≥ the running best),
+//     and ties resolve to the smallest model index exactly as the
+//     exhaustive first-strict-max loop does.
 //
-// Thread-safe: all mutable state lives in a per-thread workspace, so one
-// ScanPrefilter may be shared by every pool worker.
+// Thread-safe: all mutable state lives in a per-thread workspace (reused
+// across calls — no per-sequence allocation on the steady-state path), so
+// one ScanPrefilter may be shared by every pool worker.
 
 #ifndef CLUSEQ_CORE_PREFILTER_H_
 #define CLUSEQ_CORE_PREFILTER_H_
@@ -58,24 +83,53 @@
 namespace cluseq {
 
 /// Per-call pruning diagnostics (aggregated by the clusterer into
-/// IterationStats and the run report).
+/// IterationStats and the run report). candidates_skipped is the total
+/// count of models never handed to the sparse DP; l15_pruned is the
+/// level-1.5 subset of it.
 struct PrefilterScanStats {
   size_t models_total = 0;       ///< Models the call covered.
-  size_t candidates_skipped = 0; ///< Level-1 skips (no arena row touched).
+  size_t candidates_skipped = 0; ///< Models pruned before the DP (all levels).
+  size_t l15_pruned = 0;         ///< Subset: level-1.5 truncated-DP drops.
   size_t dp_early_exits = 0;     ///< Level-2 mid-DP abandons.
+  size_t checkpoints = 0;        ///< Level-2 bound checks actually executed.
   size_t residual_rescans = 0;   ///< Exact re-scans restoring the max.
+};
+
+/// Snapshot of the calling thread's workspace buffer addresses, for the
+/// regression test pinning "no per-sequence reallocation" (the buffers
+/// must keep their storage across repeated scans of same-shape input).
+struct PrefilterWorkspaceProbe {
+  const void* stamp = nullptr;
+  const void* count = nullptr;
+  const void* cols = nullptr;
+  const void* acc = nullptr;
+  const void* tmp = nullptr;
 };
 
 class ScanPrefilter {
  public:
+  /// Default truncated-prefix length for the level-1.5 bound. Chosen from
+  /// the prefilter.bound_slack histogram: windows that decide membership
+  /// close within the first ~100 symbols on every corpus measured.
+  static constexpr size_t kDefaultL15Prefix = 96;
+
   ScanPrefilter() = default;
-  explicit ScanPrefilter(const FrozenBank* bank) { Bind(bank); }
+  explicit ScanPrefilter(const FrozenBank* bank,
+                         size_t l15_prefix = kDefaultL15Prefix)
+      : l15_prefix_(l15_prefix) {
+    Bind(bank);
+  }
 
   /// Points the prefilter at `bank` (not owned; must outlive this object
   /// and stay un-reassembled while scans run). Binding is free — the
   /// signatures live in the bank.
   void Bind(const FrozenBank* bank) { bank_ = bank; }
   bool bound() const { return bank_ != nullptr && !bank_->empty(); }
+
+  /// Number of leading symbols the level-1.5 truncated DP covers; 0
+  /// disables the level entirely.
+  void set_l15_prefix(size_t prefix) { l15_prefix_ = prefix; }
+  size_t l15_prefix() const { return l15_prefix_; }
 
   /// Threshold-mode scan over all models. Postconditions versus the exact
   /// bank_->ScanAll(symbols, results):
@@ -84,7 +138,9 @@ class ScanPrefilter {
   ///   * max_m results[m].log_sim is the exact maximum;
   ///   * other slots hold an admissible upper bound (< log_t) instead of
   ///     the exact score, with zeroed segment bounds.
-  /// `log_t` must be finite.
+  /// Any log_t is accepted; a nonpositive one can never prune (every
+  /// bound is ≥ 0 by construction), so those calls delegate to the
+  /// exhaustive scan and return fully exact results.
   void ScanAllWithThreshold(std::span<const SymbolId> symbols, double log_t,
                             SimilarityResult* results,
                             PrefilterScanStats* stats = nullptr) const;
@@ -101,8 +157,12 @@ class ScanPrefilter {
                     PrefilterScanStats* stats = nullptr,
                     size_t exclude_model = kNoExclude) const;
 
+  /// Testing hook: addresses of the calling thread's workspace buffers.
+  static PrefilterWorkspaceProbe ProbeThreadWorkspaceForTesting();
+
  private:
   const FrozenBank* bank_ = nullptr;
+  size_t l15_prefix_ = kDefaultL15Prefix;
 };
 
 }  // namespace cluseq

@@ -16,7 +16,8 @@ ThresholdAdjuster::ThresholdAdjuster(size_t buckets, double min_log_t,
       max_up_step_(max_up_step) {}
 
 ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
-                                          double current_log_t) {
+                                          double current_log_t,
+                                          double censor_floor) {
   ThresholdUpdate update;
   update.new_log_t = current_log_t;
   if (frozen_) return update;
@@ -24,7 +25,7 @@ ThresholdUpdate ThresholdAdjuster::Adjust(const std::vector<double>& log_sims,
   std::vector<double> finite_sims;
   finite_sims.reserve(log_sims.size());
   for (double v : log_sims) {
-    if (std::isfinite(v)) finite_sims.push_back(v);
+    if (std::isfinite(v) && v >= censor_floor) finite_sims.push_back(v);
   }
   if (finite_sims.size() < 8) return update;
   // Clamp the histogram domain to the inner [1%, 99%] quantiles: a handful

@@ -16,6 +16,7 @@
 #define CLUSEQ_CORE_THRESHOLD_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace cluseq {
@@ -39,10 +40,17 @@ class ThresholdAdjuster {
                              double max_up_step = 1.5);
 
   /// Computes the valley of the given similarity observations and moves
-  /// `current_log_t` toward it. Non-finite observations are ignored.
-  /// Once frozen (|t - t̂| < 1% relative), returns adjusted=false forever.
-  ThresholdUpdate Adjust(const std::vector<double>& log_sims,
-                         double current_log_t);
+  /// `current_log_t` toward it. Non-finite observations and observations
+  /// below `censor_floor` are ignored — the floor is what lets the
+  /// prefilter stay on while the adjuster is live: both prefiltered and
+  /// exhaustive runs censor at the same floor, and the prefilter
+  /// guarantees every score at or above it is exact, so the adjuster sees
+  /// an identical multiset either way. Scores far below the current
+  /// threshold carry no information about the valley near it. Once frozen
+  /// (|t - t̂| < 1% relative), returns adjusted=false forever.
+  ThresholdUpdate Adjust(
+      const std::vector<double>& log_sims, double current_log_t,
+      double censor_floor = -std::numeric_limits<double>::infinity());
 
   bool frozen() const { return frozen_; }
 

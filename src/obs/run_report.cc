@@ -42,6 +42,10 @@ void WriteOptions(JsonWriter& writer, const CluseqOptions& options) {
   writer.KeyValue("within_scan_updates", options.within_scan_updates);
   writer.KeyValue("batched_scan", options.batched_scan);
   writer.KeyValue("prefilter", options.prefilter);
+  writer.KeyValue("adjust_bound_window", options.adjust_bound_window);
+  writer.KeyValue("signature_budget_bytes",
+                  uint64_t{options.signature_budget_bytes});
+  writer.KeyValue("prefilter_prefix", uint64_t{options.prefilter_prefix});
   writer.KeyValue("significance_threshold",
                   uint64_t{options.significance_threshold});
   writer.KeyValue("sample_multiplier", options.sample_multiplier);
@@ -90,6 +94,10 @@ void WriteIterationStats(JsonWriter& writer, const IterationStats& stats) {
   writer.KeyValue("prefilter_skip_ratio", stats.prefilter_skip_ratio);
   writer.KeyValue("prefilter_dp_early_exits",
                   uint64_t{stats.prefilter_dp_early_exits});
+  writer.KeyValue("prefilter_l15_pruned",
+                  uint64_t{stats.prefilter_l15_pruned});
+  writer.KeyValue("prefilter_checkpoints",
+                  uint64_t{stats.prefilter_checkpoints});
   writer.EndObject();
 }
 
@@ -214,6 +222,10 @@ void WriteRunReportJson(const RunReport& report, std::ostream& out) {
   writer.KeyValue("enabled", report.prefilter_enabled);
   writer.KeyValue("skip_ratio", report.prefilter_skip_ratio);
   writer.KeyValue("early_exits", uint64_t{report.prefilter_early_exits});
+  writer.KeyValue("l15_ratio", report.prefilter_l15_ratio);
+  writer.KeyValue("adaptive_checkpoints",
+                  uint64_t{report.prefilter_checkpoints});
+  writer.KeyValue("sig_tier", std::string_view(report.prefilter_sig_tier));
   writer.EndObject();
   writer.Key("checkpoint");
   writer.BeginObject();

@@ -1,6 +1,7 @@
 #include "pst/frozen_bank.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -144,15 +145,30 @@ void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
   }
 }
 
+/// Earliest position at which a lane could first fail the abandon test.
+/// The test needs max(Z, pos(Y) + rem·margin) < target with pos(Y) ≥ 0, so
+/// rem·margin < target is necessary: for margin > 0 that means
+/// i > len − target/margin; a zero-margin lane can fail anywhere.
+/// Checking earlier is sound (the bound itself is always admissible) —
+/// this only prunes provably useless checks.
+inline double EarliestFailPosition(double margin, double target, size_t len) {
+  if (!(margin > 0.0)) return 1.0;
+  const double j0 = static_cast<double>(len) - target / margin;
+  return j0 > 1.0 ? j0 : 1.0;
+}
+
 size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
                               const uint32_t* bases, size_t num_models,
                               const SymbolId* symbols, size_t len,
                               const double* margins, double target,
-                              SimilarityResult* out, uint8_t* exact) {
+                              SimilarityResult* out, uint8_t* exact,
+                              size_t* checkpoints) {
   // Same DP lanes as ScanBlockScalar plus, per lane, its output slot (lanes
   // compact as models abandon, outputs do not) and its admissible
-  // per-symbol margin. The abandon check runs every 64 symbols: O(active)
-  // work amortized over 64 · active DP steps, so survivors pay ~nothing.
+  // per-symbol margin. The abandon checks run on an adaptive schedule —
+  // dense (every kBoundCheckMin symbols) while lanes keep abandoning,
+  // geometric back-off once the survivors separate from the target — so
+  // near-miss candidates die early and true survivors pay ~nothing.
   double y[kMaxBlockModels];
   double z[kMaxBlockModels];
   uint32_t row[kMaxBlockModels];
@@ -177,6 +193,23 @@ size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
   size_t active = num_models;
   size_t abandoned = 0;
 
+  // Schedule state. A target ≤ 0 can never be undercut (the bound is
+  // ≥ pos(Y) ≥ 0), so the whole scan runs checkpoint-free.
+  constexpr size_t kBoundCheckMin = 16;
+  constexpr size_t kBoundCheckMax = 512;
+  size_t interval = kBoundCheckMin;
+  size_t next_check = len;
+  if (target > 0.0) {
+    double min_j0 = static_cast<double>(len);
+    for (size_t m = 0; m < num_models; ++m) {
+      const double j0 = EarliestFailPosition(margin[m], target, len);
+      if (j0 < min_j0) min_j0 = j0;
+    }
+    next_check = min_j0 >= static_cast<double>(len)
+                     ? len
+                     : std::max(kBoundCheckMin, static_cast<size_t>(min_j0));
+  }
+
   // i = 0 peeled, identical to ScanBlockScalar.
   {
     const uint32_t s = symbols[0];
@@ -191,12 +224,14 @@ size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
     }
   }
   for (size_t i = 1; i < len; ++i) {
-    if ((i & 63u) == 0) {
+    if (i >= next_check) {
+      if (checkpoints != nullptr) ++*checkpoints;
       // Positions 0..i-1 are consumed; `len - i` symbols remain. Any future
       // Y either extends the current run (≤ Y_i + rem·margin) or restarts
       // inside the remainder (≤ rem·margin), so the final Z cannot exceed
       // max(Z_i, max(Y_i, 0) + rem·margin).
       const double rem = static_cast<double>(len - i);
+      const size_t was_active = active;
       size_t w = 0;
       for (size_t m = 0; m < active; ++m) {
         const double peak = y[m] > 0.0 ? y[m] : 0.0;
@@ -227,6 +262,27 @@ size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
       }
       active = w;
       if (active == 0) return abandoned;
+      // Reschedule: lanes whose Z already reached the target can never be
+      // abandoned (Z only grows and the bound is ≥ Z), so they drop out of
+      // the earliest-fail scan; if none remain abandonable, checking is
+      // over for good.
+      double min_j0 = std::numeric_limits<double>::infinity();
+      for (size_t m = 0; m < active; ++m) {
+        if (z[m] >= target) continue;
+        const double j0 = EarliestFailPosition(margin[m], target, len);
+        if (j0 < min_j0) min_j0 = j0;
+      }
+      if (min_j0 >= static_cast<double>(len)) {
+        next_check = len;
+      } else {
+        interval = active < was_active
+                       ? kBoundCheckMin
+                       : std::min(interval * 2, kBoundCheckMax);
+        next_check = i + interval;
+        if (static_cast<double>(next_check) < min_j0) {
+          next_check = static_cast<size_t>(min_j0);
+        }
+      }
     }
     const uint32_t s = symbols[i];
     for (size_t m = 0; m < active; ++m) {
@@ -255,7 +311,48 @@ size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
   return abandoned;
 }
 
+void KadaneColumnsScalar(const uint8_t* const* cols, size_t len, size_t n,
+                         int32_t* z) {
+  for (size_t m = 0; m < n; ++m) {
+    int32_t x = static_cast<int32_t>(cols[0][m]) -
+                FrozenBank::kSignatureZeroPoint;
+    int32_t y = x;
+    int32_t best = x;
+    for (size_t i = 1; i < len; ++i) {
+      x = static_cast<int32_t>(cols[i][m]) - FrozenBank::kSignatureZeroPoint;
+      const int32_t extend = y + x;
+      y = extend < x ? x : extend;
+      if (y > best) best = y;
+    }
+    z[m] = best;
+  }
+}
+
 }  // namespace internal
+
+void FrozenBank::SignatureKadaneDense(const uint8_t* const* cols, size_t len,
+                                      int32_t* z) const {
+  const size_t k = num_models();
+  if (k == 0 || len == 0) return;
+#ifdef CLUSEQ_HAVE_AVX2
+  if (!force_scalar_ && SimdAvailable()) {
+    // Cache-resident transposed tables make the dense pass store-bound,
+    // where the register-resident striped kernel wins; tables past this
+    // size pay memory bandwidth per scan and want the position-outer
+    // kernel's sequential column streaming instead. Both compute the
+    // same exact integer recurrence.
+    constexpr size_t kStripedKadaneMaxTableBytes = size_t{4} << 20;
+    const size_t table_bytes = sig_maxsymt_q_.size() + sig_capt_q_.size();
+    if (table_bytes <= kStripedKadaneMaxTableBytes) {
+      internal::KadaneColumnsAvx2Striped(cols, len, k, z);
+    } else {
+      internal::KadaneColumnsAvx2(cols, len, k, z);
+    }
+    return;
+  }
+#endif
+  internal::KadaneColumnsScalar(cols, len, k, z);
+}
 
 bool FrozenBank::SimdAvailable() {
 #ifdef CLUSEQ_HAVE_AVX2
@@ -340,17 +437,17 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
 
   // Bound signatures ride the same reuse logic: a slot whose rows were kept
   // byte-identical keeps its signature (flat per-model indexing is stable
-  // because reuse implies an unchanged alphabet and slot index).
-  sig_cap2_enabled_ = alphabet <= kMaxBigramAlphabet;
+  // because reuse implies an unchanged alphabet and slot index). A tier
+  // change reshapes the per-model tables, so it forces a full signature
+  // rebuild even where arena rows were reused.
+  const SignatureTier tier = SelectSignatureTier(models_.size(), alphabet);
+  const bool tier_changed = tier != sig_tier_;
+  sig_tier_ = tier;
   sig_rmax_.resize(models_.size());
   sig_maxsym_.resize(models_.size() * alphabet);
-  if (sig_cap2_enabled_) {
-    sig_cap2_.resize(models_.size() * alphabet * alphabet);
-  } else {
-    sig_cap2_.clear();
-  }
+  sig_cap_q_.resize(models_.size() * signature_code_space());
   for (size_t m = 0; m < models_.size(); ++m) {
-    if (!reuse[m]) BuildSignature(m);
+    if (!reuse[m] || tier_changed) BuildSignature(m);
   }
   BuildTransposedSignatures();
 
@@ -369,11 +466,60 @@ FrozenBank::AssembleStats FrozenBank::Assemble(
   return stats;
 }
 
+double FrozenBank::SignatureTierCostBytes(size_t k, size_t alphabet,
+                                          size_t order) {
+  // Computed in doubles so huge alphabets cannot overflow the size
+  // arithmetic. Per (model, code) entry: 2 bytes model-major int16 +
+  // 1 byte transposed uint8; plus the A-wide per-symbol tables (double
+  // model-major + uint8 transpose).
+  const double kd = static_cast<double>(k);
+  const double a = static_cast<double>(alphabet);
+  double cs = 1.0;
+  for (size_t o = 0; o < order; ++o) cs *= a;
+  return kd * cs * (sizeof(int16_t) + 1) + kd * a * (sizeof(double) + 1);
+}
+
+FrozenBank::SignatureTier FrozenBank::SelectSignatureTier(
+    size_t k, size_t alphabet) const {
+  if (k == 0 || alphabet == 0) return SignatureTier::kUnigram;
+  const double budget = static_cast<double>(signature_budget_bytes_);
+  if (SignatureTierCostBytes(k, alphabet, 3) <= budget) {
+    return SignatureTier::kTrigram;
+  }
+  if (SignatureTierCostBytes(k, alphabet, 2) <= budget) {
+    return SignatureTier::kBigram;
+  }
+  return SignatureTier::kUnigram;
+}
+
+namespace {
+
+// Rounds a log-ratio up onto the kSignatureQuantStep fixed-point grid.
+// Round-up keeps the cap admissible; the explicit product check repairs
+// the rare case where the scaled ceil still lands a hair below v (the
+// multiply itself rounds). NaN maps to the fold identity — a NaN ratio
+// never wins the `>` max-folds below, matching the double code it
+// replaces — and -inf clamps upward to the grid floor, which only loosens
+// the cap. Positive saturation is unreachable (see kSignatureQuantStep).
+int16_t QuantizeCap16(double v) {
+  constexpr int16_t kMin = std::numeric_limits<int16_t>::min();
+  if (std::isnan(v)) return kMin;
+  const double q = std::ceil(v * 256.0);
+  if (q <= -32768.0) return kMin;
+  if (q >= 32767.0) return std::numeric_limits<int16_t>::max();
+  int32_t qi = static_cast<int32_t>(q);
+  if (static_cast<double>(qi) * FrozenBank::kSignatureQuantStep < v) ++qi;
+  return static_cast<int16_t>(qi);
+}
+
+}  // namespace
+
 void FrozenBank::BuildSignature(size_t m) {
   const size_t a_size = alphabet_size_;
   const size_t ns = states_[m];
   const Entry* rows = scan_data() + base_[m];
   const double neg_inf = -std::numeric_limits<double>::infinity();
+  constexpr int16_t kQMin = std::numeric_limits<int16_t>::min();
 
   double* maxsym = sig_maxsym_.data() + m * a_size;
   if (m < models_.size() && models_[m] != nullptr &&
@@ -398,26 +544,76 @@ void FrozenBank::BuildSignature(size_t m) {
     sig_rmax_[m] = rmax;
   }
 
-  if (!sig_cap2_enabled_) return;
-  // cap2[b·A + a] = max of ratio(v, a) over v in the image of Step(·, b).
-  // That image is small — every state reached by consuming b has a label
-  // ending in b (or is the root), and those sets are disjoint across b, so
-  // Σ_b |image_b| ≤ states + A. Folding each distinct successor row once
-  // per b (epoch-stamp dedup) keeps construction at O(states · A), the
-  // same order as packing the rows in the first place.
-  double* cap2 = sig_cap2_.data() + m * a_size * a_size;
-  std::fill(cap2, cap2 + a_size * a_size, neg_inf);
-  std::vector<uint32_t> stamp(ns, 0);
-  for (size_t b = 0; b < a_size; ++b) {
-    const uint32_t epoch = static_cast<uint32_t>(b) + 1;
-    double* caps = cap2 + b * a_size;
+  if (sig_tier_ == SignatureTier::kUnigram) {
+    // Unigram tier: the cap table is just the per-symbol maxima quantized,
+    // so every consumer reads sig_cap_q_ the same way regardless of tier.
+    int16_t* cap1 = sig_cap_q_.data() + m * a_size;
+    for (size_t a = 0; a < a_size; ++a) cap1[a] = QuantizeCap16(maxsym[a]);
+    return;
+  }
+  if (sig_tier_ == SignatureTier::kBigram) {
+    // cap2[b·A + a] = max of ratio(v, a) over v in the image of Step(·, b).
+    // That image is small — every state reached by consuming b has a label
+    // ending in b (or is the root), and those sets are disjoint across b,
+    // so Σ_b |image_b| ≤ states + A. Folding each distinct successor row
+    // once per b (epoch-stamp dedup) keeps construction at O(states · A),
+    // the same order as packing the rows in the first place.
+    int16_t* cap2 = sig_cap_q_.data() + m * a_size * a_size;
+    std::fill(cap2, cap2 + a_size * a_size, kQMin);
+    std::vector<uint32_t> stamp(ns, 0);
+    for (size_t b = 0; b < a_size; ++b) {
+      const uint32_t epoch = static_cast<uint32_t>(b) + 1;
+      int16_t* caps = cap2 + b * a_size;
+      for (size_t u = 0; u < ns; ++u) {
+        const uint32_t v = rows[u * a_size + b].next / a_size;
+        if (stamp[v] == epoch) continue;
+        stamp[v] = epoch;
+        const Entry* vrow = rows + static_cast<size_t>(v) * a_size;
+        for (size_t a = 0; a < a_size; ++a) {
+          // Quantization is monotone, so folding quantized values gives
+          // exactly the quantized max — still an admissible cap.
+          const int16_t qv = QuantizeCap16(vrow[a].ratio);
+          if (qv > caps[a]) caps[a] = qv;
+        }
+      }
+    }
+    return;
+  }
+  // Trigram tier: cap3[(c·A + b)·A + a] = max of ratio(w, a) over w in the
+  // two-step image Step(Step(·, c), b). Admissible for any position whose
+  // two preceding symbols are (c, b), whatever the state before them. The
+  // one-step image of c is collected once (epoch-stamp dedup, as in cap2),
+  // then stepped on b with a second stamp per (c, b) — Σ|images| stays
+  // near states·A for suffix-automaton-shaped transition structure, and
+  // the tier is budget-gated to small k·A³ anyway.
+  int16_t* cap3 = sig_cap_q_.data() + m * a_size * a_size * a_size;
+  std::fill(cap3, cap3 + a_size * a_size * a_size, kQMin);
+  std::vector<uint32_t> stamp1(ns, 0);
+  std::vector<uint32_t> stamp2(ns, 0);
+  std::vector<uint32_t> image;
+  image.reserve(std::min<size_t>(ns, 256));
+  for (size_t c = 0; c < a_size; ++c) {
+    image.clear();
+    const uint32_t epoch1 = static_cast<uint32_t>(c) + 1;
     for (size_t u = 0; u < ns; ++u) {
-      const uint32_t v = rows[u * a_size + b].next / a_size;
-      if (stamp[v] == epoch) continue;
-      stamp[v] = epoch;
-      const Entry* vrow = rows + static_cast<size_t>(v) * a_size;
-      for (size_t a = 0; a < a_size; ++a) {
-        if (vrow[a].ratio > caps[a]) caps[a] = vrow[a].ratio;
+      const uint32_t v = rows[u * a_size + c].next / a_size;
+      if (stamp1[v] == epoch1) continue;
+      stamp1[v] = epoch1;
+      image.push_back(v);
+    }
+    for (size_t b = 0; b < a_size; ++b) {
+      const uint32_t epoch2 = static_cast<uint32_t>(c * a_size + b) + 1;
+      int16_t* caps = cap3 + (c * a_size + b) * a_size;
+      for (const uint32_t v : image) {
+        const uint32_t w = rows[static_cast<size_t>(v) * a_size + b].next /
+                           a_size;
+        if (stamp2[w] == epoch2) continue;
+        stamp2[w] = epoch2;
+        const Entry* wrow = rows + static_cast<size_t>(w) * a_size;
+        for (size_t a = 0; a < a_size; ++a) {
+          const int16_t qv = QuantizeCap16(wrow[a].ratio);
+          if (qv > caps[a]) caps[a] = qv;
+        }
       }
     }
   }
@@ -425,14 +621,10 @@ void FrozenBank::BuildSignature(size_t m) {
 
 void FrozenBank::BuildAllSignatures() {
   const size_t k = base_.size();
-  sig_cap2_enabled_ =
-      alphabet_size_ > 0 && alphabet_size_ <= kMaxBigramAlphabet;
+  sig_tier_ = SelectSignatureTier(k, alphabet_size_);
   sig_rmax_.resize(k);
   sig_maxsym_.resize(k * alphabet_size_);
-  sig_cap2_.clear();
-  if (sig_cap2_enabled_) {
-    sig_cap2_.resize(k * alphabet_size_ * alphabet_size_);
-  }
+  sig_cap_q_.resize(k * signature_code_space());
   for (size_t m = 0; m < k; ++m) BuildSignature(m);
   BuildTransposedSignatures();
 }
@@ -440,25 +632,73 @@ void FrozenBank::BuildAllSignatures() {
 void FrozenBank::BuildTransposedSignatures() {
   const size_t k = base_.size();
   const size_t a_size = alphabet_size_;
-  sig_maxsymt_.resize(k * a_size);
+  const size_t cs = signature_code_space();
+
+  // Pass 0: pick the bank-global signed 8-bit grid. The positive side
+  // (191 levels above the zero point) must cover the largest positive
+  // value the transposed tables will ever hold — both the raw per-symbol
+  // maxima (doubles) and the already-quantized caps. The (1 + 2^-40)
+  // headroom guarantees 191 * scale >= gmax even after the division
+  // rounds, so the bump loop below always terminates at 191.
+  double gmax = 0.0;
+  for (const double v : sig_maxsym_) {
+    if (std::isfinite(v) && v > gmax) gmax = v;
+  }
+  int16_t q16max = 0;
+  for (const int16_t q : sig_cap_q_) {
+    if (q > q16max) q16max = q;
+  }
+  if (q16max > 0) {
+    gmax = std::max(gmax, static_cast<double>(q16max) * kSignatureQuantStep);
+  }
+  constexpr int32_t kZp = kSignatureZeroPoint;
+  constexpr int32_t kPos = kSignaturePosLevels;
+  sig_scale8_ = gmax > 0.0 ? gmax * (1.0 + 0x1p-40) / kPos : 1.0;
+  const double scale = sig_scale8_;
+  const double inv_scale = 1.0 / scale;
+  // Round-up quantization onto the signed offset grid: stored byte =
+  // clamp(ceil(v / scale), −64, 191) + 64, so (byte − 64) · scale ≥ v
+  // always — the bump loop repairs any downward FP rounding, and the low
+  // clamp only raises a value (admissible; a deep negative cap just
+  // breaks windows a little less hard). NaN maps to 255: it must
+  // dominate any score the scan kernels can produce, because a NaN X
+  // freezes their Y lane and the best window then closed before the NaN
+  // — a window our Kadane sweep also saw. −inf maps to 0.
+  const auto quant_s8 = [scale, inv_scale](double v) -> uint8_t {
+    if (std::isnan(v)) return 255;
+    if (!(v > static_cast<double>(-kZp) * scale)) return 0;
+    const double q = std::ceil(v * inv_scale);
+    int32_t u = q >= static_cast<double>(kPos) ? kPos
+                                               : static_cast<int32_t>(q);
+    if (u < -kZp) u = -kZp;
+    while (u < kPos && static_cast<double>(u) * scale < v) ++u;
+    return static_cast<uint8_t>(u + kZp);
+  };
+
+  // Pass 1: per-symbol maxima, transposed to symbol-major offset-u8 so
+  // the dense level-1 pass streams one contiguous k-wide column per lead
+  // position.
+  sig_maxsymt_q_.resize(k * a_size);
   for (size_t m = 0; m < k; ++m) {
     const double* src = sig_maxsym_.data() + m * a_size;
     for (size_t a = 0; a < a_size; ++a) {
-      // max(x, 0): -inf and NaN caps both clamp to 0, matching pos() in the
-      // bound (a NaN cap contributes nothing rather than poisoning the sum).
-      sig_maxsymt_[a * k + m] = src[a] > 0.0 ? src[a] : 0.0;
+      sig_maxsymt_q_[a * k + m] = quant_s8(src[a]);
     }
   }
-  if (!sig_cap2_enabled_) {
-    sig_cap2t_.clear();
-    return;
-  }
-  const size_t sq = a_size * a_size;
-  sig_cap2t_.resize(k * sq);
+
+  // Pass 2: cap tables, code-major offset-u8. Quantized FROM the int16
+  // values — q16 * kSignatureQuantStep is exact in double (both are
+  // powers of two away from an integer), so (e − 64) * scale >= q16 *
+  // step >= true cap and the dominance chain the refine bounds rely on
+  // holds entrywise. Unlike the positive-clamped mirror this replaces,
+  // the signed grid keeps the *negative* caps too — that is what lets
+  // the dense Kadane sweep see windows break.
+  sig_capt_q_.resize(k * cs);
   for (size_t m = 0; m < k; ++m) {
-    const double* src = sig_cap2_.data() + m * sq;
-    for (size_t code = 0; code < sq; ++code) {
-      sig_cap2t_[code * k + m] = src[code] > 0.0 ? src[code] : 0.0;
+    const int16_t* src = sig_cap_q_.data() + m * cs;
+    for (size_t code = 0; code < cs; ++code) {
+      sig_capt_q_[code * k + m] = quant_s8(
+          static_cast<double>(src[code]) * kSignatureQuantStep);
     }
   }
 }
@@ -580,7 +820,9 @@ size_t FrozenBank::ScanCandidatesBounded(std::span<const SymbolId> symbols,
                                          std::span<const uint32_t> candidates,
                                          double target,
                                          SimilarityResult* results,
-                                         uint8_t* exact) const {
+                                         uint8_t* exact,
+                                         std::span<const double> margins,
+                                         size_t* checkpoints) const {
   const size_t k = candidates.size();
   if (k == 0) return 0;
   if (symbols.empty()) {
@@ -604,13 +846,19 @@ size_t FrozenBank::ScanCandidatesBounded(std::span<const SymbolId> symbols,
     scratch.bases[j] = base32_[c];
     // Admissible per-symbol increment for the remaining-stream bound; the
     // kernels require it nonnegative (a run can always restart empty).
-    scratch.margins[j] = sig_rmax_[c] > 0.0 ? sig_rmax_[c] : 0.0;
+    // Callers with a tighter per-candidate cap (the prefilter's
+    // sequence-adaptive margins) pass it in; the model-wide max is the
+    // fallback.
+    scratch.margins[j] =
+        margins.empty() ? (sig_rmax_[c] > 0.0 ? sig_rmax_[c] : 0.0)
+                        : margins[j];
   }
 
   static obs::Counter& scan_symbols =
       obs::MetricsRegistry::Get().GetCounter("frozen_bank.scan_symbols");
   scan_symbols.Add(symbols.size() * k);
   size_t abandoned = 0;
+  size_t checks = 0;
   const size_t block = BlockModels();
   for (size_t m0 = 0; m0 < k; m0 += block) {
     const size_t mb = std::min(block, k - m0);
@@ -619,7 +867,7 @@ size_t FrozenBank::ScanCandidatesBounded(std::span<const SymbolId> symbols,
       abandoned += internal::ScanBlockAvx2Bounded(
           scan_data(), scratch.bases.data() + m0, mb, symbols.data(),
           symbols.size(), scratch.margins.data() + m0, target, results + m0,
-          exact + m0);
+          exact + m0, &checks);
       continue;
     }
 #else
@@ -628,8 +876,9 @@ size_t FrozenBank::ScanCandidatesBounded(std::span<const SymbolId> symbols,
     abandoned += internal::ScanBlockScalarBounded(
         scan_data(), scratch.bases.data() + m0, mb, symbols.data(),
         symbols.size(), scratch.margins.data() + m0, target, results + m0,
-        exact + m0);
+        exact + m0, &checks);
   }
+  if (checkpoints != nullptr) *checkpoints += checks;
   return abandoned;
 }
 

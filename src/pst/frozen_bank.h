@@ -144,33 +144,104 @@ class FrozenBank {
                       std::span<const uint32_t> candidates,
                       SimilarityResult* results) const;
 
-  /// Bounded sparse scan: like ScanCandidates, but every 64 symbols each
-  /// still-active model is tested against the admissible remaining-stream
-  /// bound and abandoned once it provably cannot reach `target`:
+  /// Bounded sparse scan: like ScanCandidates, but on an adaptive schedule
+  /// of checkpoints each still-active model is tested against the
+  /// admissible remaining-stream bound and abandoned once it provably
+  /// cannot reach `target`:
   ///
-  ///   final Z  ≤  max(Z_i, max(Y_i, 0) + remaining · margin_m)
+  ///   final Z  ≤  max(Z_i, max(Y_i, 0) + remaining · margin_j)
   ///
-  /// where margin_m = max(signature_max(candidates[j]), 0) caps any future
-  /// per-symbol X term. For abandoned models `exact[j] = 0` and
+  /// where margin_j caps any future per-symbol X term of candidate j —
+  /// max(signature_max(candidates[j]), 0) by default, or the caller's
+  /// tighter (still admissible, nonnegative) `margins[j]` when provided.
+  /// The checkpoint schedule is dense while lanes sit near the target and
+  /// backs off geometrically as survivors separate; every executed check
+  /// applies the same sound bound, so the schedule affects cost only,
+  /// never the result set. For abandoned models `exact[j] = 0` and
   /// `results[j].log_sim` holds that (strictly < target) upper bound; for
   /// survivors `exact[j] = 1` and `results[j]` is bit-for-bit ScanAll.
-  /// Returns the number of abandoned models (the dp_early_exits metric).
+  /// Returns the number of abandoned models (the dp_early_exits metric);
+  /// `*checkpoints` (when non-null) accrues the executed checkpoint passes.
   size_t ScanCandidatesBounded(std::span<const SymbolId> symbols,
                                std::span<const uint32_t> candidates,
                                double target, SimilarityResult* results,
-                               uint8_t* exact) const;
+                               uint8_t* exact,
+                               std::span<const double> margins = {},
+                               size_t* checkpoints = nullptr) const;
 
   /// --- Admissible-bound signatures -------------------------------------
   /// Per-model caps on the §4.3 DP's X terms, maintained by Assemble (only
   /// rewritten slots are recomputed) and by the .fbank loader, so they are
   /// valid whenever the bank is non-empty. core/prefilter.h combines them
-  /// with a sequence's symbol/bigram counts into upper bounds on log SIM.
+  /// with a sequence's context-code counts into upper bounds on log SIM.
+  ///
+  /// The context order is tiered: caps conditioned on the previous two
+  /// symbols (trigram, order 3), the previous one (bigram, order 2), or
+  /// none (unigram, order 1). The per-bank signature memory budget picks
+  /// the deepest tier whose k·A^order tables fit; deeper context means a
+  /// smaller reachable automaton image, hence tighter caps.
 
-  /// Alphabet-size cap on the bigram signature: above this the k·A²·8-byte
-  /// tables stop paying for themselves and the prefilter falls back to the
-  /// unigram bound.
-  static constexpr size_t kMaxBigramAlphabet = 64;
+  enum class SignatureTier : uint8_t { kUnigram = 1, kBigram = 2,
+                                       kTrigram = 3 };
 
+  /// Default per-bank cap on signature-table bytes (model-major +
+  /// transposed mirrors); tune with set_signature_budget_bytes. Sized for
+  /// cache residency, not RAM fit: the dense bound pass streams the
+  /// transposed tables once per scanned sequence, so a tier that spills
+  /// to DRAM pays memory bandwidth per scan and scales worse than a
+  /// shallower cache-resident tier with slightly looser caps (the Kadane
+  /// bound has slack to spare — measured pruning stays >99.9% a tier
+  /// down). 32 MiB keeps order-3 tables through k ≈ 1.4k models on a
+  /// 20-letter alphabet and drops larger banks to order 2, whose tables
+  /// stay comfortably inside L2/L3 into the tens of thousands of models.
+  static constexpr size_t kDefaultSignatureBudgetBytes = 32ull << 20;
+
+  /// Model-major caps are stored as round-up fixed-point int16 with this
+  /// step: value = q / 256. Admissible by construction (quantization only
+  /// rounds toward +inf), and saturation is unreachable — add-one
+  /// smoothing keeps -log p(s) ≤ 64·ln 2 < 45, so every positive log-ratio
+  /// is < 45 ≪ 32767/256, and negatives clamp *upward* to -128, which only
+  /// loosens the bound.
+  static constexpr double kSignatureQuantStep = 1.0 / 256.0;
+
+  /// Bytes of signature tables an order-`order` tier costs for a k-model
+  /// bank: model-major int16 caps + uint8 transposed mirror
+  /// (k·A^order·(2 + 1)), plus the A-wide per-symbol tables. Public so
+  /// tests and capacity planning share the exact cost model the tier
+  /// choice uses.
+  static double SignatureTierCostBytes(size_t k, size_t alphabet,
+                                       size_t order);
+
+  /// Sets the signature budget. Takes effect at the next Assemble (or
+  /// .fbank load) — callers that change it on a live bank re-Assemble.
+  void set_signature_budget_bytes(size_t bytes) {
+    signature_budget_bytes_ = bytes;
+  }
+  size_t signature_budget_bytes() const { return signature_budget_bytes_; }
+
+  SignatureTier signature_tier() const { return sig_tier_; }
+  const char* signature_tier_name() const {
+    switch (sig_tier_) {
+      case SignatureTier::kTrigram: return "trigram";
+      case SignatureTier::kBigram: return "bigram";
+      case SignatureTier::kUnigram: return "unigram";
+    }
+    return "unknown";
+  }
+  /// Context order of the active tier (1, 2 or 3).
+  size_t signature_order() const { return static_cast<size_t>(sig_tier_); }
+  /// Number of distinct context codes: A^order. A code at position i packs
+  /// the (order-1) preceding symbols and s_i, most significant first.
+  size_t signature_code_space() const {
+    size_t cs = alphabet_size_;
+    for (size_t o = 1; o < signature_order(); ++o) cs *= alphabet_size_;
+    return cs;
+  }
+  /// Leading positions not covered by context codes (they lack enough
+  /// history); the bound caps them with the per-symbol maxima instead.
+  size_t signature_lead_positions() const {
+    return signature_order() <= 2 ? 1 : signature_order() - 1;
+  }
   /// max over (state, symbol) of model m's log-ratio — caps any single X.
   double signature_max(size_t m) const { return sig_rmax_[m]; }
 
@@ -180,32 +251,63 @@ class FrozenBank {
                                    alphabet_size_);
   }
 
-  /// Bigram caps (only when has_bigram_signature()): A² entries,
-  /// [b·A + a] = max of LogRatio(v, a) over the image of Step(·, b) — an
-  /// admissible cap on X_i at any position whose previous symbol is b,
-  /// because the automaton state at position i always lies in that image.
-  bool has_bigram_signature() const { return sig_cap2_enabled_; }
-  std::span<const double> signature_bigram_cap(size_t m) const {
-    const size_t sq = alphabet_size_ * alphabet_size_;
-    return std::span<const double>(sig_cap2_.data() + m * sq, sq);
+  /// Context caps of the active tier, model-major, unclamped, quantized to
+  /// round-up kSignatureQuantStep fixed point (value = entry / 256):
+  /// signature_code_space() entries per model. At order 2,
+  /// [b·A + a] = max of LogRatio(v, a) over the image of Step(·, b); at
+  /// order 3, [c·A² + b·A + a] maximizes over the two-step image of
+  /// Step(Step(·, c), b). Admissible because the automaton state before
+  /// consuming s_i always lies in the image of stepping on the preceding
+  /// symbols, whatever the earlier state was, and rounding up only loosens
+  /// the cap. At order 1 the entries are the quantized per-symbol maxima.
+  std::span<const int16_t> signature_cap_q(size_t m) const {
+    const size_t cs = signature_code_space();
+    return std::span<const int16_t>(sig_cap_q_.data() + m * cs, cs);
   }
 
-  /// Transposed, positive-clamped mirrors of the signatures above, laid out
-  /// code-major ([code][model]) so a per-sequence bound pass streams
-  /// sequentially through all k models for each distinct code instead of
-  /// gathering one cap per model. Entries are pre-clamped to max(cap, 0):
-  /// the bound only ever adds the positive part, and clamping at build time
-  /// turns the prefilter's inner loop into a branch-free fused
-  /// multiply-add. pos_bigram_cap_t is only populated when
-  /// has_bigram_signature().
-  std::span<const double> signature_pos_max_symbol_t(size_t symbol) const {
-    return std::span<const double>(
-        sig_maxsymt_.data() + symbol * num_models(), num_models());
+  /// Zero point of the signed offset-u8 transposed tables below: a stored
+  /// byte e encodes the value (e − kSignatureZeroPoint) ·
+  /// signature_quant_scale(). 191 levels cover the positive caps, 64 the
+  /// negative side (anything below −64·scale clamps up to it — admissible,
+  /// a window-breaker just breaks a little less hard).
+  static constexpr int32_t kSignatureZeroPoint = 64;
+  static constexpr int32_t kSignaturePosLevels = 255 - kSignatureZeroPoint;
+
+  /// Bank-global scale of the offset-u8 transposed tables below:
+  /// value = (entry − kSignatureZeroPoint) · signature_quant_scale().
+  /// Recomputed per build from the largest positive cap, so the positive
+  /// side of the 8-bit grid always covers the bank.
+  double signature_quant_scale() const { return sig_scale8_; }
+
+  /// Transposed, offset-u8-quantized mirrors of the signatures above, laid
+  /// out code-major ([code][model]) so a per-sequence bound pass streams
+  /// sequentially through all k models for each position instead of
+  /// gathering one cap per model. Entries round the cap *up* onto the
+  /// signed signature_quant_scale() grid — from the already-quantized
+  /// model-major values, so (e − 64)·scale ≥ step·q16 ≥ cap holds
+  /// entrywise. A NaN per-symbol maximum stores 255 (it must dominate any
+  /// score the kernels can produce); −inf stores 0.
+  std::span<const uint8_t> signature_pos_max_symbol_q(size_t symbol) const {
+    return std::span<const uint8_t>(
+        sig_maxsymt_q_.data() + symbol * num_models(), num_models());
   }
-  std::span<const double> signature_pos_bigram_cap_t(size_t code) const {
-    return std::span<const double>(sig_cap2t_.data() + code * num_models(),
-                                   num_models());
+  std::span<const uint8_t> signature_pos_cap_q(size_t code) const {
+    return std::span<const uint8_t>(sig_capt_q_.data() + code * num_models(),
+                                    num_models());
   }
+
+  /// Dense integer Kadane over the signed transposed columns — the
+  /// prefilter's whole O(k) front. cols[i] is the k-wide column of
+  /// position i (a signature_pos_* pointer); for every model,
+  /// z[m] = max over nonempty windows [i..j] of Σ_p (cols[p][m] − 64),
+  /// so z[m] · signature_quant_scale() dominates the §4.3 score on the
+  /// quantized grid *including cap ordering*: caps that never chain into
+  /// one window stop inflating the bound. Routed through the AVX2 kernel
+  /// when available; exact either way — the recurrence is pure integer
+  /// arithmetic (16-bit lanes while len·191 fits, 32-bit beyond), so
+  /// kernel choice can never change a bound. len must be ≥ 1.
+  void SignatureKadaneDense(const uint8_t* const* cols, size_t len,
+                            int32_t* z) const;
 
   /// Streaming variant for online scoring: advances every model by one
   /// symbol. The arrays are parallel over models: `rows` holds each model's
@@ -279,16 +381,22 @@ class FrozenBank {
   /// chosen to keep a block's hot rows L2-resident.
   size_t BlockModels() const;
 
+  /// Bytes the signature tables of `order` would occupy for a k-model bank:
+  /// Deepest tier whose tables fit signature_budget_bytes_ (per
+  /// SignatureTierCostBytes); a pure function of (k, A, budget), so tier
+  /// choice is deterministic and thread-count-invariant.
+  SignatureTier SelectSignatureTier(size_t k, size_t alphabet) const;
   /// Recomputes model m's bound signature from its packed arena rows
   /// (works identically for assembled and mapped banks). The sig_ arrays
-  /// must already be sized for the current layout.
+  /// must already be sized for the current layout and tier.
   void BuildSignature(size_t m);
   /// Sizes the sig_ arrays for the current layout and rebuilds every model
   /// (the .fbank load path, where nothing is reusable).
   void BuildAllSignatures();
-  /// Rebuilds sig_maxsymt_/sig_cap2t_ from the per-model signatures. Must
-  /// run after any signature refresh — the code-major layout interleaves
-  /// all models, so slot reuse cannot keep transposed columns in place.
+  /// Rebuilds the u8 transposed tables from the per-model signatures.
+  /// Must run after any signature refresh — the
+  /// code-major layout interleaves all models, so slot reuse cannot keep
+  /// transposed columns in place.
   void BuildTransposedSignatures();
 
   size_t alphabet_size_ = 0;
@@ -312,17 +420,21 @@ class FrozenBank {
   std::shared_ptr<const void> external_storage_;
   bool force_scalar_ = false;
   /// Bound signatures, parallel to base_: per-model overall max log-ratio,
-  /// flat k·A per-symbol maxima, and (when sig_cap2_enabled_) flat k·A²
-  /// bigram caps. See the signature accessors above.
+  /// flat k·A per-symbol maxima (double — the level-1.5 DP wants the
+  /// unquantized lead values), and flat k·A^order context caps in round-up
+  /// kSignatureQuantStep fixed point. See the signature accessors above.
   std::vector<double> sig_rmax_;
   std::vector<double> sig_maxsym_;
-  std::vector<double> sig_cap2_;
-  /// Code-major, positive-clamped transposes of sig_maxsym_/sig_cap2_
-  /// (see the signature_pos_* accessors). Rebuilt wholesale after every
-  /// signature refresh — O(k·A²) writes, noise next to arena packing.
-  std::vector<double> sig_maxsymt_;
-  std::vector<double> sig_cap2t_;
-  bool sig_cap2_enabled_ = false;
+  std::vector<int16_t> sig_cap_q_;
+  /// Code-major, signed offset-u8 transposes of the signatures on the
+  /// shared sig_scale8_ grid (see the signature_pos_* accessors).
+  /// Rebuilt wholesale after every signature refresh — O(k·A^order)
+  /// integer writes, noise next to arena packing.
+  std::vector<uint8_t> sig_maxsymt_q_;
+  std::vector<uint8_t> sig_capt_q_;
+  double sig_scale8_ = 1.0;
+  SignatureTier sig_tier_ = SignatureTier::kUnigram;
+  size_t signature_budget_bytes_ = kDefaultSignatureBudgetBytes;
 };
 
 namespace internal {
@@ -337,18 +449,33 @@ void ScanBlockScalar(const FrozenBank::Entry* entries, const uint32_t* bases,
                      size_t num_models, const SymbolId* symbols, size_t len,
                      SimilarityResult* out);
 
-/// Early-abandon variant of ScanBlockScalar: every 64 symbols each active
-/// lane is compared against max(Z, max(Y, 0) + remaining · margins[m]) and
-/// dropped once that bound falls below `target` (out[m].log_sim = bound,
-/// exact[m] = 0, lane compacted away). Survivors produce bit-for-bit
-/// ScanBlockScalar results with exact[m] = 1. margins[m] must be ≥ 0 — an
-/// admissible cap on any future per-symbol X term. Returns the number of
-/// abandoned lanes.
+/// Early-abandon variant of ScanBlockScalar: at adaptively scheduled
+/// checkpoints each active lane is compared against
+/// max(Z, max(Y, 0) + remaining · margins[m]) and dropped once that bound
+/// falls below `target` (out[m].log_sim = bound, exact[m] = 0, lane
+/// compacted away). Survivors produce bit-for-bit ScanBlockScalar results
+/// with exact[m] = 1. margins[m] must be ≥ 0 — an admissible cap on any
+/// future per-symbol X term. The schedule is a deterministic function of
+/// (lanes, symbols, target): checks start dense (every 16 symbols, but
+/// never before any lane's earliest provably-failable position
+/// len − target/margin) and back off geometrically while nothing abandons;
+/// lanes whose Z already reached the target stop being checked. Every
+/// executed check applies the same admissible bound, so scheduling only
+/// moves cost, never the survivor set. Returns the number of abandoned
+/// lanes; `*checkpoints` accrues the executed check passes.
 size_t ScanBlockScalarBounded(const FrozenBank::Entry* entries,
                               const uint32_t* bases, size_t num_models,
                               const SymbolId* symbols, size_t len,
                               const double* margins, double target,
-                              SimilarityResult* out, uint8_t* exact);
+                              SimilarityResult* out, uint8_t* exact,
+                              size_t* checkpoints);
+
+/// Dense signed Kadane over offset-u8 columns: for m < n,
+/// z[m] = max over nonempty windows of Σ (cols[i][m] − 64) — the
+/// prefilter's level-1 bound sweep. Pure integer arithmetic, so every
+/// kernel variant is exactly equivalent.
+void KadaneColumnsScalar(const uint8_t* const* cols, size_t len, size_t n,
+                         int32_t* z);
 
 #ifdef CLUSEQ_HAVE_AVX2
 /// AVX2 kernel: same contract and bit-identical results, 4 models per
@@ -361,13 +488,36 @@ void ScanBlockAvx2(const FrozenBank::Entry* entries, const uint32_t* bases,
 /// Early-abandon AVX2 kernel: same contract as ScanBlockScalarBounded but
 /// abandonment is per *group* — a group of 16/8/4 interleaved models stops
 /// only when every lane in it is hopeless (per-lane compaction would break
-/// the fixed-width register layout). Lanes that run to the end are
-/// bit-for-bit ScanBlockAvx2.
+/// the fixed-width register layout), so its adaptive schedule starts at
+/// the latest lane's earliest-failable position and stops checking for
+/// good once any lane's Z reaches the target. Lanes that run to the end
+/// are bit-for-bit ScanBlockAvx2.
 size_t ScanBlockAvx2Bounded(const FrozenBank::Entry* entries,
                             const uint32_t* bases, size_t num_models,
                             const SymbolId* symbols, size_t len,
                             const double* margins, double target,
-                            SimilarityResult* out, uint8_t* exact);
+                            SimilarityResult* out, uint8_t* exact,
+                            size_t* checkpoints);
+
+/// AVX2 KadaneColumnsScalar: 16 int16 lanes per step while len·191 fits
+/// int16 (len ≤ 171), 8 int32 lanes beyond; identical results (exact
+/// integer arithmetic in both widths, remainder models fall through to
+/// the scalar loop). Position-outer loop order — streams each column
+/// sequentially and keeps per-model state in thread-local buffers; the
+/// right shape when the transposed tables exceed cache and every scan
+/// pays their memory bandwidth.
+void KadaneColumnsAvx2(const uint8_t* const* cols, size_t len, size_t n,
+                       int32_t* z);
+
+/// Stripe-outer sibling of KadaneColumnsAvx2 (identical results): two
+/// interleaved model stripes walk all positions with the Kadane state
+/// held entirely in registers, eliminating the position-outer kernel's
+/// per-position state stores. Wins when the transposed tables are
+/// cache-resident (store throughput, not memory bandwidth, is then the
+/// bottleneck); loses prefetch-friendliness on spilling tables, so
+/// SignatureKadaneDense dispatches on table size.
+void KadaneColumnsAvx2Striped(const uint8_t* const* cols, size_t len,
+                              size_t n, int32_t* z);
 #endif  // CLUSEQ_HAVE_AVX2
 
 }  // namespace internal

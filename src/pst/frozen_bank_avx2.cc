@@ -36,8 +36,10 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace cluseq {
 namespace internal {
@@ -150,18 +152,34 @@ void ScanGroupAvx2(const FrozenBank::Entry* entries, const uint32_t* bases,
   }
 }
 
+/// Mirror of the scalar kernel's earliest-failable position: with a
+/// nonnegative per-symbol cap `margin`, the bound max(Z, max(Y, 0) +
+/// remaining · margin) cannot drop below a positive `target` while
+/// remaining · margin >= target, so the first position worth checking is
+/// len − target / margin (clamped to 1).
+inline double EarliestFailPosition(double margin, double target, size_t len) {
+  if (!(margin > 0.0)) return 1.0;
+  const double j0 = static_cast<double>(len) - target / margin;
+  return j0 > 1.0 ? j0 : 1.0;
+}
+
 /// Early-abandon variant: identical lane arithmetic (survivor lanes are
-/// bit-for-bit ScanGroupAvx2) plus an every-64-symbols group check. A
+/// bit-for-bit ScanGroupAvx2) plus adaptively scheduled group checks. A
 /// fixed-width register group cannot compact lanes away, so abandonment is
 /// all-or-nothing: the group stops only when *every* lane's admissible
 /// bound max(Z, max(Y, 0) + remaining · margin) falls below `target`, and
-/// then writes those bounds with exact = 0. Returns abandoned lane count
-/// (0 or kQuads·4).
+/// then writes those bounds with exact = 0. The schedule therefore starts
+/// at the *latest* lane's earliest-failable position (no earlier check
+/// could ever fire), backs off geometrically while nothing abandons, and
+/// stops for good once any lane's Z reaches the target (that lane keeps
+/// the whole group alive forever). Returns abandoned lane count (0 or
+/// kQuads·4); `*checkpoints` accrues executed check passes.
 template <int kQuads>
 size_t ScanGroupAvx2Bounded(const FrozenBank::Entry* entries,
                             const uint32_t* bases, const SymbolId* symbols,
                             size_t len, const double* margins, double target,
-                            SimilarityResult* out, uint8_t* exact) {
+                            SimilarityResult* out, uint8_t* exact,
+                            size_t* checkpoints) {
   const __m256d vneg_inf =
       _mm256_set1_pd(-std::numeric_limits<double>::infinity());
   const __m256d vzero = _mm256_setzero_pd();
@@ -187,6 +205,24 @@ size_t ScanGroupAvx2Bounded(const FrozenBank::Entry* entries,
   }
   for (size_t m = 0; m < static_cast<size_t>(kQuads) * 4; ++m) exact[m] = 1;
 
+  // Check schedule. A nonpositive target can never beat the nonnegative
+  // bound, so the loop runs check-free (next_check = len) in that case.
+  constexpr size_t kBoundCheckMin = 16;
+  constexpr size_t kBoundCheckMax = 512;
+  size_t interval = kBoundCheckMin;
+  size_t next_check = len;
+  if (target > 0.0) {
+    double group_j0 = 1.0;
+    for (size_t m = 0; m < static_cast<size_t>(kQuads) * 4; ++m) {
+      const double j0 = EarliestFailPosition(margins[m], target, len);
+      if (j0 > group_j0) group_j0 = j0;
+    }
+    next_check = group_j0 >= static_cast<double>(len)
+                     ? len
+                     : std::max(kBoundCheckMin,
+                                static_cast<size_t>(group_j0));
+  }
+
   // i = 0 peeled: Y_0 = X_0 unconditionally.
   {
     const __m128i vs = _mm_set1_epi32(symbols[0]);
@@ -205,10 +241,12 @@ size_t ScanGroupAvx2Bounded(const FrozenBank::Entry* entries,
   }
 
   for (size_t i = 1; i < len; ++i) {
-    if ((i & 63u) == 0) {
+    if (i >= next_check) {
+      if (checkpoints != nullptr) ++*checkpoints;
       const __m256d vrem = _mm256_set1_pd(static_cast<double>(len - i));
       __m256d vub[kQuads];
       bool hopeless = true;
+      bool any_safe = false;
       for (int q = 0; q < kQuads; ++q) {
         const __m256d peak_gt = _mm256_cmp_pd(vy[q], vzero, _CMP_GT_OQ);
         const __m256d vpeak = _mm256_blendv_pd(vzero, vy[q], peak_gt);
@@ -219,6 +257,8 @@ size_t ScanGroupAvx2Bounded(const FrozenBank::Entry* entries,
         vub[q] = ub;
         const __m256d lt = _mm256_cmp_pd(ub, vtarget, _CMP_LT_OQ);
         if (_mm256_movemask_pd(lt) != 0xF) hopeless = false;
+        const __m256d zge = _mm256_cmp_pd(vz[q], vtarget, _CMP_GE_OQ);
+        if (_mm256_movemask_pd(zge) != 0) any_safe = true;
       }
       if (hopeless) {
         alignas(32) double ub_out[4];
@@ -237,6 +277,14 @@ size_t ScanGroupAvx2Bounded(const FrozenBank::Entry* entries,
           }
         }
         return static_cast<size_t>(kQuads) * 4;
+      }
+      if (any_safe) {
+        // Some lane's Z already reached the target; its bound can never
+        // drop below it again, so the group can never go all-hopeless.
+        next_check = len;
+      } else {
+        interval = std::min(interval * 2, kBoundCheckMax);
+        next_check = i + interval;
       }
     }
     const __m128i vs = _mm_set1_epi32(symbols[i]);
@@ -309,30 +357,238 @@ size_t ScanBlockAvx2Bounded(const FrozenBank::Entry* entries,
                             const uint32_t* bases, size_t num_models,
                             const SymbolId* symbols, size_t len,
                             const double* margins, double target,
-                            SimilarityResult* out, uint8_t* exact) {
+                            SimilarityResult* out, uint8_t* exact,
+                            size_t* checkpoints) {
   size_t abandoned = 0;
   size_t m = 0;
   for (; m + 16 <= num_models; m += 16) {
     abandoned += ScanGroupAvx2Bounded<4>(entries, bases + m, symbols, len,
                                          margins + m, target, out + m,
-                                         exact + m);
+                                         exact + m, checkpoints);
   }
   for (; m + 8 <= num_models; m += 8) {
     abandoned += ScanGroupAvx2Bounded<2>(entries, bases + m, symbols, len,
                                          margins + m, target, out + m,
-                                         exact + m);
+                                         exact + m, checkpoints);
   }
   for (; m + 4 <= num_models; m += 4) {
     abandoned += ScanGroupAvx2Bounded<1>(entries, bases + m, symbols, len,
                                          margins + m, target, out + m,
-                                         exact + m);
+                                         exact + m, checkpoints);
   }
   if (m < num_models) {
     abandoned += ScanBlockScalarBounded(entries, bases + m, num_models - m,
                                         symbols, len, margins + m, target,
-                                        out + m, exact + m);
+                                        out + m, exact + m, checkpoints);
   }
   return abandoned;
+}
+
+void KadaneColumnsAvx2(const uint8_t* const* cols, size_t len, size_t n,
+                       int32_t* z) {
+  // Loop order is position-outer: each position's k-wide column is the
+  // only compulsory per-scan traffic, and walking it sequentially keeps
+  // the hardware prefetcher fed, while the per-model Kadane state (y =
+  // best suffix sum, b = best window sum) lives in small reused buffers
+  // that stay L1-resident. The transposed order — each model stripe
+  // walking all positions — touches ~len scattered cache lines per
+  // stripe across the whole table and stalls on DRAM latency instead.
+  //
+  // int16 state lanes are exact while the largest possible running sum
+  // len · kSignaturePosLevels stays under 2^15 (the negative side cannot
+  // underflow: the recurrence keeps y ≥ x ≥ −64). Longer sequences run
+  // the int32 variant — same recurrence, same results.
+  constexpr size_t kI16MaxLen =
+      32767 / static_cast<size_t>(FrozenBank::kSignaturePosLevels);  // 171
+  static thread_local std::vector<int16_t> y16, b16;
+  static thread_local std::vector<int32_t> y32;
+  size_t m = 0;
+  if (len <= kI16MaxLen) {
+    if (y16.size() < n) {
+      y16.resize(n);
+      b16.resize(n);
+    }
+    int16_t* y = y16.data();
+    int16_t* b = b16.data();
+    const __m256i zp = _mm256_set1_epi16(FrozenBank::kSignatureZeroPoint);
+    for (; m + 16 <= n; m += 16) {
+      const __m256i x = _mm256_sub_epi16(
+          _mm256_cvtepu8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(cols[0] + m))),
+          zp);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + m), x);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + m), x);
+    }
+    const size_t mv = m;
+    for (size_t i = 1; i < len; ++i) {
+      const uint8_t* col = cols[i];
+      for (size_t j = 0; j < mv; j += 16) {
+        const __m256i x = _mm256_sub_epi16(
+            _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(col + j))),
+            zp);
+        __m256i yj =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + j));
+        yj = _mm256_max_epi16(_mm256_add_epi16(yj, x), x);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + j), yj);
+        const __m256i bj = _mm256_max_epi16(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j)), yj);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + j), bj);
+      }
+    }
+    for (size_t j = 0; j < mv; j += 16) {
+      const __m256i bj =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + j),
+          _mm256_cvtepi16_epi32(_mm256_castsi256_si128(bj)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + j + 8),
+          _mm256_cvtepi16_epi32(_mm256_extracti128_si256(bj, 1)));
+    }
+  } else {
+    if (y32.size() < n) y32.resize(n);
+    int32_t* y = y32.data();  // b is the z output array itself here.
+    const __m256i zp = _mm256_set1_epi32(FrozenBank::kSignatureZeroPoint);
+    for (; m + 8 <= n; m += 8) {
+      const __m256i x = _mm256_sub_epi32(
+          _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+              reinterpret_cast<const __m128i*>(cols[0] + m))),
+          zp);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + m), x);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + m), x);
+    }
+    const size_t mv = m;
+    for (size_t i = 1; i < len; ++i) {
+      const uint8_t* col = cols[i];
+      for (size_t j = 0; j < mv; j += 8) {
+        const __m256i x = _mm256_sub_epi32(
+            _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i*>(col + j))),
+            zp);
+        __m256i yj =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + j));
+        yj = _mm256_max_epi32(_mm256_add_epi32(yj, x), x);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + j), yj);
+        const __m256i bj = _mm256_max_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z + j)), yj);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + j), bj);
+      }
+    }
+  }
+  for (; m < n; ++m) {
+    int32_t x = static_cast<int32_t>(cols[0][m]) -
+                FrozenBank::kSignatureZeroPoint;
+    int32_t y = x;
+    int32_t best = x;
+    for (size_t i = 1; i < len; ++i) {
+      x = static_cast<int32_t>(cols[i][m]) - FrozenBank::kSignatureZeroPoint;
+      const int32_t extend = y + x;
+      y = extend < x ? x : extend;
+      if (y > best) best = y;
+    }
+    z[m] = best;
+  }
+}
+
+void KadaneColumnsAvx2Striped(const uint8_t* const* cols, size_t len,
+                              size_t n, int32_t* z) {
+  // Stripe-outer: a pair of model stripes walks every position with y and
+  // b pinned in registers — zero state traffic, so the cost per position
+  // is the y-recurrence dependency chain (add + max), overlapped across
+  // the two independent stripes. Only dispatched when the transposed
+  // tables fit in cache (see SignatureKadaneDense): the strided column
+  // reads then stay cache hits, and the position-outer kernel's
+  // per-position state stores would be the bottleneck instead.
+  constexpr size_t kI16MaxLen =
+      32767 / static_cast<size_t>(FrozenBank::kSignaturePosLevels);  // 171
+  size_t m = 0;
+  if (len <= kI16MaxLen) {
+    const __m256i zp = _mm256_set1_epi16(FrozenBank::kSignatureZeroPoint);
+    for (; m + 32 <= n; m += 32) {
+      __m256i y0 = _mm256_sub_epi16(
+          _mm256_cvtepu8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(cols[0] + m))),
+          zp);
+      __m256i y1 = _mm256_sub_epi16(
+          _mm256_cvtepu8_epi16(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(cols[0] + m + 16))),
+          zp);
+      __m256i b0 = y0;
+      __m256i b1 = y1;
+      for (size_t i = 1; i < len; ++i) {
+        const uint8_t* col = cols[i] + m;
+        const __m256i x0 = _mm256_sub_epi16(
+            _mm256_cvtepu8_epi16(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(col))),
+            zp);
+        const __m256i x1 = _mm256_sub_epi16(
+            _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(col + 16))),
+            zp);
+        y0 = _mm256_max_epi16(_mm256_add_epi16(y0, x0), x0);
+        y1 = _mm256_max_epi16(_mm256_add_epi16(y1, x1), x1);
+        b0 = _mm256_max_epi16(b0, y0);
+        b1 = _mm256_max_epi16(b1, y1);
+      }
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + m),
+          _mm256_cvtepi16_epi32(_mm256_castsi256_si128(b0)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + m + 8),
+          _mm256_cvtepi16_epi32(_mm256_extracti128_si256(b0, 1)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + m + 16),
+          _mm256_cvtepi16_epi32(_mm256_castsi256_si128(b1)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(z + m + 24),
+          _mm256_cvtepi16_epi32(_mm256_extracti128_si256(b1, 1)));
+    }
+  } else {
+    const __m256i zp = _mm256_set1_epi32(FrozenBank::kSignatureZeroPoint);
+    for (; m + 16 <= n; m += 16) {
+      __m256i y0 = _mm256_sub_epi32(
+          _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+              reinterpret_cast<const __m128i*>(cols[0] + m))),
+          zp);
+      __m256i y1 = _mm256_sub_epi32(
+          _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+              reinterpret_cast<const __m128i*>(cols[0] + m + 8))),
+          zp);
+      __m256i b0 = y0;
+      __m256i b1 = y1;
+      for (size_t i = 1; i < len; ++i) {
+        const uint8_t* col = cols[i] + m;
+        const __m256i x0 = _mm256_sub_epi32(
+            _mm256_cvtepu8_epi32(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col))),
+            zp);
+        const __m256i x1 = _mm256_sub_epi32(
+            _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i*>(col + 8))),
+            zp);
+        y0 = _mm256_max_epi32(_mm256_add_epi32(y0, x0), x0);
+        y1 = _mm256_max_epi32(_mm256_add_epi32(y1, x1), x1);
+        b0 = _mm256_max_epi32(b0, y0);
+        b1 = _mm256_max_epi32(b1, y1);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + m), b0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(z + m + 8), b1);
+    }
+  }
+  for (; m < n; ++m) {
+    int32_t x = static_cast<int32_t>(cols[0][m]) -
+                FrozenBank::kSignatureZeroPoint;
+    int32_t y = x;
+    int32_t best = x;
+    for (size_t i = 1; i < len; ++i) {
+      x = static_cast<int32_t>(cols[i][m]) - FrozenBank::kSignatureZeroPoint;
+      const int32_t extend = y + x;
+      y = extend < x ? x : extend;
+      if (y > best) best = y;
+    }
+    z[m] = best;
+  }
 }
 
 }  // namespace internal

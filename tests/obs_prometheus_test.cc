@@ -115,9 +115,11 @@ TEST(PrometheusRenderTest, BoundSlackHistogramRendersCumulativeLe) {
   for (int q = 0; q < 20; ++q) {
     std::vector<SymbolId> query(120);
     for (auto& s : query) s = static_cast<SymbolId>(rng.Uniform(kAlphabet));
-    // A permissive threshold keeps at least the best model exact, which is
-    // the observation RecordSlack feeds the histogram.
-    prefilter.ScanAllWithThreshold(query, -1e9, sims.data());
+    // A tiny positive threshold is permissive (best model stays exact, so
+    // RecordSlack observes its bound-vs-score gap) but still engages the
+    // bound machinery — nonpositive thresholds delegate to the exhaustive
+    // scan, which never touches the slack histogram.
+    prefilter.ScanAllWithThreshold(query, 1e-6, sims.data());
   }
 
   const std::string text =

@@ -6,9 +6,9 @@
 //     per-sequence maximum is restored exactly even when nothing joins;
 //   * join decisions and joined-pair results match ScanAll at any
 //     threshold, over diverse banks (pruned, merged, sub-alphabet and
-//     smoothing-off models; k > 64 so multiple scan blocks run; alphabets
-//     past kMaxBigramAlphabet so the unigram fallback runs), with both the
-//     scalar and dispatched kernels;
+//     smoothing-off models; k > 64 so multiple level-0 blocks run; wide
+//     alphabets and every signature tier the byte budget can select),
+//     with both the scalar and dispatched kernels;
 //   * the sparse bank primitives (ScanCandidates / ScanCandidatesBounded)
 //     match ScanAll on their candidate sets, and abandoned lanes hold
 //     admissible bounds strictly below the target;
@@ -106,11 +106,12 @@ std::vector<ModelPtr> DiverseModels(size_t k, size_t alphabet, size_t depth,
 // The observable prefilter contract at one threshold: identical join set,
 // bit-identical results on joined pairs, admissible bounds on the rest,
 // and an exactly restored per-sequence maximum.
-void ExpectThresholdScanMatches(const FrozenBank& bank, const Symbols& query,
-                                double log_t) {
+void ExpectThresholdScanMatches(
+    const FrozenBank& bank, const Symbols& query, double log_t,
+    size_t l15_prefix = ScanPrefilter::kDefaultL15Prefix) {
   const size_t k = bank.num_models();
   const std::vector<SimilarityResult> off = bank.ScanAll(query);
-  const ScanPrefilter prefilter(&bank);
+  const ScanPrefilter prefilter(&bank, l15_prefix);
   std::vector<SimilarityResult> on(k);
   PrefilterScanStats stats;
   prefilter.ScanAllWithThreshold(query, log_t, on.data(), &stats);
@@ -158,8 +159,9 @@ void ExpectBestModelMatches(const FrozenBank& bank, const Symbols& query,
 
 TEST(PrefilterScanTest, MatchesOracleAcrossThresholdsAndBanks) {
   Rng rng(20260809);
-  // k = 70 forces multiple scan blocks; alphabet 70 exceeds
-  // kMaxBigramAlphabet and exercises the unigram-signature fallback.
+  // k = 70 forces multiple level-0 blocks; alphabet 70 exercises wide
+  // trigram code spaces (all these shapes fit the trigram tier under the
+  // default budget — the budget-sweep test pins the other tiers).
   struct Shape {
     size_t k, alphabet, depth;
   };
@@ -224,6 +226,133 @@ TEST(PrefilterScanTest, EmptyAndTrivialBanks) {
   const ScanPrefilter one_prefilter(&one);
   EXPECT_EQ(one_prefilter.BestModel(query, &best, nullptr, /*exclude=*/0), -1);
   EXPECT_EQ(best, kNegInf);
+}
+
+// The byte budget must pick exactly the documented tier and every tier
+// must uphold the full oracle contract — including alphabets past the old
+// 64-symbol bigram cliff, which the budget heuristic replaced.
+TEST(PrefilterSignatureTierTest, BudgetSelectsTierAndEveryTierMatchesOracle) {
+  Rng rng(606);
+  struct Shape {
+    size_t k, alphabet, depth;
+  };
+  for (const Shape& shape : {Shape{12, 10, 4}, Shape{70, 8, 4},
+                             Shape{8, 70, 3}}) {
+    const BackgroundModel background = SkewedBackground(shape.alphabet, &rng);
+    const std::vector<ModelPtr> models =
+        DiverseModels(shape.k, shape.alphabet, shape.depth, background, &rng);
+    // The selector's cost model is shared via SignatureTierCostBytes; a
+    // budget halfway between the bigram and trigram costs must land on
+    // bigram, and zero can afford nothing beyond the always-built unigram.
+    const double cost2 =
+        FrozenBank::SignatureTierCostBytes(shape.k, shape.alphabet, 2);
+    const double cost3 =
+        FrozenBank::SignatureTierCostBytes(shape.k, shape.alphabet, 3);
+    const struct {
+      size_t budget;
+      FrozenBank::SignatureTier tier;
+    } cases[] = {
+        {0, FrozenBank::SignatureTier::kUnigram},
+        {static_cast<size_t>((cost2 + cost3) / 2),
+         FrozenBank::SignatureTier::kBigram},
+        {size_t{1} << 30, FrozenBank::SignatureTier::kTrigram},
+    };
+    for (const auto& c : cases) {
+      FrozenBank bank;
+      bank.set_signature_budget_bytes(c.budget);
+      bank.Assemble(models);
+      ASSERT_EQ(bank.signature_tier(), c.tier)
+          << "k=" << shape.k << " A=" << shape.alphabet
+          << " budget=" << c.budget;
+      for (bool force_scalar : {false, true}) {
+        bank.set_force_scalar(force_scalar);
+        const Symbols query = RandomText(250, shape.alphabet, &rng);
+        const std::vector<SimilarityResult> off = bank.ScanAll(query);
+        std::vector<double> scores;
+        for (const SimilarityResult& r : off) scores.push_back(r.log_sim);
+        std::sort(scores.begin(), scores.end());
+        for (double log_t : {0.5, scores[scores.size() / 2], 1e300}) {
+          ExpectThresholdScanMatches(bank, query, log_t);
+        }
+        ExpectBestModelMatches(bank, query);
+      }
+    }
+  }
+}
+
+// Changing the budget across Assemble calls re-tiers the signatures in
+// place (slot reuse must not leave a stale tier's tables behind).
+TEST(PrefilterSignatureTierTest, ReassemblyAcrossBudgetsRebuildsSignatures) {
+  Rng rng(607);
+  const size_t alphabet = 12;
+  const BackgroundModel background = SkewedBackground(alphabet, &rng);
+  const std::vector<ModelPtr> models =
+      DiverseModels(20, alphabet, 4, background, &rng);
+  FrozenBank bank;
+  const Symbols query = RandomText(300, alphabet, &rng);
+  const size_t bigram_budget = static_cast<size_t>(
+      (FrozenBank::SignatureTierCostBytes(20, alphabet, 2) +
+       FrozenBank::SignatureTierCostBytes(20, alphabet, 3)) /
+      2);
+  for (size_t budget :
+       {size_t{1} << 30, size_t{0}, bigram_budget, size_t{1} << 30}) {
+    bank.set_signature_budget_bytes(budget);
+    bank.Assemble(models);  // Unchanged models: exercises slot reuse.
+    ExpectThresholdScanMatches(bank, query, 1.0);
+    ExpectBestModelMatches(bank, query);
+  }
+}
+
+// The level-1.5 truncated-prefix bound must stay admissible at any prefix
+// length, including degenerate ones (0 disables the level, 1 covers a
+// single symbol, 7 splits windows mid-sequence).
+TEST(PrefilterScanTest, L15PrefixSweepMatchesOracle) {
+  Rng rng(608);
+  const size_t alphabet = 14;
+  const BackgroundModel background = SkewedBackground(alphabet, &rng);
+  FrozenBank bank(DiverseModels(70, alphabet, 4, background, &rng));
+  for (size_t prefix : {size_t{0}, size_t{1}, size_t{7}, size_t{96}}) {
+    for (size_t len : {size_t{1}, size_t{40}, size_t{400}}) {
+      const Symbols query = RandomText(len, alphabet, &rng);
+      const std::vector<SimilarityResult> off = bank.ScanAll(query);
+      std::vector<double> scores;
+      for (const SimilarityResult& r : off) scores.push_back(r.log_sim);
+      std::sort(scores.begin(), scores.end());
+      for (double log_t : {0.5, scores[scores.size() / 2], 1e300}) {
+        ExpectThresholdScanMatches(bank, query, log_t, prefix);
+      }
+    }
+  }
+}
+
+// Steady-state scans must reuse the per-thread workspace: repeated calls
+// with same-shape input may not reallocate any of its buffers (a
+// per-sequence allocation here once cost ~15% of scan time at high k).
+TEST(PrefilterWorkspaceTest, ScratchNotReallocatedAcrossCalls) {
+  Rng rng(609);
+  const size_t alphabet = 10;
+  const BackgroundModel background = SkewedBackground(alphabet, &rng);
+  FrozenBank bank(DiverseModels(70, alphabet, 4, background, &rng));
+  const ScanPrefilter prefilter(&bank);
+  std::vector<SimilarityResult> sims(bank.num_models());
+  const Symbols warm = RandomText(300, alphabet, &rng);
+  prefilter.ScanAllWithThreshold(warm, 1.0, sims.data());
+  double best = 0.0;
+  prefilter.BestModel(warm, &best);
+  const PrefilterWorkspaceProbe before =
+      ScanPrefilter::ProbeThreadWorkspaceForTesting();
+  for (int i = 0; i < 10; ++i) {
+    const Symbols query = RandomText(300, alphabet, &rng);
+    prefilter.ScanAllWithThreshold(query, 1.0, sims.data());
+    prefilter.BestModel(query, &best);
+  }
+  const PrefilterWorkspaceProbe after =
+      ScanPrefilter::ProbeThreadWorkspaceForTesting();
+  EXPECT_EQ(before.stamp, after.stamp);
+  EXPECT_EQ(before.count, after.count);
+  EXPECT_EQ(before.cols, after.cols);
+  EXPECT_EQ(before.acc, after.acc);
+  EXPECT_EQ(before.tmp, after.tmp);
 }
 
 TEST(PrefilterBankPrimitivesTest, SparseCandidateScansMatchScanAll) {
@@ -306,12 +435,12 @@ CluseqOptions BaseOptions() {
   o.pst.max_depth = 5;
   o.pst.smoothing_p_min = 1e-4;
   o.rng_seed = 11;
-  // With threshold adjustment on, the prefilter stays dormant until the
-  // adjuster freezes (data-dependent) — turn it off here so these runs
-  // exercise actual pruning from iteration 1; the dedicated adjustment
-  // test covers the gated path. Pin a high threshold (log t = 25) instead
-  // of the auto estimate: its ~log-4 start is below any bound a full-length
-  // sequence can fail, which would leave the pruning paths untouched.
+  // Threshold adjustment off keeps the scan target at log t itself so
+  // these runs exercise maximal pruning from iteration 1; the dedicated
+  // adjustment test covers the live-adjuster censored-floor path. Pin a
+  // high threshold (log t = 25) instead of the auto estimate: its ~log-4
+  // start is below any bound a full-length sequence can fail, which would
+  // leave the pruning paths untouched.
   o.adjust_threshold = false;
   o.auto_initial_threshold = false;
   o.similarity_threshold = std::exp(25.0);
@@ -365,22 +494,44 @@ TEST(PrefilterClustererTest, OnOffBitForBitAcrossThreadCounts) {
 }
 
 TEST(PrefilterClustererTest, OnOffBitForBitWithThresholdAdjustment) {
-  // With §4.6 threshold adjustment the prefilter must stay dormant until
-  // the adjuster freezes (it needs exact score histograms) and only then
-  // start pruning — the run must still be bit-for-bit identical.
+  // With §4.6 threshold adjustment the prefilter no longer waits for the
+  // adjuster to freeze: while the adjuster is live the scan targets the
+  // censored floor log t − adjust_bound_window, every score at or above
+  // the floor stays exact, and the adjuster censors at the same floor in
+  // exhaustive runs — so prefiltered runs must stay bit-for-bit identical
+  // through the adjusting iterations, at any thread count.
   const SequenceDatabase db = SkewedDb(302);
   CluseqOptions off = BaseOptions();
   off.adjust_threshold = true;
   off.prefilter = false;
+  off.num_threads = 1;
+  // A window narrower than the pinned log t = 25 keeps the censored floor
+  // positive, so pruning is live in iteration 1 (the vacuousness guard
+  // below depends on it). Algorithmic: both arms must share it.
+  off.adjust_bound_window = 5.0;
   ClusteringResult reference;
   ASSERT_TRUE(RunCluseq(db, off, &reference).ok());
 
-  CluseqOptions on = off;
-  on.prefilter = true;
-  on.num_threads = 2;
-  ClusteringResult result;
-  ASSERT_TRUE(RunCluseq(db, on, &result).ok());
-  ExpectRunsIdentical(reference, result, "adjusted threshold");
+  for (size_t threads : {1u, 2u, 7u}) {
+    CluseqOptions on = off;
+    on.prefilter = true;
+    on.num_threads = threads;
+    ClusteringResult result;
+    ASSERT_TRUE(RunCluseq(db, on, &result).ok());
+    ExpectRunsIdentical(reference, result,
+                        ("adjusted threshold, " + std::to_string(threads) +
+                         " threads")
+                            .c_str());
+    // Non-vacuous: iteration 1 always runs with the adjuster live, and
+    // with the floor at 25 − 5 = 20 it must actually prune there — the
+    // whole point of the censored floor is pruning *during* adjustment.
+    ASSERT_FALSE(result.iteration_stats.empty());
+    const IterationStats& first = result.iteration_stats.front();
+    EXPECT_GT(first.prefilter_skip_ratio +
+                  static_cast<double>(first.prefilter_dp_early_exits),
+              0.0)
+        << threads << " threads";
+  }
 }
 
 TEST(PrefilterClustererTest, ClassifyOnOffIdentical) {
